@@ -1,0 +1,144 @@
+/**
+ * @file
+ * §6.3 microbenchmarks — "Encoder/decoder are performant":
+ *  - encoder wall-clock throughput and modelled pixel-clock compliance
+ *    (the IP must sustain 2 pixels per clock);
+ *  - hardware-decoder transaction service (modelled latency is tens of
+ *    ns; wall-clock here measures the simulator);
+ *  - software decoder: a few ms for a 1080p frame, scaling linearly with
+ *    the fraction of regional pixels.
+ */
+
+#include <cmath>
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/decoder.hpp"
+#include "core/encoder.hpp"
+#include "core/frame_store.hpp"
+#include "core/sw_decoder.hpp"
+#include "frame/draw.hpp"
+#include "memory/dram.hpp"
+
+namespace rpx {
+namespace {
+
+Image
+noiseFrame(i32 w, i32 h)
+{
+    Image img(w, h);
+    Rng rng(99);
+    fillValueNoise(img, rng, 24.0, 10, 240);
+    return img;
+}
+
+std::vector<RegionLabel>
+scatterRegions(int count, i32 w, i32 h, u64 seed)
+{
+    Rng rng(seed);
+    std::vector<RegionLabel> regions;
+    for (int i = 0; i < count; ++i) {
+        regions.push_back({static_cast<i32>(rng.uniformInt(0, w - 40)),
+                           static_cast<i32>(rng.uniformInt(0, h - 40)),
+                           32, 32, static_cast<i32>(rng.uniformInt(1, 4)),
+                           static_cast<i32>(rng.uniformInt(1, 3)), 0});
+    }
+    sortRegionsByY(regions);
+    return regions;
+}
+
+/** Encoder throughput on a 1080p frame with `regions` labels. */
+void
+BM_EncoderHybrid1080p(benchmark::State &state)
+{
+    const i32 w = 1920, h = 1080;
+    const Image frame = noiseFrame(w, h);
+    RhythmicEncoder enc(w, h);
+    enc.setRegionLabels(
+        scatterRegions(static_cast<int>(state.range(0)), w, h, 5));
+
+    FrameIndex t = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(enc.encodeFrame(frame, t++));
+    }
+    state.counters["Mpixel/s"] = benchmark::Counter(
+        static_cast<double>(enc.stats().pixels_in) / 1e6,
+        benchmark::Counter::kIsRate);
+    state.counters["meets_2ppc"] = enc.withinCycleBudget() ? 1 : 0;
+    state.counters["comparisons/frame"] =
+        static_cast<double>(enc.stats().region_comparisons) /
+        static_cast<double>(enc.stats().frames);
+}
+BENCHMARK(BM_EncoderHybrid1080p)->Arg(10)->Arg(100)->Arg(400)->Arg(973);
+
+/** Full-frame (dense) encode, the worst-case pixel payload. */
+void
+BM_EncoderFullFrame(benchmark::State &state)
+{
+    const i32 w = static_cast<i32>(state.range(0));
+    const i32 h = w * 9 / 16;
+    const Image frame = noiseFrame(w, h);
+    RhythmicEncoder enc(w, h);
+    enc.setRegionLabels({fullFrameRegion(w, h)});
+    FrameIndex t = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(enc.encodeFrame(frame, t++));
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<i64>(w) * h);
+}
+BENCHMARK(BM_EncoderFullFrame)->Arg(640)->Arg(1280)->Arg(1920);
+
+/** Hardware decoder: row-transaction service over a region workload. */
+void
+BM_DecoderRowTransactions(benchmark::State &state)
+{
+    const i32 w = 1920, h = 1080;
+    DramModel dram;
+    RhythmicEncoder enc(w, h);
+    FrameStore store(dram, w, h);
+    RhythmicDecoder decoder(store);
+    enc.setRegionLabels(
+        scatterRegions(static_cast<int>(state.range(0)), w, h, 7));
+    const Image frame = noiseFrame(w, h);
+    for (FrameIndex t = 0; t < 4; ++t)
+        store.store(enc.encodeFrame(frame, t));
+
+    i32 y = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(decoder.requestPixels(0, y, w));
+        y = (y + 17) % h;
+    }
+    state.SetItemsProcessed(state.iterations() * w);
+    state.counters["modelled_ns/txn"] = decoder.avgLatencyNs();
+}
+BENCHMARK(BM_DecoderRowTransactions)->Arg(100)->Arg(400);
+
+/**
+ * Software decoder at 1080p: §6.3 claims a few ms per frame at ~30%
+ * regional pixels, scaling linearly with the regional fraction. The Arg
+ * is the percentage of the frame covered by regions.
+ */
+void
+BM_SoftwareDecoder1080p(benchmark::State &state)
+{
+    const i32 w = 1920, h = 1080;
+    const double frac = static_cast<double>(state.range(0)) / 100.0;
+    const i32 side = static_cast<i32>(
+        std::sqrt(frac * static_cast<double>(w) * h));
+    RhythmicEncoder enc(w, h);
+    enc.setRegionLabels({{0, 0, std::min(side, w), std::min(side, h),
+                          1, 1, 0}});
+    const EncodedFrame encoded = enc.encodeFrame(noiseFrame(w, h), 0);
+    const SoftwareDecoder sw;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sw.decode(encoded));
+    state.counters["regional%"] = 100.0 * encoded.keptFraction();
+}
+BENCHMARK(BM_SoftwareDecoder1080p)->Arg(10)->Arg(30)->Arg(60)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+} // namespace
+} // namespace rpx
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Figs. 10-15 — Rhythmic pixel regions in action: the per-frame fraction
+ * of pixels captured across one full cycle window (frame 1 and frame 7 are
+ * full captures; frames 2-6 capture only the tracked regions), for the
+ * three workloads. The paper's strips show e.g. 100%, 37%, 31%, 34%, 27%,
+ * 35%, 100% for TUM freiburg1-xyz.
+ */
+
+#include <iostream>
+
+#include "sim/experiments.hpp"
+#include "sim/workload.hpp"
+
+using namespace rpx;
+
+namespace {
+
+void
+printWindow(const std::string &caption,
+            const std::vector<double> &kept_per_frame, int cycle)
+{
+    // Pick the most representative window [c, c+cycle] (c on a cycle
+    // boundary): the one with the most interior frames that are genuinely
+    // partial (0 < kept < 1), i.e. where region tracking is live.
+    const size_t span = static_cast<size_t>(cycle);
+    size_t best_start = 0;
+    int best_partials = -1;
+    for (size_t start = 0; start + span < kept_per_frame.size();
+         start += span) {
+        int partials = 0;
+        for (size_t i = start + 1; i < start + span; ++i)
+            if (kept_per_frame[i] > 0.0 && kept_per_frame[i] < 1.0)
+                ++partials;
+        if (partials > best_partials) {
+            best_partials = partials;
+            best_start = start;
+        }
+    }
+    std::cout << "  " << caption << ": ";
+    for (size_t i = best_start;
+         i <= best_start + span && i < kept_per_frame.size(); ++i) {
+        std::cout << fmtDouble(100.0 * kept_per_frame[i], 0) << "% ";
+    }
+    std::cout << "\n";
+}
+
+} // namespace
+
+int
+main()
+{
+    const EvalScale scale = evalScaleFromEnv();
+    WorkloadConfig wc;
+    wc.scheme = CaptureScheme::RP;
+    wc.cycle_length = 6; // 7-frame strips like Figs. 10-15
+
+    std::cout << "=== Figs. 10-15: per-frame % of pixels captured across "
+                 "a cycle ===\n\n";
+
+    std::cout << "Task: Visual SLAM (Figs. 10-12)\n";
+    const auto suite = slamBenchmarkSuite(scale.slam_width,
+                                          scale.slam_height,
+                                          scale.slam_frames, 3);
+    for (const auto &seq : suite) {
+        const SlamRunResult run = runSlamWorkload(seq, wc);
+        printWindow(seq.name, run.kept_per_frame, wc.cycle_length);
+    }
+
+    std::cout << "\nTask: Human pose estimation (Figs. 13-14)\n";
+    for (int variant = 0; variant < 2; ++variant) {
+        PoseSequenceConfig seq;
+        seq.width = scale.pose_width;
+        seq.height = scale.pose_height;
+        seq.frames = scale.det_frames;
+        seq.persons = 2 + variant;
+        seq.seed = 501 + static_cast<u64>(variant) * 77;
+        seq.name = "walk-" + std::to_string(variant);
+        const DetectionRunResult run = runPoseWorkload(seq, wc);
+        printWindow(seq.name, run.kept_per_frame, wc.cycle_length);
+    }
+
+    std::cout << "\nTask: Face detection (Fig. 15)\n";
+    {
+        FaceSequenceConfig seq;
+        seq.width = scale.face_width;
+        seq.height = scale.face_height;
+        seq.frames = scale.det_frames;
+        const DetectionRunResult run = runFaceWorkload(seq, wc);
+        printWindow("portal-0", run.kept_per_frame, wc.cycle_length);
+    }
+
+    std::cout << "\nExpected shape: 100% at the window edges (full "
+                 "captures), ~20-45% in between.\n";
+    return 0;
+}

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Fig. 8 — Pixel memory throughput (MB/s) and memory footprint (MB) for
+ * every capture scheme on the three workloads, evaluated at the paper's
+ * native resolutions (Table 3: V-SLAM 4K, pose 720p, face SVGA).
+ *
+ * Protocol: run the rhythmic workload at simulation scale to produce the
+ * per-frame region-label traces (one per cycle length), rescale the traces
+ * to the native resolution, and replay them through the throughput
+ * simulator of §5.3.1 for every baseline. Also reports the §6.2
+ * cycle-length sweep ("traffic drops 5-10% per +5 CL").
+ */
+
+#include <iostream>
+#include <map>
+
+#include "sim/experiments.hpp"
+#include "sim/workload.hpp"
+
+using namespace rpx;
+
+namespace {
+
+struct TaskSpec {
+    const char *name;
+    i32 native_w, native_h;
+    double fps;
+};
+
+/** Collect RP traces for the cycle lengths the sweep needs. */
+std::map<int, RegionTrace>
+tracesFor(const char *task, const EvalScale &scale)
+{
+    std::map<int, RegionTrace> traces;
+    for (int cl : {5, 10, 15}) {
+        WorkloadConfig wc;
+        wc.scheme = CaptureScheme::RP;
+        wc.cycle_length = cl;
+        if (std::string(task) == "slam") {
+            SlamSequenceConfig seq;
+            seq.width = scale.slam_width;
+            seq.height = scale.slam_height;
+            seq.frames = scale.slam_frames;
+            const SlamRunResult run = runSlamWorkload(seq, wc);
+            traces[cl] = scaleTrace(run.trace, seq.width, seq.height,
+                                    3840, 2160);
+        } else if (std::string(task) == "pose") {
+            PoseSequenceConfig seq;
+            seq.width = scale.pose_width;
+            seq.height = scale.pose_height;
+            seq.frames = scale.det_frames;
+            const DetectionRunResult run = runPoseWorkload(seq, wc);
+            traces[cl] = scaleTrace(run.trace, seq.width, seq.height,
+                                    1280, 720);
+        } else {
+            FaceSequenceConfig seq;
+            seq.width = scale.face_width;
+            seq.height = scale.face_height;
+            seq.frames = scale.det_frames;
+            const DetectionRunResult run = runFaceWorkload(seq, wc);
+            traces[cl] = scaleTrace(run.trace, seq.width, seq.height,
+                                    800, 600);
+        }
+    }
+    return traces;
+}
+
+} // namespace
+
+int
+main()
+{
+    const EvalScale scale = evalScaleFromEnv();
+    const TaskSpec tasks[] = {
+        {"slam", 3840, 2160, 30.0},
+        {"pose", 1280, 720, 30.0},
+        {"face", 800, 600, 30.0},
+    };
+    const char *titles[] = {
+        "(a) Visual SLAM (4K @ 30)",
+        "(b) Human pose estimation (720p @ 30)",
+        "(c) Face detection (SVGA @ 30)",
+    };
+
+    std::cout << "=== Fig. 8: pixel memory throughput and footprint ===\n";
+    int ti = 0;
+    for (const auto &task : tasks) {
+        const auto traces = tracesFor(task.name, scale);
+
+        ThroughputConfig tc;
+        tc.width = task.native_w;
+        tc.height = task.native_h;
+        tc.fps = task.fps;
+        const ThroughputSimulator sim(tc);
+
+        std::cout << "\n--- " << titles[ti++] << " ---\n\n";
+        TextTable table({"scheme", "throughput MB/s", "write MB/s",
+                         "read MB/s", "footprint MB", "kept%"});
+        for (const auto &point : paperSchemeSweep()) {
+            const RegionTrace &trace =
+                point.scheme == CaptureScheme::RP
+                    ? traces.at(point.cycle_length)
+                    : traces.at(10);
+            const ThroughputResult r = sim.evaluate(point.scheme, trace);
+            table.addRow({
+                schemeName(point.scheme, point.cycle_length),
+                fmtDouble(r.throughput_mbps, 1),
+                fmtDouble(r.write_mbps, 1),
+                fmtDouble(r.read_mbps, 1),
+                fmtDouble(r.footprint_mb, 2),
+                fmtDouble(100.0 * r.kept_fraction, 1),
+            });
+        }
+        std::cout << table.render();
+
+        // §6.2: traffic per +5 cycle length.
+        const double t5 =
+            sim.evaluate(CaptureScheme::RP, traces.at(5)).throughput_mbps;
+        const double t10 =
+            sim.evaluate(CaptureScheme::RP, traces.at(10)).throughput_mbps;
+        const double t15 =
+            sim.evaluate(CaptureScheme::RP, traces.at(15)).throughput_mbps;
+        std::cout << "cycle-length sweep: CL5->CL10 "
+                  << fmtDouble(100.0 * (t5 - t10) / t5, 1)
+                  << "% less traffic, CL10->CL15 "
+                  << fmtDouble(100.0 * (t10 - t15) / t10, 1)
+                  << "% (paper: 5-10% per +5 CL)\n";
+    }
+    return 0;
+}

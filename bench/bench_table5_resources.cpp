@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Table 5 — Resource utilization for different encoder designs, plus the
+ * §6.3 power figures (encoder 45 mW @ 1600 regions < 7% of a 650 mW ISP;
+ * decoder < 1 mW; decoder agnostic to region count).
+ */
+
+#include <iostream>
+
+#include "hw/power_model.hpp"
+#include "hw/resource_model.hpp"
+#include "sim/experiments.hpp"
+
+using namespace rpx;
+
+int
+main()
+{
+    const ResourceModel model;
+    const PowerModel power;
+
+    std::cout << "=== Table 5: Resource utilization for different encoder "
+                 "designs ===\n\n";
+    TextTable table({"Type", "#Regions", "#LUTs", "#FFs", "#BRAMs"});
+    for (const EncoderDesign design :
+         {EncoderDesign::Parallel, EncoderDesign::Hybrid}) {
+        for (const u32 regions : table5RegionCounts()) {
+            const ResourceUsage usage = model.encoderUsage(design, regions);
+            const char *name =
+                design == EncoderDesign::Parallel ? "Parallel" : "Hybrid";
+            if (!usage.synthesizable) {
+                table.addRow({name, std::to_string(regions), "No Synth",
+                              "No Synth", "No Synth"});
+            } else {
+                table.addRow({name, std::to_string(regions),
+                              std::to_string(usage.luts),
+                              std::to_string(usage.ffs),
+                              std::to_string(usage.brams)});
+            }
+        }
+    }
+    std::cout << table.render();
+
+    std::cout << "\n--- Decoder (region-count agnostic, 1080p) ---\n";
+    const ResourceUsage dec = model.decoderUsage(1920, 0);
+    const ResourceUsage dec1600 = model.decoderUsage(1920, 1600);
+    std::cout << "  decoder @ 0 regions:    " << dec.toString() << "\n";
+    std::cout << "  decoder @ 1600 regions: " << dec1600.toString()
+              << "\n";
+
+    std::cout << "\n--- Power (§6.3) ---\n";
+    std::cout << "  encoder (hybrid, 1600 regions): "
+              << fmtDouble(
+                     power.encoderPowerMw(EncoderDesign::Hybrid, 1600), 1)
+              << " mW ("
+              << fmtDouble(100.0 * power.encoderIspFraction(
+                                        EncoderDesign::Hybrid, 1600),
+                           1)
+              << "% of a " << PowerModel::kIspChipPowerMw
+              << " mW mobile ISP)\n";
+    std::cout << "  decoder:                        "
+              << fmtDouble(power.decoderPowerMw(), 1) << " mW\n";
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Face-detection example (ChokePoint-like portal scenario): subjects walk
+ * through a doorway; regions follow their faces via the Kalman box policy.
+ *
+ * Run:  ./face_detection [frames]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "sim/experiments.hpp"
+#include "sim/workload.hpp"
+
+using namespace rpx;
+
+int
+main(int argc, char **argv)
+{
+    FaceSequenceConfig seq;
+    seq.frames = argc > 1 ? std::atoi(argv[1]) : 60;
+    seq.subjects = 3;
+
+    std::cout << "Face detection on " << seq.width << "x" << seq.height
+              << ", " << seq.frames << " frames, "
+              << seq.subjects << " subjects\n\n";
+
+    TextTable table({"scheme", "mAP%", "recall%", "kept%", "DDR MB/s",
+                     "footprint MB"});
+    for (const auto &point : paperSchemeSweep()) {
+        if (point.scheme == CaptureScheme::RP && point.cycle_length != 10)
+            continue; // keep the example short: one RP point
+        WorkloadConfig wc;
+        wc.scheme = point.scheme;
+        wc.cycle_length =
+            point.cycle_length > 0 ? point.cycle_length : 10;
+        const DetectionRunResult run = runFaceWorkload(seq, wc);
+
+        double kept = 0.0;
+        for (double k : run.kept_per_frame)
+            kept += k;
+        kept /= static_cast<double>(run.kept_per_frame.size());
+
+        table.addRow({
+            run.scheme_name,
+            fmtDouble(run.map_percent, 1),
+            fmtDouble(run.recall_percent, 1),
+            fmtDouble(100.0 * kept, 1),
+            fmtDouble(run.pipeline_traffic.throughputMBps(run.fps), 1),
+            fmtDouble(run.pipeline_traffic.footprintMB(), 2),
+        });
+    }
+    std::cout << table.render();
+    return 0;
+}

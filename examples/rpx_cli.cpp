@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Command-line driver for the evaluation harness: run any workload under
+ * any capture scheme, export the region trace, or replay a saved trace
+ * through the throughput simulator at an arbitrary resolution.
+ *
+ * Usage:
+ *   rpx_cli run   --task slam|face|pose --scheme FCH|FCL|RP|MULTIROI
+ *                 [--cycle N] [--frames N] [--trace-out FILE]
+ *   rpx_cli replay --trace FILE --scheme FCH|FCL|RP|H264|MULTIROI
+ *                 [--width N --height N] [--fps F]
+ */
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "sim/experiments.hpp"
+#include "sim/trace_io.hpp"
+#include "sim/workload.hpp"
+
+using namespace rpx;
+
+namespace {
+
+[[noreturn]] void
+usage()
+{
+    std::cerr
+        << "usage:\n"
+        << "  rpx_cli run    --task slam|face|pose --scheme "
+           "FCH|FCL|RP|MULTIROI [--cycle N]\n"
+        << "                 [--frames N] [--trace-out FILE]\n"
+        << "  rpx_cli replay --trace FILE --scheme "
+           "FCH|FCL|RP|H264|MULTIROI [--width N]\n"
+        << "                 [--height N] [--fps F]\n";
+    std::exit(2);
+}
+
+std::map<std::string, std::string>
+parseFlags(int argc, char **argv, int first)
+{
+    std::map<std::string, std::string> flags;
+    for (int i = first; i + 1 < argc; i += 2) {
+        if (std::strncmp(argv[i], "--", 2) != 0)
+            usage();
+        flags[argv[i] + 2] = argv[i + 1];
+    }
+    return flags;
+}
+
+CaptureScheme
+schemeFromName(const std::string &name)
+{
+    if (name == "FCH")
+        return CaptureScheme::FCH;
+    if (name == "FCL")
+        return CaptureScheme::FCL;
+    if (name == "RP")
+        return CaptureScheme::RP;
+    if (name == "H264")
+        return CaptureScheme::H264;
+    if (name == "MULTIROI")
+        return CaptureScheme::MultiRoi;
+    std::cerr << "unknown scheme: " << name << "\n";
+    usage();
+}
+
+int
+runCommand(const std::map<std::string, std::string> &flags)
+{
+    const std::string task =
+        flags.count("task") ? flags.at("task") : "slam";
+    WorkloadConfig wc;
+    wc.scheme = schemeFromName(
+        flags.count("scheme") ? flags.at("scheme") : "RP");
+    wc.cycle_length =
+        flags.count("cycle") ? std::stoi(flags.at("cycle")) : 10;
+    const int frames =
+        flags.count("frames") ? std::stoi(flags.at("frames")) : 60;
+
+    WorkloadRunBase base;
+    std::string accuracy;
+    if (task == "slam") {
+        SlamSequenceConfig seq;
+        seq.frames = frames;
+        const SlamRunResult r = runSlamWorkload(seq, wc);
+        base = r;
+        accuracy = "ATE " + fmtDouble(r.metrics.ate_mean * 1000, 1) +
+                   " mm, RPE-t " +
+                   fmtDouble(r.metrics.rpe_trans_mean * 1000, 1) + " mm";
+    } else if (task == "face") {
+        FaceSequenceConfig seq;
+        seq.frames = frames;
+        const DetectionRunResult r = runFaceWorkload(seq, wc);
+        base = r;
+        accuracy = "mAP " + fmtDouble(r.map_percent, 1) + "%, F1 " +
+                   fmtDouble(r.f1_percent, 1) + "%";
+    } else if (task == "pose") {
+        PoseSequenceConfig seq;
+        seq.frames = frames;
+        const DetectionRunResult r = runPoseWorkload(seq, wc);
+        base = r;
+        accuracy = "mAP " + fmtDouble(r.map_percent, 1) + "%, F1 " +
+                   fmtDouble(r.f1_percent, 1) + "%";
+    } else {
+        std::cerr << "unknown task: " << task << "\n";
+        usage();
+    }
+
+    double kept = 0.0;
+    for (double k : base.kept_per_frame)
+        kept += k;
+    kept /= static_cast<double>(base.kept_per_frame.size());
+
+    std::cout << base.scheme_name << " on " << task << " (" << base.width
+              << "x" << base.height << ", "
+              << base.kept_per_frame.size() << " frames)\n";
+    std::cout << "  accuracy:   " << accuracy << "\n";
+    std::cout << "  kept:       " << fmtDouble(100.0 * kept, 1) << "%\n";
+    std::cout << "  DDR:        "
+              << fmtDouble(base.pipeline_traffic.throughputMBps(base.fps),
+                           1)
+              << " MB/s, footprint "
+              << fmtDouble(base.pipeline_traffic.footprintMB(), 2)
+              << " MB\n";
+
+    if (flags.count("trace-out")) {
+        TraceFile file;
+        file.width = base.width;
+        file.height = base.height;
+        file.trace = base.trace;
+        writeTraceFile(flags.at("trace-out"), file);
+        std::cout << "  trace:      " << flags.at("trace-out") << " ("
+                  << file.trace.size() << " frames)\n";
+    }
+    return 0;
+}
+
+int
+replayCommand(const std::map<std::string, std::string> &flags)
+{
+    if (!flags.count("trace"))
+        usage();
+    const TraceFile file = readTraceFile(flags.at("trace"));
+
+    ThroughputConfig tc;
+    tc.width = flags.count("width") ? std::stoi(flags.at("width"))
+                                    : file.width;
+    tc.height = flags.count("height") ? std::stoi(flags.at("height"))
+                                      : file.height;
+    tc.fps = flags.count("fps") ? std::stod(flags.at("fps")) : 30.0;
+
+    const RegionTrace trace =
+        (tc.width == file.width && tc.height == file.height)
+            ? file.trace
+            : scaleTrace(file.trace, file.width, file.height, tc.width,
+                         tc.height);
+
+    const CaptureScheme scheme = schemeFromName(
+        flags.count("scheme") ? flags.at("scheme") : "RP");
+    const ThroughputSimulator sim(tc);
+    const ThroughputResult r = sim.evaluate(scheme, trace);
+
+    std::cout << schemeName(scheme) << " replay of "
+              << flags.at("trace") << " at " << tc.width << "x"
+              << tc.height << " @ " << tc.fps << " fps\n";
+    std::cout << "  throughput: " << fmtDouble(r.throughput_mbps, 1)
+              << " MB/s (write " << fmtDouble(r.write_mbps, 1)
+              << ", read " << fmtDouble(r.read_mbps, 1) << ")\n";
+    std::cout << "  footprint:  " << fmtDouble(r.footprint_mb, 2)
+              << " MB mean, " << fmtDouble(r.footprint_peak_mb, 2)
+              << " MB peak\n";
+    std::cout << "  kept:       "
+              << fmtDouble(100.0 * r.kept_fraction, 1) << "%\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    const std::string command = argv[1];
+    try {
+        if (command == "run")
+            return runCommand(parseFlags(argc, argv, 2));
+        if (command == "replay")
+            return replayCommand(parseFlags(argc, argv, 2));
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    usage();
+}

@@ -1,0 +1,59 @@
+#include "baseline/frame_based.hpp"
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+void
+TrafficSummary::add(const FrameTraffic &t)
+{
+    bytes_written += t.bytes_written;
+    bytes_read += t.bytes_read;
+    metadata_bytes += t.metadata_bytes;
+    if (t.footprint > footprint_peak)
+        footprint_peak = t.footprint;
+    // Running mean of the footprint series.
+    footprint_mean += (static_cast<double>(t.footprint) - footprint_mean) /
+                      static_cast<double>(frames + 1);
+    ++frames;
+}
+
+double
+TrafficSummary::throughputMBps(double fps) const
+{
+    if (frames == 0)
+        return 0.0;
+    const double bytes_per_frame =
+        static_cast<double>(bytes_written + bytes_read + metadata_bytes) /
+        static_cast<double>(frames);
+    return bytes_per_frame * fps / 1e6;
+}
+
+FrameBasedCapture::FrameBasedCapture(i32 width, i32 height,
+                                     int buffered_frames,
+                                     double bytes_per_pixel)
+    : width_(width), height_(height), buffered_frames_(buffered_frames),
+      bytes_per_pixel_(bytes_per_pixel)
+{
+    if (width <= 0 || height <= 0)
+        throwInvalid("frame-based capture geometry must be positive");
+    if (buffered_frames < 1)
+        throwInvalid("buffered frame count must be >= 1");
+    if (bytes_per_pixel <= 0.0)
+        throwInvalid("bytes per pixel must be positive");
+}
+
+FrameTraffic
+FrameBasedCapture::frameTraffic() const
+{
+    const Bytes pixels = static_cast<Bytes>(
+        static_cast<double>(width_) * height_ * bytes_per_pixel_);
+    FrameTraffic t;
+    t.bytes_written = pixels;
+    t.bytes_read = pixels;
+    t.metadata_bytes = 0;
+    t.footprint = pixels * static_cast<Bytes>(buffered_frames_);
+    return t;
+}
+
+} // namespace rpx

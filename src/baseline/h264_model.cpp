@@ -1,0 +1,41 @@
+#include "baseline/h264_model.hpp"
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+H264Capture::H264Capture(i32 width, i32 height, const H264Config &config)
+    : width_(width), height_(height), config_(config)
+{
+    if (width <= 0 || height <= 0)
+        throwInvalid("H.264 geometry must be positive");
+    if (config.reference_frames < 1)
+        throwInvalid("H.264 needs at least one reference frame");
+    if (config.compression_ratio <= 1.0)
+        throwInvalid("compression ratio must exceed 1");
+}
+
+FrameTraffic
+H264Capture::frameTraffic() const
+{
+    const double pixels = static_cast<double>(width_) *
+                          static_cast<double>(height_) *
+                          config_.bytes_per_pixel;
+    FrameTraffic t;
+    // Raw frame in, reconstructed frame out, bitstream out.
+    t.bytes_written = static_cast<Bytes>(
+        pixels * (1.0 + config_.recon_writes) +
+        pixels / config_.compression_ratio);
+    // App reads the frame once; motion estimation re-reads references.
+    t.bytes_read = static_cast<Bytes>(
+        pixels * (1.0 + config_.motion_search_reads));
+    t.metadata_bytes = 0;
+    // Working set: the decoded-picture buffer of reference frames, the
+    // incoming raw frame, the reconstructed frame, and the bitstream.
+    t.footprint = static_cast<Bytes>(
+        pixels * (config_.reference_frames + 2) +
+        pixels / config_.compression_ratio);
+    return t;
+}
+
+} // namespace rpx

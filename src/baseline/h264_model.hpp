@@ -1,0 +1,58 @@
+/**
+ * @file
+ * H.264 compression baseline (§5.3): the paper could not run a codec on the
+ * FPGA and instead estimated from the Xilinx VCU datasheet (Baseline
+ * profile, level 5.2). A hardware encoder keeps several uncompressed
+ * reference frames resident and makes multiple passes over pixel data for
+ * motion estimation, so although the *output bitstream* is small, the
+ * *pixel memory traffic and footprint* exceed plain frame-based capture —
+ * the comparison Fig. 8 draws.
+ */
+
+#ifndef RPX_BASELINE_H264_MODEL_HPP
+#define RPX_BASELINE_H264_MODEL_HPP
+
+#include "baseline/frame_based.hpp"
+
+namespace rpx {
+
+/** Datasheet-derived codec parameters. */
+struct H264Config {
+    int reference_frames = 3;      //!< uncompressed frames kept in DRAM
+    double motion_search_reads = 1.6; //!< reference reads per pixel for ME
+    double recon_writes = 1.0;     //!< reconstructed-frame writes per pixel
+    double compression_ratio = 50.0; //!< raw-to-bitstream ratio (Baseline)
+    double bytes_per_pixel = 1.0;  //!< stored pixel format width
+};
+
+/**
+ * First-order H.264 pixel-traffic model.
+ */
+class H264Capture
+{
+  public:
+    H264Capture(i32 width, i32 height, const H264Config &config);
+    H264Capture(i32 width, i32 height)
+        : H264Capture(width, height, H264Config{})
+    {
+    }
+
+    const H264Config &config() const { return config_; }
+
+    /**
+     * Traffic of one encoded frame: raw write + app read of the decoded
+     * frame, plus motion-estimation reference reads, reconstruction writes,
+     * and the (small) bitstream write. Footprint is the reference-frame
+     * working set.
+     */
+    FrameTraffic frameTraffic() const;
+
+  private:
+    i32 width_;
+    i32 height_;
+    H264Config config_;
+};
+
+} // namespace rpx
+
+#endif // RPX_BASELINE_H264_MODEL_HPP

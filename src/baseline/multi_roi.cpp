@@ -1,0 +1,53 @@
+#include "baseline/multi_roi.hpp"
+
+#include "common/error.hpp"
+#include "vision/kmeans.hpp"
+
+namespace rpx {
+
+MultiRoiCapture::MultiRoiCapture(i32 width, i32 height, int max_rois,
+                                 double bytes_per_pixel)
+    : width_(width), height_(height), max_rois_(max_rois),
+      bytes_per_pixel_(bytes_per_pixel)
+{
+    if (width <= 0 || height <= 0)
+        throwInvalid("multi-ROI geometry must be positive");
+    if (max_rois < 1)
+        throwInvalid("multi-ROI needs at least one window");
+    if (bytes_per_pixel <= 0.0)
+        throwInvalid("bytes per pixel must be positive");
+}
+
+std::vector<Rect>
+MultiRoiCapture::reduceRegions(
+    const std::vector<RegionLabel> &regions) const
+{
+    std::vector<Rect> rects;
+    rects.reserve(regions.size());
+    for (const auto &r : regions) {
+        const Rect clipped = r.rect().clippedTo(width_, height_);
+        if (!clipped.empty())
+            rects.push_back(clipped);
+    }
+    std::vector<Rect> merged = mergeRectsKMeans(rects, max_rois_);
+    for (auto &m : merged)
+        m = m.clippedTo(width_, height_);
+    return merged;
+}
+
+FrameTraffic
+MultiRoiCapture::frameTraffic(const std::vector<Rect> &rois) const
+{
+    double area = 0.0;
+    for (const auto &r : rois)
+        area += static_cast<double>(r.area());
+    const Bytes pixels = static_cast<Bytes>(area * bytes_per_pixel_);
+    FrameTraffic t;
+    t.bytes_written = pixels;
+    t.bytes_read = pixels;
+    t.metadata_bytes = rois.size() * 16; // window descriptors
+    t.footprint = pixels;
+    return t;
+}
+
+} // namespace rpx

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Multi-ROI camera baseline (§5.3): off-the-shelf multi-ROI sensors support
+ * at most 16 rectangular read-out windows, without per-region stride or
+ * skip. Workloads with more regions merge them into 16 via k-means on the
+ * region centers, storing each merged window densely.
+ */
+
+#ifndef RPX_BASELINE_MULTI_ROI_HPP
+#define RPX_BASELINE_MULTI_ROI_HPP
+
+#include <vector>
+
+#include "baseline/frame_based.hpp"
+#include "common/geometry.hpp"
+#include "core/region.hpp"
+
+namespace rpx {
+
+/**
+ * Multi-ROI capture model.
+ */
+class MultiRoiCapture
+{
+  public:
+    /**
+     * @param width     frame geometry
+     * @param height    frame geometry
+     * @param max_rois  sensor window budget (16 for commercial parts)
+     */
+    MultiRoiCapture(i32 width, i32 height, int max_rois = 16,
+                    double bytes_per_pixel = 1.0);
+
+    int maxRois() const { return max_rois_; }
+
+    /**
+     * Reduce a rhythmic region list to the sensor's ROI windows: stride and
+     * skip are dropped (full density, every frame) and the rects are merged
+     * down to max_rois by k-means when there are too many.
+     */
+    std::vector<Rect> reduceRegions(
+        const std::vector<RegionLabel> &regions) const;
+
+    /**
+     * Traffic for a frame captured with the given (already reduced) ROI
+     * windows. Overlapping windows are stored once per window — grouped
+     * per-region storage duplicates overlaps (§3.2), which this model
+     * reflects by summing window areas.
+     */
+    FrameTraffic frameTraffic(const std::vector<Rect> &rois) const;
+
+  private:
+    i32 width_;
+    i32 height_;
+    int max_rois_;
+    double bytes_per_pixel_;
+};
+
+} // namespace rpx
+
+#endif // RPX_BASELINE_MULTI_ROI_HPP

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Error-reporting helpers.
+ *
+ * Following the gem5 fatal/panic split: rpxThrow() (user-facing
+ * configuration errors, recoverable by the caller) raises std::invalid_argument
+ * or std::runtime_error; RPX_ASSERT() guards internal invariants that should
+ * never fail regardless of user input.
+ */
+
+#ifndef RPX_COMMON_ERROR_HPP
+#define RPX_COMMON_ERROR_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rpx {
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &head, const Rest &...rest)
+{
+    os << head;
+    formatInto(os, rest...);
+}
+
+} // namespace detail
+
+/** Build a message from streamable pieces and throw std::invalid_argument. */
+template <typename... Args>
+[[noreturn]] void
+throwInvalid(const Args &...args)
+{
+    std::ostringstream os;
+    detail::formatInto(os, args...);
+    throw std::invalid_argument(os.str());
+}
+
+/** Build a message from streamable pieces and throw std::runtime_error. */
+template <typename... Args>
+[[noreturn]] void
+throwRuntime(const Args &...args)
+{
+    std::ostringstream os;
+    detail::formatInto(os, args...);
+    throw std::runtime_error(os.str());
+}
+
+} // namespace rpx
+
+/**
+ * Internal invariant check. Active in all build types: simulator correctness
+ * depends on these holding, and the cost is negligible next to pixel work.
+ */
+#define RPX_ASSERT(cond, msg)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::rpx::throwRuntime("internal invariant violated at ",          \
+                                __FILE__, ":", __LINE__, ": ", msg);        \
+        }                                                                   \
+    } while (false)
+
+#endif // RPX_COMMON_ERROR_HPP

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Integer 2-D geometry primitives: Point, Size, and Rect with the
+ * intersection/containment operations the encoder and policies need.
+ */
+
+#ifndef RPX_COMMON_GEOMETRY_HPP
+#define RPX_COMMON_GEOMETRY_HPP
+
+#include <algorithm>
+#include <ostream>
+
+#include "common/types.hpp"
+
+namespace rpx {
+
+/** Integer pixel coordinate. */
+struct Point {
+    i32 x = 0;
+    i32 y = 0;
+
+    bool operator==(const Point &) const = default;
+};
+
+/** Integer width/height pair. */
+struct Size {
+    i32 w = 0;
+    i32 h = 0;
+
+    bool operator==(const Size &) const = default;
+
+    i64 area() const { return static_cast<i64>(w) * h; }
+};
+
+/**
+ * Axis-aligned integer rectangle, half-open: covers x in [x, x+w) and
+ * y in [y, y+h). An empty rect has w <= 0 or h <= 0.
+ */
+struct Rect {
+    i32 x = 0;
+    i32 y = 0;
+    i32 w = 0;
+    i32 h = 0;
+
+    bool operator==(const Rect &) const = default;
+
+    bool empty() const { return w <= 0 || h <= 0; }
+    i64 area() const { return empty() ? 0 : static_cast<i64>(w) * h; }
+
+    i32 left() const { return x; }
+    i32 top() const { return y; }
+    i32 right() const { return x + w; }   //!< one past the last column
+    i32 bottom() const { return y + h; }  //!< one past the last row
+
+    Point center() const { return {x + w / 2, y + h / 2}; }
+
+    bool
+    contains(i32 px, i32 py) const
+    {
+        return px >= x && px < x + w && py >= y && py < y + h;
+    }
+
+    bool contains(const Point &p) const { return contains(p.x, p.y); }
+
+    /** True if the closed row index `row` intersects this rect's y-range. */
+    bool
+    containsRow(i32 row) const
+    {
+        return row >= y && row < y + h;
+    }
+
+    Rect
+    intersect(const Rect &o) const
+    {
+        const i32 nx = std::max(x, o.x);
+        const i32 ny = std::max(y, o.y);
+        const i32 nr = std::min(right(), o.right());
+        const i32 nb = std::min(bottom(), o.bottom());
+        if (nr <= nx || nb <= ny)
+            return Rect{};
+        return Rect{nx, ny, nr - nx, nb - ny};
+    }
+
+    Rect
+    unite(const Rect &o) const
+    {
+        if (empty())
+            return o;
+        if (o.empty())
+            return *this;
+        const i32 nx = std::min(x, o.x);
+        const i32 ny = std::min(y, o.y);
+        const i32 nr = std::max(right(), o.right());
+        const i32 nb = std::max(bottom(), o.bottom());
+        return Rect{nx, ny, nr - nx, nb - ny};
+    }
+
+    bool
+    overlaps(const Rect &o) const
+    {
+        return !intersect(o).empty();
+    }
+
+    /** Clip this rect to a [0,0,w,h) bound. */
+    Rect
+    clippedTo(i32 bound_w, i32 bound_h) const
+    {
+        return intersect(Rect{0, 0, bound_w, bound_h});
+    }
+
+    /** Grow symmetrically by `margin` on every side (clamped at zero size). */
+    Rect
+    inflated(i32 margin) const
+    {
+        Rect r{x - margin, y - margin, w + 2 * margin, h + 2 * margin};
+        if (r.w < 0)
+            r.w = 0;
+        if (r.h < 0)
+            r.h = 0;
+        return r;
+    }
+};
+
+/** Intersection-over-union of two rects; 0 when the union is empty. */
+inline double
+iou(const Rect &a, const Rect &b)
+{
+    const i64 inter = a.intersect(b).area();
+    const i64 uni = a.area() + b.area() - inter;
+    return uni > 0 ? static_cast<double>(inter) / static_cast<double>(uni)
+                   : 0.0;
+}
+
+inline std::ostream &
+operator<<(std::ostream &os, const Rect &r)
+{
+    return os << "[" << r.x << "," << r.y << " " << r.w << "x" << r.h << "]";
+}
+
+inline std::ostream &
+operator<<(std::ostream &os, const Point &p)
+{
+    return os << "(" << p.x << "," << p.y << ")";
+}
+
+} // namespace rpx
+
+#endif // RPX_COMMON_GEOMETRY_HPP

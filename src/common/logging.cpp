@@ -1,0 +1,47 @@
+#include "common/logging.hpp"
+
+#include <iostream>
+
+namespace rpx {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+namespace detail {
+
+void
+emitLog(LogLevel level, const std::string &msg)
+{
+    const char *tag = "";
+    switch (level) {
+      case LogLevel::Debug:
+        tag = "debug: ";
+        break;
+      case LogLevel::Info:
+        tag = "info: ";
+        break;
+      case LogLevel::Warn:
+        tag = "warn: ";
+        break;
+      case LogLevel::Silent:
+        return;
+    }
+    std::cerr << tag << msg << "\n";
+}
+
+} // namespace detail
+
+} // namespace rpx

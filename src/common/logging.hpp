@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal leveled logging for simulator status messages.
+ *
+ * Mirrors the gem5 inform()/warn() discipline: these never stop the
+ * simulation; fatal conditions throw (see common/error.hpp).
+ */
+
+#ifndef RPX_COMMON_LOGGING_HPP
+#define RPX_COMMON_LOGGING_HPP
+
+#include <sstream>
+#include <string>
+
+namespace rpx {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Silent = 3 };
+
+/** Set the global minimum level that is emitted (default Warn). */
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+namespace detail {
+void emitLog(LogLevel level, const std::string &msg);
+}
+
+/** Informative status message (suppressed below Info). */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    if (logLevel() > LogLevel::Info)
+        return;
+    std::ostringstream os;
+    (os << ... << args);
+    detail::emitLog(LogLevel::Info, os.str());
+}
+
+/** Something works but not as well as it should; user should know. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    if (logLevel() > LogLevel::Warn)
+        return;
+    std::ostringstream os;
+    (os << ... << args);
+    detail::emitLog(LogLevel::Warn, os.str());
+}
+
+/** Developer-facing detail (suppressed below Debug). */
+template <typename... Args>
+void
+debug(const Args &...args)
+{
+    if (logLevel() > LogLevel::Debug)
+        return;
+    std::ostringstream os;
+    (os << ... << args);
+    detail::emitLog(LogLevel::Debug, os.str());
+}
+
+} // namespace rpx
+
+#endif // RPX_COMMON_LOGGING_HPP

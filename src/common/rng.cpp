@@ -1,0 +1,112 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+namespace {
+
+u64
+splitmix64(u64 &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    u64 z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+u64
+rotl(u64 x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(u64 seed)
+{
+    u64 sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+u64
+Rng::next()
+{
+    const u64 result = rotl(s_[1] * 5, 7) * 9;
+    const u64 t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+i64
+Rng::uniformInt(i64 lo, i64 hi)
+{
+    RPX_ASSERT(lo <= hi, "uniformInt range inverted");
+    const u64 span = static_cast<u64>(hi - lo) + 1;
+    // Modulo bias is < 2^-50 for any span we use; acceptable for synthesis.
+    return lo + static_cast<i64>(next() % span);
+}
+
+double
+Rng::gaussian()
+{
+    if (has_spare_) {
+        has_spare_ = false;
+        return spare_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 1e-300);
+    const double u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    const double two_pi = 6.283185307179586;
+    spare_ = mag * std::sin(two_pi * u2);
+    has_spare_ = true;
+    return mag * std::cos(two_pi * u2);
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+bool
+Rng::chance(double p)
+{
+    return uniform() < p;
+}
+
+Rng
+Rng::fork(u64 label) const
+{
+    // Mix the current state with the label through SplitMix so children with
+    // different labels are decorrelated but stable.
+    u64 seed = s_[0] ^ rotl(s_[2], 13) ^ (label * 0xd1342543de82ef95ULL);
+    return Rng(splitmix64(seed));
+}
+
+} // namespace rpx

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Running-statistics accumulators used by the evaluation harness to report
+ * mean/stddev/min/max of task metrics and traffic counters.
+ */
+
+#ifndef RPX_COMMON_STATS_HPP
+#define RPX_COMMON_STATS_HPP
+
+#include <limits>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rpx {
+
+/**
+ * Welford-style running accumulator for a scalar series.
+ */
+class RunningStats
+{
+  public:
+    void add(double x);
+    void merge(const RunningStats &other);
+    void reset();
+
+    u64 count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Population variance (divide by n); 0 for n < 2. */
+    double variance() const;
+
+    /** Sample standard deviation (divide by n-1); 0 for n < 2. */
+    double stddev() const;
+
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    u64 n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+std::ostream &operator<<(std::ostream &os, const RunningStats &s);
+
+/** Percentile of a copy-sorted series (p in [0,100], linear interpolation). */
+double percentile(std::vector<double> values, double p);
+
+/** Arithmetic mean of a series; 0 for an empty series. */
+double mean(const std::vector<double> &values);
+
+/** Sample standard deviation of a series; 0 for fewer than two values. */
+double stddev(const std::vector<double> &values);
+
+/** Root-mean-square of a series; 0 for an empty series. */
+double rms(const std::vector<double> &values);
+
+} // namespace rpx
+
+#endif // RPX_COMMON_STATS_HPP

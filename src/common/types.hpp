@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Fixed-width integer aliases and small shared value types used across the
+ * rhythmic-pixel-regions library.
+ */
+
+#ifndef RPX_COMMON_TYPES_HPP
+#define RPX_COMMON_TYPES_HPP
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rpx {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i8 = std::int8_t;
+using i16 = std::int16_t;
+using i32 = std::int32_t;
+using i64 = std::int64_t;
+
+/** Simulation cycle count. One cycle == one pixel-pipeline clock tick. */
+using Cycles = u64;
+
+/** Byte count for memory-traffic accounting. */
+using Bytes = u64;
+
+/** Frame index within a capture session (0-based). */
+using FrameIndex = i64;
+
+} // namespace rpx
+
+#endif // RPX_COMMON_TYPES_HPP

@@ -1,0 +1,267 @@
+#include "core/decoder.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+RhythmicDecoder::RhythmicDecoder(FrameStore &store, const Config &config)
+    : store_(store), config_(config)
+{
+    if (config.clock_ghz <= 0.0)
+        throwInvalid("decoder clock must be positive");
+    if (config.max_upscan < 0)
+        throwInvalid("max_upscan must be non-negative");
+}
+
+u64
+RhythmicDecoder::decodedSize() const
+{
+    return static_cast<u64>(store_.frameWidth()) *
+           static_cast<u64>(store_.frameHeight());
+}
+
+void
+RhythmicDecoder::refreshScratchpad()
+{
+    // The scratchpad mirrors the metadata of the four most recent encoded
+    // frames (§4.2.1). Rebuild the caches when the frame set changed.
+    bool stale = scratch_keys_.size() != store_.size();
+    if (!stale) {
+        for (size_t k = 0; k < scratch_keys_.size(); ++k) {
+            if (scratch_keys_[k] != store_.recent(k)) {
+                stale = true;
+                break;
+            }
+        }
+    }
+    if (!stale)
+        return;
+    scratch_.clear();
+    scratch_keys_.clear();
+    scratch_meta_.clear();
+    for (size_t k = 0; k < store_.size(); ++k) {
+        const EncodedFrame *f = store_.recent(k);
+        const StoredFrameAddrs *addrs = store_.recentAddrs(k);
+        scratch_keys_.push_back(f);
+
+        // Load the frame's metadata from DRAM — the decoder consumes
+        // memory content, not simulator-side state. The mask bytes
+        // reconstruct the EncMask; the per-row offset table reconstructs
+        // RowOffsets (the last row's count comes from the mask).
+        auto meta = std::make_unique<EncodedFrame>();
+        meta->index = f->index;
+        meta->width = f->width;
+        meta->height = f->height;
+        const size_t mask_bytes =
+            (static_cast<size_t>(f->width) * f->height * 2 + 7) / 8;
+        meta->mask = EncMask(f->width, f->height,
+                             store_.dram().read(addrs->mask.base,
+                                                mask_bytes));
+        const std::vector<u8> offs = store_.dram().read(
+            addrs->offsets.base,
+            static_cast<size_t>(f->height) * sizeof(u32));
+        RowOffsets offsets(f->height);
+        auto word = [&](i32 y) {
+            const size_t b = static_cast<size_t>(y) * 4;
+            return static_cast<u32>(offs[b]) |
+                   (static_cast<u32>(offs[b + 1]) << 8) |
+                   (static_cast<u32>(offs[b + 2]) << 16) |
+                   (static_cast<u32>(offs[b + 3]) << 24);
+        };
+        for (i32 y = 0; y + 1 < f->height; ++y)
+            offsets.setRowCount(y, word(y + 1) - word(y));
+        offsets.setRowCount(f->height - 1,
+                            meta->mask.encodedInRow(f->height - 1));
+        meta->offsets = std::move(offsets);
+        stats_.metadata_bytes += mask_bytes + offs.size();
+
+        scratch_meta_.push_back(std::move(meta));
+        scratch_.push_back(
+            std::make_unique<MaskPrefixCache>(*scratch_meta_.back()));
+    }
+}
+
+void
+RhythmicDecoder::translatePixel(i32 x, i32 y, size_t result_pos,
+                                std::vector<SubRequest> &subs,
+                                std::vector<u8> &result)
+{
+    const EncodedFrame &current = *scratch_meta_[0];
+    const PixelCode code = current.mask.at(x, y);
+
+    if (code == PixelCode::N) {
+        result[result_pos] = config_.black_value;
+        ++stats_.black_pixels;
+        return;
+    }
+
+    if (code == PixelCode::R || code == PixelCode::St) {
+        // Intra-frame: resolve via the resampling rules of the FIFO
+        // sampling unit (§4.2.2).
+        auto src = findPixelSource(*scratch_[0], x, y, config_.max_upscan);
+        if (src) {
+            subs.push_back({0, src->offset, result_pos});
+            ++stats_.sub_requests_intra;
+            if (code == PixelCode::St)
+                ++stats_.resampled_pixels;
+            return;
+        }
+        // An St pixel with no reachable R in this frame falls back to
+        // history the same way a skipped pixel does.
+    }
+
+    // Sk (or unresolvable St): search the recently stored encoded frames.
+    for (size_t k = 1; k < scratch_meta_.size(); ++k) {
+        const EncodedFrame &past = *scratch_meta_[k];
+        const PixelCode pcode = past.mask.at(x, y);
+        if (pcode != PixelCode::R && pcode != PixelCode::St)
+            continue;
+        auto src = findPixelSource(*scratch_[k], x, y, config_.max_upscan);
+        if (src) {
+            subs.push_back({k, src->offset, result_pos});
+            ++stats_.sub_requests_inter;
+            ++stats_.history_hits;
+            return;
+        }
+    }
+
+    result[result_pos] = config_.black_value;
+    ++stats_.history_misses;
+    ++stats_.black_pixels;
+}
+
+void
+RhythmicDecoder::fulfill(std::vector<SubRequest> &subs,
+                         std::vector<u8> &result)
+{
+    // Coalesce sub-requests into burst reads: sort by (frame, offset) and
+    // merge runs of consecutive encoded offsets into one DRAM transaction.
+    std::sort(subs.begin(), subs.end(),
+              [](const SubRequest &a, const SubRequest &b) {
+                  return a.frame_tag != b.frame_tag
+                             ? a.frame_tag < b.frame_tag
+                             : a.offset < b.offset;
+              });
+
+    size_t i = 0;
+    while (i < subs.size()) {
+        size_t j = i + 1;
+        while (j < subs.size() && subs[j].frame_tag == subs[i].frame_tag &&
+               subs[j].offset <= subs[j - 1].offset + 1 &&
+               subs[j].offset - subs[i].offset <
+                   config_.max_burst_bytes) {
+            ++j;
+        }
+        const u32 first = subs[i].offset;
+        const u32 last = subs[j - 1].offset;
+        const size_t len = static_cast<size_t>(last - first) + 1;
+
+        const StoredFrameAddrs *addrs =
+            store_.recentAddrs(subs[i].frame_tag);
+        RPX_ASSERT(addrs != nullptr, "sub-request against missing frame");
+        const std::vector<u8> burst =
+            store_.dram().read(addrs->pixels.base + first, len);
+        ++stats_.dram_reads;
+        stats_.dram_pixel_bytes += len;
+
+        // Response path: the burst streams through the response FIFO into
+        // the sampling unit, which places each beat in the transaction
+        // result (duplicate offsets re-sample the previous beat).
+        Fifo<u8> response(config_.response_fifo_depth);
+        size_t consumed = 0; // burst bytes already pushed into the FIFO
+        u8 current = config_.black_value;
+        u32 current_offset = first;
+        bool have_current = false;
+        for (size_t k = i; k < j; ++k) {
+            const u32 want = subs[k].offset;
+            while (!have_current || current_offset < want) {
+                if (response.empty()) {
+                    while (consumed < len && !response.full())
+                        response.push(burst[consumed++]);
+                }
+                current_offset =
+                    have_current ? current_offset + 1 : first;
+                current = response.pop();
+                have_current = true;
+            }
+            result[subs[k].result_pos] = current;
+        }
+        i = j;
+    }
+}
+
+std::vector<u8>
+RhythmicDecoder::requestPixels(i32 x, i32 y, i32 count)
+{
+    if (count < 0)
+        throwInvalid("pixel request count must be non-negative");
+    if (store_.size() == 0)
+        throwRuntime("decoder has no stored encoded frame to serve from");
+    const i32 w = store_.frameWidth();
+    const i32 h = store_.frameHeight();
+    if (x < 0 || x >= w || y < 0 || y >= h)
+        throwInvalid("pixel request origin out of frame: (", x, ",", y, ")");
+    const i64 linear = static_cast<i64>(y) * w + x;
+    if (linear + count > static_cast<i64>(w) * h)
+        throwInvalid("pixel request runs past the end of the frame");
+
+    refreshScratchpad();
+
+    std::vector<u8> result(static_cast<size_t>(count), config_.black_value);
+    std::vector<SubRequest> subs;
+    subs.reserve(static_cast<size_t>(count));
+
+    for (i32 k = 0; k < count; ++k) {
+        const i64 lin = linear + k;
+        translatePixel(static_cast<i32>(lin % w), static_cast<i32>(lin / w),
+                       static_cast<size_t>(k), subs, result);
+    }
+    const u64 reads_before = stats_.dram_reads;
+    fulfill(subs, result);
+    const u64 bursts_issued = stats_.dram_reads - reads_before;
+
+    ++stats_.transactions;
+    stats_.pixels_requested += static_cast<u64>(count);
+    // Latency model: the *added* delay of intercepting the transaction —
+    // pipeline fill plus one issue cycle per coalesced DRAM burst. Data
+    // beats themselves stream at line rate, so they are not added delay
+    // (§6.3: "a few clock cycles ... order of a few 10s of ns").
+    stats_.cycles += config_.fixed_latency + bursts_issued;
+
+    // Metadata touched for this transaction: the mask bits and the offset
+    // entries of the rows the request covers (already resident in the
+    // scratchpad; accounted there).
+    return result;
+}
+
+std::vector<u8>
+RhythmicDecoder::requestBytes(u64 addr, size_t len)
+{
+    const u64 base = config_.decoded_base;
+    const u64 end = base + decodedSize();
+    if (addr >= base && addr + len <= end) {
+        const u64 offset = addr - base;
+        const i32 w = store_.frameWidth();
+        return requestPixels(static_cast<i32>(offset % w),
+                             static_cast<i32>(offset / w),
+                             static_cast<i32>(len));
+    }
+    // Out-of-Frame Handler: not a pixel transaction — bypass to standard
+    // DRAM access (§4.2.1).
+    ++stats_.bypassed;
+    return store_.dram().read(addr, len);
+}
+
+double
+RhythmicDecoder::avgLatencyNs() const
+{
+    if (stats_.transactions == 0)
+        return 0.0;
+    const double cycles_per_txn = static_cast<double>(stats_.cycles) /
+                                  static_cast<double>(stats_.transactions);
+    return cycles_per_txn / config_.clock_ghz;
+}
+
+} // namespace rpx

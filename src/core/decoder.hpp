@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The rhythmic pixel decoder (§4.2).
+ *
+ * Fulfills pixel requests from vision applications, which address pixels in
+ * the original decoded frame space. Two cooperating units:
+ *
+ *  - Pixel Memory Management Unit (PMMU): the Out-of-Frame Handler decides
+ *    whether a memory transaction targets the decoded framebuffer (pixel
+ *    request) or should bypass to standard DRAM access. The Metadata
+ *    Scratchpad holds per-row offsets and EncMasks for the four most recent
+ *    encoded frames; the Transaction Analyzer splits the request into
+ *    sub-requests tagged with the encoded frame that hosts each pixel; the
+ *    Translator converts them to encoded-frame DRAM addresses.
+ *
+ *  - FIFO Sampling Unit: buffers DRAM response data and produces the decoded
+ *    pixel values — dequeuing R pixels, re-sampling a neighbouring pixel for
+ *    strided (St) pixels via the resampling buffer, fetching history frames
+ *    for skipped (Sk) pixels, and emitting black for non-regional (N) ones.
+ */
+
+#ifndef RPX_CORE_DECODER_HPP
+#define RPX_CORE_DECODER_HPP
+
+#include <memory>
+#include <vector>
+
+#include "core/frame_store.hpp"
+#include "stream/fifo.hpp"
+
+namespace rpx {
+
+/** Decoder traffic/behaviour counters. */
+struct DecoderStats {
+    u64 transactions = 0;        //!< pixel transactions served
+    u64 pixels_requested = 0;    //!< decoded pixels returned
+    u64 sub_requests_intra = 0;  //!< sub-requests to the current frame
+    u64 sub_requests_inter = 0;  //!< sub-requests to history frames
+    u64 dram_reads = 0;          //!< coalesced encoded-pixel DRAM reads
+    Bytes dram_pixel_bytes = 0;  //!< encoded payload bytes fetched
+    Bytes metadata_bytes = 0;    //!< mask/offset bytes fetched
+    u64 black_pixels = 0;        //!< N (or unresolvable) pixels emitted
+    u64 resampled_pixels = 0;    //!< St pixels served by the resampler
+    u64 history_hits = 0;        //!< Sk pixels resolved from history
+    u64 history_misses = 0;      //!< Sk pixels with no stored source
+    u64 bypassed = 0;            //!< non-pixel transactions passed through
+    Cycles cycles = 0;           //!< modelled transaction latency
+
+    void reset() { *this = DecoderStats{}; }
+};
+
+/**
+ * Streaming rhythmic pixel decoder over a FrameStore.
+ */
+class RhythmicDecoder
+{
+  public:
+    struct Config {
+        u8 black_value = 0;        //!< value emitted for N pixels
+        int max_upscan = 64;       //!< St source search bound (rows)
+        Cycles fixed_latency = 8;  //!< pipeline fill per transaction
+        double clock_ghz = 0.300;  //!< fabric clock for ns conversion
+        u64 decoded_base = 0x80000000ULL; //!< decoded framebuffer address
+        size_t response_fifo_depth = 16;
+        /**
+         * Longest single DRAM read the translator issues; longer
+         * coalesced runs split into multiple bursts (LPDDR4 x32 BL16 =
+         * 64 bytes).
+         */
+        u32 max_burst_bytes = 64;
+    };
+
+    RhythmicDecoder(FrameStore &store, const Config &config);
+    explicit RhythmicDecoder(FrameStore &store)
+        : RhythmicDecoder(store, Config{})
+    {
+    }
+
+    const Config &config() const { return config_; }
+
+    /**
+     * Serve a pixel transaction: `count` sequential pixels of the newest
+     * frame starting at (x, y), continuing across row boundaries like a
+     * linear framebuffer read would.
+     */
+    std::vector<u8> requestPixels(i32 x, i32 y, i32 count);
+
+    /**
+     * Raw memory-transaction entry point (the integration point with the
+     * DDR controller, §4.2.3). Addresses inside the decoded framebuffer
+     * window are translated; anything else bypasses to standard DRAM
+     * access.
+     */
+    std::vector<u8> requestBytes(u64 addr, size_t len);
+
+    /** Decoded framebuffer window in the address map. */
+    u64 decodedBase() const { return config_.decoded_base; }
+    u64 decodedSize() const;
+
+    const DecoderStats &stats() const { return stats_; }
+    void resetStats() { stats_.reset(); }
+
+    /** Mean modelled latency per transaction in nanoseconds. */
+    double avgLatencyNs() const;
+
+  private:
+    /** A translated sub-request against one stored encoded frame. */
+    struct SubRequest {
+        size_t frame_tag;  //!< 0 = newest
+        u32 offset;        //!< encoded payload index
+        size_t result_pos; //!< where the value lands in the response
+    };
+
+    /** Resolve one pixel into either a sub-request or an immediate value. */
+    void translatePixel(i32 x, i32 y, size_t result_pos,
+                        std::vector<SubRequest> &subs,
+                        std::vector<u8> &result);
+
+    /** Issue coalesced DRAM reads for the sub-requests and fill results. */
+    void fulfill(std::vector<SubRequest> &subs, std::vector<u8> &result);
+
+    FrameStore &store_;
+    Config config_;
+    DecoderStats stats_;
+    /**
+     * Metadata scratchpad: per recent frame, the EncMask/RowOffsets
+     * reconstructed from DRAM bytes (pixel payloads stay in DRAM) plus a
+     * prefix cache for fast in-row queries. scratch_keys_ tracks which
+     * stored frames the scratchpad currently mirrors.
+     */
+    std::vector<std::unique_ptr<MaskPrefixCache>> scratch_;
+    std::vector<std::unique_ptr<EncodedFrame>> scratch_meta_;
+    std::vector<const EncodedFrame *> scratch_keys_;
+
+    void refreshScratchpad();
+};
+
+} // namespace rpx
+
+#endif // RPX_CORE_DECODER_HPP

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The encoded frame (§3.2): the tightly packed sequence of regional pixels
+ * in original raster-scan order, together with its metadata and the frame
+ * index it was captured at.
+ */
+
+#ifndef RPX_CORE_ENCODED_FRAME_HPP
+#define RPX_CORE_ENCODED_FRAME_HPP
+
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/encmask.hpp"
+
+namespace rpx {
+
+/**
+ * One encoded frame plus its metadata.
+ *
+ * Invariants (checked by checkConsistency):
+ *  - pixels.size() == offsets.total() == number of R codes in the mask
+ *  - offsets.offsetOf(y) equals the number of R codes in rows [0, y)
+ */
+struct EncodedFrame {
+    FrameIndex index = 0;     //!< capture frame number
+    i32 width = 0;            //!< original (decoded-space) width
+    i32 height = 0;           //!< original height
+    std::vector<u8> pixels;   //!< packed regional pixels, raster order
+    EncMask mask;             //!< 2-bit per-pixel status
+    RowOffsets offsets;       //!< per-row encoded-pixel prefix counts
+
+    /** Bytes of pixel payload. */
+    Bytes pixelBytes() const { return pixels.size(); }
+
+    /** Bytes of metadata (mask + row offsets). */
+    Bytes
+    metadataBytes() const
+    {
+        return mask.packedBytes() + offsets.packedBytes();
+    }
+
+    Bytes totalBytes() const { return pixelBytes() + metadataBytes(); }
+
+    /** Fraction of original pixels kept (0..1). */
+    double
+    keptFraction() const
+    {
+        const double denom =
+            static_cast<double>(width) * static_cast<double>(height);
+        return denom > 0 ? static_cast<double>(pixels.size()) / denom : 0.0;
+    }
+
+    /** Throws std::runtime_error when the invariants do not hold. */
+    void checkConsistency() const;
+};
+
+/** Location of the R pixel that sources a reconstructed pixel value. */
+struct PixelSource {
+    i32 x = 0;          //!< column of the source R pixel
+    i32 y = 0;          //!< row of the source R pixel
+    u32 offset = 0;     //!< index into the encoded pixel payload
+};
+
+/**
+ * Per-frame accelerator for mask prefix queries.
+ *
+ * Decoding needs "number of R codes before column x in row y" and "nearest
+ * R at or before column x" repeatedly; this cache materialises a per-row
+ * prefix-count array on first touch (the hardware keeps the equivalent in
+ * its metadata scratchpad).
+ */
+class MaskPrefixCache
+{
+  public:
+    explicit MaskPrefixCache(const EncodedFrame &frame);
+
+    const EncodedFrame &frame() const { return frame_; }
+
+    /** Number of R codes in row y strictly before column x. */
+    u32 encodedBefore(i32 x, i32 y);
+
+    /** Column of the nearest R at or before x in row y; -1 when none. */
+    i32 lastEncodedAtOrBefore(i32 x, i32 y);
+
+    /** Rows whose prefix array has been materialised (metadata touched). */
+    size_t rowsTouched() const { return touched_; }
+
+  private:
+    const std::vector<u32> &rowPrefix(i32 y);
+
+    const EncodedFrame &frame_;
+    std::vector<std::vector<u32>> rows_;
+    size_t touched_ = 0;
+};
+
+/**
+ * Resolve the source R pixel for a regional pixel (x, y) of `frame`.
+ *
+ * Implements the reconstruction semantics of §4.2.2 with a resampling
+ * buffer: an R pixel sources itself; an St pixel sources the nearest R at
+ * or to the left in the nearest row at or above it (searched up to
+ * `max_upscan` rows). For stride-s regions this yields exact s x s
+ * nearest-neighbour block replication. Returns nullopt when no source
+ * exists within the scan bound (the caller falls back to history or black).
+ */
+std::optional<PixelSource> findPixelSource(MaskPrefixCache &cache, i32 x,
+                                           i32 y, int max_upscan = 64);
+
+} // namespace rpx
+
+#endif // RPX_CORE_ENCODED_FRAME_HPP

@@ -1,0 +1,356 @@
+#include "core/encoder.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+RhythmicEncoder::RhythmicEncoder(i32 frame_w, i32 frame_h,
+                                 const Config &config)
+    : frame_w_(frame_w), frame_h_(frame_h), config_(config)
+{
+    if (frame_w <= 0 || frame_h <= 0)
+        throwInvalid("encoder frame geometry must be positive: ", frame_w,
+                     "x", frame_h);
+    if (config.engine_lanes <= 0)
+        throwInvalid("engine_lanes must be positive");
+    if (config.pixels_per_clock <= 0.0)
+        throwInvalid("pixels_per_clock must be positive");
+}
+
+void
+RhythmicEncoder::setRegionLabels(std::vector<RegionLabel> regions)
+{
+    validateRegions(regions, frame_w_, frame_h_);
+    if (!regionsSortedByY(regions)) {
+        if (config_.require_sorted) {
+            throwInvalid("region label list must be y-sorted; call "
+                         "sortRegionsByY() (the app runtime does this)");
+        }
+        // The RoI selector's early-out depends on y-order; when the
+        // hardware precondition is relaxed, sort here instead.
+        sortRegionsByY(regions);
+    }
+    regions_ = std::move(regions);
+}
+
+PixelCode
+RhythmicEncoder::classify(const std::vector<RegionLabel> &regions, i32 x,
+                          i32 y, FrameIndex t)
+{
+    PixelCode best = PixelCode::N;
+    for (const auto &r : regions) {
+        if (!r.rect().contains(x, y))
+            continue;
+        if (r.activeAt(t)) {
+            if (r.onStrideGrid(x, y))
+                return PixelCode::R; // highest priority, done
+            if (best != PixelCode::St)
+                best = PixelCode::St;
+        } else if (best == PixelCode::N) {
+            best = PixelCode::Sk;
+        } else if (best == PixelCode::Sk) {
+            // keep Sk
+        }
+        // St dominates Sk: covered-by-active wins over covered-by-inactive.
+    }
+    return best;
+}
+
+void
+RhythmicEncoder::buildShortlist(i32 row, FrameIndex t,
+                                std::vector<ShortlistEntry> &out)
+{
+    out.clear();
+    // The list is y-sorted, so the selector stops at the first region that
+    // starts below this row; everything examined before that is counted as
+    // selector work (once per row, §4.1.1).
+    for (const auto &r : regions_) {
+        if (r.y > row)
+            break;
+        ++stats_.selector_examined;
+        if (r.rect().containsRow(row))
+            out.push_back({&r, r.activeAt(t), r.rowOnStride(row)});
+    }
+}
+
+void
+RhythmicEncoder::buildShortlistConst(i32 row, FrameIndex t,
+                                     std::vector<ShortlistEntry> &out) const
+{
+    out.clear();
+    for (const auto &r : regions_) {
+        if (r.y > row)
+            break;
+        if (r.rect().containsRow(row))
+            out.push_back({&r, r.activeAt(t), r.rowOnStride(row)});
+    }
+}
+
+RhythmicEncoder::FrameSummary
+RhythmicEncoder::summarizeFrame(FrameIndex t) const
+{
+    FrameSummary sum;
+    const i32 w = frame_w_;
+    std::vector<ShortlistEntry> shortlist;
+    std::vector<i32> edges;
+
+    for (i32 y = 0; y < frame_h_; ++y) {
+        buildShortlistConst(y, t, shortlist);
+        if (shortlist.empty()) {
+            sum.n += static_cast<u64>(w);
+            continue;
+        }
+        edges.clear();
+        edges.push_back(0);
+        edges.push_back(w);
+        for (const auto &e : shortlist) {
+            const i32 lo = std::clamp(e.region->x, 0, w);
+            const i32 hi = std::clamp(e.region->x + e.region->w, 0, w);
+            if (lo < hi) {
+                edges.push_back(lo);
+                edges.push_back(hi);
+            }
+        }
+        std::sort(edges.begin(), edges.end());
+        edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+        for (size_t s = 0; s + 1 < edges.size(); ++s) {
+            const i32 a = edges[s];
+            const i32 b = edges[s + 1];
+            const u64 span = static_cast<u64>(b - a);
+
+            bool any_cover = false;
+            bool any_active = false;
+            bool stride1 = false;
+            std::vector<const RegionLabel *> grid;
+            for (const auto &e : shortlist) {
+                const i32 lo = e.region->x;
+                const i32 hi = e.region->x + e.region->w;
+                if (a < lo || a >= hi)
+                    continue;
+                any_cover = true;
+                if (e.active) {
+                    any_active = true;
+                    if (e.row_on_stride) {
+                        grid.push_back(e.region);
+                        if (e.region->stride == 1)
+                            stride1 = true;
+                    }
+                }
+            }
+            if (!any_cover) {
+                sum.n += span;
+                continue;
+            }
+            u64 r_count = 0;
+            if (stride1) {
+                r_count = span;
+            } else if (grid.size() == 1) {
+                // Count multiples of the stride inside [a, b).
+                const i32 s0 = grid[0]->stride;
+                const i32 rx = grid[0]->x;
+                const i32 rem = ((a - rx) % s0 + s0) % s0;
+                const i32 first = rem == 0 ? a : a + (s0 - rem);
+                if (first < b)
+                    r_count = static_cast<u64>((b - 1 - first) / s0) + 1;
+            } else if (!grid.empty()) {
+                // Rare overlap of several strided grids: exact per-pixel.
+                for (i32 x = a; x < b; ++x) {
+                    for (const RegionLabel *g : grid) {
+                        if ((x - g->x) % g->stride == 0) {
+                            ++r_count;
+                            break;
+                        }
+                    }
+                }
+            }
+            sum.r += r_count;
+            if (any_active)
+                sum.st += span - r_count;
+            else
+                sum.sk += span - r_count;
+        }
+    }
+    sum.metadata_bytes =
+        (static_cast<Bytes>(frame_w_) * frame_h_ * 2 + 7) / 8 +
+        static_cast<Bytes>(frame_h_) * sizeof(u32);
+    return sum;
+}
+
+void
+RhythmicEncoder::encodeRow(const Image &gray, i32 y, FrameIndex t,
+                           const std::vector<ShortlistEntry> &shortlist,
+                           EncodedFrame &out, u32 &row_count)
+{
+    (void)t;
+    row_count = 0;
+    const i32 w = frame_w_;
+    const u8 *row = gray.row(y);
+
+    if (shortlist.empty()) {
+        ++stats_.rows_skipped;
+        if (config_.mode == ComparisonMode::Naive) {
+            stats_.region_comparisons +=
+                static_cast<u64>(regions_.size()) * static_cast<u64>(w);
+        }
+        // Mask rows default to N; nothing to emit.
+        return;
+    }
+    ++stats_.rows_with_regions;
+
+    // Boundary sweep: split the row into spans with a constant covering set
+    // of shortlisted regions. Within a span only x-stride checks vary, which
+    // is exactly the locality the hardware sampler exploits.
+    std::vector<i32> edges;
+    edges.reserve(shortlist.size() * 2 + 2);
+    edges.push_back(0);
+    edges.push_back(w);
+    for (const auto &e : shortlist) {
+        const i32 lo = std::clamp(e.region->x, 0, w);
+        const i32 hi = std::clamp(e.region->x + e.region->w, 0, w);
+        if (lo < hi) {
+            edges.push_back(lo);
+            edges.push_back(hi);
+        }
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+    u64 row_comparisons = 0;
+    for (size_t s = 0; s + 1 < edges.size(); ++s) {
+        const i32 a = edges[s];
+        const i32 b = edges[s + 1];
+        const i32 span = b - a;
+
+        // Covering set for this span.
+        bool any_cover = false;
+        bool any_active = false;
+        bool all_grid_stride1 = false;
+        std::vector<const RegionLabel *> grid_regions;
+        for (const auto &e : shortlist) {
+            const i32 lo = e.region->x;
+            const i32 hi = e.region->x + e.region->w;
+            if (a < lo || a >= hi)
+                continue;
+            any_cover = true;
+            if (e.active) {
+                any_active = true;
+                if (e.row_on_stride) {
+                    grid_regions.push_back(e.region);
+                    if (e.region->stride == 1)
+                        all_grid_stride1 = true;
+                }
+            }
+        }
+
+        // Work accounting by mode. One sublist scan happens per span
+        // (hybrid), per pixel (row-sublist), or against the full region
+        // list per pixel (naive).
+        switch (config_.mode) {
+          case ComparisonMode::Naive:
+            row_comparisons +=
+                static_cast<u64>(regions_.size()) * static_cast<u64>(span);
+            break;
+          case ComparisonMode::RowSublist:
+            row_comparisons +=
+                static_cast<u64>(shortlist.size()) * static_cast<u64>(span);
+            break;
+          case ComparisonMode::Hybrid:
+            row_comparisons += shortlist.size();
+            if (span > 1)
+                stats_.run_reuses += static_cast<u64>(span - 1);
+            break;
+        }
+
+        if (!any_cover)
+            continue; // span stays N
+
+        const PixelCode base =
+            any_active ? PixelCode::St : PixelCode::Sk;
+
+        if (all_grid_stride1) {
+            // Fast path: the entire span is R.
+            for (i32 x = a; x < b; ++x) {
+                out.mask.set(x, y, PixelCode::R);
+                out.pixels.push_back(row[x]);
+                ++row_count;
+            }
+            continue;
+        }
+
+        for (i32 x = a; x < b; ++x) {
+            PixelCode code = base;
+            for (const RegionLabel *r : grid_regions) {
+                if (config_.mode == ComparisonMode::Hybrid)
+                    ++row_comparisons;
+                if ((x - r->x) % r->stride == 0) {
+                    code = PixelCode::R;
+                    break;
+                }
+            }
+            if (code != PixelCode::N)
+                out.mask.set(x, y, code);
+            if (code == PixelCode::R) {
+                out.pixels.push_back(row[x]);
+                ++row_count;
+            }
+        }
+    }
+
+    stats_.region_comparisons += row_comparisons;
+
+    // Cycle model: the row needs w / ppc cycles to stream through; the
+    // comparison engine needs comparisons / lanes cycles. Whichever is
+    // larger limits the row.
+    const Cycles stream_cycles = static_cast<Cycles>(
+        static_cast<double>(w) / config_.pixels_per_clock + 0.999);
+    const Cycles engine_cycles =
+        (row_comparisons + config_.engine_lanes - 1) /
+        static_cast<u64>(config_.engine_lanes);
+    stats_.compare_cycles += std::max(stream_cycles, engine_cycles);
+}
+
+EncodedFrame
+RhythmicEncoder::encodeFrame(const Image &gray, FrameIndex t)
+{
+    if (gray.channels() != 1)
+        throwInvalid("encoder consumes grayscale (post-ISP luma) frames");
+    if (gray.width() != frame_w_ || gray.height() != frame_h_)
+        throwInvalid("frame geometry mismatch: got ", gray.width(), "x",
+                     gray.height(), ", configured ", frame_w_, "x",
+                     frame_h_);
+
+    EncodedFrame out;
+    out.index = t;
+    out.width = frame_w_;
+    out.height = frame_h_;
+    out.mask = EncMask(frame_w_, frame_h_);
+    out.offsets = RowOffsets(frame_h_);
+    out.pixels.reserve(static_cast<size_t>(frame_w_) * 4);
+
+    std::vector<ShortlistEntry> shortlist;
+    for (i32 y = 0; y < frame_h_; ++y) {
+        buildShortlist(y, t, shortlist);
+        u32 row_count = 0;
+        encodeRow(gray, y, t, shortlist, out, row_count);
+        out.offsets.setRowCount(y, row_count);
+    }
+
+    ++stats_.frames;
+    stats_.pixels_in += static_cast<u64>(gray.pixelCount());
+    stats_.pixels_encoded += out.pixels.size();
+    return out;
+}
+
+bool
+RhythmicEncoder::withinCycleBudget() const
+{
+    const Cycles budget = static_cast<Cycles>(
+        static_cast<double>(stats_.pixels_in) / config_.pixels_per_clock +
+        0.999);
+    return stats_.compare_cycles <= budget;
+}
+
+} // namespace rpx

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The rhythmic pixel encoder (§4.1).
+ *
+ * A fully streaming block that intercepts the dense raster-scan pixel stream
+ * at the ISP output and, guided by developer-specified region labels,
+ * produces: (i) the tightly packed encoded frame, (ii) the 2-bit EncMask,
+ * and (iii) the per-row offsets.
+ *
+ * Architecture (Fig. 5), modelled structurally:
+ *  - Sequencer: tracks row/pixel position in the stream.
+ *  - RoI Selector: once per row, shortlists the y-sorted region list down to
+ *    the regions whose y-range covers the row.
+ *  - Comparison Engine: per pixel, checks the x-ranges/strides of the
+ *    shortlisted regions only.
+ *  - Sampler: forwards regional pixels, reusing a comparison result across a
+ *    region's width (run-length reuse) and emitting metadata.
+ *
+ * Functional output is identical across comparison modes; the modes differ
+ * in the *work accounting* (comparison counts, cycles), which is what the
+ * paper's scalability evaluation (Table 5 and §6.2/§6.3) is about.
+ */
+
+#ifndef RPX_CORE_ENCODER_HPP
+#define RPX_CORE_ENCODER_HPP
+
+#include <vector>
+
+#include "core/encoded_frame.hpp"
+#include "core/region.hpp"
+#include "frame/image.hpp"
+#include "stream/fifo.hpp"
+#include "stream/pixel_stream.hpp"
+
+namespace rpx {
+
+/** Comparison-engine organisation (work model; results are identical). */
+enum class ComparisonMode {
+    /** Check every region label for every pixel (strawman of §4.1.1). */
+    Naive,
+    /** RoI-selector row shortlist, no sampler reuse. */
+    RowSublist,
+    /** Row shortlist + run-length reuse within a region's width (hybrid). */
+    Hybrid,
+};
+
+/** Work/performance counters for one or more encoded frames. */
+struct EncoderStats {
+    u64 frames = 0;
+    u64 pixels_in = 0;           //!< dense pixels consumed
+    u64 pixels_encoded = 0;      //!< R pixels emitted
+    u64 region_comparisons = 0;  //!< comparison-engine region checks
+    u64 selector_examined = 0;   //!< regions examined by the RoI selector
+    u64 rows_with_regions = 0;   //!< rows whose shortlist was non-empty
+    u64 rows_skipped = 0;        //!< rows skipped entirely (empty shortlist)
+    u64 run_reuses = 0;          //!< pixels classified via run-length reuse
+    Cycles compare_cycles = 0;   //!< modelled comparison-engine cycles
+
+    void reset() { *this = EncoderStats{}; }
+};
+
+/**
+ * Streaming rhythmic pixel encoder.
+ */
+class RhythmicEncoder
+{
+  public:
+    struct Config {
+        ComparisonMode mode = ComparisonMode::Hybrid;
+        double pixels_per_clock = 2.0;  //!< ISP line rate to keep up with
+        size_t fifo_depth = 16;         //!< input/output FIFO depth (§5.1)
+        int engine_lanes = 16;          //!< parallel comparators per cycle
+        bool require_sorted = true;     //!< insist on y-sorted label lists
+    };
+
+    /**
+     * @param frame_w decoded-space frame width
+     * @param frame_h decoded-space frame height
+     */
+    RhythmicEncoder(i32 frame_w, i32 frame_h, const Config &config);
+    RhythmicEncoder(i32 frame_w, i32 frame_h)
+        : RhythmicEncoder(frame_w, frame_h, Config{})
+    {
+    }
+
+    i32 frameWidth() const { return frame_w_; }
+    i32 frameHeight() const { return frame_h_; }
+    const Config &config() const { return config_; }
+
+    /**
+     * Load a region label list (the runtime writes these into the encoder's
+     * memory-mapped registers). Validates geometry and, when
+     * require_sorted, the y-ordering precondition.
+     */
+    void setRegionLabels(std::vector<RegionLabel> regions);
+
+    const std::vector<RegionLabel> &regionLabels() const { return regions_; }
+
+    /**
+     * Encode one dense grayscale frame captured at frame index `t`.
+     * The frame must match the configured geometry.
+     */
+    EncodedFrame encodeFrame(const Image &gray, FrameIndex t);
+
+    /** Per-code pixel counts of one frame (analytic, no pixel payload). */
+    struct FrameSummary {
+        u64 r = 0;   //!< encoded pixels
+        u64 st = 0;  //!< strided-out regional pixels
+        u64 sk = 0;  //!< temporally skipped regional pixels
+        u64 n = 0;   //!< non-regional pixels
+        Bytes metadata_bytes = 0; //!< EncMask + per-row offsets
+
+        u64 total() const { return r + st + sk + n; }
+    };
+
+    /**
+     * Compute the per-code pixel counts the current label list would
+     * produce at frame `t`, without touching pixel data. Exactly matches
+     * what encodeFrame() would emit; used by the throughput simulator to
+     * evaluate 4K-scale traces quickly (§5.3.1).
+     */
+    FrameSummary summarizeFrame(FrameIndex t) const;
+
+    /**
+     * Classify a single pixel against a label list — the reference
+     * semantics every comparison mode must reproduce.
+     *
+     * Priority for overlapping regions: R > St > Sk > N. A pixel is R when
+     * any active covering region has it on its stride grid; St when it is
+     * covered by an active region but on no grid; Sk when covered only by
+     * inactive regions.
+     */
+    static PixelCode classify(const std::vector<RegionLabel> &regions,
+                              i32 x, i32 y, FrameIndex t);
+
+    const EncoderStats &stats() const { return stats_; }
+    void resetStats() { stats_.reset(); }
+
+    /** True when the modelled comparison work fit the pixel-clock budget. */
+    bool withinCycleBudget() const;
+
+  private:
+    /** Row-shortlist entry with per-frame/per-row precomputation. */
+    struct ShortlistEntry {
+        const RegionLabel *region;
+        bool active;        //!< temporal rhythm samples this frame
+        bool row_on_stride; //!< row matches the vertical stride
+    };
+
+    void buildShortlist(i32 row, FrameIndex t,
+                        std::vector<ShortlistEntry> &out);
+    void buildShortlistConst(i32 row, FrameIndex t,
+                             std::vector<ShortlistEntry> &out) const;
+    void encodeRow(const Image &gray, i32 y, FrameIndex t,
+                   const std::vector<ShortlistEntry> &shortlist,
+                   EncodedFrame &out, u32 &row_count);
+
+    i32 frame_w_;
+    i32 frame_h_;
+    Config config_;
+    std::vector<RegionLabel> regions_;
+    EncoderStats stats_;
+};
+
+} // namespace rpx
+
+#endif // RPX_CORE_ENCODER_HPP

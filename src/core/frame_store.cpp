@@ -1,0 +1,117 @@
+#include "core/frame_store.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+#include "memory/dma.hpp"
+
+namespace rpx {
+
+FrameStore::FrameStore(DramModel &dram, i32 frame_w, i32 frame_h,
+                       int history)
+    : dram_(dram), frame_w_(frame_w), frame_h_(frame_h), history_(history)
+{
+    if (frame_w <= 0 || frame_h <= 0)
+        throwInvalid("FrameStore geometry must be positive");
+    if (history < 1)
+        throwInvalid("FrameStore history must be at least 1");
+
+    // Pre-allocate a fixed ring of slots sized for worst-case (full-frame)
+    // capture, like a real framebuffer ring would be.
+    const u64 pixel_capacity =
+        static_cast<u64>(frame_w) * static_cast<u64>(frame_h);
+    const u64 mask_capacity = (pixel_capacity * 2 + 7) / 8;
+    const u64 offsets_capacity = static_cast<u64>(frame_h) * sizeof(u32);
+    for (int i = 0; i < history; ++i) {
+        const std::string tag = "slot" + std::to_string(i);
+        StoredFrameAddrs addrs;
+        addrs.pixels = allocator_.allocate(pixel_capacity, tag + ".pixels");
+        addrs.mask = allocator_.allocate(mask_capacity, tag + ".mask");
+        addrs.offsets =
+            allocator_.allocate(offsets_capacity, tag + ".offsets");
+        slot_addrs_.push_back(addrs);
+    }
+}
+
+void
+FrameStore::store(EncodedFrame frame)
+{
+    if (frame.width != frame_w_ || frame.height != frame_h_)
+        throwInvalid("stored frame geometry mismatch");
+    frame.checkConsistency();
+
+    const StoredFrameAddrs &addrs = slot_addrs_[next_slot_];
+    next_slot_ = (next_slot_ + 1) % slot_addrs_.size();
+
+    // Pixel payload: line-burst DMA, one flush per encoded row (§4.1.2).
+    DmaWriter dma(dram_, addrs.pixels.base);
+    size_t cursor = 0;
+    for (i32 y = 0; y < frame.height; ++y) {
+        const u32 row_start = frame.offsets.offsetOf(y);
+        const u32 row_end = (y + 1 < frame.height)
+                                ? frame.offsets.offsetOf(y + 1)
+                                : frame.offsets.total();
+        for (u32 i = row_start; i < row_end; ++i)
+            dma.push(frame.pixels[i]);
+        dma.flush();
+        cursor += row_end - row_start;
+    }
+    RPX_ASSERT(cursor == frame.pixels.size(),
+               "DMA cursor mismatch while storing frame");
+
+    // Metadata: packed mask bytes + row-offset table.
+    dram_.write(addrs.mask.base, frame.mask.bytes());
+    std::vector<u8> offs_bytes;
+    offs_bytes.reserve(static_cast<size_t>(frame.height) * sizeof(u32));
+    for (i32 y = 0; y < frame.height; ++y) {
+        const u32 v = frame.offsets.offsetOf(y);
+        offs_bytes.push_back(static_cast<u8>(v));
+        offs_bytes.push_back(static_cast<u8>(v >> 8));
+        offs_bytes.push_back(static_cast<u8>(v >> 16));
+        offs_bytes.push_back(static_cast<u8>(v >> 24));
+    }
+    dram_.write(addrs.offsets.base, offs_bytes);
+
+    bytes_written_ +=
+        frame.pixelBytes() + frame.mask.packedBytes() + offs_bytes.size();
+
+    slots_.push_front(Slot{std::move(frame), addrs});
+    while (slots_.size() > static_cast<size_t>(history_))
+        slots_.pop_back();
+}
+
+const EncodedFrame *
+FrameStore::recent(size_t k) const
+{
+    if (k >= slots_.size())
+        return nullptr;
+    return &slots_[k].frame;
+}
+
+const StoredFrameAddrs *
+FrameStore::recentAddrs(size_t k) const
+{
+    if (k >= slots_.size())
+        return nullptr;
+    return &slots_[k].addrs;
+}
+
+Bytes
+FrameStore::pixelFootprint() const
+{
+    Bytes total = 0;
+    for (const auto &s : slots_)
+        total += s.frame.pixelBytes();
+    return total;
+}
+
+Bytes
+FrameStore::metadataFootprint() const
+{
+    Bytes total = 0;
+    for (const auto &s : slots_)
+        total += s.frame.metadataBytes();
+    return total;
+}
+
+} // namespace rpx

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Ring of recent encoded frames in DRAM (§4.1.2, §4.2.1).
+ *
+ * The encoder commits each encoded frame plus metadata to a framebuffer
+ * slot; the decoder's metadata scratchpad spans the four most recent frames
+ * so temporally skipped pixels can be reconstructed from history.
+ */
+
+#ifndef RPX_CORE_FRAME_STORE_HPP
+#define RPX_CORE_FRAME_STORE_HPP
+
+#include <deque>
+#include <optional>
+
+#include "core/encoded_frame.hpp"
+#include "memory/dram.hpp"
+#include "memory/framebuffer.hpp"
+
+namespace rpx {
+
+/** DRAM placement of one stored encoded frame. */
+struct StoredFrameAddrs {
+    BufferRange pixels;
+    BufferRange mask;
+    BufferRange offsets;
+};
+
+/**
+ * Bounded history of encoded frames, backed by a DRAM model.
+ *
+ * Each slot keeps the in-model EncodedFrame (standing in for the decoder's
+ * metadata scratchpad contents) and the DRAM ranges the payload lives at.
+ * Pixel payloads are written to DRAM with line-burst DMA; footprint
+ * accounting reports what the paper's Fig 8 memory plots measure.
+ */
+class FrameStore
+{
+  public:
+    /**
+     * @param dram      backing memory model
+     * @param frame_w   decoded-space width (slot capacity)
+     * @param frame_h   decoded-space height
+     * @param history   number of retained frames (paper: 4)
+     */
+    FrameStore(DramModel &dram, i32 frame_w, i32 frame_h, int history = 4);
+
+    int historyDepth() const { return history_; }
+    i32 frameWidth() const { return frame_w_; }
+    i32 frameHeight() const { return frame_h_; }
+    DramModel &dram() { return dram_; }
+
+    /** Commit an encoded frame; evicts the oldest once history is full. */
+    void store(EncodedFrame frame);
+
+    /** Number of frames currently retained. */
+    size_t size() const { return slots_.size(); }
+
+    /**
+     * Access the k-th most recent frame (0 = newest). Returns nullptr when
+     * fewer frames are stored.
+     */
+    const EncodedFrame *recent(size_t k = 0) const;
+
+    /** DRAM placement of the k-th most recent frame. */
+    const StoredFrameAddrs *recentAddrs(size_t k = 0) const;
+
+    /**
+     * Occupied bytes of pixel payload across retained frames — the encoded
+     * framebuffer footprint.
+     */
+    Bytes pixelFootprint() const;
+
+    /** Occupied metadata bytes (masks + offsets) across retained frames. */
+    Bytes metadataFootprint() const;
+
+    Bytes totalFootprint() const
+    {
+        return pixelFootprint() + metadataFootprint();
+    }
+
+    /** Bytes written to DRAM over the store's lifetime. */
+    Bytes bytesWritten() const { return bytes_written_; }
+
+  private:
+    struct Slot {
+        EncodedFrame frame;
+        StoredFrameAddrs addrs;
+    };
+
+    DramModel &dram_;
+    i32 frame_w_;
+    i32 frame_h_;
+    int history_;
+    FramebufferAllocator allocator_;
+    std::vector<StoredFrameAddrs> slot_addrs_;  //!< fixed ring of ranges
+    std::deque<Slot> slots_;                    //!< newest at front
+    size_t next_slot_ = 0;
+    Bytes bytes_written_ = 0;
+};
+
+} // namespace rpx
+
+#endif // RPX_CORE_FRAME_STORE_HPP

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Developer-specified region labels (§3.1, §4.3).
+ *
+ * A RegionLabel marks a rectangular neighbourhood of pixels together with its
+ * spatial density (stride) and temporal rhythm (skip). Lists of labels define
+ * a capture workload; the runtime Y-sorts them before handing them to the
+ * encoder (§4.1.1).
+ */
+
+#ifndef RPX_CORE_REGION_HPP
+#define RPX_CORE_REGION_HPP
+
+#include <ostream>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+
+namespace rpx {
+
+/**
+ * One rhythmic pixel region, matching the paper's runtime struct:
+ *
+ *     struct RegionLabel { int x, y, w, h, stride, skip; };
+ *
+ * - stride: pixel density; 1 keeps every pixel, s keeps every s-th pixel in
+ *   x and y (relative to the region origin).
+ * - skip: temporal interval; 1 samples every frame, k samples the region on
+ *   frames where (frame - phase) % k == 0.
+ */
+struct RegionLabel {
+    i32 x = 0;
+    i32 y = 0;
+    i32 w = 0;
+    i32 h = 0;
+    i32 stride = 1;
+    i32 skip = 1;
+    /** Phase offset for the temporal rhythm (0 in the paper's examples). */
+    i32 phase = 0;
+
+    bool operator==(const RegionLabel &) const = default;
+
+    Rect rect() const { return Rect{x, y, w, h}; }
+
+    /** True when the region is sampled on frame `t`. */
+    bool
+    activeAt(FrameIndex t) const
+    {
+        const i64 rel = t - phase;
+        return rel >= 0 && rel % skip == 0;
+    }
+
+    /** True when (px, py) lies on this region's stride grid. */
+    bool
+    onStrideGrid(i32 px, i32 py) const
+    {
+        return (px - x) % stride == 0 && (py - y) % stride == 0;
+    }
+
+    /** True when row `py` matches the vertical stride. */
+    bool
+    rowOnStride(i32 py) const
+    {
+        return (py - y) % stride == 0;
+    }
+
+    /** Pixels this region samples on an active frame (stride-decimated). */
+    i64
+    sampledPixels() const
+    {
+        if (w <= 0 || h <= 0)
+            return 0;
+        const i64 cols = (w + stride - 1) / stride;
+        const i64 rows = (h + stride - 1) / stride;
+        return cols * rows;
+    }
+};
+
+std::ostream &operator<<(std::ostream &os, const RegionLabel &r);
+
+/**
+ * Validate a label list against a frame geometry.
+ *
+ * Throws std::invalid_argument for: non-positive width/height/stride/skip,
+ * or a region that lies entirely outside the frame. Regions partially
+ * outside are allowed (the encoder clips); hundreds of regions are expected.
+ */
+void validateRegions(const std::vector<RegionLabel> &regions, i32 frame_w,
+                     i32 frame_h);
+
+/**
+ * Sort labels by their top y coordinate — the pre-sorting the app runtime
+ * performs on the CPU so the encoder's RoI selector can shortlist cheaply
+ * (§4.1.1). Stable so equal-y regions keep list order.
+ */
+void sortRegionsByY(std::vector<RegionLabel> &regions);
+
+/** True if the list is y-sorted (encoder precondition). */
+bool regionsSortedByY(const std::vector<RegionLabel> &regions);
+
+/** A region covering the whole frame at full density, sampled every frame. */
+RegionLabel fullFrameRegion(i32 frame_w, i32 frame_h);
+
+/** Sum of area of the union of label rects (overlap counted once). */
+i64 unionArea(const std::vector<RegionLabel> &regions, i32 frame_w,
+              i32 frame_h);
+
+} // namespace rpx
+
+#endif // RPX_CORE_REGION_HPP

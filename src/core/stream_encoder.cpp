@@ -1,0 +1,151 @@
+#include "core/stream_encoder.hpp"
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+StreamingEncoder::StreamingEncoder(i32 frame_w, i32 frame_h,
+                                   const RhythmicEncoder::Config &config)
+    : frame_w_(frame_w), frame_h_(frame_h), config_(config),
+      fifo_(config.fifo_depth)
+{
+    if (frame_w <= 0 || frame_h <= 0)
+        throwInvalid("streaming encoder geometry must be positive");
+}
+
+void
+StreamingEncoder::setRegionLabels(std::vector<RegionLabel> regions)
+{
+    validateRegions(regions, frame_w_, frame_h_);
+    if (!regionsSortedByY(regions))
+        sortRegionsByY(regions);
+    regions_ = std::move(regions);
+}
+
+void
+StreamingEncoder::beginFrame(FrameIndex t)
+{
+    RPX_ASSERT(!in_frame_, "beginFrame while a frame is in flight");
+    in_frame_ = true;
+    frame_index_ = t;
+    beats_consumed_ = 0;
+    current_row_ = -1;
+    row_count_ = 0;
+
+    EncodedFrame frame;
+    frame.index = t;
+    frame.width = frame_w_;
+    frame.height = frame_h_;
+    frame.mask = EncMask(frame_w_, frame_h_);
+    frame.offsets = RowOffsets(frame_h_);
+    current_ = std::move(frame);
+}
+
+bool
+StreamingEncoder::pushBeat(const PixelBeat &beat)
+{
+    if (!in_frame_)
+        throwRuntime("pushBeat outside beginFrame/finishFrame");
+    if (!fifo_.tryPush(beat))
+        return false;
+    // Opportunistic drain keeps the FIFO shallow, like the hardware's
+    // free-running sampling datapath.
+    if (fifo_.full())
+        drain(fifo_.depth() / 2);
+    return true;
+}
+
+void
+StreamingEncoder::startRow(i32 row)
+{
+    // Close the previous row's offset entry.
+    if (current_row_ >= 0) {
+        current_->offsets.setRowCount(current_row_, row_count_);
+        // Rows with no beats in between (should not happen on a raster
+        // stream) would leave gaps; the sequencer insists on order.
+        RPX_ASSERT(row == current_row_ + 1,
+                   "raster stream skipped or repeated a row");
+    } else {
+        RPX_ASSERT(row == 0, "frame did not start at row 0");
+    }
+    current_row_ = row;
+    row_count_ = 0;
+
+    // RoI selector: shortlist regions covering this row (y-sorted list).
+    shortlist_.clear();
+    for (const auto &r : regions_) {
+        if (r.y > row)
+            break;
+        if (r.rect().containsRow(row))
+            shortlist_.push_back(
+                {&r, r.activeAt(frame_index_), r.rowOnStride(row)});
+    }
+}
+
+void
+StreamingEncoder::processBeat(const PixelBeat &beat)
+{
+    RPX_ASSERT(beat.x >= 0 && beat.x < frame_w_ && beat.y >= 0 &&
+                   beat.y < frame_h_,
+               "beat outside the frame");
+    if (beat.y != current_row_)
+        startRow(beat.y);
+
+    // Comparison engine + sampler on the shortlist.
+    PixelCode code = PixelCode::N;
+    for (const auto &e : shortlist_) {
+        if (beat.x < e.region->x ||
+            beat.x >= e.region->x + e.region->w)
+            continue;
+        if (e.active) {
+            if (e.row_on_stride &&
+                (beat.x - e.region->x) % e.region->stride == 0) {
+                code = PixelCode::R;
+                break;
+            }
+            code = PixelCode::St;
+        } else if (code == PixelCode::N) {
+            code = PixelCode::Sk;
+        }
+    }
+
+    if (code != PixelCode::N)
+        current_->mask.set(beat.x, beat.y, code);
+    if (code == PixelCode::R) {
+        current_->pixels.push_back(beat.value);
+        ++row_count_;
+    }
+    ++beats_consumed_;
+}
+
+void
+StreamingEncoder::drain(size_t max_beats)
+{
+    for (size_t i = 0; i < max_beats; ++i) {
+        auto beat = fifo_.tryPop();
+        if (!beat)
+            return;
+        processBeat(*beat);
+    }
+}
+
+EncodedFrame
+StreamingEncoder::finishFrame()
+{
+    if (!in_frame_)
+        throwRuntime("finishFrame without beginFrame");
+    drain();
+    const u64 expected = static_cast<u64>(frame_w_) * frame_h_;
+    if (beats_consumed_ != expected) {
+        throwRuntime("incomplete frame: consumed ", beats_consumed_,
+                     " of ", expected, " beats");
+    }
+    current_->offsets.setRowCount(current_row_, row_count_);
+    in_frame_ = false;
+    EncodedFrame out = std::move(*current_);
+    current_.reset();
+    out.checkConsistency();
+    return out;
+}
+
+} // namespace rpx

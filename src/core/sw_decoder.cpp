@@ -1,0 +1,77 @@
+#include "core/sw_decoder.hpp"
+
+#include <memory>
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+SoftwareDecoder::SoftwareDecoder(const Config &config) : config_(config)
+{
+    if (config.max_upscan < 0)
+        throwInvalid("max_upscan must be non-negative");
+}
+
+Image
+SoftwareDecoder::decode(
+    const EncodedFrame &current,
+    const std::vector<const EncodedFrame *> &history) const
+{
+    current.checkConsistency();
+    Image out(current.width, current.height, PixelFormat::Gray8);
+    if (config_.black_value != 0)
+        out.fill(config_.black_value);
+
+    MaskPrefixCache cache(current);
+    std::vector<std::unique_ptr<MaskPrefixCache>> hist_caches;
+    hist_caches.reserve(history.size());
+    for (const EncodedFrame *f : history) {
+        RPX_ASSERT(f != nullptr, "null history frame");
+        RPX_ASSERT(f->width == current.width && f->height == current.height,
+                   "history frame geometry mismatch");
+        hist_caches.push_back(std::make_unique<MaskPrefixCache>(*f));
+    }
+
+    last_history_fills_ = 0;
+    last_black_ = 0;
+
+    for (i32 y = 0; y < current.height; ++y) {
+        u8 *row = out.row(y);
+        for (i32 x = 0; x < current.width; ++x) {
+            const PixelCode code = current.mask.at(x, y);
+            if (code == PixelCode::N) {
+                ++last_black_;
+                continue; // already black
+            }
+            if (code == PixelCode::R || code == PixelCode::St) {
+                auto src = findPixelSource(cache, x, y, config_.max_upscan);
+                if (src) {
+                    row[x] = current.pixels[src->offset];
+                    continue;
+                }
+            }
+            // Sk (or unresolvable St): most recent history frame that
+            // sampled this pixel wins.
+            bool filled = false;
+            for (size_t k = 0; k < history.size(); ++k) {
+                const EncodedFrame &past = *history[k];
+                const PixelCode pcode = past.mask.at(x, y);
+                if (pcode != PixelCode::R && pcode != PixelCode::St)
+                    continue;
+                auto src = findPixelSource(*hist_caches[k], x, y,
+                                           config_.max_upscan);
+                if (src) {
+                    row[x] = past.pixels[src->offset];
+                    ++last_history_fills_;
+                    filled = true;
+                    break;
+                }
+            }
+            if (!filled)
+                ++last_black_;
+        }
+    }
+    return out;
+}
+
+} // namespace rpx

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The alternative software decoder (§5.1): reconstructs a whole frame from
+ * an encoded frame plus history on the CPU. Used by workloads that want a
+ * full frame-based image (our from-scratch stand-in for the paper's
+ * C++/OpenCV software decoder), and as the reference the hardware decoder
+ * is differential-tested against.
+ */
+
+#ifndef RPX_CORE_SW_DECODER_HPP
+#define RPX_CORE_SW_DECODER_HPP
+
+#include <vector>
+
+#include "core/encoded_frame.hpp"
+#include "frame/image.hpp"
+
+namespace rpx {
+
+/**
+ * Whole-frame software decoder.
+ */
+class SoftwareDecoder
+{
+  public:
+    struct Config {
+        u8 black_value = 0;
+        int max_upscan = 64;
+    };
+
+    explicit SoftwareDecoder(const Config &config);
+    SoftwareDecoder() : SoftwareDecoder(Config{}) {}
+
+    /**
+     * Decode `current` into a full grayscale frame. `history` lists older
+     * encoded frames, most recent first (up to the hardware's four-frame
+     * window; extras are used if given). Skipped pixels resolve to the most
+     * recent history frame that sampled them; unresolvable pixels are black.
+     */
+    Image decode(const EncodedFrame &current,
+                 const std::vector<const EncodedFrame *> &history = {}) const;
+
+    /** Number of pixels the last decode() filled from history frames. */
+    u64 lastHistoryFills() const { return last_history_fills_; }
+
+    /** Number of pixels the last decode() left black. */
+    u64 lastBlackPixels() const { return last_black_; }
+
+  private:
+    Config config_;
+    mutable u64 last_history_fills_ = 0;
+    mutable u64 last_black_ = 0;
+};
+
+} // namespace rpx
+
+#endif // RPX_CORE_SW_DECODER_HPP

@@ -1,0 +1,108 @@
+#include "datasets/face_dataset.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "frame/draw.hpp"
+
+namespace rpx {
+
+FaceSequence::FaceSequence(const FaceSequenceConfig &config)
+    : config_(config)
+{
+    if (config.width <= 0 || config.height <= 0 || config.frames < 1)
+        throwInvalid("face sequence geometry/frames must be positive");
+    if (config.subjects < 1)
+        throwInvalid("face sequence needs at least one subject");
+
+    Rng rng(config.seed);
+    background_ = Image(config.width, config.height, PixelFormat::Gray8);
+    fillValueNoise(background_, rng, 70.0, 70, 110);
+    // Portal door frame: two vertical darker bands.
+    fillRect(background_, Rect{config.width / 3 - 8, 0, 8, config.height},
+             55);
+    fillRect(background_,
+             Rect{2 * config.width / 3, 0, 8, config.height}, 55);
+
+    for (int s = 0; s < config.subjects; ++s) {
+        Subject sub;
+        sub.enter_frame = static_cast<int>(
+            rng.uniformInt(0, std::max(1, config.frames / 2)));
+        sub.start_x = rng.uniform(0.1, 0.3) * config.width;
+        sub.start_y = rng.uniform(0.25, 0.55) * config.height;
+        sub.vx = rng.uniform(2.0, 5.0);       // walking towards the camera
+        sub.vy = rng.uniform(-0.4, 0.6);
+        sub.size0 = rng.uniform(26.0, 40.0);  // grows as subject approaches
+        sub.size_growth = rng.uniform(0.15, 0.45);
+        sub.brightness = rng.uniform(185.0, 215.0);
+        subjects_.push_back(sub);
+    }
+}
+
+bool
+FaceSequence::subjectState(const Subject &s, int frame, double &cx,
+                           double &cy, double &size) const
+{
+    const int age = frame - s.enter_frame;
+    if (age < 0)
+        return false;
+    cx = s.start_x + s.vx * age;
+    cy = s.start_y + s.vy * age + 3.0 * std::sin(0.3 * age); // gait bob
+    size = s.size0 + s.size_growth * age;
+    if (cx - size / 2 > config_.width || cy - size / 2 > config_.height ||
+        cx + size / 2 < 0 || cy + size / 2 < 0)
+        return false;
+    return true;
+}
+
+Image
+FaceSequence::renderFrame(int i) const
+{
+    RPX_ASSERT(i >= 0 && i < config_.frames, "frame index out of range");
+    Image frame = background_;
+    for (const auto &s : subjects_) {
+        double cx, cy, size;
+        if (!subjectState(s, i, cx, cy, size))
+            continue;
+        const i32 r = static_cast<i32>(size / 2.0);
+        const i32 icx = static_cast<i32>(cx);
+        const i32 icy = static_cast<i32>(cy);
+        // Torso below the face (darker clothing).
+        fillRect(frame,
+                 Rect{icx - r, icy + r, 2 * r,
+                      static_cast<i32>(2.5 * r)},
+                 70);
+        // Face disc.
+        fillCircle(frame, icx, icy, r, static_cast<u8>(s.brightness));
+        // Eyes: dark spots in the upper half.
+        const i32 eye_r = std::max<i32>(1, r / 5);
+        fillCircle(frame, icx - r / 2, icy - r / 3, eye_r, 40);
+        fillCircle(frame, icx + r / 2, icy - r / 3, eye_r, 40);
+        // Mouth: dark bar in the lower half.
+        fillRect(frame, Rect{icx - r / 2, icy + r / 2, r, eye_r}, 60);
+    }
+    return frame;
+}
+
+std::vector<Rect>
+FaceSequence::groundTruth(int i) const
+{
+    RPX_ASSERT(i >= 0 && i < config_.frames, "frame index out of range");
+    std::vector<Rect> boxes;
+    for (const auto &s : subjects_) {
+        double cx, cy, size;
+        if (!subjectState(s, i, cx, cy, size))
+            continue;
+        const Rect box{static_cast<i32>(cx - size / 2),
+                       static_cast<i32>(cy - size / 2),
+                       static_cast<i32>(size), static_cast<i32>(size)};
+        const Rect clipped = box.clippedTo(config_.width, config_.height);
+        // Only mostly-visible faces count as ground truth (the paper's
+        // datasets annotate visible faces).
+        if (clipped.area() >= box.area() / 2)
+            boxes.push_back(box);
+    }
+    return boxes;
+}
+
+} // namespace rpx

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * ChokePoint-like synthetic face sequences: subjects walk through a portal,
+ * their faces changing position and scale frame to frame, with ground-truth
+ * boxes for IoU/mAP evaluation.
+ */
+
+#ifndef RPX_DATASETS_FACE_DATASET_HPP
+#define RPX_DATASETS_FACE_DATASET_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+#include "frame/image.hpp"
+
+namespace rpx {
+
+/** Face sequence configuration. */
+struct FaceSequenceConfig {
+    std::string name = "portal-0";
+    i32 width = 800;   //!< SVGA like the paper's face workload
+    i32 height = 600;
+    int frames = 90;
+    int subjects = 3;  //!< people crossing the portal
+    u64 seed = 301;
+};
+
+/**
+ * One synthetic portal walk-through.
+ */
+class FaceSequence
+{
+  public:
+    explicit FaceSequence(const FaceSequenceConfig &config);
+    FaceSequence() : FaceSequence(FaceSequenceConfig{}) {}
+
+    const FaceSequenceConfig &config() const { return config_; }
+    int frames() const { return config_.frames; }
+
+    /** Render the i-th frame (grayscale). */
+    Image renderFrame(int i) const;
+
+    /** Ground-truth face boxes visible in frame i. */
+    std::vector<Rect> groundTruth(int i) const;
+
+  private:
+    struct Subject {
+        double start_x, start_y;   //!< entry position
+        double vx, vy;             //!< velocity (px/frame)
+        double size0, size_growth; //!< face size and per-frame growth
+        int enter_frame;
+        double brightness;         //!< subject-specific skin tone
+    };
+
+    /** Face center/size for a subject at frame i; false when off stage. */
+    bool subjectState(const Subject &s, int frame, double &cx, double &cy,
+                      double &size) const;
+
+    FaceSequenceConfig config_;
+    std::vector<Subject> subjects_;
+    Image background_;
+};
+
+} // namespace rpx
+
+#endif // RPX_DATASETS_FACE_DATASET_HPP

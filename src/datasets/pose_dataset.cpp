@@ -1,0 +1,157 @@
+#include "datasets/pose_dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "frame/draw.hpp"
+
+namespace rpx {
+
+PoseSequence::PoseSequence(const PoseSequenceConfig &config)
+    : config_(config)
+{
+    if (config.width <= 0 || config.height <= 0 || config.frames < 1)
+        throwInvalid("pose sequence geometry/frames must be positive");
+    if (config.persons < 1)
+        throwInvalid("pose sequence needs at least one person");
+
+    Rng rng(config.seed);
+    background_ = Image(config.width, config.height, PixelFormat::Gray8);
+    fillValueNoise(background_, rng, 110.0, 80, 115);
+
+    for (int p = 0; p < config.persons; ++p) {
+        Walker w;
+        w.enter_frame = static_cast<int>(
+            rng.uniformInt(0, std::max(1, config.frames / 3)));
+        w.start_x = rng.uniform(0.05, 0.2) * config.width;
+        w.base_y = rng.uniform(0.35, 0.55) * config.height;
+        w.speed = rng.uniform(3.0, 7.0);
+        w.scale = rng.uniform(0.8, 1.4);
+        w.phase = rng.uniform(0.0, 6.28);
+        walkers_.push_back(w);
+    }
+}
+
+PersonPose
+PoseSequence::poseOf(const Walker &w, int frame) const
+{
+    PersonPose pose;
+    pose.scale = w.scale;
+    const int age = std::max(0, frame - w.enter_frame);
+    const double t = 0.35 * age + w.phase;
+    const double cx = w.start_x + w.speed * age;
+    const double cy = w.base_y + 4.0 * std::sin(2.0 * t); // vertical bob
+
+    const double limb = 42.0 * w.scale;   // upper limb length
+    const double torso = 80.0 * w.scale;
+    const double swing = std::sin(t);     // gait swing [-1, 1]
+
+    auto pt = [](double x, double y) {
+        return Point{static_cast<i32>(std::lround(x)),
+                     static_cast<i32>(std::lround(y))};
+    };
+
+    auto set = [&](Joint j, Point p) {
+        pose.joints[static_cast<size_t>(j)] = p;
+    };
+
+    const double neck_y = cy - torso / 2;
+    const double hip_y = cy + torso / 2;
+    set(Joint::Head, pt(cx, neck_y - 26.0 * w.scale));
+    set(Joint::Neck, pt(cx, neck_y));
+    set(Joint::LeftShoulder, pt(cx - 18.0 * w.scale, neck_y + 6));
+    set(Joint::RightShoulder, pt(cx + 18.0 * w.scale, neck_y + 6));
+    set(Joint::LeftElbow,
+        pt(cx - 20.0 * w.scale + 0.5 * limb * swing, neck_y + 6 + limb));
+    set(Joint::RightElbow,
+        pt(cx + 20.0 * w.scale - 0.5 * limb * swing, neck_y + 6 + limb));
+    set(Joint::LeftWrist,
+        pt(cx - 20.0 * w.scale + limb * swing, neck_y + 6 + 1.8 * limb));
+    set(Joint::RightWrist,
+        pt(cx + 20.0 * w.scale - limb * swing, neck_y + 6 + 1.8 * limb));
+    set(Joint::Pelvis, pt(cx, hip_y));
+    set(Joint::LeftHip, pt(cx - 12.0 * w.scale, hip_y));
+    set(Joint::RightHip, pt(cx + 12.0 * w.scale, hip_y));
+    set(Joint::LeftKnee,
+        pt(cx - 12.0 * w.scale - 0.8 * limb * swing, hip_y + 1.2 * limb));
+    set(Joint::RightKnee,
+        pt(cx + 12.0 * w.scale + 0.8 * limb * swing, hip_y + 1.2 * limb));
+
+    Rect box{pose.joints[0].x, pose.joints[0].y, 1, 1};
+    for (const auto &j : pose.joints)
+        box = box.unite(Rect{j.x, j.y, 1, 1});
+    pose.bbox = box.inflated(static_cast<i32>(10 * w.scale));
+    return pose;
+}
+
+bool
+PoseSequence::visible(const PersonPose &pose) const
+{
+    const Rect clipped = pose.bbox.clippedTo(config_.width, config_.height);
+    return clipped.area() >= pose.bbox.area() / 2;
+}
+
+Image
+PoseSequence::renderFrame(int i) const
+{
+    RPX_ASSERT(i >= 0 && i < config_.frames, "frame index out of range");
+    Image frame = background_;
+    for (const auto &w : walkers_) {
+        if (i < w.enter_frame)
+            continue;
+        const PersonPose pose = poseOf(w, i);
+        if (!visible(pose))
+            continue;
+
+        auto j = [&](Joint joint) {
+            return pose.joints[static_cast<size_t>(joint)];
+        };
+        const i32 thick = std::max<i32>(3, static_cast<i32>(5 * w.scale));
+        const u8 body = 45;
+        // Limbs and torso as dark strokes.
+        drawLine(frame, j(Joint::Head), j(Joint::Neck), body, thick);
+        drawLine(frame, j(Joint::Neck), j(Joint::Pelvis), body, thick);
+        drawLine(frame, j(Joint::LeftShoulder), j(Joint::LeftElbow), body,
+                 thick);
+        drawLine(frame, j(Joint::LeftElbow), j(Joint::LeftWrist), body,
+                 thick);
+        drawLine(frame, j(Joint::RightShoulder), j(Joint::RightElbow), body,
+                 thick);
+        drawLine(frame, j(Joint::RightElbow), j(Joint::RightWrist), body,
+                 thick);
+        drawLine(frame, j(Joint::LeftHip), j(Joint::LeftKnee), body, thick);
+        drawLine(frame, j(Joint::RightHip), j(Joint::RightKnee), body,
+                 thick);
+        drawLine(frame, j(Joint::LeftShoulder), j(Joint::RightShoulder),
+                 body, thick);
+        drawLine(frame, j(Joint::LeftHip), j(Joint::RightHip), body, thick);
+        // Head disc.
+        fillCircle(frame, j(Joint::Head).x, j(Joint::Head).y,
+                   static_cast<i32>(12 * w.scale), 50);
+
+        // Joints as bright blobs (what the estimator keys on).
+        for (const auto &p : pose.joints) {
+            if (frame.inBounds(p.x, p.y))
+                addGaussianBlob(frame, p.x, p.y, 2.5 * w.scale, 150.0);
+        }
+    }
+    return frame;
+}
+
+std::vector<PersonPose>
+PoseSequence::groundTruth(int i) const
+{
+    RPX_ASSERT(i >= 0 && i < config_.frames, "frame index out of range");
+    std::vector<PersonPose> out;
+    for (const auto &w : walkers_) {
+        if (i < w.enter_frame)
+            continue;
+        const PersonPose pose = poseOf(w, i);
+        if (visible(pose))
+            out.push_back(pose);
+    }
+    return out;
+}
+
+} // namespace rpx

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * PoseTrack-like synthetic human-pose sequences: articulated stick figures
+ * walk across the frame; joints are rendered as bright blobs with
+ * ground-truth positions for PCK / IoU-mAP evaluation.
+ */
+
+#ifndef RPX_DATASETS_POSE_DATASET_HPP
+#define RPX_DATASETS_POSE_DATASET_HPP
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+#include "frame/image.hpp"
+
+namespace rpx {
+
+/** Joint indices of the 13-joint skeleton. */
+enum class Joint : size_t {
+    Head = 0,
+    Neck,
+    LeftShoulder,
+    RightShoulder,
+    LeftElbow,
+    RightElbow,
+    LeftWrist,
+    RightWrist,
+    LeftHip,
+    RightHip,
+    LeftKnee,
+    RightKnee,
+    Pelvis,
+    Count,
+};
+
+constexpr size_t kJointCount = static_cast<size_t>(Joint::Count);
+
+/** A person's joints in image coordinates for one frame. */
+struct PersonPose {
+    std::array<Point, kJointCount> joints;
+    Rect bbox;        //!< tight box around the joints
+    double scale = 1.0; //!< person scale (limb length multiplier)
+};
+
+/** Pose sequence configuration. */
+struct PoseSequenceConfig {
+    std::string name = "walk-0";
+    i32 width = 1280;  //!< 720p like the paper's pose workload
+    i32 height = 720;
+    int frames = 90;
+    int persons = 2;
+    u64 seed = 501;
+};
+
+/**
+ * One synthetic walking sequence.
+ */
+class PoseSequence
+{
+  public:
+    explicit PoseSequence(const PoseSequenceConfig &config);
+    PoseSequence() : PoseSequence(PoseSequenceConfig{}) {}
+
+    const PoseSequenceConfig &config() const { return config_; }
+    int frames() const { return config_.frames; }
+
+    /** Render the i-th frame (grayscale). */
+    Image renderFrame(int i) const;
+
+    /** Ground-truth poses of persons visible in frame i. */
+    std::vector<PersonPose> groundTruth(int i) const;
+
+  private:
+    struct Walker {
+        double start_x, base_y;
+        double speed;        //!< px/frame
+        double scale;        //!< limb-length multiplier
+        double phase;        //!< gait phase offset
+        int enter_frame;
+    };
+
+    PersonPose poseOf(const Walker &w, int frame) const;
+    bool visible(const PersonPose &pose) const;
+
+    PoseSequenceConfig config_;
+    std::vector<Walker> walkers_;
+    Image background_;
+};
+
+} // namespace rpx
+
+#endif // RPX_DATASETS_POSE_DATASET_HPP

@@ -1,0 +1,85 @@
+#include "datasets/renderer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "frame/draw.hpp"
+
+namespace rpx {
+
+Image
+grayToRgb(const Image &gray)
+{
+    RPX_ASSERT(gray.channels() == 1, "grayToRgb expects grayscale");
+    Image rgb(gray.width(), gray.height(), PixelFormat::Rgb8);
+    for (i32 y = 0; y < gray.height(); ++y) {
+        const u8 *src = gray.row(y);
+        u8 *dst = rgb.row(y);
+        for (i32 x = 0; x < gray.width(); ++x) {
+            dst[3 * static_cast<size_t>(x) + 0] = src[x];
+            dst[3 * static_cast<size_t>(x) + 1] = src[x];
+            dst[3 * static_cast<size_t>(x) + 2] = src[x];
+        }
+    }
+    return rgb;
+}
+
+SceneRenderer::SceneRenderer(const World &world, i32 width, i32 height,
+                             const CameraIntrinsics &camera,
+                             const RendererOptions &options)
+    : world_(world), width_(width), height_(height), camera_(camera)
+{
+    if (width <= 0 || height <= 0)
+        throwInvalid("renderer geometry must be positive");
+    background_ = Image(width, height, PixelFormat::Gray8);
+    Rng rng(options.seed);
+    fillValueNoise(background_, rng, options.background_scale,
+                   options.background_lo, options.background_hi);
+}
+
+Image
+SceneRenderer::renderGray(const Pose &pose) const
+{
+    Image frame = background_;
+
+    // Painter's algorithm: draw far landmarks first so nearer ones win.
+    struct Visible {
+        const Landmark *lm;
+        double u, v, z, screen_size;
+    };
+    std::vector<Visible> visible;
+    for (const auto &lm : world_.landmarks()) {
+        const Vec3 pc = pose.transform(lm.position);
+        const auto uv = projectPoint(camera_, pc);
+        if (!uv)
+            continue;
+        const double screen = lm.size * camera_.fx / pc.z;
+        if (screen < 2.0)
+            continue;
+        if ((*uv)[0] < -screen || (*uv)[0] > width_ + screen ||
+            (*uv)[1] < -screen || (*uv)[1] > height_ + screen)
+            continue;
+        visible.push_back({&lm, (*uv)[0], (*uv)[1], pc.z, screen});
+    }
+    std::sort(visible.begin(), visible.end(),
+              [](const Visible &a, const Visible &b) { return a.z > b.z; });
+
+    for (const auto &v : visible) {
+        const i32 side = std::max<i32>(
+            2, static_cast<i32>(std::lround(v.screen_size)));
+        const Image patch = v.lm->texture.resized(side, side);
+        blit(frame, patch, static_cast<i32>(std::lround(v.u)) - side / 2,
+             static_cast<i32>(std::lround(v.v)) - side / 2);
+    }
+    return frame;
+}
+
+Image
+SceneRenderer::renderRgb(const Pose &pose) const
+{
+    return grayToRgb(renderGray(pose));
+}
+
+} // namespace rpx

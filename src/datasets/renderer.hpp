@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Software renderer for the SLAM world: projects textured landmarks through
+ * a pinhole camera onto a low-contrast background, producing the frames the
+ * sensing pipeline captures.
+ */
+
+#ifndef RPX_DATASETS_RENDERER_HPP
+#define RPX_DATASETS_RENDERER_HPP
+
+#include "datasets/world.hpp"
+#include "vision/pnp.hpp"
+
+namespace rpx {
+
+/** Renderer options. */
+struct RendererOptions {
+    u8 background_lo = 90;   //!< background noise range (kept low-contrast
+    u8 background_hi = 130;  //!< so FAST ignores it)
+    double background_scale = 90.0; //!< noise wavelength in pixels
+    u64 seed = 23;
+};
+
+/**
+ * Renders grayscale (and RGB-replicated) views of a World.
+ */
+class SceneRenderer
+{
+  public:
+    SceneRenderer(const World &world, i32 width, i32 height,
+                  const CameraIntrinsics &camera,
+                  const RendererOptions &options);
+    SceneRenderer(const World &world, i32 width, i32 height,
+                  const CameraIntrinsics &camera)
+        : SceneRenderer(world, width, height, camera, RendererOptions{})
+    {
+    }
+
+    i32 width() const { return width_; }
+    i32 height() const { return height_; }
+    const CameraIntrinsics &camera() const { return camera_; }
+
+    /** Render the world from `pose` (world-to-camera) as grayscale. */
+    Image renderGray(const Pose &pose) const;
+
+    /** Render as channel-replicated RGB (for the Bayer sensor path). */
+    Image renderRgb(const Pose &pose) const;
+
+  private:
+    const World &world_;
+    i32 width_;
+    i32 height_;
+    CameraIntrinsics camera_;
+    Image background_;
+};
+
+/** Replicate a grayscale image into a 3-channel RGB image. */
+Image grayToRgb(const Image &gray);
+
+} // namespace rpx
+
+#endif // RPX_DATASETS_RENDERER_HPP

@@ -1,0 +1,79 @@
+#include "datasets/slam_dataset.hpp"
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+namespace {
+
+WorldConfig
+worldConfigFor(const SlamSequenceConfig &config)
+{
+    WorldConfig wc;
+    wc.landmarks = config.landmarks;
+    wc.seed = config.seed;
+    return wc;
+}
+
+TrajectoryConfig
+trajectoryConfigFor(const SlamSequenceConfig &config)
+{
+    TrajectoryConfig tc;
+    tc.frames = config.frames;
+    tc.profile = config.profile;
+    tc.amplitude = config.motion_amplitude;
+    tc.seed = config.seed ^ 0xabcdULL;
+    return tc;
+}
+
+} // namespace
+
+SlamSequence::SlamSequence(const SlamSequenceConfig &config)
+    : config_(config), world_(worldConfigFor(config)),
+      camera_(CameraIntrinsics::forResolution(config.width, config.height)),
+      gt_(generateTrajectory(trajectoryConfigFor(config))),
+      renderer_(world_, config.width, config.height, camera_)
+{
+}
+
+Image
+SlamSequence::renderFrame(int i) const
+{
+    RPX_ASSERT(i >= 0 && i < config_.frames, "frame index out of range");
+    return renderer_.renderGray(gt_[static_cast<size_t>(i)]);
+}
+
+Image
+SlamSequence::renderFrameRgb(int i) const
+{
+    RPX_ASSERT(i >= 0 && i < config_.frames, "frame index out of range");
+    return renderer_.renderRgb(gt_[static_cast<size_t>(i)]);
+}
+
+std::vector<SlamSequenceConfig>
+slamBenchmarkSuite(i32 width, i32 height, int frames_per_sequence,
+                   int sequences)
+{
+    if (sequences < 1)
+        throwInvalid("suite needs at least one sequence");
+    const MotionProfile profiles[] = {MotionProfile::Gentle,
+                                      MotionProfile::Sweeping,
+                                      MotionProfile::Handheld};
+    const char *names[] = {"gentle", "sweeping", "handheld"};
+    std::vector<SlamSequenceConfig> suite;
+    for (int i = 0; i < sequences; ++i) {
+        SlamSequenceConfig c;
+        const int kind = i % 3;
+        c.name = "seq" + std::to_string(i) + "-" + names[kind];
+        c.width = width;
+        c.height = height;
+        c.frames = frames_per_sequence;
+        c.profile = profiles[kind];
+        c.motion_amplitude = 0.5 + 0.15 * (i / 3);
+        c.seed = 101 + static_cast<u64>(i) * 37;
+        suite.push_back(c);
+    }
+    return suite;
+}
+
+} // namespace rpx

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Complete synthetic V-SLAM sequence: world + ground-truth trajectory +
+ * renderer, mirroring the paper's TUM / in-house 4K benchmark structure
+ * (7 indoor sequences with varying user movement).
+ */
+
+#ifndef RPX_DATASETS_SLAM_DATASET_HPP
+#define RPX_DATASETS_SLAM_DATASET_HPP
+
+#include <string>
+#include <vector>
+
+#include "datasets/renderer.hpp"
+#include "datasets/trajectory.hpp"
+#include "datasets/world.hpp"
+
+namespace rpx {
+
+/** SLAM sequence configuration. */
+struct SlamSequenceConfig {
+    std::string name = "seq0-gentle";
+    i32 width = 640;
+    i32 height = 480;
+    int frames = 90;
+    MotionProfile profile = MotionProfile::Gentle;
+    double motion_amplitude = 0.6;
+    int landmarks = 220;
+    u64 seed = 101;
+};
+
+/**
+ * One renderable SLAM sequence with ground truth.
+ */
+class SlamSequence
+{
+  public:
+    explicit SlamSequence(const SlamSequenceConfig &config);
+    SlamSequence() : SlamSequence(SlamSequenceConfig{}) {}
+
+    const SlamSequenceConfig &config() const { return config_; }
+    const CameraIntrinsics &camera() const { return camera_; }
+    int frames() const { return config_.frames; }
+
+    const std::vector<Pose> &groundTruth() const { return gt_; }
+    const World &world() const { return world_; }
+    std::vector<Vec3> landmarkPositions() const
+    {
+        return world_.landmarkPositions();
+    }
+
+    /** Render the i-th frame (grayscale). */
+    Image renderFrame(int i) const;
+
+    /** Render the i-th frame as RGB for the sensor/ISP path. */
+    Image renderFrameRgb(int i) const;
+
+  private:
+    SlamSequenceConfig config_;
+    World world_;
+    CameraIntrinsics camera_;
+    std::vector<Pose> gt_;
+    SceneRenderer renderer_;
+};
+
+/**
+ * The benchmark suite: a handful of sequences with varying motion, the
+ * synthetic counterpart of the paper's 7-sequence in-house dataset.
+ */
+std::vector<SlamSequenceConfig> slamBenchmarkSuite(i32 width, i32 height,
+                                                   int frames_per_sequence,
+                                                   int sequences = 3);
+
+} // namespace rpx
+
+#endif // RPX_DATASETS_SLAM_DATASET_HPP

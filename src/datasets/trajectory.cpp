@@ -1,0 +1,77 @@
+#include "datasets/trajectory.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace rpx {
+
+Pose
+lookAt(const Vec3 &eye, const Vec3 &target, const Vec3 &up)
+{
+    // Right-handed basis: x = up x forward, y = forward x x, z = forward.
+    // (Image rows then grow along world "up"; irrelevant for synthetic
+    // evaluation, and it keeps the rotation in SO(3).)
+    const Vec3 forward = (target - eye).normalized();
+    const Vec3 cam_x = up.cross(forward).normalized();
+    const Vec3 cam_y = forward.cross(cam_x);
+
+    Pose pose;
+    pose.rotation(0, 0) = cam_x.x;
+    pose.rotation(0, 1) = cam_x.y;
+    pose.rotation(0, 2) = cam_x.z;
+    pose.rotation(1, 0) = cam_y.x;
+    pose.rotation(1, 1) = cam_y.y;
+    pose.rotation(1, 2) = cam_y.z;
+    pose.rotation(2, 0) = forward.x;
+    pose.rotation(2, 1) = forward.y;
+    pose.rotation(2, 2) = forward.z;
+    pose.translation = pose.rotation * (eye * -1.0);
+    return pose;
+}
+
+std::vector<Pose>
+generateTrajectory(const TrajectoryConfig &config)
+{
+    if (config.frames < 1)
+        throwInvalid("trajectory needs at least one frame");
+
+    Rng rng(config.seed);
+    // Slowly varying jitter phases so Handheld motion is smooth but uneven.
+    const double jitter_phase = rng.uniform(0.0, 6.28);
+
+    std::vector<Pose> poses;
+    poses.reserve(static_cast<size_t>(config.frames));
+    const double a = config.amplitude;
+    for (int i = 0; i < config.frames; ++i) {
+        const double t = static_cast<double>(i) / config.fps;
+        Vec3 eye{0.0, 0.0, 0.5};
+        Vec3 target{0.0, 0.0, 6.0};
+        switch (config.profile) {
+          case MotionProfile::Gentle:
+            eye.x = a * std::sin(0.5 * t);
+            eye.y = 0.3 * a * std::sin(0.7 * t + 1.0);
+            eye.z = 0.5 + 0.3 * a * std::sin(0.3 * t);
+            break;
+          case MotionProfile::Sweeping:
+            eye.x = 1.5 * a * std::sin(0.8 * t);
+            eye.z = 0.5 + 0.4 * a * std::cos(0.6 * t);
+            target.x = 2.0 * std::sin(0.8 * t + 0.4);
+            break;
+          case MotionProfile::Handheld:
+            eye.x = a * std::sin(1.1 * t) +
+                    0.05 * std::sin(7.0 * t + jitter_phase);
+            eye.y = 0.4 * a * std::sin(1.7 * t) +
+                    0.04 * std::sin(9.0 * t);
+            eye.z = 0.5 + 0.3 * a * std::sin(0.9 * t) +
+                    0.03 * std::sin(8.0 * t + 1.2);
+            target.x = 0.5 * std::sin(1.3 * t);
+            break;
+        }
+        poses.push_back(lookAt(eye, target, Vec3{0.0, 1.0, 0.0}));
+    }
+    return poses;
+}
+
+} // namespace rpx

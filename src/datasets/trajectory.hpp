@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Smooth 6-DoF camera trajectories with ground truth — the synthetic
+ * equivalent of the TUM sequences' motion-capture ground truth.
+ */
+
+#ifndef RPX_DATASETS_TRAJECTORY_HPP
+#define RPX_DATASETS_TRAJECTORY_HPP
+
+#include <vector>
+
+#include "vision/pnp.hpp"
+
+namespace rpx {
+
+/** Trajectory style, loosely matching the TUM sequence families. */
+enum class MotionProfile {
+    Gentle,   //!< slow translation, little rotation (freiburg "xyz"-like)
+    Sweeping, //!< wide lateral sweep with yaw (freiburg "360"-like)
+    Handheld, //!< jittery hand-held motion with bob (freiburg "floor"-like)
+};
+
+/** Trajectory generation parameters. */
+struct TrajectoryConfig {
+    int frames = 120;
+    MotionProfile profile = MotionProfile::Gentle;
+    double amplitude = 0.6;  //!< spatial extent of the motion (meters)
+    double fps = 30.0;
+    u64 seed = 11;
+};
+
+/** World-to-camera look-at pose for an eye position and target. */
+Pose lookAt(const Vec3 &eye, const Vec3 &target, const Vec3 &up);
+
+/**
+ * Generate a ground-truth trajectory of world-to-camera poses. The camera
+ * stays near the room origin and looks toward the far wall (+z).
+ */
+std::vector<Pose> generateTrajectory(const TrajectoryConfig &config);
+
+} // namespace rpx
+
+#endif // RPX_DATASETS_TRAJECTORY_HPP

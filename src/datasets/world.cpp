@@ -1,0 +1,79 @@
+#include "datasets/world.hpp"
+
+#include "common/error.hpp"
+#include "frame/draw.hpp"
+
+namespace rpx {
+
+namespace {
+
+/** Distinctive texture: mid-frequency value noise plus a bright corner dot
+ *  pattern so FAST has something to bite on. */
+Image
+makeTexture(Rng &rng, i32 size)
+{
+    Image tex(size, size, PixelFormat::Gray8);
+    fillValueNoise(tex, rng, 3.0, 40, 230);
+    // Stamp 2-3 high-contrast micro-blobs at random texel positions.
+    const int dots = 2 + static_cast<int>(rng.uniformInt(0, 1));
+    for (int i = 0; i < dots; ++i) {
+        const i32 cx = static_cast<i32>(rng.uniformInt(2, size - 3));
+        const i32 cy = static_cast<i32>(rng.uniformInt(2, size - 3));
+        const u8 v = rng.chance(0.5) ? 255 : 10;
+        fillRect(tex, Rect{cx - 1, cy - 1, 3, 3}, v);
+    }
+    return tex;
+}
+
+} // namespace
+
+World::World(const WorldConfig &config) : config_(config)
+{
+    if (config.landmarks < 1)
+        throwInvalid("world needs at least one landmark");
+    if (config.texture_size < 4)
+        throwInvalid("texture size must be at least 4");
+
+    Rng rng(config.seed);
+    landmarks_.reserve(static_cast<size_t>(config.landmarks));
+
+    const double hw = config.room_width / 2.0;
+    const double hh = config.room_height / 2.0;
+    const double depth = config.room_depth;
+
+    for (int i = 0; i < config.landmarks; ++i) {
+        Landmark lm;
+        Rng tex_rng = rng.fork(static_cast<u64>(i) + 1);
+        lm.texture = makeTexture(tex_rng, config_.texture_size);
+        lm.size = rng.uniform(0.08, 0.22);
+
+        // Distribute: 50% far wall, 20% each side wall, 10% floor.
+        const double pick = rng.uniform();
+        if (pick < 0.5) {
+            lm.position = {rng.uniform(-hw, hw), rng.uniform(-hh, hh),
+                           depth};
+        } else if (pick < 0.7) {
+            lm.position = {-hw, rng.uniform(-hh, hh),
+                           rng.uniform(depth * 0.3, depth)};
+        } else if (pick < 0.9) {
+            lm.position = {hw, rng.uniform(-hh, hh),
+                           rng.uniform(depth * 0.3, depth)};
+        } else {
+            lm.position = {rng.uniform(-hw, hw), hh,
+                           rng.uniform(depth * 0.4, depth)};
+        }
+        landmarks_.push_back(std::move(lm));
+    }
+}
+
+std::vector<Vec3>
+World::landmarkPositions() const
+{
+    std::vector<Vec3> out;
+    out.reserve(landmarks_.size());
+    for (const auto &lm : landmarks_)
+        out.push_back(lm.position);
+    return out;
+}
+
+} // namespace rpx

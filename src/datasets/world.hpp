@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Synthetic 3-D world for the V-SLAM workload: textured landmarks placed on
+ * the walls of a room, standing in for the visual features of the paper's
+ * TUM / in-house 4K sequences.
+ */
+
+#ifndef RPX_DATASETS_WORLD_HPP
+#define RPX_DATASETS_WORLD_HPP
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "frame/image.hpp"
+#include "vision/pnp.hpp"
+
+namespace rpx {
+
+/** One textured landmark. */
+struct Landmark {
+    Vec3 position;       //!< world coordinates (meters)
+    double size = 0.12;  //!< physical side length of the texture patch (m)
+    Image texture;       //!< small grayscale patch, distinctive per landmark
+};
+
+/** World generation parameters. */
+struct WorldConfig {
+    int landmarks = 220;
+    double room_width = 6.0;   //!< x extent (meters)
+    double room_height = 3.0;  //!< y extent
+    double room_depth = 6.0;   //!< z extent
+    i32 texture_size = 12;     //!< patch resolution in texels
+    u64 seed = 7;
+};
+
+/**
+ * A room-shaped landmark field. Landmarks sit on the far wall, the two side
+ * walls, and the floor, so a camera moving inside the room always has
+ * features in view.
+ */
+class World
+{
+  public:
+    explicit World(const WorldConfig &config);
+    World() : World(WorldConfig{}) {}
+
+    const WorldConfig &config() const { return config_; }
+    const std::vector<Landmark> &landmarks() const { return landmarks_; }
+
+    /** Landmark positions only (what the SLAM map builder consumes). */
+    std::vector<Vec3> landmarkPositions() const;
+
+  private:
+    WorldConfig config_;
+    std::vector<Landmark> landmarks_;
+};
+
+} // namespace rpx
+
+#endif // RPX_DATASETS_WORLD_HPP

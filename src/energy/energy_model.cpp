@@ -1,0 +1,48 @@
+#include "energy/energy_model.hpp"
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+EnergyModel::EnergyModel(const EnergyConstants &constants)
+    : constants_(constants)
+{
+}
+
+EnergyBreakdown
+EnergyModel::energy(const PixelActivity &activity) const
+{
+    const double pj = 1e-12;
+    EnergyBreakdown out;
+    out.sensing = activity.sensed_pixels * constants_.sense_pj * pj;
+    out.communication =
+        activity.csi_pixels * constants_.csi_pj * pj +
+        (activity.dram_pixels_written + activity.dram_pixels_read) *
+            constants_.ddr_comm_crossing_pj * pj;
+    out.storage =
+        activity.dram_pixels_written * constants_.dram_write_pj * pj +
+        activity.dram_pixels_read * constants_.dram_read_pj * pj;
+    out.computation = activity.mac_ops * constants_.mac_pj * pj;
+    return out;
+}
+
+double
+EnergyModel::power(const PixelActivity &activity, double seconds) const
+{
+    if (seconds <= 0.0)
+        throwInvalid("power interval must be positive");
+    return energy(activity).total() / seconds;
+}
+
+double
+EnergyModel::savedPerFrame(u64 saved_pixels) const
+{
+    // A discarded pixel skips one DRAM write, one read-back, and both DDR
+    // crossings.
+    const double per_pixel_pj = constants_.dram_write_pj +
+                                constants_.dram_read_pj +
+                                2.0 * constants_.ddr_comm_crossing_pj;
+    return saved_pixels * per_pixel_pj * 1e-12;
+}
+
+} // namespace rpx

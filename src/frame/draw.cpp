@@ -1,0 +1,217 @@
+#include "frame/draw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace rpx {
+
+void
+fillRect(Image &img, const Rect &r, u8 value)
+{
+    const Rect c = r.clippedTo(img.width(), img.height());
+    for (i32 y = c.y; y < c.bottom(); ++y) {
+        u8 *row = img.row(y);
+        for (i32 x = c.x; x < c.right(); ++x)
+            for (int ch = 0; ch < img.channels(); ++ch)
+                row[static_cast<size_t>(x) * img.channels() + ch] = value;
+    }
+}
+
+void
+fillRectRgb(Image &img, const Rect &r, u8 red, u8 green, u8 blue)
+{
+    RPX_ASSERT(img.channels() == 3, "fillRectRgb needs an RGB image");
+    const Rect c = r.clippedTo(img.width(), img.height());
+    for (i32 y = c.y; y < c.bottom(); ++y) {
+        u8 *row = img.row(y);
+        for (i32 x = c.x; x < c.right(); ++x) {
+            row[3 * static_cast<size_t>(x) + 0] = red;
+            row[3 * static_cast<size_t>(x) + 1] = green;
+            row[3 * static_cast<size_t>(x) + 2] = blue;
+        }
+    }
+}
+
+void
+drawRect(Image &img, const Rect &r, u8 value)
+{
+    fillRect(img, Rect{r.x, r.y, r.w, 1}, value);
+    fillRect(img, Rect{r.x, r.bottom() - 1, r.w, 1}, value);
+    fillRect(img, Rect{r.x, r.y, 1, r.h}, value);
+    fillRect(img, Rect{r.right() - 1, r.y, 1, r.h}, value);
+}
+
+void
+fillCircle(Image &img, i32 cx, i32 cy, i32 radius, u8 value)
+{
+    const i64 r2 = static_cast<i64>(radius) * radius;
+    for (i32 y = cy - radius; y <= cy + radius; ++y) {
+        for (i32 x = cx - radius; x <= cx + radius; ++x) {
+            if (!img.inBounds(x, y))
+                continue;
+            const i64 dx = x - cx;
+            const i64 dy = y - cy;
+            if (dx * dx + dy * dy <= r2)
+                for (int ch = 0; ch < img.channels(); ++ch)
+                    img.set(x, y, ch, value);
+        }
+    }
+}
+
+void
+drawLine(Image &img, Point a, Point b, u8 value, i32 thickness)
+{
+    const i32 dx = std::abs(b.x - a.x);
+    const i32 dy = -std::abs(b.y - a.y);
+    const i32 sx = a.x < b.x ? 1 : -1;
+    const i32 sy = a.y < b.y ? 1 : -1;
+    i32 err = dx + dy;
+    i32 x = a.x, y = a.y;
+    const i32 half = std::max(0, thickness / 2);
+    while (true) {
+        for (i32 oy = -half; oy <= half; ++oy)
+            for (i32 ox = -half; ox <= half; ++ox)
+                if (img.inBounds(x + ox, y + oy))
+                    for (int ch = 0; ch < img.channels(); ++ch)
+                        img.set(x + ox, y + oy, ch, value);
+        if (x == b.x && y == b.y)
+            break;
+        const i32 e2 = 2 * err;
+        if (e2 >= dy) {
+            err += dy;
+            x += sx;
+        }
+        if (e2 <= dx) {
+            err += dx;
+            y += sy;
+        }
+    }
+}
+
+namespace {
+
+/** Smoothstep interpolation weight. */
+double
+fade(double t)
+{
+    return t * t * (3.0 - 2.0 * t);
+}
+
+} // namespace
+
+void
+fillValueNoise(Image &img, Rng &rng, double scale, u8 lo, u8 hi)
+{
+    if (img.empty())
+        return;
+    RPX_ASSERT(scale > 0.0, "noise scale must be positive");
+    const i32 gw = static_cast<i32>(img.width() / scale) + 2;
+    const i32 gh = static_cast<i32>(img.height() / scale) + 2;
+    std::vector<double> lattice(static_cast<size_t>(gw) * gh);
+    for (auto &v : lattice)
+        v = rng.uniform();
+
+    auto lat = [&](i32 gx, i32 gy) {
+        gx = std::clamp(gx, 0, gw - 1);
+        gy = std::clamp(gy, 0, gh - 1);
+        return lattice[static_cast<size_t>(gy) * gw + gx];
+    };
+
+    const double span = static_cast<double>(hi) - lo;
+    for (i32 y = 0; y < img.height(); ++y) {
+        u8 *row = img.row(y);
+        const double fy = y / scale;
+        const i32 gy = static_cast<i32>(fy);
+        const double wy = fade(fy - gy);
+        for (i32 x = 0; x < img.width(); ++x) {
+            const double fx = x / scale;
+            const i32 gx = static_cast<i32>(fx);
+            const double wx = fade(fx - gx);
+            const double top =
+                lat(gx, gy) * (1 - wx) + lat(gx + 1, gy) * wx;
+            const double bot =
+                lat(gx, gy + 1) * (1 - wx) + lat(gx + 1, gy + 1) * wx;
+            const double v = top * (1 - wy) + bot * wy;
+            const u8 out = clampToU8(lo + span * v);
+            for (int ch = 0; ch < img.channels(); ++ch)
+                row[static_cast<size_t>(x) * img.channels() + ch] = out;
+        }
+    }
+}
+
+void
+fillCheckerboard(Image &img, i32 cell, u8 a, u8 b)
+{
+    RPX_ASSERT(cell > 0, "checkerboard cell must be positive");
+    for (i32 y = 0; y < img.height(); ++y) {
+        u8 *row = img.row(y);
+        for (i32 x = 0; x < img.width(); ++x) {
+            const u8 v = (((x / cell) + (y / cell)) % 2 == 0) ? a : b;
+            for (int ch = 0; ch < img.channels(); ++ch)
+                row[static_cast<size_t>(x) * img.channels() + ch] = v;
+        }
+    }
+}
+
+void
+fillGradient(Image &img, u8 lo, u8 hi)
+{
+    if (img.empty())
+        return;
+    const double span = static_cast<double>(hi) - lo;
+    const double denom = std::max(1, img.width() - 1);
+    for (i32 y = 0; y < img.height(); ++y) {
+        u8 *row = img.row(y);
+        for (i32 x = 0; x < img.width(); ++x) {
+            const u8 v = clampToU8(lo + span * (x / denom));
+            for (int ch = 0; ch < img.channels(); ++ch)
+                row[static_cast<size_t>(x) * img.channels() + ch] = v;
+        }
+    }
+}
+
+void
+blit(Image &dst, const Image &src, i32 x, i32 y)
+{
+    RPX_ASSERT(dst.channels() == src.channels(),
+               "blit requires matching channel counts");
+    const Rect target = Rect{x, y, src.width(), src.height()}.clippedTo(
+        dst.width(), dst.height());
+    for (i32 ty = target.y; ty < target.bottom(); ++ty) {
+        const i32 sy = ty - y;
+        const u8 *srow = src.row(sy);
+        u8 *drow = dst.row(ty);
+        const i32 sx0 = target.x - x;
+        std::copy(srow + static_cast<size_t>(sx0) * src.channels(),
+                  srow + static_cast<size_t>(sx0 + target.w) * src.channels(),
+                  drow + static_cast<size_t>(target.x) * dst.channels());
+    }
+}
+
+void
+addGaussianBlob(Image &img, double cx, double cy, double sigma,
+                double amplitude)
+{
+    RPX_ASSERT(sigma > 0.0, "blob sigma must be positive");
+    const i32 radius = static_cast<i32>(std::ceil(3.0 * sigma));
+    const i32 x0 = static_cast<i32>(cx) - radius;
+    const i32 y0 = static_cast<i32>(cy) - radius;
+    for (i32 y = y0; y <= y0 + 2 * radius; ++y) {
+        for (i32 x = x0; x <= x0 + 2 * radius; ++x) {
+            if (!img.inBounds(x, y))
+                continue;
+            const double dx = x - cx;
+            const double dy = y - cy;
+            const double g =
+                amplitude * std::exp(-(dx * dx + dy * dy) /
+                                     (2.0 * sigma * sigma));
+            for (int ch = 0; ch < img.channels(); ++ch) {
+                const double v = img.at(x, y, ch) + g;
+                img.set(x, y, ch, clampToU8(v));
+            }
+        }
+    }
+}
+
+} // namespace rpx

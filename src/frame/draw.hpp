@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Software rasterisation helpers for the synthetic dataset renderers:
+ * filled/outlined rects, discs, lines, textured patches, and procedural
+ * texture fills.
+ */
+
+#ifndef RPX_FRAME_DRAW_HPP
+#define RPX_FRAME_DRAW_HPP
+
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+#include "frame/image.hpp"
+
+namespace rpx {
+
+/** Fill a rect (clipped) with a constant value on every channel. */
+void fillRect(Image &img, const Rect &r, u8 value);
+
+/** Fill a rect (clipped) with one value per channel (RGB images). */
+void fillRectRgb(Image &img, const Rect &r, u8 red, u8 green, u8 blue);
+
+/** 1-px outline of a rect (clipped). */
+void drawRect(Image &img, const Rect &r, u8 value);
+
+/** Filled disc centered at (cx, cy). */
+void fillCircle(Image &img, i32 cx, i32 cy, i32 radius, u8 value);
+
+/** Bresenham line on channel 0 (and replicated channels). */
+void drawLine(Image &img, Point a, Point b, u8 value, i32 thickness = 1);
+
+/**
+ * Deterministic value-noise texture fill over the whole image.
+ * `scale` is the feature wavelength in pixels; larger = smoother.
+ */
+void fillValueNoise(Image &img, Rng &rng, double scale, u8 lo, u8 hi);
+
+/**
+ * Checkerboard fill — the classic high-frequency content for exercising
+ * stride decimation.
+ */
+void fillCheckerboard(Image &img, i32 cell, u8 a, u8 b);
+
+/** Horizontal gradient from `lo` (left) to `hi` (right). */
+void fillGradient(Image &img, u8 lo, u8 hi);
+
+/**
+ * Stamp a smaller image onto `dst` with its top-left corner at (x, y),
+ * clipped. Formats must match in channel count.
+ */
+void blit(Image &dst, const Image &src, i32 x, i32 y);
+
+/**
+ * Draw a Gaussian blob (additive, clamped) — used for synthetic joints and
+ * face landmarks.
+ */
+void addGaussianBlob(Image &img, double cx, double cy, double sigma,
+                     double amplitude);
+
+} // namespace rpx
+
+#endif // RPX_FRAME_DRAW_HPP

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The Image container used throughout the pipeline.
+ *
+ * Pixels are 8-bit with 1 (gray / RAW Bayer) or 3 (RGB) interleaved channels,
+ * stored row-major in raster-scan order — the same order the sensor streams
+ * and the encoder consumes.
+ */
+
+#ifndef RPX_FRAME_IMAGE_HPP
+#define RPX_FRAME_IMAGE_HPP
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+
+namespace rpx {
+
+/** Interpretation of an Image's channels. */
+enum class PixelFormat {
+    Gray8,    //!< 1 channel, luminance
+    BayerRggb, //!< 1 channel, RGGB mosaic straight off the sensor
+    Rgb8,     //!< 3 channels, interleaved R,G,B
+};
+
+/** Number of interleaved channels for a format. */
+constexpr int
+channelsFor(PixelFormat fmt)
+{
+    return fmt == PixelFormat::Rgb8 ? 3 : 1;
+}
+
+/**
+ * Row-major 8-bit image.
+ *
+ * The default-constructed image is empty (0x0); all accessors on an empty
+ * image are invalid except width()/height()/empty().
+ */
+class Image
+{
+  public:
+    Image() = default;
+
+    /** Allocate a w x h image of the given format, zero-filled. */
+    Image(i32 w, i32 h, PixelFormat fmt = PixelFormat::Gray8);
+
+    /** Allocate and fill every byte with `fill`. */
+    Image(i32 w, i32 h, PixelFormat fmt, u8 fill);
+
+    i32 width() const { return width_; }
+    i32 height() const { return height_; }
+    PixelFormat format() const { return format_; }
+    int channels() const { return channels_; }
+    bool empty() const { return width_ == 0 || height_ == 0; }
+
+    /** Total pixel count (not bytes). */
+    i64 pixelCount() const { return static_cast<i64>(width_) * height_; }
+
+    /** Total byte count. */
+    size_t byteCount() const { return data_.size(); }
+
+    Rect bounds() const { return Rect{0, 0, width_, height_}; }
+
+    bool
+    inBounds(i32 x, i32 y) const
+    {
+        return x >= 0 && x < width_ && y >= 0 && y < height_;
+    }
+
+    /** First channel value at (x,y); bounds-checked via assert. */
+    u8
+    at(i32 x, i32 y) const
+    {
+        RPX_ASSERT(inBounds(x, y), "Image::at out of bounds");
+        return data_[index(x, y)];
+    }
+
+    /** Channel c value at (x,y). */
+    u8
+    at(i32 x, i32 y, int c) const
+    {
+        RPX_ASSERT(inBounds(x, y) && c >= 0 && c < channels_,
+                   "Image::at out of bounds");
+        return data_[index(x, y) + static_cast<size_t>(c)];
+    }
+
+    void
+    set(i32 x, i32 y, u8 v)
+    {
+        RPX_ASSERT(inBounds(x, y), "Image::set out of bounds");
+        data_[index(x, y)] = v;
+    }
+
+    void
+    set(i32 x, i32 y, int c, u8 v)
+    {
+        RPX_ASSERT(inBounds(x, y) && c >= 0 && c < channels_,
+                   "Image::set out of bounds");
+        data_[index(x, y) + static_cast<size_t>(c)] = v;
+    }
+
+    /** Clamped read: coordinates are clamped to the border. */
+    u8 atClamped(i32 x, i32 y, int c = 0) const;
+
+    /** Bilinear sample of channel c at floating-point coordinates. */
+    double bilinear(double x, double y, int c = 0) const;
+
+    /** Fill all bytes. */
+    void fill(u8 v);
+
+    /** Pointer to the first byte of row y. */
+    const u8 *row(i32 y) const;
+    u8 *row(i32 y);
+
+    const std::vector<u8> &data() const { return data_; }
+    std::vector<u8> &data() { return data_; }
+
+    /** Extract a copy of `r` clipped to bounds (same format). */
+    Image crop(const Rect &r) const;
+
+    /** Nearest-neighbour or bilinear resize to (w, h). */
+    Image resized(i32 w, i32 h, bool bilinear_filter = true) const;
+
+    /** Convert to grayscale (BT.601 weights for RGB; identity otherwise). */
+    Image toGray() const;
+
+    bool operator==(const Image &o) const = default;
+
+  private:
+    size_t
+    index(i32 x, i32 y) const
+    {
+        return (static_cast<size_t>(y) * static_cast<size_t>(width_) +
+                static_cast<size_t>(x)) *
+               static_cast<size_t>(channels_);
+    }
+
+    i32 width_ = 0;
+    i32 height_ = 0;
+    PixelFormat format_ = PixelFormat::Gray8;
+    int channels_ = 1;
+    std::vector<u8> data_;
+};
+
+/** Clamp an arbitrary double into the u8 range with rounding. */
+inline u8
+clampToU8(double v)
+{
+    if (v <= 0.0)
+        return 0;
+    if (v >= 255.0)
+        return 255;
+    return static_cast<u8>(v + 0.5);
+}
+
+} // namespace rpx
+
+#endif // RPX_FRAME_IMAGE_HPP

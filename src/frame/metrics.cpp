@@ -1,0 +1,121 @@
+#include "frame/metrics.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+namespace {
+
+void
+checkSameShape(const Image &a, const Image &b)
+{
+    if (a.width() != b.width() || a.height() != b.height() ||
+        a.channels() != b.channels()) {
+        throwInvalid("metric requires same-shaped images: ", a.width(), "x",
+                     a.height(), "c", a.channels(), " vs ", b.width(), "x",
+                     b.height(), "c", b.channels());
+    }
+}
+
+} // namespace
+
+double
+mse(const Image &a, const Image &b)
+{
+    checkSameShape(a, b);
+    if (a.byteCount() == 0)
+        return 0.0;
+    double acc = 0.0;
+    const auto &da = a.data();
+    const auto &db = b.data();
+    for (size_t i = 0; i < da.size(); ++i) {
+        const double d = static_cast<double>(da[i]) - db[i];
+        acc += d * d;
+    }
+    return acc / static_cast<double>(da.size());
+}
+
+double
+psnr(const Image &a, const Image &b)
+{
+    const double m = mse(a, b);
+    if (m == 0.0)
+        return std::numeric_limits<double>::infinity();
+    return 10.0 * std::log10(255.0 * 255.0 / m);
+}
+
+u64
+sad(const Image &a, const Image &b)
+{
+    checkSameShape(a, b);
+    u64 acc = 0;
+    const auto &da = a.data();
+    const auto &db = b.data();
+    for (size_t i = 0; i < da.size(); ++i) {
+        acc += static_cast<u64>(da[i] > db[i] ? da[i] - db[i]
+                                              : db[i] - da[i]);
+    }
+    return acc;
+}
+
+double
+mseInRect(const Image &a, const Image &b, const Rect &r)
+{
+    checkSameShape(a, b);
+    const Rect c = r.clippedTo(a.width(), a.height());
+    if (c.empty())
+        return 0.0;
+    double acc = 0.0;
+    u64 n = 0;
+    for (i32 y = c.y; y < c.bottom(); ++y) {
+        for (i32 x = c.x; x < c.right(); ++x) {
+            for (int ch = 0; ch < a.channels(); ++ch) {
+                const double d =
+                    static_cast<double>(a.at(x, y, ch)) - b.at(x, y, ch);
+                acc += d * d;
+                ++n;
+            }
+        }
+    }
+    return acc / static_cast<double>(n);
+}
+
+double
+ssimGlobal(const Image &a, const Image &b)
+{
+    checkSameShape(a, b);
+    if (a.channels() != 1)
+        throwInvalid("ssimGlobal expects grayscale images");
+    const auto &da = a.data();
+    const auto &db = b.data();
+    if (da.empty())
+        return 1.0;
+    const double n = static_cast<double>(da.size());
+    double mu_a = 0.0, mu_b = 0.0;
+    for (size_t i = 0; i < da.size(); ++i) {
+        mu_a += da[i];
+        mu_b += db[i];
+    }
+    mu_a /= n;
+    mu_b /= n;
+    double var_a = 0.0, var_b = 0.0, cov = 0.0;
+    for (size_t i = 0; i < da.size(); ++i) {
+        const double xa = da[i] - mu_a;
+        const double xb = db[i] - mu_b;
+        var_a += xa * xa;
+        var_b += xb * xb;
+        cov += xa * xb;
+    }
+    var_a /= n;
+    var_b /= n;
+    cov /= n;
+    const double c1 = (0.01 * 255) * (0.01 * 255);
+    const double c2 = (0.03 * 255) * (0.03 * 255);
+    return ((2 * mu_a * mu_b + c1) * (2 * cov + c2)) /
+           ((mu_a * mu_a + mu_b * mu_b + c1) * (var_a + var_b + c2));
+}
+
+} // namespace rpx

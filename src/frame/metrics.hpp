@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Image-quality metrics used to characterise reconstruction fidelity of the
+ * rhythmic decoder against the original full-resolution frame.
+ */
+
+#ifndef RPX_FRAME_METRICS_HPP
+#define RPX_FRAME_METRICS_HPP
+
+#include "common/geometry.hpp"
+#include "frame/image.hpp"
+
+namespace rpx {
+
+/** Mean squared error over all channels. Images must match in shape. */
+double mse(const Image &a, const Image &b);
+
+/** Peak signal-to-noise ratio in dB; +inf for identical images. */
+double psnr(const Image &a, const Image &b);
+
+/** Sum of absolute differences over all channels. */
+u64 sad(const Image &a, const Image &b);
+
+/** MSE restricted to a rect (clipped to bounds). */
+double mseInRect(const Image &a, const Image &b, const Rect &r);
+
+/**
+ * Structural similarity (global, single-window variant) on grayscale
+ * images. Returns a value in [-1, 1], 1 for identical images.
+ */
+double ssimGlobal(const Image &a, const Image &b);
+
+} // namespace rpx
+
+#endif // RPX_FRAME_METRICS_HPP

@@ -1,0 +1,29 @@
+#include "hw/power_model.hpp"
+
+namespace rpx {
+
+double
+PowerModel::encoderPowerMw(EncoderDesign design, u32 regions) const
+{
+    switch (design) {
+      case EncoderDesign::Hybrid:
+        return kHybridBaseMw + kHybridPerRegionMw * regions;
+      case EncoderDesign::Parallel: {
+        const ResourceModel model;
+        const ResourceUsage usage = model.encoderUsage(design, regions);
+        if (!usage.synthesizable)
+            return 0.0; // cannot be built, no power figure
+        return kParallelBaseMw +
+               kParallelPerLutMw * static_cast<double>(usage.luts);
+      }
+    }
+    return 0.0;
+}
+
+double
+PowerModel::encoderIspFraction(EncoderDesign design, u32 regions) const
+{
+    return encoderPowerMw(design, regions) / kIspChipPowerMw;
+}
+
+} // namespace rpx

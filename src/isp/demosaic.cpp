@@ -1,0 +1,60 @@
+#include "isp/demosaic.hpp"
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+namespace {
+
+/** Colour of the RGGB site at (x, y): 0=R, 1=G, 2=B. */
+int
+siteColor(i32 x, i32 y)
+{
+    if ((y & 1) == 0)
+        return ((x & 1) == 0) ? 0 : 1;
+    return ((x & 1) == 0) ? 1 : 2;
+}
+
+/** Average of mosaic sites matching `want` in the 3x3 neighbourhood. */
+u8
+neighborAverage(const Image &bayer, i32 x, i32 y, int want)
+{
+    int sum = 0;
+    int n = 0;
+    for (i32 dy = -1; dy <= 1; ++dy) {
+        for (i32 dx = -1; dx <= 1; ++dx) {
+            const i32 nx = x + dx;
+            const i32 ny = y + dy;
+            if (!bayer.inBounds(nx, ny))
+                continue;
+            if (siteColor(nx, ny) == want) {
+                sum += bayer.at(nx, ny);
+                ++n;
+            }
+        }
+    }
+    return n > 0 ? static_cast<u8>(sum / n) : 0;
+}
+
+} // namespace
+
+Image
+demosaicBilinear(const Image &bayer)
+{
+    if (bayer.format() != PixelFormat::BayerRggb)
+        throwInvalid("demosaicBilinear expects a BayerRggb frame");
+    Image rgb(bayer.width(), bayer.height(), PixelFormat::Rgb8);
+    for (i32 y = 0; y < bayer.height(); ++y) {
+        for (i32 x = 0; x < bayer.width(); ++x) {
+            const int own = siteColor(x, y);
+            for (int c = 0; c < 3; ++c) {
+                const u8 v = (c == own) ? bayer.at(x, y)
+                                        : neighborAverage(bayer, x, y, c);
+                rgb.set(x, y, c, v);
+            }
+        }
+    }
+    return rgb;
+}
+
+} // namespace rpx

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Bilinear demosaic stage: reconstructs RGB from an RGGB Bayer mosaic, the
+ * first stage of the Xilinx reVISION ISP the paper builds on.
+ */
+
+#ifndef RPX_ISP_DEMOSAIC_HPP
+#define RPX_ISP_DEMOSAIC_HPP
+
+#include "frame/image.hpp"
+
+namespace rpx {
+
+/**
+ * Bilinear demosaic of an RGGB frame into an RGB image.
+ *
+ * Missing colour samples at each site are interpolated from the nearest
+ * neighbours of the matching colour plane, with border clamping.
+ */
+Image demosaicBilinear(const Image &bayer);
+
+} // namespace rpx
+
+#endif // RPX_ISP_DEMOSAIC_HPP

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Gamma-correction stage implemented as a 256-entry lookup table, matching
+ * the Xilinx gamma IP the paper's platform uses.
+ */
+
+#ifndef RPX_ISP_GAMMA_HPP
+#define RPX_ISP_GAMMA_HPP
+
+#include <array>
+
+#include "frame/image.hpp"
+
+namespace rpx {
+
+/**
+ * Precomputed gamma LUT.
+ */
+class GammaLut
+{
+  public:
+    /** @param gamma exponent; 1.0 is identity, 1/2.2 is the sRGB encode. */
+    explicit GammaLut(double gamma = 1.0 / 2.2);
+
+    double gamma() const { return gamma_; }
+
+    u8 apply(u8 v) const { return lut_[v]; }
+
+    /** Apply in place to every channel. */
+    void apply(Image &img) const;
+
+  private:
+    double gamma_;
+    std::array<u8, 256> lut_{};
+};
+
+} // namespace rpx
+
+#endif // RPX_ISP_GAMMA_HPP

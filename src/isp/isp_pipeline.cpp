@@ -1,0 +1,36 @@
+#include "isp/isp_pipeline.hpp"
+
+#include "isp/color.hpp"
+#include "isp/demosaic.hpp"
+
+namespace rpx {
+
+IspPipeline::IspPipeline(const IspConfig &config)
+    : config_(config), gamma_(config.gamma),
+      budget_(config.pixels_per_clock)
+{
+}
+
+Image
+IspPipeline::process(const Image &raw)
+{
+    budget_.addPixels(static_cast<u64>(raw.pixelCount()));
+    // The hardware ISP is a fixed-function systolic chain that sustains
+    // 2 px/clk; model every frame as exactly meeting that rate.
+    budget_.addCycles(static_cast<Cycles>(
+        static_cast<double>(raw.pixelCount()) / config_.pixels_per_clock));
+
+    Image stage;
+    if (raw.format() == PixelFormat::BayerRggb)
+        stage = demosaicBilinear(raw);
+    else
+        stage = raw;
+
+    gamma_.apply(stage);
+
+    if (config_.output == IspOutput::Gray && stage.channels() == 3)
+        return rgbToGray(stage);
+    return stage;
+}
+
+} // namespace rpx

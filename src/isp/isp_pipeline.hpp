@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The end-to-end ISP stage chain: demosaic -> gamma -> colour conversion,
+ * with a 2-pixels-per-clock timing model (Table 2). The rhythmic encoder
+ * attaches at this pipeline's output (§4.1.2).
+ */
+
+#ifndef RPX_ISP_ISP_PIPELINE_HPP
+#define RPX_ISP_ISP_PIPELINE_HPP
+
+#include "frame/image.hpp"
+#include "isp/gamma.hpp"
+#include "stream/pixel_stream.hpp"
+
+namespace rpx {
+
+/** ISP output colour mode. */
+enum class IspOutput {
+    Gray,   //!< luma only (what the vision workloads consume)
+    Rgb,    //!< demosaiced RGB
+};
+
+/** ISP configuration. */
+struct IspConfig {
+    double gamma = 1.0 / 2.2;
+    IspOutput output = IspOutput::Gray;
+    double pixels_per_clock = 2.0;
+};
+
+/**
+ * Frame-at-a-time ISP with streaming timing accounting.
+ */
+class IspPipeline
+{
+  public:
+    explicit IspPipeline(const IspConfig &config = IspConfig{});
+
+    const IspConfig &config() const { return config_; }
+
+    /**
+     * Process one RAW Bayer frame into the configured output format.
+     * Grayscale inputs skip the demosaic (pass-through + gamma).
+     */
+    Image process(const Image &raw);
+
+    /** Cycle accounting for the frames processed so far. */
+    const CycleBudget &budget() const { return budget_; }
+
+  private:
+    IspConfig config_;
+    GammaLut gamma_;
+    CycleBudget budget_;
+};
+
+} // namespace rpx
+
+#endif // RPX_ISP_ISP_PIPELINE_HPP

@@ -1,0 +1,137 @@
+#include "isp/planar_codec.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+double
+EncodedYuvFrame::keptFraction() const
+{
+    const double dense =
+        static_cast<double>(y.width) * y.height +
+        2.0 * static_cast<double>(u.width) * u.height;
+    if (dense <= 0.0)
+        return 0.0;
+    return static_cast<double>(pixelBytes()) / dense;
+}
+
+PlanarRhythmicCodec::PlanarRhythmicCodec(i32 width, i32 height,
+                                         ChromaSubsampling subsampling)
+    : width_(width), height_(height), subsampling_(subsampling)
+{
+    if (width <= 0 || height <= 0)
+        throwInvalid("planar codec geometry must be positive");
+    if (subsampling == ChromaSubsampling::Yuv420 &&
+        (width % 2 != 0 || height % 2 != 0))
+        throwInvalid("4:2:0 needs even frame dimensions, got ", width,
+                     "x", height);
+    luma_encoder_ = std::make_unique<RhythmicEncoder>(width, height);
+    chroma_encoder_ =
+        std::make_unique<RhythmicEncoder>(chromaWidth(), chromaHeight());
+}
+
+i32
+PlanarRhythmicCodec::chromaWidth() const
+{
+    return subsampling_ == ChromaSubsampling::Yuv420 ? width_ / 2
+                                                     : width_;
+}
+
+i32
+PlanarRhythmicCodec::chromaHeight() const
+{
+    return subsampling_ == ChromaSubsampling::Yuv420 ? height_ / 2
+                                                     : height_;
+}
+
+std::vector<RegionLabel>
+PlanarRhythmicCodec::chromaLabels(
+    const std::vector<RegionLabel> &regions) const
+{
+    if (subsampling_ == ChromaSubsampling::Yuv444)
+        return regions;
+    std::vector<RegionLabel> chroma;
+    chroma.reserve(regions.size());
+    for (const auto &r : regions) {
+        RegionLabel c = r;
+        c.x = r.x / 2;
+        c.y = r.y / 2;
+        c.w = std::max(1, (r.w + 1) / 2);
+        c.h = std::max(1, (r.h + 1) / 2);
+        const Rect clipped =
+            c.rect().clippedTo(chromaWidth(), chromaHeight());
+        if (clipped.empty())
+            continue;
+        c.x = clipped.x;
+        c.y = clipped.y;
+        c.w = clipped.w;
+        c.h = clipped.h;
+        chroma.push_back(c);
+    }
+    sortRegionsByY(chroma);
+    return chroma;
+}
+
+void
+PlanarRhythmicCodec::setRegionLabels(
+    const std::vector<RegionLabel> &regions)
+{
+    std::vector<RegionLabel> luma = regions;
+    sortRegionsByY(luma);
+    luma_encoder_->setRegionLabels(std::move(luma));
+    chroma_encoder_->setRegionLabels(chromaLabels(regions));
+}
+
+EncodedYuvFrame
+PlanarRhythmicCodec::encode(const YuvImage &yuv, FrameIndex t)
+{
+    if (yuv.y.width() != width_ || yuv.y.height() != height_)
+        throwInvalid("planar codec frame geometry mismatch");
+
+    EncodedYuvFrame out;
+    out.y = luma_encoder_->encodeFrame(yuv.y, t);
+
+    Image u_plane = yuv.u;
+    Image v_plane = yuv.v;
+    if (subsampling_ == ChromaSubsampling::Yuv420) {
+        u_plane = u_plane.resized(chromaWidth(), chromaHeight());
+        v_plane = v_plane.resized(chromaWidth(), chromaHeight());
+    }
+    out.u = chroma_encoder_->encodeFrame(u_plane, t);
+    out.v = chroma_encoder_->encodeFrame(v_plane, t);
+    return out;
+}
+
+YuvImage
+PlanarRhythmicCodec::decode(
+    const EncodedYuvFrame &current,
+    const std::vector<const EncodedYuvFrame *> &history) const
+{
+    std::vector<const EncodedFrame *> hist_y, hist_u, hist_v;
+    for (const EncodedYuvFrame *f : history) {
+        RPX_ASSERT(f != nullptr, "null YUV history frame");
+        hist_y.push_back(&f->y);
+        hist_u.push_back(&f->u);
+        hist_v.push_back(&f->v);
+    }
+
+    // Non-regional chroma decodes to neutral (128), not black, so the
+    // RGB rendering of unsampled areas stays achromatic.
+    SoftwareDecoder::Config chroma_cfg;
+    chroma_cfg.black_value = 128;
+    const SoftwareDecoder chroma_decoder(chroma_cfg);
+
+    YuvImage out;
+    out.y = decoder_.decode(current.y, hist_y);
+    out.u = chroma_decoder.decode(current.u, hist_u);
+    out.v = chroma_decoder.decode(current.v, hist_v);
+    if (subsampling_ == ChromaSubsampling::Yuv420) {
+        out.u = out.u.resized(width_, height_);
+        out.v = out.v.resized(width_, height_);
+    }
+    return out;
+}
+
+} // namespace rpx

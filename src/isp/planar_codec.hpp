@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Planar YUV rhythmic codec.
+ *
+ * The paper's ISP performs "format changes, e.g., YUV conversion" before
+ * frames reach memory; a production pipeline therefore stores planar YUV,
+ * not a single luma plane. This codec applies the rhythmic encoder to all
+ * three planes: luma at full geometry, chroma at the configured
+ * subsampling with the region labels rescaled to chroma coordinates. The
+ * same skip rhythm applies to every plane, so temporal reconstruction
+ * stays coherent across planes.
+ */
+
+#ifndef RPX_ISP_PLANAR_CODEC_HPP
+#define RPX_ISP_PLANAR_CODEC_HPP
+
+#include <memory>
+#include <vector>
+
+#include "core/encoder.hpp"
+#include "core/sw_decoder.hpp"
+#include "isp/color.hpp"
+
+namespace rpx {
+
+/** Chroma storage geometry. */
+enum class ChromaSubsampling {
+    Yuv444, //!< chroma at full resolution
+    Yuv420, //!< chroma at half resolution in both axes
+};
+
+/** One encoded YUV frame: three rhythmic planes. */
+struct EncodedYuvFrame {
+    EncodedFrame y;
+    EncodedFrame u;
+    EncodedFrame v;
+
+    Bytes
+    pixelBytes() const
+    {
+        return y.pixelBytes() + u.pixelBytes() + v.pixelBytes();
+    }
+
+    Bytes
+    metadataBytes() const
+    {
+        return y.metadataBytes() + u.metadataBytes() + v.metadataBytes();
+    }
+
+    /** Encoded pixels over the pixels a dense planar frame would store. */
+    double keptFraction() const;
+};
+
+/**
+ * Rhythmic encoder/decoder over planar YUV.
+ */
+class PlanarRhythmicCodec
+{
+  public:
+    PlanarRhythmicCodec(i32 width, i32 height,
+                        ChromaSubsampling subsampling);
+    PlanarRhythmicCodec(i32 width, i32 height)
+        : PlanarRhythmicCodec(width, height, ChromaSubsampling::Yuv420)
+    {
+    }
+
+    i32 width() const { return width_; }
+    i32 height() const { return height_; }
+    ChromaSubsampling subsampling() const { return subsampling_; }
+
+    /**
+     * Program the label list (luma coordinates). Chroma planes use the
+     * same regions rescaled to chroma geometry with identical stride and
+     * skip.
+     */
+    void setRegionLabels(const std::vector<RegionLabel> &regions);
+
+    /** Encode one 4:4:4 YuvImage captured at frame `t`. */
+    EncodedYuvFrame encode(const YuvImage &yuv, FrameIndex t);
+
+    /**
+     * Decode a frame (with optional history, newest first) back to a
+     * 4:4:4 YuvImage; 4:2:0 chroma is bilinearly upsampled.
+     */
+    YuvImage decode(const EncodedYuvFrame &current,
+                    const std::vector<const EncodedYuvFrame *> &history =
+                        {}) const;
+
+    i32 chromaWidth() const;
+    i32 chromaHeight() const;
+
+  private:
+    std::vector<RegionLabel> chromaLabels(
+        const std::vector<RegionLabel> &regions) const;
+
+    i32 width_;
+    i32 height_;
+    ChromaSubsampling subsampling_;
+    std::unique_ptr<RhythmicEncoder> luma_encoder_;
+    std::unique_ptr<RhythmicEncoder> chroma_encoder_;
+    SoftwareDecoder decoder_;
+};
+
+} // namespace rpx
+
+#endif // RPX_ISP_PLANAR_CODEC_HPP

@@ -1,0 +1,40 @@
+#include "memory/dma.hpp"
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+DmaWriter::DmaWriter(DramModel &dram, u64 base, size_t line_capacity)
+    : dram_(dram), base_(base), line_capacity_(line_capacity)
+{
+    RPX_ASSERT(line_capacity > 0, "DMA line capacity must be positive");
+    line_.reserve(line_capacity);
+}
+
+void
+DmaWriter::push(u8 value)
+{
+    line_.push_back(value);
+    if (line_.size() >= line_capacity_)
+        flush();
+}
+
+void
+DmaWriter::push(const u8 *data, size_t len)
+{
+    for (size_t i = 0; i < len; ++i)
+        push(data[i]);
+}
+
+void
+DmaWriter::flush()
+{
+    if (line_.empty())
+        return;
+    dram_.write(base_ + committed_, line_.data(), line_.size());
+    committed_ += line_.size();
+    ++bursts_;
+    line_.clear();
+}
+
+} // namespace rpx

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Line-burst DMA writer.
+ *
+ * §4.1.2: "the encoder collects a line of pixels before committing a burst
+ * DMA write to a framebuffer in the DRAM". The DmaWriter buffers bytes and
+ * commits them to the DRAM model when the stage signals end-of-line (or when
+ * the line buffer fills), keeping write transactions burst-shaped.
+ */
+
+#ifndef RPX_MEMORY_DMA_HPP
+#define RPX_MEMORY_DMA_HPP
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "memory/dram.hpp"
+
+namespace rpx {
+
+/**
+ * Buffers a line of bytes and writes it to DRAM as one burst transaction.
+ */
+class DmaWriter
+{
+  public:
+    /**
+     * @param dram      destination memory
+     * @param base      start address of the destination buffer
+     * @param line_capacity maximum bytes buffered before a forced flush
+     */
+    DmaWriter(DramModel &dram, u64 base, size_t line_capacity = 8192);
+
+    /** Queue one byte for the current line. */
+    void push(u8 value);
+
+    /** Queue a block of bytes. */
+    void push(const u8 *data, size_t len);
+
+    /** Commit the buffered line to DRAM (no-op when empty). */
+    void flush();
+
+    /** Bytes committed to DRAM so far (excludes still-buffered bytes). */
+    u64 bytesCommitted() const { return committed_; }
+
+    /** Bytes currently buffered awaiting flush. */
+    size_t pending() const { return line_.size(); }
+
+    /** Number of burst (flush) operations issued. */
+    u64 burstsIssued() const { return bursts_; }
+
+    /** Next DRAM address a flushed byte would land at. */
+    u64 cursor() const { return base_ + committed_; }
+
+  private:
+    DramModel &dram_;
+    u64 base_;
+    size_t line_capacity_;
+    std::vector<u8> line_;
+    u64 committed_ = 0;
+    u64 bursts_ = 0;
+};
+
+} // namespace rpx
+
+#endif // RPX_MEMORY_DMA_HPP

@@ -1,0 +1,76 @@
+#include "memory/dram.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+DramModel::DramModel(u64 capacity) : capacity_(capacity)
+{
+    RPX_ASSERT(capacity > 0, "DRAM capacity must be positive");
+}
+
+void
+DramModel::checkRange(u64 addr, size_t len) const
+{
+    if (addr + len > capacity_ || addr + len < addr) {
+        throwInvalid("DRAM access out of range: addr=", addr, " len=", len,
+                     " capacity=", capacity_);
+    }
+    if (store_.size() < addr + len) {
+        // Grow geometrically: per-burst linear resizes would copy the
+        // whole backing store once per DMA line.
+        u64 target = std::max<u64>(addr + len, store_.size() * 2);
+        target = std::min(target, capacity_);
+        store_.resize(target, 0);
+    }
+}
+
+void
+DramModel::write(u64 addr, const u8 *data, size_t len)
+{
+    if (len == 0)
+        return;
+    checkRange(addr, len);
+    std::memcpy(store_.data() + addr, data, len);
+    stats_.bytes_written += len;
+    stats_.write_transactions += 1;
+    stats_.write_bursts += (len + kBurstBytes - 1) / kBurstBytes;
+}
+
+void
+DramModel::write(u64 addr, const std::vector<u8> &data)
+{
+    write(addr, data.data(), data.size());
+}
+
+void
+DramModel::read(u64 addr, u8 *out, size_t len) const
+{
+    if (len == 0)
+        return;
+    checkRange(addr, len);
+    std::memcpy(out, store_.data() + addr, len);
+    stats_.bytes_read += len;
+    stats_.read_transactions += 1;
+    stats_.read_bursts += (len + kBurstBytes - 1) / kBurstBytes;
+}
+
+std::vector<u8>
+DramModel::read(u64 addr, size_t len) const
+{
+    std::vector<u8> out(len);
+    read(addr, out.data(), len);
+    return out;
+}
+
+u8
+DramModel::peek(u64 addr) const
+{
+    checkRange(addr, 1);
+    return store_[addr];
+}
+
+} // namespace rpx

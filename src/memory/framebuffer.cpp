@@ -1,0 +1,57 @@
+#include "memory/framebuffer.hpp"
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+FramebufferAllocator::FramebufferAllocator(u64 base, u64 alignment)
+    : next_(base), alignment_(alignment)
+{
+    RPX_ASSERT(alignment > 0 && (alignment & (alignment - 1)) == 0,
+               "alignment must be a power of two");
+}
+
+BufferRange
+FramebufferAllocator::allocate(u64 size, const std::string &name)
+{
+    for (const auto &r : ranges_) {
+        if (r.name == name)
+            throwInvalid("framebuffer name already allocated: ", name);
+    }
+    const u64 aligned = (next_ + alignment_ - 1) & ~(alignment_ - 1);
+    BufferRange range{aligned, size, name};
+    next_ = aligned + size;
+    ranges_.push_back(range);
+    return range;
+}
+
+const BufferRange &
+FramebufferAllocator::find(const std::string &name) const
+{
+    for (const auto &r : ranges_) {
+        if (r.name == name)
+            return r;
+    }
+    throwInvalid("no framebuffer named ", name);
+}
+
+const BufferRange *
+FramebufferAllocator::covering(u64 addr) const
+{
+    for (const auto &r : ranges_) {
+        if (r.contains(addr))
+            return &r;
+    }
+    return nullptr;
+}
+
+u64
+FramebufferAllocator::allocatedBytes() const
+{
+    u64 total = 0;
+    for (const auto &r : ranges_)
+        total += r.size;
+    return total;
+}
+
+} // namespace rpx

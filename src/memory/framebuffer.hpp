@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Framebuffer region descriptors inside DRAM.
+ *
+ * The rhythmic pipeline keeps a ring of encoded framebuffers (the decoder's
+ * metadata scratchpad spans the four most recent) plus their metadata
+ * regions. A FramebufferAllocator hands out non-overlapping address ranges.
+ */
+
+#ifndef RPX_MEMORY_FRAMEBUFFER_HPP
+#define RPX_MEMORY_FRAMEBUFFER_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rpx {
+
+/** One contiguous DRAM allocation. */
+struct BufferRange {
+    u64 base = 0;
+    u64 size = 0;
+    std::string name;
+
+    u64 end() const { return base + size; }
+    bool contains(u64 addr) const { return addr >= base && addr < end(); }
+};
+
+/**
+ * Bump allocator for framebuffer address ranges with alignment.
+ */
+class FramebufferAllocator
+{
+  public:
+    explicit FramebufferAllocator(u64 base = 0x1000ULL,
+                                  u64 alignment = 4096);
+
+    /** Allocate `size` bytes; throws when the name collides. */
+    BufferRange allocate(u64 size, const std::string &name);
+
+    /** Find a named allocation; throws when missing. */
+    const BufferRange &find(const std::string &name) const;
+
+    /** Range lookup: which allocation (if any) covers `addr`. */
+    const BufferRange *covering(u64 addr) const;
+
+    const std::vector<BufferRange> &allocations() const { return ranges_; }
+
+    /** Total bytes allocated so far. */
+    u64 allocatedBytes() const;
+
+  private:
+    u64 next_;
+    u64 alignment_;
+    std::vector<BufferRange> ranges_;
+};
+
+} // namespace rpx
+
+#endif // RPX_MEMORY_FRAMEBUFFER_HPP

@@ -1,0 +1,75 @@
+#include "policy/adaptive_cycle.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+AdaptiveCyclePolicy::AdaptiveCyclePolicy(i32 frame_w, i32 frame_h,
+                                         const AdaptiveCycleConfig &config)
+    : frame_w_(frame_w), frame_h_(frame_h), config_(config),
+      motion_(config.low_motion_px), current_cycle_(config.max_cycle)
+{
+    if (frame_w <= 0 || frame_h <= 0)
+        throwInvalid("adaptive cycle frame geometry must be positive");
+    if (config.min_cycle < 1 || config.max_cycle < config.min_cycle)
+        throwInvalid("adaptive cycle needs 1 <= min_cycle <= max_cycle");
+    if (config.high_motion_px <= config.low_motion_px)
+        throwInvalid("high_motion_px must exceed low_motion_px");
+    if (config.smoothing <= 0.0 || config.smoothing > 1.0)
+        throwInvalid("smoothing must be in (0, 1]");
+}
+
+void
+AdaptiveCyclePolicy::observeMotion(double displacement_px)
+{
+    if (displacement_px < 0.0)
+        return; // unknown this frame; keep the current estimate
+    motion_ = (1.0 - config_.smoothing) * motion_ +
+              config_.smoothing * displacement_px;
+    adapt();
+}
+
+void
+AdaptiveCyclePolicy::adapt()
+{
+    if (motion_ >= config_.high_motion_px) {
+        current_cycle_ = config_.min_cycle;
+        return;
+    }
+    if (motion_ <= config_.low_motion_px) {
+        current_cycle_ = config_.max_cycle;
+        return;
+    }
+    const double frac = (config_.high_motion_px - motion_) /
+                        (config_.high_motion_px - config_.low_motion_px);
+    current_cycle_ = std::clamp(
+        config_.min_cycle +
+            static_cast<int>(frac * (config_.max_cycle -
+                                     config_.min_cycle) + 0.5),
+        config_.min_cycle, config_.max_cycle);
+}
+
+void
+AdaptiveCyclePolicy::setTrackedRegions(std::vector<RegionLabel> regions)
+{
+    sortRegionsByY(regions);
+    tracked_ = std::move(regions);
+}
+
+std::vector<RegionLabel>
+AdaptiveCyclePolicy::nextFrame()
+{
+    const bool full = first_frame_ || tracked_.empty() ||
+                      frames_since_full_ >= current_cycle_;
+    first_frame_ = false;
+    if (full) {
+        frames_since_full_ = 1;
+        return {fullFrameRegion(frame_w_, frame_h_)};
+    }
+    ++frames_since_full_;
+    return tracked_;
+}
+
+} // namespace rpx

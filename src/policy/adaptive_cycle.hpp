@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Adaptive cycle length — the §4.3.1/§7 extension the paper sketches:
+ * "The cycle length could also be adaptive, for example, by using the
+ * motion in the frame or other semantics to guide the need for more
+ * frequent or less frequent full captures."
+ *
+ * This policy shrinks the cycle under high scene motion (frequent full
+ * captures keep tracking honest) and stretches it when the scene is calm
+ * (maximising pixel discard), with smoothing to avoid oscillation.
+ */
+
+#ifndef RPX_POLICY_ADAPTIVE_CYCLE_HPP
+#define RPX_POLICY_ADAPTIVE_CYCLE_HPP
+
+#include <vector>
+
+#include "core/region.hpp"
+
+namespace rpx {
+
+/** Adaptive-cycle tuning. */
+struct AdaptiveCycleConfig {
+    int min_cycle = 5;          //!< cycle under sustained high motion
+    int max_cycle = 20;         //!< cycle under sustained stillness
+    double high_motion_px = 5.0; //!< displacement/frame mapping to min
+    double low_motion_px = 1.0;  //!< displacement/frame mapping to max
+    double smoothing = 0.3;      //!< EWMA factor for the motion signal
+};
+
+/**
+ * Motion-adaptive full-capture scheduler over tracked-region proposals.
+ */
+class AdaptiveCyclePolicy
+{
+  public:
+    AdaptiveCyclePolicy(i32 frame_w, i32 frame_h,
+                        const AdaptiveCycleConfig &config);
+    AdaptiveCyclePolicy(i32 frame_w, i32 frame_h)
+        : AdaptiveCyclePolicy(frame_w, frame_h, AdaptiveCycleConfig{})
+    {
+    }
+
+    const AdaptiveCycleConfig &config() const { return config_; }
+
+    /** Feed the measured scene motion (mean displacement, px/frame). */
+    void observeMotion(double displacement_px);
+
+    /** Replace the tracked-region proposals (from the content policy). */
+    void setTrackedRegions(std::vector<RegionLabel> regions);
+
+    /** Current adapted cycle length. */
+    int currentCycle() const { return current_cycle_; }
+
+    /** Smoothed motion estimate (px/frame). */
+    double motionEstimate() const { return motion_; }
+
+    /**
+     * Labels for the next frame. Returns a full-frame capture when the
+     * adapted interval has elapsed (or no proposals exist); advances the
+     * internal frame counter.
+     */
+    std::vector<RegionLabel> nextFrame();
+
+  private:
+    void adapt();
+
+    i32 frame_w_;
+    i32 frame_h_;
+    AdaptiveCycleConfig config_;
+    std::vector<RegionLabel> tracked_;
+    double motion_;
+    int current_cycle_;
+    int frames_since_full_ = 0;
+    bool first_frame_ = true;
+};
+
+} // namespace rpx
+
+#endif // RPX_POLICY_ADAPTIVE_CYCLE_HPP

@@ -1,0 +1,124 @@
+#include "policy/box_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+BoxPolicy::BoxPolicy(i32 frame_w, i32 frame_h,
+                     const BoxPolicyConfig &config)
+    : frame_w_(frame_w), frame_h_(frame_h), config_(config)
+{
+    if (frame_w <= 0 || frame_h <= 0)
+        throwInvalid("box policy frame geometry must be positive");
+    if (config.margin < 1.0)
+        throwInvalid("box policy margin must be >= 1.0");
+}
+
+void
+BoxPolicy::observe(const std::vector<Rect> &boxes)
+{
+    // Predict all tracks one frame forward.
+    for (auto &t : tracks_)
+        t.filter.predict();
+
+    // Greedy IoU association of detections to tracks.
+    std::vector<bool> det_used(boxes.size(), false);
+    for (auto &t : tracks_) {
+        const Rect predicted{
+            static_cast<i32>(t.filter.x()) - t.w / 2,
+            static_cast<i32>(t.filter.y()) - t.h / 2, t.w, t.h};
+        double best = config_.match_iou;
+        size_t best_i = boxes.size();
+        for (size_t i = 0; i < boxes.size(); ++i) {
+            if (det_used[i])
+                continue;
+            const double v = iou(predicted, boxes[i]);
+            if (v > best) {
+                best = v;
+                best_i = i;
+            }
+        }
+        if (best_i < boxes.size()) {
+            det_used[best_i] = true;
+            const Point c = boxes[best_i].center();
+            t.filter.update(c.x, c.y);
+            t.w = boxes[best_i].w;
+            t.h = boxes[best_i].h;
+            t.misses = 0;
+        } else {
+            ++t.misses;
+        }
+    }
+
+    // Drop stale tracks.
+    std::erase_if(tracks_, [&](const Track &t) {
+        return t.misses > config_.max_coast_frames;
+    });
+
+    // Start tracks for unclaimed detections.
+    for (size_t i = 0; i < boxes.size(); ++i) {
+        if (det_used[i])
+            continue;
+        const Point c = boxes[i].center();
+        tracks_.push_back(Track{Kalman2D(c.x, c.y), boxes[i].w,
+                                boxes[i].h, 0});
+    }
+}
+
+std::vector<RegionLabel>
+BoxPolicy::regionsForNextFrame() const
+{
+    std::vector<RegionLabel> regions;
+    regions.reserve(tracks_.size());
+    for (const auto &t : tracks_) {
+        // Predict the next-frame position without disturbing the filter.
+        const double nx = t.filter.x() + t.filter.vx();
+        const double ny = t.filter.y() + t.filter.vy();
+        const double side_base = std::max(t.w, t.h) * config_.margin;
+        const i32 side = static_cast<i32>(std::clamp<double>(
+            side_base, config_.min_region, config_.max_region));
+
+        RegionLabel r;
+        r.x = static_cast<i32>(nx) - side / 2;
+        r.y = static_cast<i32>(ny) - side / 2;
+        r.w = side;
+        r.h = side;
+
+        // Spatial resolution from apparent size: small (far) boxes need
+        // full density; large (near) boxes tolerate coarser sampling.
+        const i32 box_side = std::max(t.w, t.h);
+        r.stride = std::clamp(box_side / config_.small_box + 1, 1,
+                              config_.max_stride);
+
+        // Temporal rate from track speed.
+        const double speed = t.filter.speed();
+        if (speed >= config_.fast_motion_px) {
+            r.skip = 1;
+        } else if (speed <= config_.slow_motion_px) {
+            r.skip = config_.max_skip;
+        } else {
+            const double frac = (config_.fast_motion_px - speed) /
+                                (config_.fast_motion_px -
+                                 config_.slow_motion_px);
+            r.skip = std::clamp(
+                1 + static_cast<int>(frac * (config_.max_skip - 1) + 0.5),
+                1, config_.max_skip);
+        }
+
+        const Rect clipped = r.rect().clippedTo(frame_w_, frame_h_);
+        if (clipped.empty())
+            continue;
+        r.x = clipped.x;
+        r.y = clipped.y;
+        r.w = clipped.w;
+        r.h = clipped.h;
+        regions.push_back(r);
+    }
+    sortRegionsByY(regions);
+    return regions;
+}
+
+} // namespace rpx

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Box-tracking region policy for the detection workloads (§5.3.2): regions
+ * follow detected face boxes / pose joints across frames. Each track runs a
+ * constant-velocity Kalman filter; the predicted position centers the next
+ * frame's region, the box size drives the stride, and the estimated speed
+ * drives the skip rate.
+ */
+
+#ifndef RPX_POLICY_BOX_POLICY_HPP
+#define RPX_POLICY_BOX_POLICY_HPP
+
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "core/region.hpp"
+#include "policy/kalman.hpp"
+
+namespace rpx {
+
+/** Box policy tuning. */
+struct BoxPolicyConfig {
+    double margin = 1.5;        //!< region side = margin * box side
+    i32 min_region = 32;
+    i32 max_region = 512;
+    int max_stride = 4;
+    int max_skip = 3;
+    double fast_motion_px = 5.0;  //!< track speed => skip 1
+    double slow_motion_px = 1.0;  //!< track speed => max skip
+    double match_iou = 0.2;     //!< detection-to-track association overlap
+    int max_coast_frames = 3;   //!< drop tracks unseen this long
+    i32 small_box = 64;         //!< boxes below this keep stride 1
+};
+
+/**
+ * Multi-object box tracker producing region labels.
+ */
+class BoxPolicy
+{
+  public:
+    BoxPolicy(i32 frame_w, i32 frame_h, const BoxPolicyConfig &config);
+    BoxPolicy(i32 frame_w, i32 frame_h)
+        : BoxPolicy(frame_w, frame_h, BoxPolicyConfig{})
+    {
+    }
+
+    const BoxPolicyConfig &config() const { return config_; }
+
+    /** Feed this frame's detections; advances all tracks. */
+    void observe(const std::vector<Rect> &boxes);
+
+    /** Region labels for the next frame from the live tracks. */
+    std::vector<RegionLabel> regionsForNextFrame() const;
+
+    size_t trackCount() const { return tracks_.size(); }
+
+  private:
+    struct Track {
+        Kalman2D filter;
+        i32 w, h;
+        int misses = 0;
+    };
+
+    i32 frame_w_;
+    i32 frame_h_;
+    BoxPolicyConfig config_;
+    std::vector<Track> tracks_;
+};
+
+} // namespace rpx
+
+#endif // RPX_POLICY_BOX_POLICY_HPP

@@ -1,0 +1,37 @@
+#include "policy/cycle_policy.hpp"
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+CyclePolicy::CyclePolicy(i32 frame_w, i32 frame_h, int cycle_length)
+    : frame_w_(frame_w), frame_h_(frame_h), cycle_length_(cycle_length)
+{
+    if (frame_w <= 0 || frame_h <= 0)
+        throwInvalid("cycle policy frame geometry must be positive");
+    if (cycle_length < 1)
+        throwInvalid("cycle length must be >= 1");
+}
+
+void
+CyclePolicy::setTrackedRegions(std::vector<RegionLabel> regions)
+{
+    sortRegionsByY(regions);
+    tracked_ = std::move(regions);
+}
+
+bool
+CyclePolicy::isFullCapture(FrameIndex t) const
+{
+    return t % cycle_length_ == 0;
+}
+
+std::vector<RegionLabel>
+CyclePolicy::regionsFor(FrameIndex t) const
+{
+    if (isFullCapture(t) || tracked_.empty())
+        return {fullFrameRegion(frame_w_, frame_h_)};
+    return tracked_;
+}
+
+} // namespace rpx

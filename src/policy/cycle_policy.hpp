@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The example cycle-length policy of §4.3.1 / Fig. 7: every `cycle_length`
+ * frames the whole frame is captured at full resolution (to track objects
+ * entering/leaving the scene); intermediate frames capture only the tracked
+ * regions proposed by a content policy (feature- or box-based).
+ */
+
+#ifndef RPX_POLICY_CYCLE_POLICY_HPP
+#define RPX_POLICY_CYCLE_POLICY_HPP
+
+#include <vector>
+
+#include "core/region.hpp"
+
+namespace rpx {
+
+/**
+ * Cycle-length scheduler over externally supplied tracked regions.
+ */
+class CyclePolicy
+{
+  public:
+    /**
+     * @param frame_w      frame geometry
+     * @param frame_h      frame geometry
+     * @param cycle_length frames between two full captures (CL in §6)
+     */
+    CyclePolicy(i32 frame_w, i32 frame_h, int cycle_length);
+
+    int cycleLength() const { return cycle_length_; }
+
+    /** Replace the tracked-region proposals (from the content policy). */
+    void setTrackedRegions(std::vector<RegionLabel> regions);
+
+    /** True when frame `t` is a full-frame capture. */
+    bool isFullCapture(FrameIndex t) const;
+
+    /**
+     * Region labels for frame `t`: the full-frame label on cycle
+     * boundaries, the tracked regions otherwise (falling back to full frame
+     * while no proposals exist yet).
+     */
+    std::vector<RegionLabel> regionsFor(FrameIndex t) const;
+
+  private:
+    i32 frame_w_;
+    i32 frame_h_;
+    int cycle_length_;
+    std::vector<RegionLabel> tracked_;
+};
+
+} // namespace rpx
+
+#endif // RPX_POLICY_CYCLE_POLICY_HPP

@@ -1,0 +1,112 @@
+#include "policy/kalman.hpp"
+
+#include <cmath>
+
+namespace rpx {
+
+namespace {
+
+constexpr size_t
+idx(int r, int c)
+{
+    return static_cast<size_t>(4 * r + c);
+}
+
+} // namespace
+
+Kalman2D::Kalman2D(double x, double y, const Config &config)
+    : config_(config), state_{x, y, 0.0, 0.0}, cov_{}
+{
+    for (int i = 0; i < 4; ++i)
+        cov_[idx(i, i)] = config.initial_uncertainty;
+}
+
+std::array<double, 2>
+Kalman2D::predict()
+{
+    // x' = F x with F = [I, I; 0, I] (dt = 1 frame).
+    state_[0] += state_[2];
+    state_[1] += state_[3];
+
+    // P' = F P F^T + Q. Expand F P F^T explicitly for the block form.
+    std::array<double, 16> p = cov_;
+    // Row/column updates: position rows gain velocity cross terms.
+    for (int c = 0; c < 4; ++c) {
+        p[idx(0, c)] += cov_[idx(2, c)];
+        p[idx(1, c)] += cov_[idx(3, c)];
+    }
+    std::array<double, 16> p2 = p;
+    for (int r = 0; r < 4; ++r) {
+        p2[idx(r, 0)] += p[idx(r, 2)];
+        p2[idx(r, 1)] += p[idx(r, 3)];
+    }
+    cov_ = p2;
+
+    const double q = config_.process_noise;
+    // Discrete white-acceleration noise (dt = 1).
+    cov_[idx(0, 0)] += q / 4.0;
+    cov_[idx(1, 1)] += q / 4.0;
+    cov_[idx(0, 2)] += q / 2.0;
+    cov_[idx(2, 0)] += q / 2.0;
+    cov_[idx(1, 3)] += q / 2.0;
+    cov_[idx(3, 1)] += q / 2.0;
+    cov_[idx(2, 2)] += q;
+    cov_[idx(3, 3)] += q;
+
+    return {state_[0], state_[1]};
+}
+
+void
+Kalman2D::update(double mx, double my)
+{
+    // H = [I 0]; innovation covariance S = P_pos + R (2x2, diagonal-ish).
+    const double r = config_.measurement_noise * config_.measurement_noise;
+    const double s00 = cov_[idx(0, 0)] + r;
+    const double s01 = cov_[idx(0, 1)];
+    const double s10 = cov_[idx(1, 0)];
+    const double s11 = cov_[idx(1, 1)] + r;
+    const double det = s00 * s11 - s01 * s10;
+    if (std::abs(det) < 1e-12)
+        return;
+    const double i00 = s11 / det, i01 = -s01 / det;
+    const double i10 = -s10 / det, i11 = s00 / det;
+
+    // Kalman gain K = P H^T S^-1 (4x2).
+    double k[4][2];
+    for (int row = 0; row < 4; ++row) {
+        const double p0 = cov_[idx(row, 0)];
+        const double p1 = cov_[idx(row, 1)];
+        k[row][0] = p0 * i00 + p1 * i10;
+        k[row][1] = p0 * i01 + p1 * i11;
+    }
+
+    const double rx = mx - state_[0];
+    const double ry = my - state_[1];
+    for (int row = 0; row < 4; ++row)
+        state_[static_cast<size_t>(row)] += k[row][0] * rx + k[row][1] * ry;
+
+    // P = (I - K H) P.
+    std::array<double, 16> p = cov_;
+    for (int row = 0; row < 4; ++row) {
+        for (int c = 0; c < 4; ++c) {
+            p[idx(row, c)] = cov_[idx(row, c)] -
+                             k[row][0] * cov_[idx(0, c)] -
+                             k[row][1] * cov_[idx(1, c)];
+        }
+    }
+    cov_ = p;
+}
+
+double
+Kalman2D::speed() const
+{
+    return std::sqrt(state_[2] * state_[2] + state_[3] * state_[3]);
+}
+
+double
+Kalman2D::positionUncertainty() const
+{
+    return cov_[idx(0, 0)] + cov_[idx(1, 1)];
+}
+
+} // namespace rpx

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Constant-velocity Kalman filter for region-center prediction — the
+ * "improved application-specific proxies ... e.g., with Kalman filters"
+ * prediction strategy §4.3.1 suggests for policy makers.
+ */
+
+#ifndef RPX_POLICY_KALMAN_HPP
+#define RPX_POLICY_KALMAN_HPP
+
+#include <array>
+
+#include "common/types.hpp"
+
+namespace rpx {
+
+/**
+ * 4-state (x, y, vx, vy) constant-velocity Kalman filter on pixel
+ * coordinates.
+ */
+class Kalman2D
+{
+  public:
+    struct Config {
+        double process_noise = 1.0;     //!< acceleration noise (px/frame^2)
+        double measurement_noise = 2.0; //!< detector jitter (px)
+        double initial_uncertainty = 50.0;
+    };
+
+    Kalman2D(double x, double y, const Config &config);
+    Kalman2D(double x, double y) : Kalman2D(x, y, Config{}) {}
+
+    /** Advance one frame; returns the predicted position. */
+    std::array<double, 2> predict();
+
+    /** Fuse a measurement of the position. */
+    void update(double mx, double my);
+
+    double x() const { return state_[0]; }
+    double y() const { return state_[1]; }
+    double vx() const { return state_[2]; }
+    double vy() const { return state_[3]; }
+
+    /** Estimated speed in px/frame (drives the skip-rate choice). */
+    double speed() const;
+
+    /** Position uncertainty (trace of the positional covariance). */
+    double positionUncertainty() const;
+
+  private:
+    Config config_;
+    std::array<double, 4> state_;
+    std::array<double, 16> cov_; //!< row-major 4x4
+};
+
+} // namespace rpx
+
+#endif // RPX_POLICY_KALMAN_HPP

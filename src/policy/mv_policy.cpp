@@ -1,0 +1,106 @@
+#include "policy/mv_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+MotionVectorPolicy::MotionVectorPolicy(i32 frame_w, i32 frame_h,
+                                       const MvPolicyConfig &config)
+    : frame_w_(frame_w), frame_h_(frame_h), config_(config)
+{
+    if (frame_w <= 0 || frame_h <= 0)
+        throwInvalid("MV policy frame geometry must be positive");
+}
+
+void
+MotionVectorPolicy::seedRegions(std::vector<RegionLabel> regions)
+{
+    sortRegionsByY(regions);
+    regions_ = std::move(regions);
+}
+
+void
+MotionVectorPolicy::observe(const Image &decoded)
+{
+    if (decoded.width() != frame_w_ || decoded.height() != frame_h_)
+        throwInvalid("MV policy observed frame geometry mismatch");
+    if (previous_.empty()) {
+        previous_ = decoded;
+        return;
+    }
+    field_ = estimateMotion(previous_, decoded, config_.motion);
+    scene_motion_ = meanMotionMagnitude(field_);
+    previous_ = decoded;
+
+    // Shift every region by the mean reliable vector of the blocks it
+    // overlaps (falling back to the dominant scene motion).
+    const MotionVector global = dominantMotion(field_);
+    const i32 bs = config_.motion.block_size;
+    for (auto &r : regions_) {
+        double sum_dx = 0.0, sum_dy = 0.0, local = 0.0;
+        u64 n = 0;
+        for (const auto &mv : field_) {
+            if (std::isinf(mv.sad))
+                continue;
+            const Rect block{mv.block_x, mv.block_y, bs, bs};
+            if (!r.rect().overlaps(block))
+                continue;
+            sum_dx += mv.dx;
+            sum_dy += mv.dy;
+            local += mv.magnitude();
+            ++n;
+        }
+        i32 dx = global.dx, dy = global.dy;
+        double motion = scene_motion_;
+        if (n > 0) {
+            dx = static_cast<i32>(std::lround(sum_dx /
+                                              static_cast<double>(n)));
+            dy = static_cast<i32>(std::lround(sum_dy /
+                                              static_cast<double>(n)));
+            motion = local / static_cast<double>(n);
+        }
+        r.x += dx;
+        r.y += dy;
+        // Grow by the margin so extrapolation error stays covered, then
+        // clip back into the frame.
+        const Rect inflated =
+            r.rect().inflated(config_.margin).clippedTo(frame_w_,
+                                                        frame_h_);
+        if (inflated.empty())
+            continue;
+        r.x = inflated.x;
+        r.y = inflated.y;
+        r.w = inflated.w;
+        r.h = inflated.h;
+        r.skip = skipFor(motion);
+    }
+    std::erase_if(regions_, [&](const RegionLabel &r) {
+        return r.rect().clippedTo(frame_w_, frame_h_).empty();
+    });
+    sortRegionsByY(regions_);
+}
+
+int
+MotionVectorPolicy::skipFor(double motion) const
+{
+    if (motion >= config_.fast_motion_px)
+        return 1;
+    if (motion <= config_.slow_motion_px)
+        return config_.max_skip;
+    const double t = (config_.fast_motion_px - motion) /
+                     (config_.fast_motion_px - config_.slow_motion_px);
+    return std::clamp(1 + static_cast<int>(t * (config_.max_skip - 1) +
+                                           0.5),
+                      1, config_.max_skip);
+}
+
+std::vector<RegionLabel>
+MotionVectorPolicy::regionsForNextFrame() const
+{
+    return regions_;
+}
+
+} // namespace rpx

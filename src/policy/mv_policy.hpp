@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Motion-vector region policy — the Euphrates/EVA^2-inspired policy
+ * §4.3.1 sketches: instead of re-detecting features every frame, the
+ * policy extrapolates the existing regions along the motion field
+ * estimated between consecutive (decoded) frames, and derives the
+ * temporal rate from local motion magnitude.
+ */
+
+#ifndef RPX_POLICY_MV_POLICY_HPP
+#define RPX_POLICY_MV_POLICY_HPP
+
+#include <vector>
+
+#include "core/region.hpp"
+#include "frame/image.hpp"
+#include "vision/motion.hpp"
+
+namespace rpx {
+
+/** MV policy tuning. */
+struct MvPolicyConfig {
+    MotionOptions motion;
+    int max_skip = 3;
+    double fast_motion_px = 5.0; //!< local motion => skip 1
+    double slow_motion_px = 1.0; //!< local motion => max skip
+    i32 margin = 8;              //!< growth per frame of extrapolation
+};
+
+/**
+ * Region extrapolation along block motion vectors.
+ */
+class MotionVectorPolicy
+{
+  public:
+    MotionVectorPolicy(i32 frame_w, i32 frame_h,
+                       const MvPolicyConfig &config);
+    MotionVectorPolicy(i32 frame_w, i32 frame_h)
+        : MotionVectorPolicy(frame_w, frame_h, MvPolicyConfig{})
+    {
+    }
+
+    /** Seed (or reseed) the tracked regions, e.g. after a full capture. */
+    void seedRegions(std::vector<RegionLabel> regions);
+
+    /**
+     * Observe a newly decoded frame: estimates motion against the
+     * previous observation and shifts every tracked region by the mean
+     * motion vector of the blocks it covers.
+     */
+    void observe(const Image &decoded);
+
+    /** Extrapolated labels for the next frame. */
+    std::vector<RegionLabel> regionsForNextFrame() const;
+
+    /** Scene-motion estimate from the last observation (px/frame). */
+    double sceneMotion() const { return scene_motion_; }
+
+  private:
+    int skipFor(double motion) const;
+
+    i32 frame_w_;
+    i32 frame_h_;
+    MvPolicyConfig config_;
+    std::vector<RegionLabel> regions_;
+    Image previous_;
+    std::vector<MotionVector> field_;
+    double scene_motion_ = 0.0;
+};
+
+} // namespace rpx
+
+#endif // RPX_POLICY_MV_POLICY_HPP

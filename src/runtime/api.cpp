@@ -1,0 +1,75 @@
+#include "runtime/api.hpp"
+
+#include <algorithm>
+
+namespace rpx {
+
+RegionRuntime::RegionRuntime(RegionDriver &driver) : driver_(driver)
+{
+    // Until the app specifies anything, capture full frames so existing
+    // frame-based software keeps working unmodified.
+    persistent_ = {fullFrameRegion(driver.frameWidth(),
+                                   driver.frameHeight())};
+}
+
+void
+RegionRuntime::setRegionLabels(const std::vector<RegionLabel> &regions,
+                               bool persist)
+{
+    if (persist) {
+        persistent_ = regions;
+        has_one_shot_ = false;
+    } else {
+        one_shot_ = regions;
+        has_one_shot_ = true;
+    }
+    dirty_ = true;
+}
+
+const std::vector<RegionLabel> &
+RegionRuntime::beginFrame()
+{
+    const std::vector<RegionLabel> &want =
+        has_one_shot_ ? one_shot_ : persistent_;
+    if (dirty_ || active_ != want) {
+        driver_.setRegionLabels(want);
+        active_ = want;
+        sortRegionsByY(active_);
+        recordUsage(active_);
+        dirty_ = false;
+    }
+    if (has_one_shot_) {
+        has_one_shot_ = false;
+        dirty_ = true; // revert to the persistent list next frame
+    }
+    return active_;
+}
+
+void
+RegionRuntime::recordUsage(const std::vector<RegionLabel> &regions)
+{
+    usage_.regions_per_frame.add(static_cast<double>(regions.size()));
+    for (const auto &r : regions) {
+        usage_.region_width.add(r.w);
+        usage_.region_height.add(r.h);
+        usage_.stride.add(r.stride);
+        usage_.skip.add(r.skip);
+        if (usage_.region_width.count() == 1) {
+            usage_.min_w = usage_.max_w = r.w;
+            usage_.min_h = usage_.max_h = r.h;
+            usage_.min_stride = usage_.max_stride = r.stride;
+            usage_.min_skip = usage_.max_skip = r.skip;
+        } else {
+            usage_.min_w = std::min(usage_.min_w, r.w);
+            usage_.max_w = std::max(usage_.max_w, r.w);
+            usage_.min_h = std::min(usage_.min_h, r.h);
+            usage_.max_h = std::max(usage_.max_h, r.h);
+            usage_.min_stride = std::min(usage_.min_stride, r.stride);
+            usage_.max_stride = std::max(usage_.max_stride, r.stride);
+            usage_.min_skip = std::min(usage_.min_skip, r.skip);
+            usage_.max_skip = std::max(usage_.max_skip, r.skip);
+        }
+    }
+}
+
+} // namespace rpx

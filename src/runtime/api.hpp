@@ -1,0 +1,77 @@
+/**
+ * @file
+ * User-space developer API (§4.3):
+ *
+ *     struct RegionLabel { int x, y, w, h, stride, skip; };
+ *     SetRegionLabels(list<RegionLabel>);
+ *
+ * The RegionRuntime is the runtime service that receives these calls, tracks
+ * per-frame vs persistent label lists, and forwards them through the kernel
+ * driver to the encoder registers. It also surfaces the observed per-frame
+ * region statistics the evaluation reports in Table 4.
+ */
+
+#ifndef RPX_RUNTIME_API_HPP
+#define RPX_RUNTIME_API_HPP
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "runtime/driver.hpp"
+
+namespace rpx {
+
+/** Observed statistics of the labels submitted so far (Table 4). */
+struct RegionUsageStats {
+    RunningStats regions_per_frame;
+    RunningStats region_width;
+    RunningStats region_height;
+    RunningStats stride;
+    RunningStats skip;
+    i32 min_w = 0, max_w = 0;
+    i32 min_h = 0, max_h = 0;
+    i32 min_stride = 0, max_stride = 0;
+    i32 min_skip = 0, max_skip = 0;
+};
+
+/**
+ * Runtime service coordinating vision tasks with encoder operation.
+ */
+class RegionRuntime
+{
+  public:
+    explicit RegionRuntime(RegionDriver &driver);
+
+    /**
+     * The paper's SetRegionLabels(): submit a list for the next frame.
+     * When `persist` is true the list stays active for subsequent frames
+     * until replaced; otherwise it applies to exactly one frame and the
+     * runtime reverts to the persistent list afterwards.
+     */
+    void setRegionLabels(const std::vector<RegionLabel> &regions,
+                         bool persist = true);
+
+    /**
+     * Frame-boundary hook: the capture pipeline calls this before each
+     * frame; the runtime programs the hardware with whichever list applies.
+     * Returns the list that is active for this frame.
+     */
+    const std::vector<RegionLabel> &beginFrame();
+
+    const RegionUsageStats &usage() const { return usage_; }
+
+  private:
+    void recordUsage(const std::vector<RegionLabel> &regions);
+
+    RegionDriver &driver_;
+    std::vector<RegionLabel> persistent_;
+    std::vector<RegionLabel> one_shot_;
+    bool has_one_shot_ = false;
+    std::vector<RegionLabel> active_;
+    bool dirty_ = true;
+    RegionUsageStats usage_;
+};
+
+} // namespace rpx
+
+#endif // RPX_RUNTIME_API_HPP

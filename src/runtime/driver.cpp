@@ -1,0 +1,29 @@
+#include "runtime/driver.hpp"
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+RegionDriver::RegionDriver(RegisterFile &regs, i32 frame_w, i32 frame_h)
+    : regs_(regs), frame_w_(frame_w), frame_h_(frame_h)
+{
+    if (frame_w <= 0 || frame_h <= 0)
+        throwInvalid("driver frame geometry must be positive");
+    regs_.writeWord(static_cast<u32>(RegOffset::FrameWidth),
+                    static_cast<u32>(frame_w));
+    regs_.writeWord(static_cast<u32>(RegOffset::FrameHeight),
+                    static_cast<u32>(frame_h));
+}
+
+u64
+RegionDriver::setRegionLabels(std::vector<RegionLabel> regions)
+{
+    validateRegions(regions, frame_w_, frame_h_);
+    sortRegionsByY(regions);
+    const u64 before = regs_.writeCount();
+    regs_.loadRegions(regions);
+    ++ioctls_;
+    return regs_.writeCount() - before;
+}
+
+} // namespace rpx

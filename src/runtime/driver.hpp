@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Kernel-space driver emulation (§5.2): receives ioctl-style calls from the
+ * user-space API, validates and y-sorts the region list, and writes the
+ * parameters to the hardware register file over AXI-Lite.
+ */
+
+#ifndef RPX_RUNTIME_DRIVER_HPP
+#define RPX_RUNTIME_DRIVER_HPP
+
+#include <vector>
+
+#include "core/region.hpp"
+#include "runtime/registers.hpp"
+
+namespace rpx {
+
+/**
+ * The rhythmic-pixel-regions device driver.
+ *
+ * The driver owns the pre-processing the paper assigns to the CPU side of
+ * the hybrid encoder design: validation against the configured frame
+ * geometry and y-sorting (§4.1.1) before the labels reach the hardware.
+ */
+class RegionDriver
+{
+  public:
+    /**
+     * @param regs      encoder register file to program
+     * @param frame_w   frame geometry the labels are validated against
+     * @param frame_h   frame geometry the labels are validated against
+     */
+    RegionDriver(RegisterFile &regs, i32 frame_w, i32 frame_h);
+
+    /**
+     * ioctl(SET_REGION_LABELS): validate, y-sort, and program the hardware.
+     * Returns the number of AXI-Lite writes the call generated.
+     */
+    u64 setRegionLabels(std::vector<RegionLabel> regions);
+
+    i32 frameWidth() const { return frame_w_; }
+    i32 frameHeight() const { return frame_h_; }
+
+    /** Total ioctl calls serviced. */
+    u64 ioctlCount() const { return ioctls_; }
+
+  private:
+    RegisterFile &regs_;
+    i32 frame_w_;
+    i32 frame_h_;
+    u64 ioctls_ = 0;
+};
+
+} // namespace rpx
+
+#endif // RPX_RUNTIME_DRIVER_HPP

@@ -1,0 +1,99 @@
+#include "runtime/registers.hpp"
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+RegisterFile::RegisterFile(u32 max_regions) : max_regions_(max_regions)
+{
+    if (max_regions == 0)
+        throwInvalid("register file needs capacity for at least one region");
+    words_.assign(static_cast<size_t>(RegOffset::RegionBase) +
+                      static_cast<size_t>(max_regions) * kRegionRecordWords,
+                  0);
+}
+
+u32
+RegisterFile::regionWordCapacity() const
+{
+    return static_cast<u32>(words_.size());
+}
+
+void
+RegisterFile::writeWord(u32 word_offset, u32 value)
+{
+    if (word_offset >= regionWordCapacity())
+        throwInvalid("register write out of range: word ", word_offset);
+    ++writes_;
+    if (word_offset == static_cast<u32>(RegOffset::Control)) {
+        // bit1 is a self-clearing commit strobe.
+        words_[word_offset] = value & ~0x2u;
+        if (value & 0x2u)
+            commit();
+        return;
+    }
+    words_[word_offset] = value;
+}
+
+u32
+RegisterFile::readWord(u32 word_offset) const
+{
+    if (word_offset >= regionWordCapacity())
+        throwInvalid("register read out of range: word ", word_offset);
+    return words_[word_offset];
+}
+
+void
+RegisterFile::commit()
+{
+    const u32 count = words_[static_cast<size_t>(RegOffset::RegionCount)];
+    if (count > max_regions_)
+        throwInvalid("committed region count ", count,
+                     " exceeds hardware capacity ", max_regions_);
+    active_.clear();
+    active_.reserve(count);
+    for (u32 i = 0; i < count; ++i) {
+        const size_t base = static_cast<size_t>(RegOffset::RegionBase) +
+                            static_cast<size_t>(i) * kRegionRecordWords;
+        RegionLabel r;
+        r.x = static_cast<i32>(words_[base + 0]);
+        r.y = static_cast<i32>(words_[base + 1]);
+        r.w = static_cast<i32>(words_[base + 2]);
+        r.h = static_cast<i32>(words_[base + 3]);
+        r.stride = static_cast<i32>(words_[base + 4]);
+        r.skip = static_cast<i32>(words_[base + 5]);
+        r.phase = static_cast<i32>(words_[base + 6]);
+        active_.push_back(r);
+    }
+    ++commits_;
+}
+
+void
+RegisterFile::loadRegions(const std::vector<RegionLabel> &regions)
+{
+    if (regions.size() > max_regions_)
+        throwInvalid("region list of ", regions.size(),
+                     " exceeds hardware capacity ", max_regions_);
+    writeWord(static_cast<u32>(RegOffset::RegionCount),
+              static_cast<u32>(regions.size()));
+    for (size_t i = 0; i < regions.size(); ++i) {
+        const u32 base = static_cast<u32>(RegOffset::RegionBase) +
+                         static_cast<u32>(i) * kRegionRecordWords;
+        writeWord(base + 0, static_cast<u32>(regions[i].x));
+        writeWord(base + 1, static_cast<u32>(regions[i].y));
+        writeWord(base + 2, static_cast<u32>(regions[i].w));
+        writeWord(base + 3, static_cast<u32>(regions[i].h));
+        writeWord(base + 4, static_cast<u32>(regions[i].stride));
+        writeWord(base + 5, static_cast<u32>(regions[i].skip));
+        writeWord(base + 6, static_cast<u32>(regions[i].phase));
+    }
+    writeWord(static_cast<u32>(RegOffset::Control), 0x3); // enable + commit
+}
+
+bool
+RegisterFile::enabled() const
+{
+    return words_[static_cast<size_t>(RegOffset::Control)] & 0x1;
+}
+
+} // namespace rpx

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Memory-mapped register file of the encoder/decoder IP blocks (§5.2).
+ *
+ * The runtime's kernel driver writes region parameters into these registers
+ * over an AXI-Lite interface; the hardware units latch the active list on a
+ * commit. The model keeps a word-addressed register array with a simple
+ * layout: a control/count block followed by per-region parameter records.
+ */
+
+#ifndef RPX_RUNTIME_REGISTERS_HPP
+#define RPX_RUNTIME_REGISTERS_HPP
+
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/region.hpp"
+
+namespace rpx {
+
+/** Word offsets of the control block. */
+enum class RegOffset : u32 {
+    Control = 0,     //!< bit0 = enable, bit1 = commit strobe
+    RegionCount = 1, //!< number of valid region records
+    FrameWidth = 2,
+    FrameHeight = 3,
+    RegionBase = 8,  //!< first region record starts here
+};
+
+/** 32-bit words per region record: x, y, w, h, stride, skip, phase, pad. */
+constexpr u32 kRegionRecordWords = 8;
+
+/**
+ * Register file with AXI-Lite-style word access and commit semantics.
+ *
+ * Writes land in a staging area; when the commit strobe is written the
+ * staged region list becomes the active list (what the encoder samples
+ * with), emulating the frame-boundary latch of the real IP.
+ */
+class RegisterFile
+{
+  public:
+    /** @param max_regions capacity of the region table (paper: 1600). */
+    explicit RegisterFile(u32 max_regions = 1600);
+
+    u32 maxRegions() const { return max_regions_; }
+
+    /** AXI-Lite word write. Throws on out-of-range offsets. */
+    void writeWord(u32 word_offset, u32 value);
+
+    /** AXI-Lite word read. */
+    u32 readWord(u32 word_offset) const;
+
+    /** Convenience: stage an entire region list then strobe commit. */
+    void loadRegions(const std::vector<RegionLabel> &regions);
+
+    /** The committed (active) region list. */
+    const std::vector<RegionLabel> &activeRegions() const { return active_; }
+
+    bool enabled() const;
+
+    /** Number of AXI-Lite write transactions so far (driver overhead). */
+    u64 writeCount() const { return writes_; }
+
+    /** Number of commits (frame-boundary latches). */
+    u64 commitCount() const { return commits_; }
+
+  private:
+    u32 regionWordCapacity() const;
+    void commit();
+
+    u32 max_regions_;
+    std::vector<u32> words_;
+    std::vector<RegionLabel> active_;
+    u64 writes_ = 0;
+    u64 commits_ = 0;
+};
+
+} // namespace rpx
+
+#endif // RPX_RUNTIME_REGISTERS_HPP

@@ -1,0 +1,48 @@
+#include "sensor/csi2.hpp"
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+Csi2Link::Csi2Link(const Csi2Config &config) : config_(config)
+{
+    RPX_ASSERT(config.lanes > 0, "CSI-2 needs at least one lane");
+    RPX_ASSERT(config.gbps_per_lane > 0.0, "lane rate must be positive");
+}
+
+void
+Csi2Link::transferFrame(u64 pixels)
+{
+    pixels_ += pixels;
+}
+
+double
+Csi2Link::frameTransferTime(u64 pixels) const
+{
+    const double bits = static_cast<double>(pixels) *
+                        config_.bits_per_pixel *
+                        (1.0 + config_.overhead_fraction);
+    const double rate = config_.lanes * config_.gbps_per_lane * 1e9;
+    return bits / rate;
+}
+
+bool
+Csi2Link::supportsRate(u64 pixels, double fps) const
+{
+    return frameTransferTime(pixels) <= 1.0 / fps;
+}
+
+double
+Csi2Link::bitsTransferred() const
+{
+    return static_cast<double>(pixels_) * config_.bits_per_pixel *
+           (1.0 + config_.overhead_fraction);
+}
+
+double
+Csi2Link::energyJoules() const
+{
+    return static_cast<double>(pixels_) * config_.energy_pj_per_pixel * 1e-12;
+}
+
+} // namespace rpx

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * MIPI CSI-2 link model.
+ *
+ * The sensor sends pixels to the SoC over a multi-lane serial interface
+ * (§2). The model computes per-frame link occupancy and energy from lane
+ * count, bit rate, and payload size; the paper's appendix measures roughly
+ * 1 nJ/pixel over CSI.
+ */
+
+#ifndef RPX_SENSOR_CSI2_HPP
+#define RPX_SENSOR_CSI2_HPP
+
+#include "common/types.hpp"
+
+namespace rpx {
+
+/** CSI-2 link configuration. */
+struct Csi2Config {
+    int lanes = 4;
+    double gbps_per_lane = 1.44;     //!< D-PHY lane rate
+    double bits_per_pixel = 10.0;    //!< RAW10 on the wire
+    double overhead_fraction = 0.05; //!< packet headers, sync, blanking
+    double energy_pj_per_pixel = 1000.0; //!< ~1 nJ/pixel (paper appendix)
+};
+
+/**
+ * Per-frame CSI-2 transfer accounting.
+ */
+class Csi2Link
+{
+  public:
+    explicit Csi2Link(const Csi2Config &config = Csi2Config{});
+
+    const Csi2Config &config() const { return config_; }
+
+    /** Record one frame of `pixels` crossing the link. */
+    void transferFrame(u64 pixels);
+
+    /** Seconds required to move `pixels` across the link. */
+    double frameTransferTime(u64 pixels) const;
+
+    /** True when `pixels` at `fps` fits the aggregate lane bandwidth. */
+    bool supportsRate(u64 pixels, double fps) const;
+
+    u64 pixelsTransferred() const { return pixels_; }
+
+    /** Total wire bits including protocol overhead. */
+    double bitsTransferred() const;
+
+    /** Total link energy in joules. */
+    double energyJoules() const;
+
+  private:
+    Csi2Config config_;
+    u64 pixels_ = 0;
+};
+
+} // namespace rpx
+
+#endif // RPX_SENSOR_CSI2_HPP

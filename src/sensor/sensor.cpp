@@ -1,0 +1,101 @@
+#include "sensor/sensor.hpp"
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+SensorConfig
+sensorPreset4K()
+{
+    return SensorConfig{"IMX274", 3840, 2160, 60.0, 0.0, 1};
+}
+
+SensorConfig
+sensorPreset1080p()
+{
+    return SensorConfig{"1080p", 1920, 1080, 30.0, 0.0, 1};
+}
+
+SensorConfig
+sensorPreset720p()
+{
+    return SensorConfig{"720p", 1280, 720, 30.0, 0.0, 1};
+}
+
+SensorConfig
+sensorPresetSvga()
+{
+    return SensorConfig{"SVGA", 800, 600, 30.0, 0.0, 1};
+}
+
+SensorConfig
+sensorPreset480p()
+{
+    return SensorConfig{"480p", 640, 480, 30.0, 0.0, 1};
+}
+
+SensorConfig
+sensorPreset240p()
+{
+    return SensorConfig{"240p", 320, 240, 30.0, 0.0, 1};
+}
+
+SensorModel::SensorModel(const SensorConfig &config)
+    : config_(config), rng_(config.noise_seed)
+{
+    if (config.width <= 0 || config.height <= 0)
+        throwInvalid("sensor resolution must be positive");
+    if (config.fps <= 0.0)
+        throwInvalid("sensor frame rate must be positive");
+}
+
+Image
+SensorModel::capture(const Image &scene_rgb)
+{
+    if (scene_rgb.channels() != 3)
+        throwInvalid("SensorModel::capture expects an RGB scene");
+    Image scene = scene_rgb;
+    if (scene.width() != config_.width || scene.height() != config_.height)
+        scene = scene.resized(config_.width, config_.height);
+
+    Image raw(config_.width, config_.height, PixelFormat::BayerRggb);
+    for (i32 y = 0; y < raw.height(); ++y) {
+        const u8 *src = scene.row(y);
+        u8 *dst = raw.row(y);
+        for (i32 x = 0; x < raw.width(); ++x) {
+            // RGGB: even rows alternate R,G; odd rows alternate G,B.
+            int channel;
+            if ((y & 1) == 0)
+                channel = ((x & 1) == 0) ? 0 : 1;
+            else
+                channel = ((x & 1) == 0) ? 1 : 2;
+            dst[x] = src[3 * static_cast<size_t>(x) + channel];
+        }
+    }
+    addNoise(raw);
+    ++frames_;
+    return raw;
+}
+
+Image
+SensorModel::captureGray(const Image &scene)
+{
+    Image gray = scene.toGray();
+    if (gray.width() != config_.width || gray.height() != config_.height)
+        gray = gray.resized(config_.width, config_.height);
+    addNoise(gray);
+    ++frames_;
+    return gray;
+}
+
+void
+SensorModel::addNoise(Image &img)
+{
+    if (config_.read_noise_sigma <= 0.0)
+        return;
+    for (auto &b : img.data()) {
+        b = clampToU8(b + rng_.gaussian(0.0, config_.read_noise_sigma));
+    }
+}
+
+} // namespace rpx

@@ -1,0 +1,109 @@
+#include "sim/experiments.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+std::vector<SchemePoint>
+paperSchemeSweep()
+{
+    return {
+        {CaptureScheme::FCH, 0},    {CaptureScheme::FCL, 0},
+        {CaptureScheme::RP, 5},     {CaptureScheme::RP, 10},
+        {CaptureScheme::RP, 15},    {CaptureScheme::H264, 0},
+        {CaptureScheme::MultiRoi, 10},
+    };
+}
+
+RegionTrace
+scaleTrace(const RegionTrace &trace, i32 from_w, i32 from_h, i32 to_w,
+           i32 to_h)
+{
+    if (from_w <= 0 || from_h <= 0 || to_w <= 0 || to_h <= 0)
+        throwInvalid("trace scaling geometry must be positive");
+    const double sx = static_cast<double>(to_w) / from_w;
+    const double sy = static_cast<double>(to_h) / from_h;
+
+    RegionTrace out;
+    out.reserve(trace.size());
+    for (const auto &labels : trace) {
+        std::vector<RegionLabel> scaled;
+        scaled.reserve(labels.size());
+        for (const auto &r : labels) {
+            RegionLabel s = r;
+            s.x = static_cast<i32>(std::lround(r.x * sx));
+            s.y = static_cast<i32>(std::lround(r.y * sy));
+            s.w = std::max<i32>(1, static_cast<i32>(std::lround(r.w * sx)));
+            s.h = std::max<i32>(1, static_cast<i32>(std::lround(r.h * sy)));
+            // Clip to the target frame.
+            const Rect c = s.rect().clippedTo(to_w, to_h);
+            if (c.empty())
+                continue;
+            s.x = c.x;
+            s.y = c.y;
+            s.w = c.w;
+            s.h = c.h;
+            scaled.push_back(s);
+        }
+        sortRegionsByY(scaled);
+        out.push_back(std::move(scaled));
+    }
+    return out;
+}
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    RPX_ASSERT(cells.size() == headers_.size(),
+               "table row width mismatch");
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c];
+            for (size_t pad = cells[c].size(); pad < widths[c] + 2; ++pad)
+                os << ' ';
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    std::string rule;
+    for (size_t c = 0; c < headers_.size(); ++c)
+        rule += std::string(widths[c], '-') + "  ";
+    os << rule << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+    return os.str();
+}
+
+std::string
+fmtDouble(double v, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+    return buf;
+}
+
+} // namespace rpx

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Shared evaluation-harness helpers: the scheme sweep of the paper's
+ * figures, trace rescaling to the paper's native resolutions, and plain
+ * text table formatting used by the bench binaries.
+ */
+
+#ifndef RPX_SIM_EXPERIMENTS_HPP
+#define RPX_SIM_EXPERIMENTS_HPP
+
+#include <string>
+#include <vector>
+
+#include "sim/platform.hpp"
+#include "sim/throughput_sim.hpp"
+#include "sim/workload.hpp"
+
+namespace rpx {
+
+/** One scheme point of the Fig. 8 / Fig. 9 sweeps. */
+struct SchemePoint {
+    CaptureScheme scheme;
+    int cycle_length; //!< meaningful for RP (and Multi-ROI full captures)
+};
+
+/** The paper's bar order: FCH, FCL, RP5, RP10, RP15, H.264, Multi-ROI. */
+std::vector<SchemePoint> paperSchemeSweep();
+
+/**
+ * Rescale a region trace recorded at one resolution to another (the paper
+ * evaluates traffic at the workload's native resolution, Table 3, while
+ * accuracy runs at simulation scale). Strides and skips are preserved;
+ * coordinates and sizes scale.
+ */
+RegionTrace scaleTrace(const RegionTrace &trace, i32 from_w, i32 from_h,
+                       i32 to_w, i32 to_h);
+
+/** Fixed-width text table writer for bench output. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with column alignment. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** printf-style %.*f formatting helper. */
+std::string fmtDouble(double v, int decimals = 2);
+
+} // namespace rpx
+
+#endif // RPX_SIM_EXPERIMENTS_HPP

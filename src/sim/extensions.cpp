@@ -1,0 +1,86 @@
+#include "sim/extensions.hpp"
+
+#include <deque>
+
+#include "common/error.hpp"
+#include "core/encoder.hpp"
+
+namespace rpx {
+
+DramlessResult
+analyzeDramless(const RegionTrace &trace, i32 frame_w, i32 frame_h,
+                const DramlessConfig &config)
+{
+    RhythmicEncoder::Config ec;
+    ec.require_sorted = false;
+    RhythmicEncoder encoder(frame_w, frame_h, ec);
+
+    DramlessResult result;
+    const u64 full_pixels =
+        static_cast<u64>(frame_w) * static_cast<u64>(frame_h);
+    for (size_t t = 0; t < trace.size(); ++t) {
+        encoder.setRegionLabels(trace[t]);
+        const auto sum =
+            encoder.summarizeFrame(static_cast<FrameIndex>(t));
+        const Bytes payload = static_cast<Bytes>(
+            static_cast<double>(sum.r) * config.bytes_per_pixel);
+        const Bytes frame_bytes = payload + sum.metadata_bytes;
+
+        // §7: "store frame buffers in the local SoC memory when not
+        // dealing with full frame captures" — a frame stays on-chip when
+        // it is not a full capture and its encoded bytes fit the budget.
+        const bool full_capture = sum.r == full_pixels;
+
+        // Pixel traffic this frame: write + read of the payload.
+        const Bytes traffic = 2 * payload;
+        result.dram_bytes_baseline += traffic;
+        if (!full_capture && frame_bytes <= config.sram_budget)
+            ++result.frames_fitting;
+        else
+            result.dram_bytes_dramless += traffic;
+        ++result.frames;
+    }
+    return result;
+}
+
+PlacementResult
+analyzePlacement(const RegionTrace &trace, i32 frame_w, i32 frame_h,
+                 double fps, EncoderPlacement placement,
+                 const EnergyModel &energy)
+{
+    if (fps <= 0.0)
+        throwInvalid("placement study fps must be positive");
+    RhythmicEncoder::Config ec;
+    ec.require_sorted = false;
+    RhythmicEncoder encoder(frame_w, frame_h, ec);
+
+    double total_pixels = 0.0;
+    for (size_t t = 0; t < trace.size(); ++t) {
+        encoder.setRegionLabels(trace[t]);
+        const auto sum =
+            encoder.summarizeFrame(static_cast<FrameIndex>(t));
+        switch (placement) {
+          case EncoderPlacement::AtIspOutput:
+            total_pixels += static_cast<double>(sum.total());
+            break;
+          case EncoderPlacement::InSensor:
+            // Only regional pixels (plus the 2-bit mask, which rides in
+            // the footer at ~1/4 pixel-equivalent per 2 pixels) cross CSI.
+            total_pixels += static_cast<double>(sum.r) +
+                            static_cast<double>(sum.metadata_bytes);
+            break;
+        }
+    }
+
+    PlacementResult result;
+    if (trace.empty())
+        return result;
+    result.csi_pixels_per_frame =
+        total_pixels / static_cast<double>(trace.size());
+    result.csi_energy_per_frame_j = result.csi_pixels_per_frame *
+                                    energy.constants().csi_pj * 1e-12;
+    result.csi_power_w = result.csi_energy_per_frame_j * fps;
+    return result;
+}
+
+} // namespace rpx

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Quantitative studies of the paper's §7 future directions:
+ *
+ *  - DRAM-less computing: rhythmic frames are small enough to live in
+ *    on-chip SRAM between full captures; measure how often a trace's
+ *    working set fits a given SRAM budget and how much DRAM traffic that
+ *    avoids.
+ *  - Rhythmic pixel camera: moving the encoder from the ISP output into
+ *    the camera module relieves the MIPI CSI interface too; measure the
+ *    CSI traffic and energy under both placements.
+ */
+
+#ifndef RPX_SIM_EXTENSIONS_HPP
+#define RPX_SIM_EXTENSIONS_HPP
+
+#include "energy/energy_model.hpp"
+#include "sim/throughput_sim.hpp"
+
+namespace rpx {
+
+/** DRAM-less study parameters. */
+struct DramlessConfig {
+    Bytes sram_budget = 2 * 1024 * 1024; //!< on-chip buffer (2 MB)
+    double bytes_per_pixel = 2.0;
+};
+
+/** DRAM-less study outcome. */
+struct DramlessResult {
+    u64 frames = 0;
+    u64 frames_fitting = 0;       //!< frames whose window fits in SRAM
+    Bytes dram_bytes_baseline = 0; //!< all pixel traffic to DRAM
+    Bytes dram_bytes_dramless = 0; //!< traffic still hitting DRAM
+    double fitFraction() const
+    {
+        return frames ? static_cast<double>(frames_fitting) /
+                            static_cast<double>(frames)
+                      : 0.0;
+    }
+    double avoidedFraction() const
+    {
+        return dram_bytes_baseline
+                   ? 1.0 - static_cast<double>(dram_bytes_dramless) /
+                               static_cast<double>(dram_bytes_baseline)
+                   : 0.0;
+    }
+};
+
+/**
+ * Replay a region trace and decide, frame by frame, whether the encoded
+ * frame (payload + metadata) could live in on-chip SRAM instead of DRAM:
+ * full captures always go to DRAM; tracked frames stay on-chip when they
+ * fit the budget (§7 "DRAM-less Computing").
+ */
+DramlessResult analyzeDramless(const RegionTrace &trace, i32 frame_w,
+                               i32 frame_h, const DramlessConfig &config);
+
+/** Where the rhythmic encoder sits. */
+enum class EncoderPlacement {
+    AtIspOutput, //!< this work: dense pixels still cross MIPI CSI
+    InSensor,    //!< §7: encoder inside the camera module
+};
+
+/** Encoder-placement study outcome. */
+struct PlacementResult {
+    double csi_pixels_per_frame = 0.0;
+    double csi_energy_per_frame_j = 0.0;
+    double csi_power_w = 0.0; //!< at the configured frame rate
+};
+
+/**
+ * CSI-interface cost of a trace under an encoder placement. With the
+ * encoder in the sensor, only regional (R) pixels cross the link; at the
+ * ISP output, every pixel does.
+ */
+PlacementResult analyzePlacement(const RegionTrace &trace, i32 frame_w,
+                                 i32 frame_h, double fps,
+                                 EncoderPlacement placement,
+                                 const EnergyModel &energy);
+
+} // namespace rpx
+
+#endif // RPX_SIM_EXTENSIONS_HPP

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * The end-to-end vision pipeline (Fig. 4): sensor -> ISP -> rhythmic
+ * encoder -> DRAM framebuffer ring -> decoder -> application frame, with a
+ * runtime for region-label control and full traffic accounting.
+ */
+
+#ifndef RPX_SIM_PIPELINE_HPP
+#define RPX_SIM_PIPELINE_HPP
+
+#include <memory>
+
+#include "baseline/frame_based.hpp"
+#include "core/decoder.hpp"
+#include "core/encoder.hpp"
+#include "core/frame_store.hpp"
+#include "core/sw_decoder.hpp"
+#include "isp/isp_pipeline.hpp"
+#include "memory/dram.hpp"
+#include "runtime/api.hpp"
+#include "runtime/driver.hpp"
+#include "runtime/registers.hpp"
+#include "sensor/csi2.hpp"
+#include "sensor/sensor.hpp"
+
+namespace rpx {
+
+/** Pipeline configuration. */
+struct PipelineConfig {
+    i32 width = 640;
+    i32 height = 480;
+    double fps = 30.0;
+    /**
+     * When true, scenes go through the Bayer mosaic sensor model and the
+     * ISP demosaic (slow, fully faithful). When false, grayscale scenes
+     * feed the encoder directly (the fast path used by large sweeps; the
+     * encoder input is identical either way up to ISP rounding).
+     */
+    bool use_sensor_path = false;
+    int history = 4;
+    u32 max_regions = 1600;
+    ComparisonMode comparison_mode = ComparisonMode::Hybrid;
+};
+
+/** Result of pushing one frame through the pipeline. */
+struct PipelineFrameResult {
+    Image decoded;            //!< what the vision app sees
+    double kept_fraction = 0.0; //!< encoded pixels / total pixels
+    FrameTraffic traffic;     //!< this frame's memory traffic
+    FrameIndex index = 0;
+};
+
+/**
+ * Fully wired rhythmic-pixel-regions pipeline.
+ */
+class VisionPipeline
+{
+  public:
+    explicit VisionPipeline(const PipelineConfig &config);
+
+    const PipelineConfig &config() const { return config_; }
+
+    /** Developer-facing runtime (SetRegionLabels lives here). */
+    RegionRuntime &runtime() { return *runtime_; }
+
+    /** Push one scene frame (RGB for the sensor path, else grayscale). */
+    PipelineFrameResult processFrame(const Image &scene);
+
+    const RhythmicEncoder &encoder() const { return *encoder_; }
+    RhythmicDecoder &decoder() { return *decoder_; }
+    const FrameStore &frameStore() const { return *store_; }
+    const DramModel &dram() const { return *dram_; }
+    const TrafficSummary &traffic() const { return traffic_; }
+    const Csi2Link &csi() const { return csi_; }
+    FrameIndex frameIndex() const { return next_frame_; }
+
+  private:
+    PipelineConfig config_;
+    std::unique_ptr<DramModel> dram_;
+    SensorModel sensor_;
+    Csi2Link csi_;
+    IspPipeline isp_;
+    RegisterFile registers_;
+    std::unique_ptr<RegionDriver> driver_;
+    std::unique_ptr<RegionRuntime> runtime_;
+    std::unique_ptr<RhythmicEncoder> encoder_;
+    std::unique_ptr<FrameStore> store_;
+    std::unique_ptr<RhythmicDecoder> decoder_;
+    SoftwareDecoder sw_decoder_;
+    TrafficSummary traffic_;
+    FrameIndex next_frame_ = 0;
+};
+
+} // namespace rpx
+
+#endif // RPX_SIM_PIPELINE_HPP

@@ -1,0 +1,68 @@
+#include "sim/platform.hpp"
+
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+std::vector<PlatformComponent>
+platformComponents()
+{
+    return {
+        {"Camera", "Sony IMX274 (model), 4K @ 60 fps"},
+        {"ISP", "Demosaic and Gamma correction, 2 Pixels Per Clock"},
+        {"CPU", "ARM Cortex-A53 quad-core (host stand-in)"},
+        {"GPU", "ARM Mali-400 MP2 (not modelled)"},
+        {"NPU", "Deephi DNN co-processor (replaced by CPU detectors)"},
+        {"DRAM", "4-channel LPDDR4, 4 GB, 32-bit (transaction model)"},
+    };
+}
+
+std::string
+schemeName(CaptureScheme scheme, int cycle_length)
+{
+    switch (scheme) {
+      case CaptureScheme::FCH:
+        return "FCH";
+      case CaptureScheme::FCL:
+        return "FCL";
+      case CaptureScheme::RP:
+        return cycle_length > 0 ? "RP" + std::to_string(cycle_length)
+                                : "RP";
+      case CaptureScheme::MultiRoi:
+        return "Multi-ROI";
+      case CaptureScheme::H264:
+        return "H.264";
+    }
+    return "?";
+}
+
+EvalScale
+evalScaleFromEnv()
+{
+    EvalScale scale; // defaults = "small"
+    const char *env = std::getenv("RPX_BENCH_SCALE");
+    const std::string mode = env ? env : "small";
+    if (mode == "small") {
+        // defaults
+    } else if (mode == "medium") {
+        scale.slam_frames = 120;
+        scale.det_frames = 120;
+        scale.sequences = 3;
+    } else if (mode == "full") {
+        scale.slam_frames = 240;
+        scale.det_frames = 240;
+        scale.sequences = 5;
+        scale.slam_width = 960;
+        scale.slam_height = 720;
+        scale.pose_width = 1280;
+        scale.pose_height = 720;
+    } else {
+        throwInvalid("unknown RPX_BENCH_SCALE: ", mode,
+                     " (want small|medium|full)");
+    }
+    return scale;
+}
+
+} // namespace rpx

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Platform description (Table 2): the component inventory of the emulated
+ * reVISION-style video pipeline, plus the capture-scheme and scale
+ * configuration shared by the evaluation harness.
+ */
+
+#ifndef RPX_SIM_PLATFORM_HPP
+#define RPX_SIM_PLATFORM_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rpx {
+
+/** One row of Table 2. */
+struct PlatformComponent {
+    std::string component;
+    std::string specification;
+};
+
+/** The Table 2 inventory. */
+std::vector<PlatformComponent> platformComponents();
+
+/** Capture schemes compared in the evaluation (§5.3 baselines). */
+enum class CaptureScheme {
+    FCH,      //!< frame-based, high resolution
+    FCL,      //!< frame-based, low resolution
+    RP,       //!< rhythmic pixel regions (cycle length via parameter)
+    MultiRoi, //!< <=16-window multi-ROI camera
+    H264,     //!< datasheet video-compression estimate
+};
+
+/** Printable scheme name ("FCH", "RP10", ...). */
+std::string schemeName(CaptureScheme scheme, int cycle_length = 0);
+
+/**
+ * Evaluation scale: benches run at a laptop-friendly scale by default and
+ * read RPX_BENCH_SCALE from the environment ("small" | "medium" | "full")
+ * to trade runtime for fidelity.
+ */
+struct EvalScale {
+    int slam_frames = 60;
+    int det_frames = 60;
+    int sequences = 2;
+    i32 slam_width = 640;
+    i32 slam_height = 480;
+    i32 pose_width = 960;
+    i32 pose_height = 540;
+    i32 face_width = 800;
+    i32 face_height = 600;
+};
+
+/** Resolve the scale from the RPX_BENCH_SCALE environment variable. */
+EvalScale evalScaleFromEnv();
+
+} // namespace rpx
+
+#endif // RPX_SIM_PLATFORM_HPP

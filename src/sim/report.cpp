@@ -1,0 +1,126 @@
+#include "sim/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace rpx {
+
+namespace {
+
+void
+line(std::ostringstream &os, const char *key, double value,
+     const char *unit = "")
+{
+    os << "  " << std::left << std::setw(38) << key << std::right
+       << std::setw(16) << std::setprecision(6) << value;
+    if (*unit)
+        os << "  # " << unit;
+    os << "\n";
+}
+
+} // namespace
+
+std::string
+pipelineReport(VisionPipeline &pipeline, const EnergyModel &energy)
+{
+    std::ostringstream os;
+    os << "---------- rpx pipeline statistics ----------\n";
+
+    const auto &cfg = pipeline.config();
+    os << "config\n";
+    line(os, "frame.width", cfg.width, "pixels");
+    line(os, "frame.height", cfg.height, "pixels");
+    line(os, "frame.rate", cfg.fps, "fps");
+    line(os, "frames.processed",
+         static_cast<double>(pipeline.frameIndex()));
+
+    const EncoderStats &enc = pipeline.encoder().stats();
+    os << "encoder\n";
+    line(os, "encoder.pixels_in", static_cast<double>(enc.pixels_in));
+    line(os, "encoder.pixels_encoded",
+         static_cast<double>(enc.pixels_encoded));
+    line(os, "encoder.kept_fraction",
+         enc.pixels_in ? static_cast<double>(enc.pixels_encoded) /
+                             static_cast<double>(enc.pixels_in)
+                       : 0.0);
+    line(os, "encoder.region_comparisons",
+         static_cast<double>(enc.region_comparisons));
+    line(os, "encoder.selector_examined",
+         static_cast<double>(enc.selector_examined));
+    line(os, "encoder.rows_skipped",
+         static_cast<double>(enc.rows_skipped));
+    line(os, "encoder.run_reuses", static_cast<double>(enc.run_reuses));
+    line(os, "encoder.meets_2ppc",
+         pipeline.encoder().withinCycleBudget() ? 1.0 : 0.0, "bool");
+
+    const DecoderStats &dec = pipeline.decoder().stats();
+    os << "decoder\n";
+    line(os, "decoder.transactions",
+         static_cast<double>(dec.transactions));
+    line(os, "decoder.pixels_requested",
+         static_cast<double>(dec.pixels_requested));
+    line(os, "decoder.dram_reads", static_cast<double>(dec.dram_reads));
+    line(os, "decoder.dram_pixel_bytes",
+         static_cast<double>(dec.dram_pixel_bytes), "bytes");
+    line(os, "decoder.metadata_bytes",
+         static_cast<double>(dec.metadata_bytes), "bytes");
+    line(os, "decoder.resampled_pixels",
+         static_cast<double>(dec.resampled_pixels));
+    line(os, "decoder.history_hits",
+         static_cast<double>(dec.history_hits));
+    line(os, "decoder.black_pixels",
+         static_cast<double>(dec.black_pixels));
+    line(os, "decoder.avg_latency_ns", pipeline.decoder().avgLatencyNs(),
+         "modelled");
+
+    const DramStats &dram = pipeline.dram().stats();
+    os << "dram\n";
+    line(os, "dram.bytes_written",
+         static_cast<double>(dram.bytes_written), "bytes");
+    line(os, "dram.bytes_read", static_cast<double>(dram.bytes_read),
+         "bytes");
+    line(os, "dram.write_bursts", static_cast<double>(dram.write_bursts));
+    line(os, "dram.read_bursts", static_cast<double>(dram.read_bursts));
+
+    const TrafficSummary &traffic = pipeline.traffic();
+    os << "traffic\n";
+    line(os, "traffic.throughput_mbps",
+         traffic.throughputMBps(cfg.fps), "MB/s at frame rate");
+    line(os, "traffic.footprint_mean_mb", traffic.footprintMB(), "MB");
+    line(os, "traffic.footprint_peak_mb",
+         static_cast<double>(traffic.footprint_peak) / 1e6, "MB");
+
+    os << "csi\n";
+    line(os, "csi.pixels_transferred",
+         static_cast<double>(pipeline.csi().pixelsTransferred()));
+    line(os, "csi.energy_mj", pipeline.csi().energyJoules() * 1e3, "mJ");
+
+    // First-order energy estimate for the run (Appendix A.2).
+    PixelActivity activity;
+    activity.sensed_pixels = pipeline.csi().pixelsTransferred();
+    activity.csi_pixels = pipeline.csi().pixelsTransferred();
+    activity.dram_pixels_written = enc.pixels_encoded;
+    activity.dram_pixels_read = enc.pixels_encoded;
+    const EnergyBreakdown e = energy.energy(activity);
+    os << "energy (first-order model)\n";
+    line(os, "energy.sensing_mj", e.sensing * 1e3, "mJ");
+    line(os, "energy.communication_mj", e.communication * 1e3, "mJ");
+    line(os, "energy.storage_mj", e.storage * 1e3, "mJ");
+    line(os, "energy.total_mj", e.total() * 1e3, "mJ");
+    if (pipeline.frameIndex() > 0) {
+        line(os, "energy.avg_power_w",
+             e.total() * cfg.fps /
+                 static_cast<double>(pipeline.frameIndex()),
+             "W at frame rate");
+    }
+    os << "----------------------------------------------\n";
+    return os.str();
+}
+
+std::string
+pipelineReport(VisionPipeline &pipeline)
+{
+    return pipelineReport(pipeline, EnergyModel{});
+}
+
+} // namespace rpx

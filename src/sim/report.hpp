@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Pipeline statistics report — a gem5-style end-of-run dump aggregating
+ * every component's counters (encoder work, decoder behaviour, DRAM
+ * traffic, CSI link, energy estimate) into one readable text block.
+ */
+
+#ifndef RPX_SIM_REPORT_HPP
+#define RPX_SIM_REPORT_HPP
+
+#include <string>
+
+#include "energy/energy_model.hpp"
+#include "sim/pipeline.hpp"
+
+namespace rpx {
+
+/**
+ * Render a full statistics report for a pipeline after a run.
+ *
+ * @param pipeline the pipeline to report on
+ * @param energy   the energy model used for the first-order estimate
+ */
+std::string pipelineReport(VisionPipeline &pipeline,
+                           const EnergyModel &energy);
+
+/** Report with the default energy model. */
+std::string pipelineReport(VisionPipeline &pipeline);
+
+} // namespace rpx
+
+#endif // RPX_SIM_REPORT_HPP

@@ -1,0 +1,174 @@
+#include "sim/throughput_sim.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+ThroughputSimulator::ThroughputSimulator(const ThroughputConfig &config)
+    : config_(config)
+{
+    if (config.width <= 0 || config.height <= 0)
+        throwInvalid("throughput sim geometry must be positive");
+    if (config.fps <= 0.0)
+        throwInvalid("throughput sim fps must be positive");
+    if (config.history < 1)
+        throwInvalid("throughput sim history must be >= 1");
+}
+
+ThroughputResult
+ThroughputSimulator::evaluateFixed(const FrameTraffic &per_frame,
+                                   size_t frames) const
+{
+    ThroughputResult result;
+    for (size_t i = 0; i < frames; ++i)
+        result.traffic.add(per_frame);
+    result.throughput_mbps = result.traffic.throughputMBps(config_.fps);
+    result.write_mbps =
+        frames ? static_cast<double>(result.traffic.bytes_written) /
+                     static_cast<double>(frames) * config_.fps / 1e6
+               : 0.0;
+    result.read_mbps =
+        frames ? static_cast<double>(result.traffic.bytes_read) /
+                     static_cast<double>(frames) * config_.fps / 1e6
+               : 0.0;
+    result.footprint_mb = result.traffic.footprintMB();
+    result.footprint_peak_mb =
+        static_cast<double>(result.traffic.footprint_peak) / 1e6;
+    return result;
+}
+
+ThroughputResult
+ThroughputSimulator::evaluateRhythmic(const RegionTrace &trace) const
+{
+    RhythmicEncoder::Config ec;
+    ec.require_sorted = false; // traces may come unsorted; sorted below
+    RhythmicEncoder encoder(config_.width, config_.height, ec);
+
+    ThroughputResult result;
+    std::deque<Bytes> ring; // encoded payload bytes of retained frames
+    u64 captured = 0;
+    u64 kept = 0;
+    for (size_t t = 0; t < trace.size(); ++t) {
+        std::vector<RegionLabel> labels = trace[t];
+        sortRegionsByY(labels);
+        encoder.setRegionLabels(std::move(labels));
+        const auto sum =
+            encoder.summarizeFrame(static_cast<FrameIndex>(t));
+        captured += sum.total();
+        kept += sum.r;
+
+        const Bytes payload = static_cast<Bytes>(
+            static_cast<double>(sum.r) * config_.bytes_per_pixel);
+        ring.push_front(payload + sum.metadata_bytes);
+        while (ring.size() > static_cast<size_t>(config_.history))
+            ring.pop_back();
+        Bytes footprint = 0;
+        for (Bytes b : ring)
+            footprint += b;
+
+        FrameTraffic ft;
+        ft.bytes_written = payload;
+        ft.bytes_read = payload;
+        ft.metadata_bytes = 2 * sum.metadata_bytes;
+        ft.footprint = footprint;
+        result.traffic.add(ft);
+    }
+    result.throughput_mbps = result.traffic.throughputMBps(config_.fps);
+    const double frames = static_cast<double>(trace.size());
+    if (frames > 0) {
+        result.write_mbps =
+            (static_cast<double>(result.traffic.bytes_written) +
+             static_cast<double>(result.traffic.metadata_bytes) / 2.0) /
+            frames * config_.fps / 1e6;
+        result.read_mbps =
+            (static_cast<double>(result.traffic.bytes_read) +
+             static_cast<double>(result.traffic.metadata_bytes) / 2.0) /
+            frames * config_.fps / 1e6;
+    }
+    result.footprint_mb = result.traffic.footprintMB();
+    result.footprint_peak_mb =
+        static_cast<double>(result.traffic.footprint_peak) / 1e6;
+    result.kept_fraction =
+        captured ? static_cast<double>(kept) / static_cast<double>(captured)
+                 : 1.0;
+    return result;
+}
+
+ThroughputResult
+ThroughputSimulator::evaluateMultiRoi(const RegionTrace &trace) const
+{
+    MultiRoiCapture roi(config_.width, config_.height,
+                        config_.multi_roi_windows,
+                        config_.bytes_per_pixel);
+    ThroughputResult result;
+    u64 captured = 0;
+    u64 kept = 0;
+    for (const auto &labels : trace) {
+        const auto windows = roi.reduceRegions(labels);
+        const FrameTraffic ft = roi.frameTraffic(windows);
+        result.traffic.add(ft);
+        captured += static_cast<u64>(config_.width) *
+                    static_cast<u64>(config_.height);
+        for (const auto &w : windows)
+            kept += static_cast<u64>(w.area());
+    }
+    result.throughput_mbps = result.traffic.throughputMBps(config_.fps);
+    const double frames = static_cast<double>(trace.size());
+    if (frames > 0) {
+        result.write_mbps = static_cast<double>(
+                                result.traffic.bytes_written) /
+                            frames * config_.fps / 1e6;
+        result.read_mbps = static_cast<double>(result.traffic.bytes_read) /
+                           frames * config_.fps / 1e6;
+    }
+    result.footprint_mb = result.traffic.footprintMB();
+    result.footprint_peak_mb =
+        static_cast<double>(result.traffic.footprint_peak) / 1e6;
+    result.kept_fraction =
+        captured ? static_cast<double>(kept) / static_cast<double>(captured)
+                 : 1.0;
+    return result;
+}
+
+ThroughputResult
+ThroughputSimulator::evaluate(CaptureScheme scheme,
+                              const RegionTrace &trace) const
+{
+    switch (scheme) {
+      case CaptureScheme::FCH: {
+        // Frame-based pipelines keep the same framebuffer ring depth the
+        // rhythmic pipeline uses, so footprints compare like for like.
+        FrameBasedCapture cap(config_.width, config_.height,
+                              config_.history, config_.bytes_per_pixel);
+        return evaluateFixed(cap.frameTraffic(), trace.size());
+      }
+      case CaptureScheme::FCL: {
+        const i32 w = std::max<i32>(
+            1, static_cast<i32>(config_.width * config_.fcl_scale));
+        const i32 h = std::max<i32>(
+            1, static_cast<i32>(config_.height * config_.fcl_scale));
+        FrameBasedCapture cap(w, h, config_.history,
+                              config_.bytes_per_pixel);
+        ThroughputResult r = evaluateFixed(cap.frameTraffic(),
+                                           trace.size());
+        r.kept_fraction = config_.fcl_scale * config_.fcl_scale;
+        return r;
+      }
+      case CaptureScheme::H264: {
+        H264Config hc;
+        hc.bytes_per_pixel = config_.bytes_per_pixel;
+        H264Capture cap(config_.width, config_.height, hc);
+        return evaluateFixed(cap.frameTraffic(), trace.size());
+      }
+      case CaptureScheme::MultiRoi:
+        return evaluateMultiRoi(trace);
+      case CaptureScheme::RP:
+        return evaluateRhythmic(trace);
+    }
+    throwInvalid("unknown capture scheme");
+}
+
+} // namespace rpx

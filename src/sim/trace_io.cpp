@@ -1,0 +1,119 @@
+#include "sim/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+void
+writeTrace(std::ostream &os, const TraceFile &file)
+{
+    os << "# rpx-trace v1 width=" << file.width
+       << " height=" << file.height << "\n";
+    os << "frame,x,y,w,h,stride,skip,phase\n";
+    for (size_t t = 0; t < file.trace.size(); ++t) {
+        for (const auto &r : file.trace[t]) {
+            os << t << ',' << r.x << ',' << r.y << ',' << r.w << ','
+               << r.h << ',' << r.stride << ',' << r.skip << ','
+               << r.phase << "\n";
+        }
+        // Frames with no regions still need a marker so the frame count
+        // survives the round trip.
+        if (file.trace[t].empty())
+            os << t << ",,,,,,,\n";
+    }
+}
+
+void
+writeTraceFile(const std::string &path, const TraceFile &file)
+{
+    std::ofstream os(path);
+    if (!os)
+        throwRuntime("cannot open trace file for writing: ", path);
+    writeTrace(os, file);
+    if (!os)
+        throwRuntime("I/O error while writing trace file: ", path);
+}
+
+TraceFile
+readTrace(std::istream &is)
+{
+    TraceFile file;
+    std::string line;
+
+    if (!std::getline(is, line))
+        throwRuntime("empty trace stream");
+    int scanned_w = 0, scanned_h = 0;
+    if (std::sscanf(line.c_str(), "# rpx-trace v1 width=%d height=%d",
+                    &scanned_w, &scanned_h) != 2 ||
+        scanned_w <= 0 || scanned_h <= 0) {
+        throwRuntime("bad trace header: ", line);
+    }
+    file.width = scanned_w;
+    file.height = scanned_h;
+
+    if (!std::getline(is, line) ||
+        line != "frame,x,y,w,h,stride,skip,phase")
+        throwRuntime("bad trace column header");
+
+    size_t line_no = 2;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream row(line);
+        std::string cell;
+        long values[8];
+        int fields = 0;
+        bool empty_marker = false;
+        while (std::getline(row, cell, ',') && fields < 8) {
+            if (cell.empty()) {
+                empty_marker = true;
+                break;
+            }
+            try {
+                values[fields] = std::stol(cell);
+            } catch (const std::exception &) {
+                throwRuntime("non-numeric field at trace line ", line_no,
+                             ": '", cell, "'");
+            }
+            ++fields;
+        }
+        if (fields == 0)
+            throwRuntime("missing frame index at trace line ", line_no);
+        if (values[0] < 0)
+            throwRuntime("negative frame index at trace line ", line_no);
+        const auto frame = static_cast<size_t>(values[0]);
+        if (frame < file.trace.size() && frame + 1 != file.trace.size())
+            throwRuntime("trace frames out of order at line ", line_no);
+        while (file.trace.size() <= frame)
+            file.trace.emplace_back();
+        if (empty_marker)
+            continue; // frame marker with no regions
+        if (fields != 8)
+            throwRuntime("expected 8 fields at trace line ", line_no);
+        RegionLabel r;
+        r.x = static_cast<i32>(values[1]);
+        r.y = static_cast<i32>(values[2]);
+        r.w = static_cast<i32>(values[3]);
+        r.h = static_cast<i32>(values[4]);
+        r.stride = static_cast<i32>(values[5]);
+        r.skip = static_cast<i32>(values[6]);
+        r.phase = static_cast<i32>(values[7]);
+        file.trace[frame].push_back(r);
+    }
+    return file;
+}
+
+TraceFile
+readTraceFile(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        throwRuntime("cannot open trace file for reading: ", path);
+    return readTrace(is);
+}
+
+} // namespace rpx

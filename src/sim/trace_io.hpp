@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Region-trace and result serialisation.
+ *
+ * Traces are the evaluation's exchange format (§5.3.1: "a throughput
+ * simulator which takes the region label specification per frame from the
+ * application"); persisting them lets a workload run once and every
+ * baseline sweep replay it. The format is a line-oriented CSV:
+ *
+ *     # rpx-trace v1 width=640 height=480
+ *     frame,x,y,w,h,stride,skip,phase
+ *     0,0,0,640,480,1,1,0
+ *     1,12,40,64,64,2,1,0
+ *     ...
+ */
+
+#ifndef RPX_SIM_TRACE_IO_HPP
+#define RPX_SIM_TRACE_IO_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/throughput_sim.hpp"
+
+namespace rpx {
+
+/** A trace with its frame geometry. */
+struct TraceFile {
+    i32 width = 0;
+    i32 height = 0;
+    RegionTrace trace;
+};
+
+/** Serialise a trace to a stream. */
+void writeTrace(std::ostream &os, const TraceFile &file);
+
+/** Serialise a trace to a file; throws std::runtime_error on I/O error. */
+void writeTraceFile(const std::string &path, const TraceFile &file);
+
+/**
+ * Parse a trace from a stream. Throws std::runtime_error on malformed
+ * input (bad header, non-numeric fields, frames out of order).
+ */
+TraceFile readTrace(std::istream &is);
+
+/** Parse a trace from a file. */
+TraceFile readTraceFile(const std::string &path);
+
+} // namespace rpx
+
+#endif // RPX_SIM_TRACE_IO_HPP

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Bounded FIFO modelling the depth-16 AXI-stream buffers in the encoder and
+ * the response FIFO of the decoder's sampling unit. Push/pop failures are
+ * recorded as stall cycles so the timing claims of §6.3 can be checked.
+ */
+
+#ifndef RPX_STREAM_FIFO_HPP
+#define RPX_STREAM_FIFO_HPP
+
+#include <deque>
+#include <optional>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace rpx {
+
+/**
+ * Bounded FIFO with stall accounting.
+ *
+ * @tparam T element type (pixel beats, bytes, transactions)
+ */
+template <typename T>
+class Fifo
+{
+  public:
+    /** @param depth maximum number of buffered elements (paper uses 16). */
+    explicit Fifo(size_t depth = 16) : depth_(depth)
+    {
+        RPX_ASSERT(depth > 0, "FIFO depth must be positive");
+    }
+
+    size_t depth() const { return depth_; }
+    size_t size() const { return q_.size(); }
+    bool empty() const { return q_.empty(); }
+    bool full() const { return q_.size() >= depth_; }
+
+    /**
+     * Try to enqueue; on a full FIFO the producer stalls (recorded) and the
+     * element is rejected.
+     * @return true if accepted.
+     */
+    bool
+    tryPush(const T &v)
+    {
+        if (full()) {
+            ++push_stalls_;
+            return false;
+        }
+        q_.push_back(v);
+        if (q_.size() > high_water_)
+            high_water_ = q_.size();
+        return true;
+    }
+
+    /** Enqueue an element that must fit (internal invariant). */
+    void
+    push(const T &v)
+    {
+        RPX_ASSERT(tryPush(v), "push into full FIFO");
+    }
+
+    /** Try to dequeue; empty FIFO stalls the consumer (recorded). */
+    std::optional<T>
+    tryPop()
+    {
+        if (q_.empty()) {
+            ++pop_stalls_;
+            return std::nullopt;
+        }
+        T v = q_.front();
+        q_.pop_front();
+        return v;
+    }
+
+    /** Dequeue an element that must exist (internal invariant). */
+    T
+    pop()
+    {
+        auto v = tryPop();
+        RPX_ASSERT(v.has_value(), "pop from empty FIFO");
+        return *v;
+    }
+
+    const T &
+    front() const
+    {
+        RPX_ASSERT(!q_.empty(), "front of empty FIFO");
+        return q_.front();
+    }
+
+    void
+    clear()
+    {
+        q_.clear();
+    }
+
+    u64 pushStalls() const { return push_stalls_; }
+    u64 popStalls() const { return pop_stalls_; }
+    size_t highWaterMark() const { return high_water_; }
+
+    void
+    resetStats()
+    {
+        push_stalls_ = 0;
+        pop_stalls_ = 0;
+        high_water_ = q_.size();
+    }
+
+  private:
+    size_t depth_;
+    std::deque<T> q_;
+    u64 push_stalls_ = 0;
+    u64 pop_stalls_ = 0;
+    size_t high_water_ = 0;
+};
+
+} // namespace rpx
+
+#endif // RPX_STREAM_FIFO_HPP

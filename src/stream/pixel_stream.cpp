@@ -1,0 +1,41 @@
+#include "stream/pixel_stream.hpp"
+
+#include "common/error.hpp"
+#include "frame/image.hpp"
+
+namespace rpx {
+
+u64
+streamImage(const Image &img, const BeatSink &sink)
+{
+    u64 beats = 0;
+    for (i32 y = 0; y < img.height(); ++y) {
+        const u8 *row = img.row(y);
+        for (i32 x = 0; x < img.width(); ++x) {
+            PixelBeat beat;
+            beat.x = x;
+            beat.y = y;
+            beat.value = row[static_cast<size_t>(x) * img.channels()];
+            beat.sof = (x == 0 && y == 0);
+            beat.eol = (x == img.width() - 1);
+            // A well-formed raster source never drops beats; a sink that
+            // stalls here is a modelling error we want to surface.
+            RPX_ASSERT(sink(beat), "beat sink stalled on raster stream");
+            ++beats;
+        }
+    }
+    return beats;
+}
+
+Image
+collectImage(const std::vector<PixelBeat> &beats, i32 w, i32 h)
+{
+    Image img(w, h, PixelFormat::Gray8);
+    for (const auto &b : beats) {
+        RPX_ASSERT(img.inBounds(b.x, b.y), "beat outside collected image");
+        img.set(b.x, b.y, b.value);
+    }
+    return img;
+}
+
+} // namespace rpx

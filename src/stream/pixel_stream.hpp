@@ -1,0 +1,94 @@
+/**
+ * @file
+ * AXI-stream-like pixel beat representation.
+ *
+ * The sensor and ISP produce a dense raster-scan stream of PixelBeat values;
+ * the rhythmic encoder consumes it. Sideband flags mirror AXI-stream video
+ * conventions: start-of-frame (tuser) and end-of-line (tlast).
+ */
+
+#ifndef RPX_STREAM_PIXEL_STREAM_HPP
+#define RPX_STREAM_PIXEL_STREAM_HPP
+
+#include <functional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rpx {
+
+class Image;
+
+/** One transfer on the pixel stream: a pixel value plus its coordinates. */
+struct PixelBeat {
+    i32 x = 0;
+    i32 y = 0;
+    u8 value = 0;        //!< luminance payload (post-ISP gray channel)
+    bool sof = false;    //!< start of frame (first beat)
+    bool eol = false;    //!< end of line (last beat of a row)
+
+    bool operator==(const PixelBeat &) const = default;
+};
+
+/** Sink callback for streaming stages. Returning false requests a stall. */
+using BeatSink = std::function<bool(const PixelBeat &)>;
+
+/**
+ * Cycle budget tracker for a streaming stage.
+ *
+ * The reVISION pipeline runs at 2 pixels per clock (Table 2); a stage that
+ * spends more than `pixels / ppc` cycles on a frame has failed its budget.
+ */
+class CycleBudget
+{
+  public:
+    explicit CycleBudget(double pixels_per_clock = 2.0)
+        : ppc_(pixels_per_clock)
+    {
+    }
+
+    void addPixels(u64 n) { pixels_ += n; }
+    void addCycles(Cycles n) { cycles_ += n; }
+
+    u64 pixels() const { return pixels_; }
+    Cycles cycles() const { return cycles_; }
+
+    /** Cycles the stage is allowed for the pixels it has consumed. */
+    Cycles
+    budgetCycles() const
+    {
+        return static_cast<Cycles>(static_cast<double>(pixels_) / ppc_ + 0.5);
+    }
+
+    /** True if the stage kept up with the pixel clock. */
+    bool withinBudget() const { return cycles_ <= budgetCycles(); }
+
+    double pixelsPerClock() const { return ppc_; }
+
+    void
+    reset()
+    {
+        pixels_ = 0;
+        cycles_ = 0;
+    }
+
+  private:
+    double ppc_;
+    u64 pixels_ = 0;
+    Cycles cycles_ = 0;
+};
+
+/**
+ * Drive a full image through a sink in raster-scan order, generating the
+ * sof/eol sideband. Uses channel 0 (callers pass grayscale frames).
+ *
+ * @return number of beats delivered.
+ */
+u64 streamImage(const Image &img, const BeatSink &sink);
+
+/** Collect a beat stream back into a w x h grayscale image. */
+Image collectImage(const std::vector<PixelBeat> &beats, i32 w, i32 h);
+
+} // namespace rpx
+
+#endif // RPX_STREAM_PIXEL_STREAM_HPP

@@ -1,0 +1,110 @@
+#include "vision/eval.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+FrameEval
+evaluateFrame(const std::vector<Detection> &detections,
+              const std::vector<Rect> &ground_truth, double iou_threshold)
+{
+    if (iou_threshold <= 0.0 || iou_threshold > 1.0)
+        throwInvalid("IoU threshold must be in (0, 1]");
+
+    std::vector<Detection> sorted = detections;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Detection &a, const Detection &b) {
+                  return a.score > b.score;
+              });
+
+    std::vector<bool> claimed(ground_truth.size(), false);
+    FrameEval eval;
+    for (const auto &det : sorted) {
+        double best_iou = 0.0;
+        size_t best_gt = ground_truth.size();
+        for (size_t g = 0; g < ground_truth.size(); ++g) {
+            if (claimed[g])
+                continue;
+            const double v = iou(det.box, ground_truth[g]);
+            if (v > best_iou) {
+                best_iou = v;
+                best_gt = g;
+            }
+        }
+        if (best_gt < ground_truth.size() && best_iou >= iou_threshold) {
+            claimed[best_gt] = true;
+            ++eval.true_positives;
+        } else {
+            ++eval.false_positives;
+        }
+    }
+    for (bool c : claimed)
+        if (!c)
+            ++eval.false_negatives;
+    return eval;
+}
+
+double
+meanAveragePrecision(const std::vector<FrameEval> &frames)
+{
+    i64 tp = 0, fp = 0;
+    for (const auto &f : frames) {
+        tp += f.true_positives;
+        fp += f.false_positives;
+    }
+    if (tp + fp == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(tp) / static_cast<double>(tp + fp);
+}
+
+double
+recall(const std::vector<FrameEval> &frames)
+{
+    i64 tp = 0, fn = 0;
+    for (const auto &f : frames) {
+        tp += f.true_positives;
+        fn += f.false_negatives;
+    }
+    if (tp + fn == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(tp) / static_cast<double>(tp + fn);
+}
+
+double
+f1Score(const std::vector<FrameEval> &frames)
+{
+    i64 tp = 0, fp = 0, fn = 0;
+    for (const auto &f : frames) {
+        tp += f.true_positives;
+        fp += f.false_positives;
+        fn += f.false_negatives;
+    }
+    if (2 * tp + fp + fn == 0)
+        return 0.0;
+    return 100.0 * 2.0 * static_cast<double>(tp) /
+           static_cast<double>(2 * tp + fp + fn);
+}
+
+double
+pck(const std::vector<KeypointPair> &pairs, double alpha)
+{
+    if (pairs.empty())
+        return 0.0;
+    i64 correct = 0;
+    for (const auto &p : pairs) {
+        if (!p.predicted)
+            continue;
+        const double dx = p.pred_x - p.gt_x;
+        const double dy = p.pred_y - p.gt_y;
+        const double dist = std::sqrt(dx * dx + dy * dy);
+        if (dist <= alpha * p.norm_scale)
+            ++correct;
+    }
+    return 100.0 * static_cast<double>(correct) /
+           static_cast<double>(pairs.size());
+}
+
+} // namespace rpx

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Task-accuracy metrics (§5.3.1): IoU-based detection precision (mAP) for
+ * the face/pose workloads, and keypoint correctness (PCK) for pose joints.
+ */
+
+#ifndef RPX_VISION_EVAL_HPP
+#define RPX_VISION_EVAL_HPP
+
+#include <vector>
+
+#include "common/geometry.hpp"
+
+namespace rpx {
+
+/** A scored detection box. */
+struct Detection {
+    Rect box;
+    double score = 1.0;
+};
+
+/** Per-frame matching outcome. */
+struct FrameEval {
+    int true_positives = 0;
+    int false_positives = 0;
+    int false_negatives = 0;
+};
+
+/**
+ * Greedy IoU matching of detections (sorted by score) to ground truth.
+ * A detection is a true positive when it exclusively matches a ground-truth
+ * box with IoU >= threshold; otherwise a false positive (§5.3.1).
+ */
+FrameEval evaluateFrame(const std::vector<Detection> &detections,
+                        const std::vector<Rect> &ground_truth,
+                        double iou_threshold);
+
+/**
+ * The paper's detection accuracy: TP / (TP + FP) accumulated over all
+ * frames ("mean average precision" in §5.3.1). Returns percent.
+ */
+double meanAveragePrecision(const std::vector<FrameEval> &frames);
+
+/** Recall over all frames, percent. */
+double recall(const std::vector<FrameEval> &frames);
+
+/**
+ * F1 score over all frames, percent. Balances precision and recall; the
+ * informative summary when a detector is precise enough to saturate the
+ * paper's TP/(TP+FP) metric.
+ */
+double f1Score(const std::vector<FrameEval> &frames);
+
+/** One predicted/ground-truth keypoint pair for PCK. */
+struct KeypointPair {
+    double pred_x = 0.0, pred_y = 0.0;
+    double gt_x = 0.0, gt_y = 0.0;
+    bool predicted = false;   //!< detector produced an estimate
+    double norm_scale = 1.0;  //!< normalisation (e.g. person bbox diagonal)
+};
+
+/**
+ * Percentage of correct keypoints: predicted keypoints within
+ * alpha * norm_scale of ground truth count as correct. Missing predictions
+ * count as incorrect. Returns percent.
+ */
+double pck(const std::vector<KeypointPair> &pairs, double alpha = 0.2);
+
+} // namespace rpx
+
+#endif // RPX_VISION_EVAL_HPP

@@ -1,0 +1,128 @@
+#include "vision/face_detector.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/error.hpp"
+#include "vision/integral.hpp"
+
+namespace rpx {
+
+FaceDetector::FaceDetector(const FaceDetectorOptions &options)
+    : options_(options)
+{
+    if (options.scales.empty())
+        throwInvalid("face detector needs at least one scale");
+    if (options.step < 1)
+        throwInvalid("face detector step must be >= 1");
+}
+
+std::vector<Detection>
+FaceDetector::detect(const Image &gray) const
+{
+    if (gray.channels() != 1)
+        throwInvalid("face detector expects a grayscale frame");
+
+    // Segmentation pass: faces are the brightest structures in the scene.
+    // Threshold into a binary map and extract connected components; this
+    // localises boxes exactly and is robust to the block replication the
+    // decoder produces for strided regions.
+    const i32 w = gray.width();
+    const i32 h = gray.height();
+    const u8 threshold = options_.bright_threshold;
+
+    std::vector<i32> component(static_cast<size_t>(w) * h, -1);
+    std::vector<Detection> out;
+
+    const i32 min_side = *std::min_element(options_.scales.begin(),
+                                           options_.scales.end()) / 2;
+    const i32 max_side = 2 * (*std::max_element(options_.scales.begin(),
+                                                options_.scales.end()));
+
+    i32 next_component = 0;
+    std::deque<Point> queue;
+    for (i32 sy = 0; sy < h; ++sy) {
+        const u8 *row = gray.row(sy);
+        for (i32 sx = 0; sx < w; ++sx) {
+            if (row[sx] < threshold ||
+                component[static_cast<size_t>(sy) * w + sx] >= 0)
+                continue;
+            // Flood-fill one component.
+            const i32 id = next_component++;
+            queue.clear();
+            queue.push_back({sx, sy});
+            component[static_cast<size_t>(sy) * w + sx] = id;
+            i64 area = 0;
+            i64 sum = 0;
+            Rect bbox{sx, sy, 1, 1};
+            while (!queue.empty()) {
+                const Point p = queue.front();
+                queue.pop_front();
+                ++area;
+                sum += gray.at(p.x, p.y);
+                bbox = bbox.unite(Rect{p.x, p.y, 1, 1});
+                const Point neighbors[4] = {{p.x + 1, p.y},
+                                            {p.x - 1, p.y},
+                                            {p.x, p.y + 1},
+                                            {p.x, p.y - 1}};
+                for (const Point &n : neighbors) {
+                    if (n.x < 0 || n.x >= w || n.y < 0 || n.y >= h)
+                        continue;
+                    auto &slot =
+                        component[static_cast<size_t>(n.y) * w + n.x];
+                    if (slot >= 0 || gray.at(n.x, n.y) < threshold)
+                        continue;
+                    slot = id;
+                    queue.push_back(n);
+                }
+            }
+
+            // Shape gates: face-sized, roughly square, mostly filled.
+            if (bbox.w < min_side || bbox.h < min_side ||
+                bbox.w > max_side || bbox.h > max_side)
+                continue;
+            const double aspect =
+                static_cast<double>(bbox.w) / static_cast<double>(bbox.h);
+            if (aspect < 0.55 || aspect > 1.8)
+                continue;
+            const double fill = static_cast<double>(area) /
+                                static_cast<double>(bbox.area());
+            if (fill < 0.45)
+                continue;
+
+            // Structure gate: dark eye pixels inside the upper half.
+            const IntegralImage patch_sums(gray.crop(bbox));
+            const double blob_mean =
+                static_cast<double>(sum) / static_cast<double>(area);
+            const Rect eye_band{bbox.w / 5, bbox.h / 4, 3 * bbox.w / 5,
+                                std::max<i32>(1, bbox.h / 5)};
+            const double eye_mean = patch_sums.boxMean(eye_band);
+            const double structure = blob_mean - eye_mean;
+            if (structure < options_.min_structure)
+                continue;
+
+            out.push_back({bbox, fill * structure + blob_mean});
+        }
+    }
+
+    // Cross-component NMS (merged/nested blobs).
+    std::sort(out.begin(), out.end(),
+              [](const Detection &a, const Detection &b) {
+                  return a.score > b.score;
+              });
+    std::vector<Detection> kept;
+    for (const auto &c : out) {
+        bool suppressed = false;
+        for (const auto &k : kept) {
+            if (iou(c.box, k.box) > options_.nms_iou) {
+                suppressed = true;
+                break;
+            }
+        }
+        if (!suppressed)
+            kept.push_back(c);
+    }
+    return kept;
+}
+
+} // namespace rpx

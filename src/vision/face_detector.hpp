@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Face detector for the ChokePoint-like workload.
+ *
+ * Our stand-in for the paper's RetinaNet: a multi-scale box-difference blob
+ * detector tuned to the synthetic face appearance (bright elliptical face
+ * with dark eye/mouth structure on a darker background). Precision degrades
+ * gracefully as stride/skip decimation blurs or stales the face region —
+ * the property the rhythmic-pixel evaluation measures.
+ */
+
+#ifndef RPX_VISION_FACE_DETECTOR_HPP
+#define RPX_VISION_FACE_DETECTOR_HPP
+
+#include <vector>
+
+#include "frame/image.hpp"
+#include "vision/eval.hpp"
+
+namespace rpx {
+
+/** Face detector options. */
+struct FaceDetectorOptions {
+    std::vector<i32> scales = {24, 36, 54};  //!< face diameters covered
+    u8 bright_threshold = 165;   //!< skin-brightness segmentation level
+    double min_structure = 6.0;  //!< eye-band darkness vs face threshold
+    double nms_iou = 0.3;        //!< suppression overlap
+    i32 step = 3;                //!< reserved (segmentation is dense)
+};
+
+/**
+ * Brightness-segmentation face detector with shape and eye-structure
+ * gates.
+ */
+class FaceDetector
+{
+  public:
+    explicit FaceDetector(const FaceDetectorOptions &options);
+    FaceDetector() : FaceDetector(FaceDetectorOptions{}) {}
+
+    /** Detect faces in a grayscale frame; boxes sorted by score. */
+    std::vector<Detection> detect(const Image &gray) const;
+
+  private:
+    FaceDetectorOptions options_;
+};
+
+} // namespace rpx
+
+#endif // RPX_VISION_FACE_DETECTOR_HPP

@@ -1,0 +1,129 @@
+#include "vision/fast.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+namespace {
+
+/** The 16 Bresenham-circle offsets (radius 3), clockwise from 12 o'clock. */
+constexpr i32 kRing[16][2] = {
+    {0, -3}, {1, -3}, {2, -2}, {3, -1}, {3, 0}, {3, 1}, {2, 2}, {1, 3},
+    {0, 3}, {-1, 3}, {-2, 2}, {-3, 1}, {-3, 0}, {-3, -1}, {-2, -2}, {-1, -3},
+};
+
+/**
+ * Segment test: true when `arc` contiguous ring pixels are all brighter
+ * than center + t or all darker than center - t. Also returns the score.
+ */
+bool
+segmentTest(const Image &img, i32 x, i32 y, int t, int arc, float &score)
+{
+    const int center = img.at(x, y);
+    int ring[16];
+    for (int i = 0; i < 16; ++i)
+        ring[i] = img.at(x + kRing[i][0], y + kRing[i][1]);
+
+    // Quick reject using the 4 compass points (standard FAST speedup).
+    // A contiguous arc of length `arc` must include at least
+    // floor(arc / 4) compass points (3 for FAST-12, 2 for FAST-9).
+    const int need = arc >= 12 ? 3 : 2;
+    int brighter4 = 0, darker4 = 0;
+    for (int i : {0, 4, 8, 12}) {
+        if (ring[i] >= center + t)
+            ++brighter4;
+        else if (ring[i] <= center - t)
+            ++darker4;
+    }
+    if (brighter4 < need && darker4 < need)
+        return false;
+
+    auto runs = [&](bool bright) {
+        int best = 0, run = 0;
+        for (int i = 0; i < 32; ++i) { // wrap twice for circular runs
+            const int v = ring[i & 15];
+            const bool hit =
+                bright ? (v >= center + t) : (v <= center - t);
+            run = hit ? run + 1 : 0;
+            best = std::max(best, run);
+            if (best >= 16)
+                break;
+        }
+        return std::min(best, 16);
+    };
+
+    if (runs(true) >= arc || runs(false) >= arc) {
+        float s = 0.0f;
+        for (int i = 0; i < 16; ++i)
+            s += static_cast<float>(std::abs(ring[i] - center));
+        score = s;
+        return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<Corner>
+detectFast(const Image &gray, const FastOptions &options)
+{
+    if (gray.channels() != 1)
+        throwInvalid("detectFast expects a grayscale image");
+    if (options.threshold < 1)
+        throwInvalid("FAST threshold must be >= 1");
+    if (options.arc_length < 1 || options.arc_length > 16)
+        throwInvalid("FAST arc length must be in [1, 16]");
+
+    const i32 w = gray.width();
+    const i32 h = gray.height();
+    std::vector<Corner> raw;
+    for (i32 y = 3; y < h - 3; ++y) {
+        for (i32 x = 3; x < w - 3; ++x) {
+            float score = 0.0f;
+            if (segmentTest(gray, x, y, options.threshold,
+                            options.arc_length, score))
+                raw.push_back({x, y, score});
+        }
+    }
+    if (!options.nonmax || raw.empty())
+        return raw;
+
+    // 3x3 non-maximum suppression on a sparse score map.
+    std::vector<float> scores(static_cast<size_t>(w) * h, 0.0f);
+    for (const auto &c : raw)
+        scores[static_cast<size_t>(c.y) * w + c.x] = c.score;
+    std::vector<Corner> out;
+    out.reserve(raw.size() / 2);
+    for (const auto &c : raw) {
+        bool is_max = true;
+        for (i32 dy = -1; dy <= 1 && is_max; ++dy) {
+            for (i32 dx = -1; dx <= 1; ++dx) {
+                if (dx == 0 && dy == 0)
+                    continue;
+                const i32 nx = c.x + dx, ny = c.y + dy;
+                if (nx < 0 || nx >= w || ny < 0 || ny >= h)
+                    continue;
+                const float other =
+                    scores[static_cast<size_t>(ny) * w + nx];
+                if (other > c.score ||
+                    (other == c.score && (dy < 0 || (dy == 0 && dx < 0)))) {
+                    is_max = false;
+                    break;
+                }
+            }
+        }
+        if (is_max)
+            out.push_back(c);
+    }
+    return out;
+}
+
+std::vector<Corner>
+detectFast(const Image &gray)
+{
+    return detectFast(gray, FastOptions{});
+}
+
+} // namespace rpx

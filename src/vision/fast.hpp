@@ -1,0 +1,43 @@
+/**
+ * @file
+ * FAST segment-test corner detector (the keypoint front-end of ORB), built
+ * from scratch: FAST-9 on a 16-pixel Bresenham circle with optional
+ * non-maximum suppression.
+ */
+
+#ifndef RPX_VISION_FAST_HPP
+#define RPX_VISION_FAST_HPP
+
+#include <vector>
+
+#include "frame/image.hpp"
+
+namespace rpx {
+
+/** A detected corner with its score (sum of absolute ring differences). */
+struct Corner {
+    i32 x = 0;
+    i32 y = 0;
+    float score = 0.0f;
+};
+
+/** FAST detector options. */
+struct FastOptions {
+    int threshold = 20;       //!< intensity difference threshold
+    bool nonmax = true;       //!< 3x3 non-maximum suppression
+    int arc_length = 9;       //!< contiguous ring pixels required (FAST-9)
+};
+
+/**
+ * Detect FAST corners on a grayscale image.
+ *
+ * Pixels within 3 of the border are not tested (the ring would leave the
+ * image).
+ */
+std::vector<Corner> detectFast(const Image &gray, const FastOptions &options);
+
+std::vector<Corner> detectFast(const Image &gray);
+
+} // namespace rpx
+
+#endif // RPX_VISION_FAST_HPP

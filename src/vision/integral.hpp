@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Integral image (summed-area table) for O(1) box sums — the workhorse of
+ * the box-difference blob detectors used by the face and pose workloads.
+ */
+
+#ifndef RPX_VISION_INTEGRAL_HPP
+#define RPX_VISION_INTEGRAL_HPP
+
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "frame/image.hpp"
+
+namespace rpx {
+
+/**
+ * Summed-area table over a grayscale image.
+ */
+class IntegralImage
+{
+  public:
+    explicit IntegralImage(const Image &gray)
+        : width_(gray.width()), height_(gray.height()),
+          table_(static_cast<size_t>(gray.width() + 1) *
+                     static_cast<size_t>(gray.height() + 1),
+                 0)
+    {
+        RPX_ASSERT(gray.channels() == 1, "IntegralImage expects grayscale");
+        const size_t stride = static_cast<size_t>(width_) + 1;
+        for (i32 y = 0; y < height_; ++y) {
+            const u8 *row = gray.row(y);
+            u64 run = 0;
+            for (i32 x = 0; x < width_; ++x) {
+                run += row[x];
+                table_[(static_cast<size_t>(y) + 1) * stride +
+                       static_cast<size_t>(x) + 1] =
+                    table_[static_cast<size_t>(y) * stride +
+                           static_cast<size_t>(x) + 1] +
+                    run;
+            }
+        }
+    }
+
+    i32 width() const { return width_; }
+    i32 height() const { return height_; }
+
+    /** Sum of pixels in `r` clipped to the image. */
+    u64
+    boxSum(const Rect &r) const
+    {
+        const Rect c = r.clippedTo(width_, height_);
+        if (c.empty())
+            return 0;
+        const size_t stride = static_cast<size_t>(width_) + 1;
+        const auto at = [&](i32 x, i32 y) {
+            return table_[static_cast<size_t>(y) * stride +
+                          static_cast<size_t>(x)];
+        };
+        return at(c.right(), c.bottom()) - at(c.x, c.bottom()) -
+               at(c.right(), c.y) + at(c.x, c.y);
+    }
+
+    /** Mean of pixels in `r` clipped to the image; 0 for empty clip. */
+    double
+    boxMean(const Rect &r) const
+    {
+        const Rect c = r.clippedTo(width_, height_);
+        if (c.empty())
+            return 0.0;
+        return static_cast<double>(boxSum(c)) /
+               static_cast<double>(c.area());
+    }
+
+  private:
+    i32 width_;
+    i32 height_;
+    std::vector<u64> table_;
+};
+
+} // namespace rpx
+
+#endif // RPX_VISION_INTEGRAL_HPP

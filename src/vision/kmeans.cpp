@@ -1,0 +1,148 @@
+#include "vision/kmeans.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+namespace {
+
+i64
+dist2(const Point &a, const Point &b)
+{
+    const i64 dx = a.x - b.x;
+    const i64 dy = a.y - b.y;
+    return dx * dx + dy * dy;
+}
+
+} // namespace
+
+KMeansResult
+kmeansPoints(const std::vector<Point> &points, int k,
+             const KMeansOptions &options)
+{
+    KMeansResult result;
+    if (points.empty() || k <= 0)
+        return result;
+    k = std::min<int>(k, static_cast<int>(points.size()));
+
+    Rng rng(options.seed);
+
+    // k-means++ seeding.
+    std::vector<Point> centroids;
+    centroids.push_back(
+        points[static_cast<size_t>(rng.uniformInt(
+            0, static_cast<i64>(points.size()) - 1))]);
+    while (static_cast<int>(centroids.size()) < k) {
+        std::vector<double> d2(points.size());
+        double total = 0.0;
+        for (size_t i = 0; i < points.size(); ++i) {
+            i64 best = std::numeric_limits<i64>::max();
+            for (const auto &c : centroids)
+                best = std::min(best, dist2(points[i], c));
+            d2[i] = static_cast<double>(best);
+            total += d2[i];
+        }
+        if (total <= 0.0) {
+            // All points coincide with centroids; duplicate one.
+            centroids.push_back(points[0]);
+            continue;
+        }
+        double pick = rng.uniform() * total;
+        size_t chosen = points.size() - 1;
+        for (size_t i = 0; i < points.size(); ++i) {
+            pick -= d2[i];
+            if (pick <= 0.0) {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push_back(points[chosen]);
+    }
+
+    std::vector<int> assignment(points.size(), 0);
+    for (int iter = 0; iter < options.max_iterations; ++iter) {
+        bool changed = false;
+        for (size_t i = 0; i < points.size(); ++i) {
+            int best_c = 0;
+            i64 best_d = std::numeric_limits<i64>::max();
+            for (int c = 0; c < k; ++c) {
+                const i64 d = dist2(points[i],
+                                    centroids[static_cast<size_t>(c)]);
+                if (d < best_d) {
+                    best_d = d;
+                    best_c = c;
+                }
+            }
+            if (assignment[i] != best_c) {
+                assignment[i] = best_c;
+                changed = true;
+            }
+        }
+        result.iterations = iter + 1;
+        if (!changed && iter > 0)
+            break;
+        // Update step.
+        std::vector<i64> sx(static_cast<size_t>(k), 0);
+        std::vector<i64> sy(static_cast<size_t>(k), 0);
+        std::vector<i64> n(static_cast<size_t>(k), 0);
+        for (size_t i = 0; i < points.size(); ++i) {
+            const auto c = static_cast<size_t>(assignment[i]);
+            sx[c] += points[i].x;
+            sy[c] += points[i].y;
+            ++n[c];
+        }
+        for (int c = 0; c < k; ++c) {
+            const auto ci = static_cast<size_t>(c);
+            if (n[ci] > 0) {
+                centroids[ci] = {static_cast<i32>(sx[ci] / n[ci]),
+                                 static_cast<i32>(sy[ci] / n[ci])};
+            }
+        }
+        if (!changed)
+            break;
+    }
+
+    result.assignment = std::move(assignment);
+    result.centroids = std::move(centroids);
+    return result;
+}
+
+std::vector<Rect>
+mergeRectsKMeans(const std::vector<Rect> &rects, int k,
+                 const KMeansOptions &options)
+{
+    if (rects.empty() || k <= 0)
+        return {};
+    if (static_cast<int>(rects.size()) <= k)
+        return rects;
+
+    std::vector<Point> centers;
+    centers.reserve(rects.size());
+    for (const auto &r : rects)
+        centers.push_back(r.center());
+
+    const KMeansResult km = kmeansPoints(centers, k, options);
+    std::vector<Rect> unions(static_cast<size_t>(k));
+    std::vector<bool> seen(static_cast<size_t>(k), false);
+    for (size_t i = 0; i < rects.size(); ++i) {
+        const auto c = static_cast<size_t>(km.assignment[i]);
+        unions[c] = seen[c] ? unions[c].unite(rects[i]) : rects[i];
+        seen[c] = true;
+    }
+    std::vector<Rect> out;
+    for (size_t c = 0; c < unions.size(); ++c)
+        if (seen[c])
+            out.push_back(unions[c]);
+    return out;
+}
+
+std::vector<Rect>
+mergeRectsKMeans(const std::vector<Rect> &rects, int k)
+{
+    return mergeRectsKMeans(rects, k, KMeansOptions{});
+}
+
+} // namespace rpx

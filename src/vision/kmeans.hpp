@@ -1,0 +1,49 @@
+/**
+ * @file
+ * K-means clustering of rectangles, used to emulate multi-ROI cameras:
+ * when a workload produces more regions than a commercial multi-ROI sensor
+ * supports (16), the baseline merges them into k cluster-union boxes (§5.3).
+ */
+
+#ifndef RPX_VISION_KMEANS_HPP
+#define RPX_VISION_KMEANS_HPP
+
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/rng.hpp"
+
+namespace rpx {
+
+/** K-means options. */
+struct KMeansOptions {
+    int max_iterations = 25;
+    u64 seed = 42;
+};
+
+/** Result of clustering points: per-point assignment and centroids. */
+struct KMeansResult {
+    std::vector<int> assignment;
+    std::vector<Point> centroids;
+    int iterations = 0;
+};
+
+/**
+ * Lloyd k-means on integer 2-D points (k-means++ style seeding from the
+ * deterministic RNG). k is clamped to the point count.
+ */
+KMeansResult kmeansPoints(const std::vector<Point> &points, int k,
+                          const KMeansOptions &options);
+
+/**
+ * Cluster rects by their centers into at most `k` groups and return the
+ * union (bounding) box of each non-empty group.
+ */
+std::vector<Rect> mergeRectsKMeans(const std::vector<Rect> &rects, int k,
+                                   const KMeansOptions &options);
+
+std::vector<Rect> mergeRectsKMeans(const std::vector<Rect> &rects, int k);
+
+} // namespace rpx
+
+#endif // RPX_VISION_KMEANS_HPP

@@ -1,0 +1,80 @@
+#include "vision/matcher.hpp"
+
+#include <limits>
+
+namespace rpx {
+
+namespace {
+
+struct Best {
+    int best = std::numeric_limits<int>::max();
+    int second = std::numeric_limits<int>::max();
+    size_t best_index = 0;
+};
+
+Best
+nearest(const Descriptor &d, const std::vector<Descriptor> &pool)
+{
+    Best out;
+    for (size_t i = 0; i < pool.size(); ++i) {
+        const int dist = hammingDistance(d, pool[i]);
+        if (dist < out.best) {
+            out.second = out.best;
+            out.best = dist;
+            out.best_index = i;
+        } else if (dist < out.second) {
+            out.second = dist;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<Match>
+matchDescriptors(const std::vector<Descriptor> &query,
+                 const std::vector<Descriptor> &train,
+                 const MatchOptions &options)
+{
+    std::vector<Match> matches;
+    if (query.empty() || train.empty())
+        return matches;
+
+    for (size_t qi = 0; qi < query.size(); ++qi) {
+        const Best fwd = nearest(query[qi], train);
+        if (fwd.best > options.max_distance)
+            continue;
+        if (options.ratio > 0.0 &&
+            fwd.second != std::numeric_limits<int>::max() &&
+            static_cast<double>(fwd.best) >=
+                options.ratio * static_cast<double>(fwd.second)) {
+            continue;
+        }
+        if (options.cross_check) {
+            const Best back = nearest(train[fwd.best_index], query);
+            if (back.best_index != qi)
+                continue;
+        }
+        matches.push_back({qi, fwd.best_index, fwd.best});
+    }
+    return matches;
+}
+
+std::vector<Match>
+matchDescriptors(const std::vector<Descriptor> &query,
+                 const std::vector<Descriptor> &train)
+{
+    return matchDescriptors(query, train, MatchOptions{});
+}
+
+std::vector<Descriptor>
+descriptorsOf(const std::vector<OrbFeature> &features)
+{
+    std::vector<Descriptor> out;
+    out.reserve(features.size());
+    for (const auto &f : features)
+        out.push_back(f.descriptor);
+    return out;
+}
+
+} // namespace rpx

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Brute-force binary descriptor matching with Lowe ratio and cross checks —
+ * the data-association step of the SLAM workload.
+ */
+
+#ifndef RPX_VISION_MATCHER_HPP
+#define RPX_VISION_MATCHER_HPP
+
+#include <vector>
+
+#include "vision/orb.hpp"
+
+namespace rpx {
+
+/** One descriptor match. */
+struct Match {
+    size_t query_index = 0;
+    size_t train_index = 0;
+    int distance = 0;
+};
+
+/** Matcher options. */
+struct MatchOptions {
+    int max_distance = 64;       //!< reject matches above this Hamming dist
+    double ratio = 0.8;          //!< Lowe ratio (best/second-best); <=0 off
+    bool cross_check = true;     //!< require mutual nearest neighbours
+};
+
+/**
+ * Match query descriptors against train descriptors.
+ */
+std::vector<Match> matchDescriptors(const std::vector<Descriptor> &query,
+                                    const std::vector<Descriptor> &train,
+                                    const MatchOptions &options);
+
+std::vector<Match> matchDescriptors(const std::vector<Descriptor> &query,
+                                    const std::vector<Descriptor> &train);
+
+/** Convenience: pull the descriptors out of a feature list. */
+std::vector<Descriptor>
+descriptorsOf(const std::vector<OrbFeature> &features);
+
+} // namespace rpx
+
+#endif // RPX_VISION_MATCHER_HPP

@@ -1,0 +1,176 @@
+#include "vision/motion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+namespace {
+
+/** Mean absolute difference between a current block and a shifted
+ *  previous-frame block; +inf when the shifted block leaves the frame. */
+double
+blockCost(const Image &prev, const Image &cur, i32 bx, i32 by, i32 size,
+          i32 dx, i32 dy)
+{
+    const i32 px = bx - dx;
+    const i32 py = by - dy;
+    if (px < 0 || py < 0 || px + size > prev.width() ||
+        py + size > prev.height())
+        return std::numeric_limits<double>::infinity();
+    u64 acc = 0;
+    for (i32 y = 0; y < size; ++y) {
+        const u8 *cr = cur.row(by + y);
+        const u8 *pr = prev.row(py + y);
+        for (i32 x = 0; x < size; ++x) {
+            const int d = static_cast<int>(cr[bx + x]) - pr[px + x];
+            acc += static_cast<u64>(d < 0 ? -d : d);
+        }
+    }
+    return static_cast<double>(acc) / (static_cast<double>(size) * size);
+}
+
+double
+blockVariance(const Image &img, i32 bx, i32 by, i32 size)
+{
+    double sum = 0.0, sq = 0.0;
+    for (i32 y = 0; y < size; ++y) {
+        const u8 *row = img.row(by + y);
+        for (i32 x = 0; x < size; ++x) {
+            const double v = row[bx + x];
+            sum += v;
+            sq += v * v;
+        }
+    }
+    const double n = static_cast<double>(size) * size;
+    const double mean = sum / n;
+    return sq / n - mean * mean;
+}
+
+} // namespace
+
+std::vector<MotionVector>
+estimateMotion(const Image &previous, const Image &current,
+               const MotionOptions &options)
+{
+    if (previous.channels() != 1 || current.channels() != 1)
+        throwInvalid("motion estimation expects grayscale frames");
+    if (previous.width() != current.width() ||
+        previous.height() != current.height())
+        throwInvalid("motion estimation frames must match in geometry");
+    if (options.block_size < 4)
+        throwInvalid("block size must be at least 4");
+    if (options.search_range < 1 || options.coarse_step < 1)
+        throwInvalid("search parameters must be positive");
+
+    std::vector<MotionVector> field;
+    const i32 bs = options.block_size;
+    for (i32 by = 0; by + bs <= current.height(); by += bs) {
+        for (i32 bx = 0; bx + bs <= current.width(); bx += bs) {
+            MotionVector mv;
+            mv.block_x = bx;
+            mv.block_y = by;
+
+            if (blockVariance(current, bx, by, bs) <
+                options.min_variance) {
+                mv.sad = std::numeric_limits<double>::infinity();
+                field.push_back(mv);
+                continue;
+            }
+
+            // Coarse full search on a grid.
+            i32 best_dx = 0, best_dy = 0;
+            double best =
+                blockCost(previous, current, bx, by, bs, 0, 0);
+            for (i32 dy = -options.search_range;
+                 dy <= options.search_range; dy += options.coarse_step) {
+                for (i32 dx = -options.search_range;
+                     dx <= options.search_range;
+                     dx += options.coarse_step) {
+                    const double c =
+                        blockCost(previous, current, bx, by, bs, dx, dy);
+                    if (c < best) {
+                        best = c;
+                        best_dx = dx;
+                        best_dy = dy;
+                    }
+                }
+            }
+            // Local refinement around the coarse winner.
+            bool improved = true;
+            while (improved) {
+                improved = false;
+                for (const auto &step :
+                     {std::pair{1, 0}, std::pair{-1, 0}, std::pair{0, 1},
+                      std::pair{0, -1}}) {
+                    const i32 dx = best_dx + step.first;
+                    const i32 dy = best_dy + step.second;
+                    if (std::abs(dx) > options.search_range ||
+                        std::abs(dy) > options.search_range)
+                        continue;
+                    const double c =
+                        blockCost(previous, current, bx, by, bs, dx, dy);
+                    if (c < best) {
+                        best = c;
+                        best_dx = dx;
+                        best_dy = dy;
+                        improved = true;
+                    }
+                }
+            }
+            mv.dx = best_dx;
+            mv.dy = best_dy;
+            mv.sad = best;
+            field.push_back(mv);
+        }
+    }
+    return field;
+}
+
+std::vector<MotionVector>
+estimateMotion(const Image &previous, const Image &current)
+{
+    return estimateMotion(previous, current, MotionOptions{});
+}
+
+double
+meanMotionMagnitude(const std::vector<MotionVector> &field)
+{
+    double acc = 0.0;
+    u64 n = 0;
+    for (const auto &mv : field) {
+        if (std::isinf(mv.sad))
+            continue;
+        acc += mv.magnitude();
+        ++n;
+    }
+    return n ? acc / static_cast<double>(n) : 0.0;
+}
+
+MotionVector
+dominantMotion(const std::vector<MotionVector> &field)
+{
+    std::vector<i32> xs, ys;
+    for (const auto &mv : field) {
+        if (std::isinf(mv.sad))
+            continue;
+        xs.push_back(mv.dx);
+        ys.push_back(mv.dy);
+    }
+    MotionVector out;
+    if (xs.empty())
+        return out;
+    const auto mid = xs.size() / 2;
+    std::nth_element(xs.begin(), xs.begin() + static_cast<long>(mid),
+                     xs.end());
+    std::nth_element(ys.begin(), ys.begin() + static_cast<long>(mid),
+                     ys.end());
+    out.dx = xs[mid];
+    out.dy = ys[mid];
+    return out;
+}
+
+} // namespace rpx

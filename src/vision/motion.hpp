@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Block-matching motion estimation.
+ *
+ * §4.3.1 points policy makers at "sophisticated motion-vector based
+ * techniques, such as those found in Euphrates or EVA^2" for guiding
+ * region selection. This module provides the substrate: a classic
+ * sum-of-absolute-differences block matcher with a two-level (coarse +
+ * refine) diamond search, producing a motion-vector field between
+ * consecutive frames.
+ */
+
+#ifndef RPX_VISION_MOTION_HPP
+#define RPX_VISION_MOTION_HPP
+
+#include <cmath>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "frame/image.hpp"
+
+namespace rpx {
+
+/** One block's estimated motion. */
+struct MotionVector {
+    i32 block_x = 0;  //!< block origin in the current frame
+    i32 block_y = 0;
+    i32 dx = 0;       //!< displacement from previous to current frame
+    i32 dy = 0;
+    double sad = 0.0; //!< matching cost (mean absolute difference)
+
+    double
+    magnitude() const
+    {
+        return std::sqrt(static_cast<double>(dx) * dx +
+                         static_cast<double>(dy) * dy);
+    }
+};
+
+/** Motion estimation options. */
+struct MotionOptions {
+    i32 block_size = 16;
+    i32 search_range = 12;  //!< max displacement in pixels per axis
+    i32 coarse_step = 4;    //!< first-pass grid step
+    /**
+     * Blocks with a variance below this are textureless; their vectors
+     * are unreliable and reported as zero motion with infinite cost.
+     */
+    double min_variance = 4.0;
+};
+
+/**
+ * Estimate the motion field from `previous` to `current` (grayscale,
+ * same geometry). One vector per non-overlapping block.
+ */
+std::vector<MotionVector> estimateMotion(const Image &previous,
+                                         const Image &current,
+                                         const MotionOptions &options);
+
+std::vector<MotionVector> estimateMotion(const Image &previous,
+                                         const Image &current);
+
+/** Mean magnitude of the reliable vectors (scene-motion proxy). */
+double meanMotionMagnitude(const std::vector<MotionVector> &field);
+
+/** The dominant (median) motion vector of the field. */
+MotionVector dominantMotion(const std::vector<MotionVector> &field);
+
+} // namespace rpx
+
+#endif // RPX_VISION_MOTION_HPP

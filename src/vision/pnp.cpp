@@ -1,0 +1,326 @@
+#include "vision/pnp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+double
+Vec3::norm() const
+{
+    return std::sqrt(x * x + y * y + z * z);
+}
+
+Vec3
+Vec3::normalized() const
+{
+    const double n = norm();
+    RPX_ASSERT(n > 0.0, "normalizing zero vector");
+    return {x / n, y / n, z / n};
+}
+
+Vec3
+Mat3::operator*(const Vec3 &v) const
+{
+    return {m[0] * v.x + m[1] * v.y + m[2] * v.z,
+            m[3] * v.x + m[4] * v.y + m[5] * v.z,
+            m[6] * v.x + m[7] * v.y + m[8] * v.z};
+}
+
+Mat3
+Mat3::operator*(const Mat3 &o) const
+{
+    Mat3 r;
+    for (int i = 0; i < 3; ++i) {
+        for (int j = 0; j < 3; ++j) {
+            double acc = 0.0;
+            for (int k = 0; k < 3; ++k)
+                acc += (*this)(i, k) * o(k, j);
+            r(i, j) = acc;
+        }
+    }
+    return r;
+}
+
+Mat3
+Mat3::transposed() const
+{
+    Mat3 r;
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            r(i, j) = (*this)(j, i);
+    return r;
+}
+
+Mat3
+expSo3(const Vec3 &w)
+{
+    const double theta = w.norm();
+    Mat3 r = Mat3::identity();
+    if (theta < 1e-12)
+        return r;
+    const Vec3 a = w * (1.0 / theta);
+    const double c = std::cos(theta);
+    const double s = std::sin(theta);
+    const double t = 1.0 - c;
+    r(0, 0) = c + a.x * a.x * t;
+    r(0, 1) = a.x * a.y * t - a.z * s;
+    r(0, 2) = a.x * a.z * t + a.y * s;
+    r(1, 0) = a.y * a.x * t + a.z * s;
+    r(1, 1) = c + a.y * a.y * t;
+    r(1, 2) = a.y * a.z * t - a.x * s;
+    r(2, 0) = a.z * a.x * t - a.y * s;
+    r(2, 1) = a.z * a.y * t + a.x * s;
+    r(2, 2) = c + a.z * a.z * t;
+    return r;
+}
+
+Vec3
+logSo3(const Mat3 &rot)
+{
+    const double cos_theta =
+        std::clamp((rot.trace() - 1.0) / 2.0, -1.0, 1.0);
+    const double theta = std::acos(cos_theta);
+    if (theta < 1e-12)
+        return {0, 0, 0};
+    const double k = theta / (2.0 * std::sin(theta));
+    return {k * (rot(2, 1) - rot(1, 2)), k * (rot(0, 2) - rot(2, 0)),
+            k * (rot(1, 0) - rot(0, 1))};
+}
+
+Vec3
+Pose::transform(const Vec3 &p_world) const
+{
+    return rotation * p_world + translation;
+}
+
+Pose
+Pose::inverse() const
+{
+    Pose inv;
+    inv.rotation = rotation.transposed();
+    inv.translation = inv.rotation * (translation * -1.0);
+    return inv;
+}
+
+Pose
+Pose::compose(const Pose &other) const
+{
+    Pose out;
+    out.rotation = rotation * other.rotation;
+    out.translation = rotation * other.translation + translation;
+    return out;
+}
+
+Vec3
+Pose::center() const
+{
+    return rotation.transposed() * (translation * -1.0);
+}
+
+double
+rotationAngle(const Mat3 &a, const Mat3 &b)
+{
+    return logSo3(a.transposed() * b).norm();
+}
+
+CameraIntrinsics
+CameraIntrinsics::forResolution(i32 w, i32 h, double hfov_deg)
+{
+    CameraIntrinsics cam;
+    const double hfov = hfov_deg * 3.14159265358979323846 / 180.0;
+    cam.fx = (w / 2.0) / std::tan(hfov / 2.0);
+    cam.fy = cam.fx;
+    cam.cx = w / 2.0;
+    cam.cy = h / 2.0;
+    return cam;
+}
+
+std::optional<std::array<double, 2>>
+projectPoint(const CameraIntrinsics &cam, const Vec3 &p_cam)
+{
+    if (p_cam.z <= 1e-6)
+        return std::nullopt;
+    return std::array<double, 2>{cam.fx * p_cam.x / p_cam.z + cam.cx,
+                                 cam.fy * p_cam.y / p_cam.z + cam.cy};
+}
+
+namespace {
+
+/** Solve the symmetric 6x6 system H dx = b by Gaussian elimination. */
+bool
+solve6(std::array<double, 36> h, std::array<double, 6> b,
+       std::array<double, 6> &dx)
+{
+    for (int col = 0; col < 6; ++col) {
+        // Partial pivot.
+        int pivot = col;
+        for (int r = col + 1; r < 6; ++r) {
+            if (std::abs(h[static_cast<size_t>(r * 6 + col)]) >
+                std::abs(h[static_cast<size_t>(pivot * 6 + col)]))
+                pivot = r;
+        }
+        if (std::abs(h[static_cast<size_t>(pivot * 6 + col)]) < 1e-12)
+            return false;
+        if (pivot != col) {
+            for (int c = 0; c < 6; ++c)
+                std::swap(h[static_cast<size_t>(col * 6 + c)],
+                          h[static_cast<size_t>(pivot * 6 + c)]);
+            std::swap(b[static_cast<size_t>(col)],
+                      b[static_cast<size_t>(pivot)]);
+        }
+        const double inv = 1.0 / h[static_cast<size_t>(col * 6 + col)];
+        for (int r = 0; r < 6; ++r) {
+            if (r == col)
+                continue;
+            const double f = h[static_cast<size_t>(r * 6 + col)] * inv;
+            for (int c = col; c < 6; ++c)
+                h[static_cast<size_t>(r * 6 + c)] -=
+                    f * h[static_cast<size_t>(col * 6 + c)];
+            b[static_cast<size_t>(r)] -= f * b[static_cast<size_t>(col)];
+        }
+    }
+    for (int i = 0; i < 6; ++i)
+        dx[static_cast<size_t>(i)] = b[static_cast<size_t>(i)] /
+                                     h[static_cast<size_t>(i * 6 + i)];
+    return true;
+}
+
+} // namespace
+
+PnpResult
+solvePnp(const CameraIntrinsics &cam,
+         const std::vector<Correspondence> &points, const Pose &initial,
+         const PnpOptions &options)
+{
+    if (points.size() < 4)
+        throwInvalid("PnP needs at least 4 correspondences, got ",
+                     points.size());
+
+    Pose pose = initial;
+    PnpResult result;
+
+    for (int iter = 0; iter < options.max_iterations; ++iter) {
+        std::array<double, 36> hess{};
+        std::array<double, 6> grad{};
+        double error_acc = 0.0;
+        u64 error_n = 0;
+
+        for (const auto &c : points) {
+            const Vec3 pc = pose.transform(c.world);
+            if (pc.z <= 1e-6)
+                continue;
+            const double inv_z = 1.0 / pc.z;
+            const double u = cam.fx * pc.x * inv_z + cam.cx;
+            const double v = cam.fy * pc.y * inv_z + cam.cy;
+            const double ru = u - c.u;
+            const double rv = v - c.v;
+            const double err = std::sqrt(ru * ru + rv * rv);
+            error_acc += err * err;
+            ++error_n;
+
+            // Huber weight.
+            const double wgt =
+                err <= options.huber_delta ? 1.0 : options.huber_delta / err;
+
+            // Jacobian of projection wrt [w | t] (perturbation on the
+            // left: pose' = exp(dw) * pose + dt applied in camera frame).
+            // d(pc)/d(dt) = I; d(pc)/d(dw) = -[pc]_x.
+            const double x = pc.x, y = pc.y;
+            const double fx = cam.fx, fy = cam.fy;
+            // Row for u residual over [dwx dwy dwz dtx dty dtz].
+            const double ju[6] = {
+                -fx * x * y * inv_z * inv_z,
+                fx * (1.0 + x * x * inv_z * inv_z),
+                -fx * y * inv_z,
+                fx * inv_z,
+                0.0,
+                -fx * x * inv_z * inv_z,
+            };
+            const double jv[6] = {
+                -fy * (1.0 + y * y * inv_z * inv_z),
+                fy * x * y * inv_z * inv_z,
+                fy * x * inv_z,
+                0.0,
+                fy * inv_z,
+                -fy * y * inv_z * inv_z,
+            };
+            for (int i = 0; i < 6; ++i) {
+                for (int j = 0; j < 6; ++j) {
+                    hess[static_cast<size_t>(i * 6 + j)] +=
+                        wgt * (ju[i] * ju[j] + jv[i] * jv[j]);
+                }
+                grad[static_cast<size_t>(i)] +=
+                    wgt * (ju[i] * ru + jv[i] * rv);
+            }
+        }
+
+        if (error_n < 4) {
+            result.converged = false;
+            result.pose = pose;
+            return result;
+        }
+
+        // Levenberg damping keeps near-degenerate geometry stable.
+        for (int i = 0; i < 6; ++i)
+            hess[static_cast<size_t>(i * 6 + i)] *= 1.0 + 1e-4;
+
+        std::array<double, 6> dx{};
+        if (!solve6(hess, grad, dx)) {
+            result.converged = false;
+            result.pose = pose;
+            return result;
+        }
+
+        const Vec3 dw{-dx[0], -dx[1], -dx[2]};
+        const Vec3 dt{-dx[3], -dx[4], -dx[5]};
+        Pose update;
+        update.rotation = expSo3(dw);
+        update.translation = dt;
+        pose = update.compose(pose);
+
+        result.iterations = iter + 1;
+        double step = 0.0;
+        for (double d : dx)
+            step += d * d;
+        if (std::sqrt(step) < options.convergence_eps) {
+            result.converged = true;
+            break;
+        }
+        result.converged = true; // ran all iterations; still usable
+    }
+
+    // Final statistics.
+    double err_acc = 0.0;
+    u64 n = 0;
+    int inliers = 0;
+    for (const auto &c : points) {
+        const Vec3 pc = pose.transform(c.world);
+        auto uv = projectPoint(cam, pc);
+        if (!uv)
+            continue;
+        const double du = (*uv)[0] - c.u;
+        const double dv = (*uv)[1] - c.v;
+        const double err = std::sqrt(du * du + dv * dv);
+        err_acc += err * err;
+        ++n;
+        if (err <= options.inlier_threshold)
+            ++inliers;
+    }
+    result.pose = pose;
+    result.rms_reprojection_error =
+        n > 0 ? std::sqrt(err_acc / static_cast<double>(n)) : 0.0;
+    result.inliers = inliers;
+    return result;
+}
+
+PnpResult
+solvePnp(const CameraIntrinsics &cam,
+         const std::vector<Correspondence> &points, const Pose &initial)
+{
+    return solvePnp(cam, points, initial, PnpOptions{});
+}
+
+} // namespace rpx

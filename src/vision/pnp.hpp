@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Minimal 3-D geometry (vectors, rotations, camera model) and a robust
+ * Gauss-Newton perspective-n-point solver — the pose-estimation core of the
+ * V-SLAM workload.
+ */
+
+#ifndef RPX_VISION_PNP_HPP
+#define RPX_VISION_PNP_HPP
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rpx {
+
+/** 3-vector with the handful of operations the tracker needs. */
+struct Vec3 {
+    double x = 0.0, y = 0.0, z = 0.0;
+
+    Vec3 operator+(const Vec3 &o) const { return {x + o.x, y + o.y, z + o.z}; }
+    Vec3 operator-(const Vec3 &o) const { return {x - o.x, y - o.y, z - o.z}; }
+    Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+    double dot(const Vec3 &o) const { return x * o.x + y * o.y + z * o.z; }
+    Vec3
+    cross(const Vec3 &o) const
+    {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+    double norm() const;
+    Vec3 normalized() const;
+};
+
+/** Row-major 3x3 matrix. */
+struct Mat3 {
+    std::array<double, 9> m{1, 0, 0, 0, 1, 0, 0, 0, 1};
+
+    static Mat3 identity() { return Mat3{}; }
+
+    double operator()(int r, int c) const { return m[static_cast<size_t>(3 * r + c)]; }
+    double &operator()(int r, int c) { return m[static_cast<size_t>(3 * r + c)]; }
+
+    Vec3 operator*(const Vec3 &v) const;
+    Mat3 operator*(const Mat3 &o) const;
+    Mat3 transposed() const;
+    double trace() const { return m[0] + m[4] + m[8]; }
+};
+
+/** Rodrigues: axis-angle vector to rotation matrix (exp map of so(3)). */
+Mat3 expSo3(const Vec3 &w);
+
+/** Log map: rotation matrix to axis-angle vector. */
+Vec3 logSo3(const Mat3 &rot);
+
+/**
+ * Rigid camera pose: x_cam = R * x_world + t (world-to-camera).
+ */
+struct Pose {
+    Mat3 rotation;
+    Vec3 translation;
+
+    static Pose identity() { return Pose{}; }
+
+    Vec3 transform(const Vec3 &p_world) const;
+    Pose inverse() const;
+    /** this ∘ other: apply `other` first, then this. */
+    Pose compose(const Pose &other) const;
+
+    /** Camera center in world coordinates (-R^T t). */
+    Vec3 center() const;
+};
+
+/** Angular distance between two rotations in radians. */
+double rotationAngle(const Mat3 &a, const Mat3 &b);
+
+/** Pinhole camera intrinsics. */
+struct CameraIntrinsics {
+    double fx = 500.0;
+    double fy = 500.0;
+    double cx = 320.0;
+    double cy = 240.0;
+
+    /** Intrinsics with a given horizontal FoV for a w x h sensor. */
+    static CameraIntrinsics forResolution(i32 w, i32 h,
+                                          double hfov_deg = 70.0);
+};
+
+/** Projection of a camera-space point; nullopt when behind the camera. */
+std::optional<std::array<double, 2>>
+projectPoint(const CameraIntrinsics &cam, const Vec3 &p_cam);
+
+/** One 3D-2D correspondence for PnP. */
+struct Correspondence {
+    Vec3 world;
+    double u = 0.0;
+    double v = 0.0;
+};
+
+/** PnP solver result. */
+struct PnpResult {
+    Pose pose;
+    double rms_reprojection_error = 0.0;
+    int inliers = 0;
+    int iterations = 0;
+    bool converged = false;
+};
+
+/** PnP solver options. */
+struct PnpOptions {
+    int max_iterations = 20;
+    double huber_delta = 3.0;       //!< robust kernel width in pixels
+    double convergence_eps = 1e-6;  //!< step-norm stop criterion
+    double inlier_threshold = 4.0;  //!< pixels, for the inlier count
+};
+
+/**
+ * Robust Gauss-Newton PnP from an initial pose guess.
+ *
+ * Minimises Huber-weighted reprojection error over the 6-DoF pose. Needs at
+ * least 4 correspondences (throws otherwise). Returns converged=false when
+ * the normal equations go singular (degenerate geometry).
+ */
+PnpResult solvePnp(const CameraIntrinsics &cam,
+                   const std::vector<Correspondence> &points,
+                   const Pose &initial, const PnpOptions &options);
+
+PnpResult solvePnp(const CameraIntrinsics &cam,
+                   const std::vector<Correspondence> &points,
+                   const Pose &initial);
+
+} // namespace rpx
+
+#endif // RPX_VISION_PNP_HPP

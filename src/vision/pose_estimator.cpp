@@ -1,0 +1,94 @@
+#include "vision/pose_estimator.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "vision/integral.hpp"
+
+namespace rpx {
+
+PoseEstimator::PoseEstimator(const PoseEstimatorOptions &options)
+    : options_(options)
+{
+    if (options.inner < 1 || options.outer <= options.inner)
+        throwInvalid("pose estimator needs outer > inner >= 1");
+    if (options.step < 1)
+        throwInvalid("pose estimator step must be >= 1");
+}
+
+std::vector<Keypoint>
+PoseEstimator::detect(const Image &gray) const
+{
+    if (gray.channels() != 1)
+        throwInvalid("pose estimator expects a grayscale frame");
+    const IntegralImage integral(gray);
+
+    struct Candidate {
+        i32 x, y;
+        double response;
+    };
+    std::vector<Candidate> candidates;
+    const i32 hi = options_.inner / 2;
+    const i32 ho = options_.outer / 2;
+    for (i32 y = ho; y < gray.height() - ho; y += options_.step) {
+        for (i32 x = ho; x < gray.width() - ho; x += options_.step) {
+            const Rect core{x - hi, y - hi, options_.inner, options_.inner};
+            const Rect ring{x - ho, y - ho, options_.outer, options_.outer};
+            const double core_mean = integral.boxMean(core);
+            const u64 ring_sum = integral.boxSum(ring);
+            const u64 core_sum = integral.boxSum(core);
+            const i64 ring_area = ring.area() - core.area();
+            const double ring_mean = static_cast<double>(
+                                         ring_sum - core_sum) /
+                                     static_cast<double>(ring_area);
+            const double response = core_mean - ring_mean;
+            if (response >= options_.min_response &&
+                ring_mean >= options_.min_ring_mean)
+                candidates.push_back({x, y, response});
+        }
+    }
+
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate &a, const Candidate &b) {
+                  return a.response > b.response;
+              });
+
+    std::vector<Keypoint> out;
+    const i64 r2 = static_cast<i64>(options_.nms_radius) *
+                   options_.nms_radius;
+    for (const auto &c : candidates) {
+        if (static_cast<int>(out.size()) >= options_.max_keypoints)
+            break;
+        bool suppressed = false;
+        for (const auto &kept : out) {
+            const double dx = kept.x - c.x;
+            const double dy = kept.y - c.y;
+            if (dx * dx + dy * dy < static_cast<double>(r2)) {
+                suppressed = true;
+                break;
+            }
+        }
+        if (!suppressed)
+            out.push_back({static_cast<double>(c.x),
+                           static_cast<double>(c.y), c.response});
+    }
+    return out;
+}
+
+std::vector<Detection>
+PoseEstimator::keypointsToDetections(const std::vector<Keypoint> &keypoints,
+                                     i32 box_size)
+{
+    RPX_ASSERT(box_size > 0, "keypoint box size must be positive");
+    std::vector<Detection> out;
+    out.reserve(keypoints.size());
+    for (const auto &k : keypoints) {
+        out.push_back({Rect{static_cast<i32>(k.x) - box_size / 2,
+                            static_cast<i32>(k.y) - box_size / 2, box_size,
+                            box_size},
+                       k.score});
+    }
+    return out;
+}
+
+} // namespace rpx

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Human-pose estimator for the PoseTrack-like workload.
+ *
+ * Our stand-in for the paper's PoseNet: joints are rendered as bright
+ * Gaussian blobs on the darker articulated figure, and the estimator
+ * localises them with a centre-surround (difference-of-boxes) response and
+ * non-maximum suppression. Keypoints are scored and evaluated with
+ * PCK/IoU-mAP against ground truth.
+ */
+
+#ifndef RPX_VISION_POSE_ESTIMATOR_HPP
+#define RPX_VISION_POSE_ESTIMATOR_HPP
+
+#include <vector>
+
+#include "frame/image.hpp"
+#include "vision/eval.hpp"
+
+namespace rpx {
+
+/** A detected joint keypoint. */
+struct Keypoint {
+    double x = 0.0;
+    double y = 0.0;
+    double score = 0.0;
+};
+
+/** Pose estimator options. */
+struct PoseEstimatorOptions {
+    i32 inner = 5;            //!< blob core size in pixels
+    i32 outer = 15;           //!< surround size in pixels
+    double min_response = 45.0; //!< centre-surround threshold
+    /**
+     * Reject responses whose surround is near-black: those sit on the
+     * border of unsampled (non-regional) area, not on a joint. A real
+     * deployment would consult the EncMask for the same purpose.
+     */
+    double min_ring_mean = 8.0;
+    i32 nms_radius = 8;       //!< minimum keypoint separation
+    i32 step = 2;             //!< scan stride
+    int max_keypoints = 48;
+};
+
+/**
+ * Centre-surround joint detector.
+ */
+class PoseEstimator
+{
+  public:
+    explicit PoseEstimator(const PoseEstimatorOptions &options);
+    PoseEstimator() : PoseEstimator(PoseEstimatorOptions{}) {}
+
+    /** Detect joint keypoints, strongest first. */
+    std::vector<Keypoint> detect(const Image &gray) const;
+
+    /**
+     * Wrap keypoints as IoU-evaluable boxes of side `box_size` (the
+     * evaluation style the paper uses: IoU of predicted vs ground-truth
+     * keypoint boxes).
+     */
+    static std::vector<Detection>
+    keypointsToDetections(const std::vector<Keypoint> &keypoints,
+                          i32 box_size);
+
+  private:
+    PoseEstimatorOptions options_;
+};
+
+} // namespace rpx
+
+#endif // RPX_VISION_POSE_ESTIMATOR_HPP

@@ -1,0 +1,71 @@
+#include "vision/pyramid.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+ImagePyramid::ImagePyramid(const Image &base, const PyramidOptions &options)
+{
+    if (base.channels() != 1)
+        throwInvalid("pyramid expects a grayscale base image");
+    if (options.levels < 1)
+        throwInvalid("pyramid needs at least one level");
+    if (options.scale_factor <= 1.0)
+        throwInvalid("pyramid scale factor must exceed 1.0");
+
+    levels_.push_back({base, 1.0});
+    for (int i = 1; i < options.levels; ++i) {
+        const double scale = std::pow(options.scale_factor, i);
+        const i32 w = static_cast<i32>(base.width() / scale);
+        const i32 h = static_cast<i32>(base.height() / scale);
+        if (w < options.min_dimension || h < options.min_dimension)
+            break;
+        levels_.push_back({base.resized(w, h), scale});
+    }
+}
+
+const PyramidLevel &
+ImagePyramid::level(size_t i) const
+{
+    RPX_ASSERT(i < levels_.size(), "pyramid level out of range");
+    return levels_[i];
+}
+
+Point
+ImagePyramid::toBase(size_t level_idx, i32 x, i32 y) const
+{
+    const double s = level(level_idx).scale;
+    return {static_cast<i32>(std::lround(x * s)),
+            static_cast<i32>(std::lround(y * s))};
+}
+
+Image
+boxBlur3(const Image &gray)
+{
+    RPX_ASSERT(gray.channels() == 1, "boxBlur3 expects grayscale");
+    if (gray.empty())
+        return gray;
+    Image tmp(gray.width(), gray.height(), PixelFormat::Gray8);
+    Image out(gray.width(), gray.height(), PixelFormat::Gray8);
+    // Horizontal pass.
+    for (i32 y = 0; y < gray.height(); ++y) {
+        for (i32 x = 0; x < gray.width(); ++x) {
+            const int s = gray.atClamped(x - 1, y) + gray.atClamped(x, y) +
+                          gray.atClamped(x + 1, y);
+            tmp.set(x, y, static_cast<u8>(s / 3));
+        }
+    }
+    // Vertical pass.
+    for (i32 y = 0; y < gray.height(); ++y) {
+        for (i32 x = 0; x < gray.width(); ++x) {
+            const int s = tmp.atClamped(x, y - 1) + tmp.atClamped(x, y) +
+                          tmp.atClamped(x, y + 1);
+            out.set(x, y, static_cast<u8>(s / 3));
+        }
+    }
+    return out;
+}
+
+} // namespace rpx

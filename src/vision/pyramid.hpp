@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Gaussian-ish image pyramid for multi-scale (octave) feature detection —
+ * the "octave" attribute of a feature indexes into this pyramid and, per
+ * §4.3, drives the stride of its rhythmic region.
+ */
+
+#ifndef RPX_VISION_PYRAMID_HPP
+#define RPX_VISION_PYRAMID_HPP
+
+#include <vector>
+
+#include "frame/image.hpp"
+
+namespace rpx {
+
+/** One pyramid level. */
+struct PyramidLevel {
+    Image image;
+    double scale = 1.0; //!< level-to-base coordinate multiplier
+};
+
+/** Pyramid construction options. */
+struct PyramidOptions {
+    int levels = 4;
+    double scale_factor = 1.5;
+    i32 min_dimension = 24; //!< stop early when a level gets this small
+};
+
+/**
+ * Multi-scale pyramid over a grayscale base image.
+ */
+class ImagePyramid
+{
+  public:
+    ImagePyramid(const Image &base, const PyramidOptions &options);
+    explicit ImagePyramid(const Image &base)
+        : ImagePyramid(base, PyramidOptions{})
+    {
+    }
+
+    size_t levels() const { return levels_.size(); }
+    const PyramidLevel &level(size_t i) const;
+
+    /** Map level-space coordinates to base-image coordinates. */
+    Point toBase(size_t level, i32 x, i32 y) const;
+
+  private:
+    std::vector<PyramidLevel> levels_;
+};
+
+/** 3x3 box blur (separable), used to stabilise descriptors. */
+Image boxBlur3(const Image &gray);
+
+} // namespace rpx
+
+#endif // RPX_VISION_PYRAMID_HPP

@@ -1,0 +1,137 @@
+#include "vision/slam.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace rpx {
+
+SlamTracker::SlamTracker(const SlamConfig &config) : config_(config)
+{
+    if (config.min_matches < 4)
+        throwInvalid("SLAM tracker needs min_matches >= 4 for PnP");
+}
+
+size_t
+SlamTracker::buildMap(const Image &frame, const Pose &pose,
+                      const std::vector<Vec3> &landmarks)
+{
+    const auto features = detectOrb(frame, config_.orb);
+    map_.clear();
+    map_descriptors_.clear();
+
+    // Project all landmarks once.
+    struct Projected {
+        double u, v;
+        size_t index;
+    };
+    std::vector<Projected> projected;
+    projected.reserve(landmarks.size());
+    for (size_t i = 0; i < landmarks.size(); ++i) {
+        const Vec3 pc = pose.transform(landmarks[i]);
+        const auto uv = projectPoint(config_.camera, pc);
+        if (!uv)
+            continue;
+        projected.push_back({(*uv)[0], (*uv)[1], i});
+    }
+
+    const double r2 = config_.map_radius_px * config_.map_radius_px;
+    for (const auto &f : features) {
+        double best = r2;
+        size_t best_idx = landmarks.size();
+        for (const auto &p : projected) {
+            const double du = p.u - f.x;
+            const double dv = p.v - f.y;
+            const double d2 = du * du + dv * dv;
+            if (d2 <= best) {
+                best = d2;
+                best_idx = p.index;
+            }
+        }
+        if (best_idx < landmarks.size()) {
+            map_.push_back({landmarks[best_idx], f.descriptor});
+            map_descriptors_.push_back(f.descriptor);
+        }
+    }
+    last_pose_ = pose;
+    return map_.size();
+}
+
+TrackResult
+SlamTracker::track(const Image &frame)
+{
+    TrackResult result;
+    result.pose = last_pose_;
+    result.features = detectOrb(frame, config_.orb);
+    if (map_.empty())
+        return result;
+
+    const auto query = descriptorsOf(result.features);
+    const auto matches = matchDescriptors(query, map_descriptors_,
+                                          config_.match);
+    result.matches = static_cast<int>(matches.size());
+    if (result.matches < config_.min_matches)
+        return result;
+
+    std::vector<Correspondence> corr;
+    corr.reserve(matches.size());
+    for (const auto &m : matches) {
+        const auto &f = result.features[m.query_index];
+        corr.push_back({map_[m.train_index].position, f.x, f.y});
+    }
+
+    const PnpResult pnp =
+        solvePnp(config_.camera, corr, last_pose_, config_.pnp);
+    result.rms_error = pnp.rms_reprojection_error;
+    if (pnp.converged && pnp.inliers >= config_.min_matches / 2) {
+        result.pose = pnp.pose;
+        result.tracked = true;
+        last_pose_ = pnp.pose;
+    }
+    return result;
+}
+
+TrajectoryMetrics
+computeTrajectoryMetrics(const std::vector<Pose> &gt,
+                         const std::vector<Pose> &est, int rpe_delta)
+{
+    if (gt.size() != est.size())
+        throwInvalid("trajectory lengths differ: ", gt.size(), " vs ",
+                     est.size());
+    if (rpe_delta < 1)
+        throwInvalid("rpe_delta must be >= 1");
+
+    TrajectoryMetrics metrics;
+    metrics.frames = gt.size();
+    if (gt.empty())
+        return metrics;
+
+    std::vector<double> ate;
+    ate.reserve(gt.size());
+    for (size_t i = 0; i < gt.size(); ++i) {
+        const Vec3 d = gt[i].center() - est[i].center();
+        ate.push_back(d.norm());
+    }
+    metrics.ate_mean = mean(ate);
+    metrics.ate_stddev = stddev(ate);
+    metrics.ate_rmse = rms(ate);
+
+    std::vector<double> rpe_t;
+    std::vector<double> rpe_r;
+    for (size_t i = 0; i + static_cast<size_t>(rpe_delta) < gt.size(); ++i) {
+        const size_t j = i + static_cast<size_t>(rpe_delta);
+        const Pose rel_gt = gt[j].compose(gt[i].inverse());
+        const Pose rel_est = est[j].compose(est[i].inverse());
+        const Vec3 dt = rel_gt.translation - rel_est.translation;
+        rpe_t.push_back(dt.norm());
+        rpe_r.push_back(rotationAngle(rel_gt.rotation, rel_est.rotation) *
+                        180.0 / 3.14159265358979323846);
+    }
+    metrics.rpe_trans_mean = mean(rpe_t);
+    metrics.rpe_trans_rmse = rms(rpe_t);
+    metrics.rpe_rot_mean_deg = mean(rpe_r);
+    return metrics;
+}
+
+} // namespace rpx

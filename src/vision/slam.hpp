@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Lightweight visual-SLAM tracker — the stand-in for ORB-SLAM2 in the
+ * paper's V-SLAM workload (§3.4, §5.3).
+ *
+ * The tracker keeps a map of 3-D landmarks with binary descriptors,
+ * associates ORB features detected on each (decoded) frame to the map by
+ * descriptor matching, and estimates the 6-DoF camera pose with robust PnP.
+ * Trajectory accuracy is reported with the paper's metrics: absolute
+ * trajectory error (ATE) and relative pose error (RPE), translational and
+ * rotational.
+ */
+
+#ifndef RPX_VISION_SLAM_HPP
+#define RPX_VISION_SLAM_HPP
+
+#include <vector>
+
+#include "frame/image.hpp"
+#include "vision/matcher.hpp"
+#include "vision/orb.hpp"
+#include "vision/pnp.hpp"
+
+namespace rpx {
+
+/** One mapped landmark. */
+struct MapPoint {
+    Vec3 position;          //!< world coordinates
+    Descriptor descriptor;  //!< canonical appearance
+};
+
+/** SLAM tracker configuration. */
+struct SlamConfig {
+    CameraIntrinsics camera;
+    OrbOptions orb;
+    MatchOptions match;
+    PnpOptions pnp;
+    int min_matches = 8;        //!< matches needed to attempt PnP
+    double map_radius_px = 4.0; //!< feature-to-landmark association radius
+};
+
+/** Per-frame tracking outcome. */
+struct TrackResult {
+    Pose pose;                      //!< world-to-camera estimate
+    bool tracked = false;           //!< pose was updated this frame
+    int matches = 0;                //!< map associations used
+    double rms_error = 0.0;         //!< PnP reprojection RMS (pixels)
+    std::vector<OrbFeature> features; //!< detected features (for policies)
+};
+
+/**
+ * Map-based tracker.
+ */
+class SlamTracker
+{
+  public:
+    explicit SlamTracker(const SlamConfig &config);
+
+    const SlamConfig &config() const { return config_; }
+
+    /**
+     * (Re)build the map from a frame with a known pose: detects features
+     * and associates each to the nearest provided landmark whose projection
+     * under `pose` lies within map_radius_px. Called on the bootstrap frame
+     * (with ground truth, the standard evaluation practice) and optionally
+     * on full-capture frames with the current estimate.
+     */
+    size_t buildMap(const Image &frame, const Pose &pose,
+                    const std::vector<Vec3> &landmarks);
+
+    /** Track one frame; returns the pose estimate and match statistics. */
+    TrackResult track(const Image &frame);
+
+    const std::vector<MapPoint> &map() const { return map_; }
+    const Pose &lastPose() const { return last_pose_; }
+    void setLastPose(const Pose &pose) { last_pose_ = pose; }
+
+  private:
+    SlamConfig config_;
+    std::vector<MapPoint> map_;
+    std::vector<Descriptor> map_descriptors_;
+    Pose last_pose_;
+};
+
+/** Aggregate trajectory-accuracy metrics. */
+struct TrajectoryMetrics {
+    double ate_rmse = 0.0;      //!< absolute trajectory error RMSE
+    double ate_mean = 0.0;
+    double ate_stddev = 0.0;
+    double rpe_trans_mean = 0.0; //!< translational RPE mean
+    double rpe_trans_rmse = 0.0;
+    double rpe_rot_mean_deg = 0.0; //!< rotational RPE mean (degrees)
+    size_t frames = 0;
+};
+
+/**
+ * Compare an estimated trajectory against ground truth (same length,
+ * same world frame). `rpe_delta` is the frame spacing for relative errors.
+ */
+TrajectoryMetrics computeTrajectoryMetrics(const std::vector<Pose> &gt,
+                                           const std::vector<Pose> &est,
+                                           int rpe_delta = 1);
+
+} // namespace rpx
+
+#endif // RPX_VISION_SLAM_HPP

@@ -1,0 +1,130 @@
+/** @file Unit tests for the capture-scheme baselines. */
+
+#include <gtest/gtest.h>
+
+#include "baseline/frame_based.hpp"
+#include "baseline/h264_model.hpp"
+#include "baseline/multi_roi.hpp"
+
+namespace rpx {
+namespace {
+
+TEST(FrameBased, TrafficIsFullFrameBothWays)
+{
+    FrameBasedCapture cap(1920, 1080);
+    const FrameTraffic t = cap.frameTraffic();
+    EXPECT_EQ(t.bytes_written, 1920u * 1080u);
+    EXPECT_EQ(t.bytes_read, 1920u * 1080u);
+    EXPECT_EQ(t.metadata_bytes, 0u);
+    EXPECT_EQ(t.footprint, 1920u * 1080u);
+}
+
+TEST(FrameBased, BufferedFramesScaleFootprint)
+{
+    FrameBasedCapture cap(100, 100, 3);
+    EXPECT_EQ(cap.frameTraffic().footprint, 30000u);
+}
+
+TEST(FrameBased, RejectsBadGeometry)
+{
+    EXPECT_THROW(FrameBasedCapture(0, 100), std::invalid_argument);
+    EXPECT_THROW(FrameBasedCapture(10, 10, 0), std::invalid_argument);
+}
+
+TEST(TrafficSummary, AccumulatesAndAverages)
+{
+    TrafficSummary sum;
+    FrameTraffic a;
+    a.bytes_written = 100;
+    a.bytes_read = 100;
+    a.footprint = 1000;
+    FrameTraffic b;
+    b.bytes_written = 300;
+    b.bytes_read = 300;
+    b.footprint = 3000;
+    sum.add(a);
+    sum.add(b);
+    EXPECT_EQ(sum.frames, 2u);
+    EXPECT_EQ(sum.bytes_written, 400u);
+    EXPECT_EQ(sum.footprint_peak, 3000u);
+    EXPECT_DOUBLE_EQ(sum.footprint_mean, 2000.0);
+    // (400+400)/2 bytes per frame * 30 fps = 12000 B/s.
+    EXPECT_NEAR(sum.throughputMBps(30.0), 12000.0 / 1e6, 1e-12);
+}
+
+TEST(MultiRoi, PassThroughWhenFewRegions)
+{
+    MultiRoiCapture cap(640, 480, 16);
+    std::vector<RegionLabel> labels = {
+        {10, 10, 50, 50, 2, 3, 0},
+        {200, 200, 40, 40, 1, 1, 0},
+    };
+    const auto windows = cap.reduceRegions(labels);
+    ASSERT_EQ(windows.size(), 2u);
+    // Stride/skip dropped: windows are the raw rects.
+    EXPECT_EQ(windows[0], (Rect{10, 10, 50, 50}));
+}
+
+TEST(MultiRoi, MergesDownToSensorBudget)
+{
+    MultiRoiCapture cap(640, 480, 16);
+    std::vector<RegionLabel> labels;
+    for (int i = 0; i < 200; ++i)
+        labels.push_back({(i * 37) % 600, (i * 53) % 440, 20, 20, 2, 2, 0});
+    const auto windows = cap.reduceRegions(labels);
+    EXPECT_LE(windows.size(), 16u);
+    EXPECT_GE(windows.size(), 8u);
+}
+
+TEST(MultiRoi, OverlapStoredPerWindow)
+{
+    MultiRoiCapture cap(640, 480, 16);
+    // Two fully overlapping windows pay twice (grouped storage, §3.2).
+    const std::vector<Rect> windows{{0, 0, 100, 100}, {0, 0, 100, 100}};
+    EXPECT_EQ(cap.frameTraffic(windows).bytes_written, 20000u);
+}
+
+TEST(MultiRoi, TrafficIncludesDescriptors)
+{
+    MultiRoiCapture cap(640, 480);
+    const std::vector<Rect> windows{{0, 0, 10, 10}};
+    const FrameTraffic t = cap.frameTraffic(windows);
+    EXPECT_EQ(t.bytes_written, 100u);
+    EXPECT_GT(t.metadata_bytes, 0u);
+}
+
+TEST(H264, MoreTrafficThanFrameBased)
+{
+    // Fig. 8's observation: compression needs multiple frames in memory,
+    // so its pixel traffic and footprint exceed plain frame-based capture.
+    FrameBasedCapture plain(1920, 1080);
+    H264Capture codec(1920, 1080);
+    const FrameTraffic p = plain.frameTraffic();
+    const FrameTraffic c = codec.frameTraffic();
+    EXPECT_GT(c.bytes_written, p.bytes_written);
+    EXPECT_GT(c.bytes_read, p.bytes_read);
+    EXPECT_GT(c.footprint, 2 * p.footprint);
+}
+
+TEST(H264, BitstreamIsSmall)
+{
+    H264Config cfg;
+    H264Capture codec(100, 100, cfg);
+    const FrameTraffic t = codec.frameTraffic();
+    const double pixels = 100.0 * 100.0;
+    // The bitstream adds only pixels/ratio on top of raw + recon writes.
+    EXPECT_NEAR(static_cast<double>(t.bytes_written),
+                pixels * (1.0 + cfg.recon_writes) +
+                    pixels / cfg.compression_ratio,
+                1.0);
+}
+
+TEST(H264, RejectsBadConfig)
+{
+    H264Config cfg;
+    cfg.compression_ratio = 0.5;
+    EXPECT_THROW(H264Capture(100, 100, cfg), std::invalid_argument);
+}
+
+} // namespace
+} // namespace rpx

@@ -1,0 +1,141 @@
+/** @file Unit tests for Rect/Point geometry. */
+
+#include <gtest/gtest.h>
+
+#include "common/geometry.hpp"
+
+namespace rpx {
+namespace {
+
+TEST(Rect, EmptyAndArea)
+{
+    EXPECT_TRUE(Rect{}.empty());
+    EXPECT_TRUE((Rect{5, 5, 0, 3}).empty());
+    EXPECT_TRUE((Rect{5, 5, 3, -1}).empty());
+    EXPECT_EQ((Rect{0, 0, 4, 3}).area(), 12);
+    EXPECT_EQ(Rect{}.area(), 0);
+}
+
+TEST(Rect, ContainsIsHalfOpen)
+{
+    const Rect r{10, 20, 5, 5};
+    EXPECT_TRUE(r.contains(10, 20));
+    EXPECT_TRUE(r.contains(14, 24));
+    EXPECT_FALSE(r.contains(15, 24));
+    EXPECT_FALSE(r.contains(14, 25));
+    EXPECT_FALSE(r.contains(9, 20));
+}
+
+TEST(Rect, ContainsRow)
+{
+    const Rect r{0, 10, 5, 3};
+    EXPECT_FALSE(r.containsRow(9));
+    EXPECT_TRUE(r.containsRow(10));
+    EXPECT_TRUE(r.containsRow(12));
+    EXPECT_FALSE(r.containsRow(13));
+}
+
+TEST(Rect, IntersectBasic)
+{
+    const Rect a{0, 0, 10, 10};
+    const Rect b{5, 5, 10, 10};
+    const Rect i = a.intersect(b);
+    EXPECT_EQ(i, (Rect{5, 5, 5, 5}));
+}
+
+TEST(Rect, IntersectDisjointIsEmpty)
+{
+    const Rect a{0, 0, 4, 4};
+    const Rect b{4, 0, 4, 4}; // share only the open edge
+    EXPECT_TRUE(a.intersect(b).empty());
+    EXPECT_FALSE(a.overlaps(b));
+}
+
+TEST(Rect, UniteCoversBoth)
+{
+    const Rect a{0, 0, 2, 2};
+    const Rect b{10, 10, 2, 2};
+    const Rect u = a.unite(b);
+    EXPECT_TRUE(u.contains(0, 0));
+    EXPECT_TRUE(u.contains(11, 11));
+    EXPECT_EQ(u, (Rect{0, 0, 12, 12}));
+}
+
+TEST(Rect, UniteWithEmpty)
+{
+    const Rect a{3, 4, 5, 6};
+    EXPECT_EQ(a.unite(Rect{}), a);
+    EXPECT_EQ(Rect{}.unite(a), a);
+}
+
+TEST(Rect, ClippedTo)
+{
+    const Rect r{-5, -5, 20, 20};
+    EXPECT_EQ(r.clippedTo(10, 8), (Rect{0, 0, 10, 8}));
+    EXPECT_TRUE((Rect{20, 20, 5, 5}).clippedTo(10, 10).empty());
+}
+
+TEST(Rect, Inflated)
+{
+    const Rect r{10, 10, 4, 4};
+    EXPECT_EQ(r.inflated(2), (Rect{8, 8, 8, 8}));
+    // Deflating below zero clamps the size.
+    EXPECT_EQ(r.inflated(-3).w, 0);
+}
+
+TEST(Rect, IouIdentityAndDisjoint)
+{
+    const Rect a{0, 0, 10, 10};
+    EXPECT_DOUBLE_EQ(iou(a, a), 1.0);
+    EXPECT_DOUBLE_EQ(iou(a, Rect{20, 20, 10, 10}), 0.0);
+}
+
+TEST(Rect, IouPartial)
+{
+    const Rect a{0, 0, 10, 10};
+    const Rect b{5, 0, 10, 10};
+    // inter = 50, union = 150.
+    EXPECT_NEAR(iou(a, b), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Rect, CenterOfOddSizes)
+{
+    EXPECT_EQ((Rect{0, 0, 5, 5}).center(), (Point{2, 2}));
+    EXPECT_EQ((Rect{10, 10, 4, 4}).center(), (Point{12, 12}));
+}
+
+/** Property sweep: intersect is commutative and contained in both. */
+class RectPairProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(RectPairProperty, IntersectSymmetricAndContained)
+{
+    const int ia = std::get<0>(GetParam());
+    const int ib = std::get<1>(GetParam());
+    // Deterministic pseudo-grid of rect shapes.
+    const Rect a{ia * 3 - 10, ia * 2 - 6, 5 + ia % 7, 4 + ia % 5};
+    const Rect b{ib * 2 - 8, ib * 3 - 12, 3 + ib % 9, 6 + ib % 4};
+    const Rect i1 = a.intersect(b);
+    const Rect i2 = b.intersect(a);
+    EXPECT_EQ(i1, i2);
+    if (!i1.empty()) {
+        EXPECT_TRUE(a.contains(i1.x, i1.y));
+        EXPECT_TRUE(b.contains(i1.x, i1.y));
+        EXPECT_LE(i1.right(), std::min(a.right(), b.right()));
+        EXPECT_LE(i1.bottom(), std::min(a.bottom(), b.bottom()));
+        // IoU is symmetric and within (0, 1].
+        const double v = iou(a, b);
+        EXPECT_GT(v, 0.0);
+        EXPECT_LE(v, 1.0);
+        EXPECT_DOUBLE_EQ(v, iou(b, a));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, RectPairProperty,
+                         ::testing::Combine(::testing::Range(0, 8),
+                                            ::testing::Range(0, 8)));
+
+} // namespace
+} // namespace rpx

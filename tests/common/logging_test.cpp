@@ -1,0 +1,102 @@
+/** @file Unit tests for logging levels and the error helpers. */
+
+#include <iostream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace rpx {
+namespace {
+
+/** Capture std::cerr for the duration of a scope. */
+class CerrCapture
+{
+  public:
+    CerrCapture() : old_(std::cerr.rdbuf(buffer_.rdbuf())) {}
+    ~CerrCapture() { std::cerr.rdbuf(old_); }
+    std::string text() const { return buffer_.str(); }
+
+  private:
+    std::ostringstream buffer_;
+    std::streambuf *old_;
+};
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { setLogLevel(LogLevel::Warn); }
+};
+
+TEST_F(LoggingTest, WarnEmittedAtDefaultLevel)
+{
+    CerrCapture capture;
+    warn("disk ", 42, " is wobbly");
+    EXPECT_EQ(capture.text(), "warn: disk 42 is wobbly\n");
+}
+
+TEST_F(LoggingTest, InfoSuppressedAtDefaultLevel)
+{
+    CerrCapture capture;
+    inform("routine message");
+    debug("even more routine");
+    EXPECT_TRUE(capture.text().empty());
+}
+
+TEST_F(LoggingTest, DebugLevelEmitsEverything)
+{
+    setLogLevel(LogLevel::Debug);
+    CerrCapture capture;
+    debug("d");
+    inform("i");
+    warn("w");
+    EXPECT_EQ(capture.text(), "debug: d\ninfo: i\nwarn: w\n");
+}
+
+TEST_F(LoggingTest, SilentSuppressesAll)
+{
+    setLogLevel(LogLevel::Silent);
+    CerrCapture capture;
+    warn("nothing to see");
+    EXPECT_TRUE(capture.text().empty());
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+}
+
+TEST(ErrorHelpers, ThrowInvalidFormatsMessage)
+{
+    try {
+        throwInvalid("bad value ", 7, " for ", "knob");
+        FAIL() << "should have thrown";
+    } catch (const std::invalid_argument &e) {
+        EXPECT_STREQ(e.what(), "bad value 7 for knob");
+    }
+}
+
+TEST(ErrorHelpers, ThrowRuntimeFormatsMessage)
+{
+    try {
+        throwRuntime("stage ", 2, " failed");
+        FAIL() << "should have thrown";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "stage 2 failed");
+    }
+}
+
+TEST(ErrorHelpers, AssertMacroThrowsWithLocation)
+{
+    try {
+        RPX_ASSERT(1 == 2, "math broke");
+        FAIL() << "should have thrown";
+    } catch (const std::runtime_error &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("math broke"), std::string::npos);
+        EXPECT_NE(msg.find("logging_test.cpp"), std::string::npos);
+    }
+    // The passing case is silent.
+    EXPECT_NO_THROW(RPX_ASSERT(true, "fine"));
+}
+
+} // namespace
+} // namespace rpx

@@ -1,0 +1,121 @@
+/** @file Unit tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace rpx {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a.next() == b.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double acc = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        acc += rng.uniform();
+    EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Rng rng(3);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const i64 v = rng.uniformInt(5, 8);
+        EXPECT_GE(v, 5);
+        EXPECT_LE(v, 8);
+        saw_lo |= v == 5;
+        saw_hi |= v == 8;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSingleton)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(rng.uniformInt(4, 4), 4);
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard)
+{
+    Rng rng(123);
+    const int n = 50000;
+    double sum = 0.0, sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScaled)
+{
+    Rng rng(5);
+    const int n = 20000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(77);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ForkIsStableAndDecorrelated)
+{
+    const Rng base(99);
+    Rng f1 = base.fork(1);
+    Rng f1_again = base.fork(1);
+    Rng f2 = base.fork(2);
+    EXPECT_EQ(f1.next(), f1_again.next());
+    // Different labels produce different streams.
+    Rng g1 = base.fork(1);
+    Rng g2 = base.fork(2);
+    (void)f2;
+    int same = 0;
+    for (int i = 0; i < 32; ++i)
+        if (g1.next() == g2.next())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+} // namespace
+} // namespace rpx

@@ -1,0 +1,98 @@
+/** @file Unit tests for the running-statistics accumulators. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+
+namespace rpx {
+namespace {
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue)
+{
+    RunningStats s;
+    s.add(5.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, KnownSeries)
+{
+    RunningStats s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 4.0, 1e-12); // population variance
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential)
+{
+    RunningStats all, a, b;
+    for (int i = 0; i < 100; ++i) {
+        const double v = 0.37 * i - 3.0;
+        all.add(v);
+        (i < 40 ? a : b).add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.stddev(), all.stddev(), 1e-9);
+    EXPECT_NEAR(a.min(), all.min(), 1e-12);
+    EXPECT_NEAR(a.max(), all.max(), 1e-12);
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    const double mean_before = a.mean();
+    a.merge(empty);
+    EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+    RunningStats c;
+    c.merge(a);
+    EXPECT_DOUBLE_EQ(c.mean(), mean_before);
+}
+
+TEST(Percentile, Median)
+{
+    EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 50.0), 3.0);
+    EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4}, 50.0), 2.5);
+}
+
+TEST(Percentile, Extremes)
+{
+    EXPECT_DOUBLE_EQ(percentile({5, 1, 9}, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile({5, 1, 9}, 100.0), 9.0);
+    EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+}
+
+TEST(VectorStats, MeanStddevRms)
+{
+    const std::vector<double> v{3.0, 4.0};
+    EXPECT_DOUBLE_EQ(mean(v), 3.5);
+    EXPECT_NEAR(stddev(v), std::sqrt(0.5), 1e-12);
+    EXPECT_NEAR(rms(v), std::sqrt(12.5), 1e-12);
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(stddev({1.0}), 0.0);
+    EXPECT_DOUBLE_EQ(rms({}), 0.0);
+}
+
+} // namespace
+} // namespace rpx

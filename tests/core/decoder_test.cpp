@@ -1,0 +1,243 @@
+/** @file Unit tests for the rhythmic pixel decoder (PMMU + sampling unit). */
+
+#include <gtest/gtest.h>
+
+#include "core/decoder.hpp"
+#include "core/encoder.hpp"
+#include "core/sw_decoder.hpp"
+#include "memory/dram.hpp"
+
+namespace rpx {
+namespace {
+
+Image
+rampFrame(i32 w, i32 h)
+{
+    Image img(w, h);
+    for (i32 y = 0; y < h; ++y)
+        for (i32 x = 0; x < w; ++x)
+            img.set(x, y, static_cast<u8>((3 * x + 11 * y) % 251 + 1));
+    return img;
+}
+
+struct DecoderRig {
+    DramModel dram;
+    RhythmicEncoder encoder;
+    FrameStore store;
+    RhythmicDecoder decoder;
+
+    DecoderRig(i32 w, i32 h)
+        : dram(1 << 26), encoder(w, h), store(dram, w, h),
+          decoder(store)
+    {
+    }
+
+    void
+    push(const Image &frame, FrameIndex t,
+         const std::vector<RegionLabel> &labels)
+    {
+        auto sorted = labels;
+        sortRegionsByY(sorted);
+        encoder.setRegionLabels(sorted);
+        store.store(encoder.encodeFrame(frame, t));
+    }
+};
+
+TEST(Decoder, FullFrameRegionReproducesPixels)
+{
+    DecoderRig rig(16, 12);
+    const Image frame = rampFrame(16, 12);
+    rig.push(frame, 0, {fullFrameRegion(16, 12)});
+
+    const auto row = rig.decoder.requestPixels(0, 5, 16);
+    for (i32 x = 0; x < 16; ++x)
+        EXPECT_EQ(row[static_cast<size_t>(x)], frame.at(x, 5));
+}
+
+TEST(Decoder, NonRegionalPixelsAreBlack)
+{
+    DecoderRig rig(16, 16);
+    rig.push(rampFrame(16, 16), 0, {{4, 4, 4, 4, 1, 1, 0}});
+    const auto px = rig.decoder.requestPixels(0, 0, 4);
+    for (const u8 v : px)
+        EXPECT_EQ(v, 0);
+    EXPECT_EQ(rig.decoder.stats().black_pixels, 4u);
+}
+
+TEST(Decoder, StridedPixelsBlockReplicate)
+{
+    DecoderRig rig(16, 16);
+    const Image frame = rampFrame(16, 16);
+    rig.push(frame, 0, {{0, 0, 16, 16, 2, 1, 0}});
+    // Row 0 is on the vertical stride: St pixels hold the left R.
+    auto row0 = rig.decoder.requestPixels(0, 0, 16);
+    for (i32 x = 0; x < 16; ++x)
+        EXPECT_EQ(row0[static_cast<size_t>(x)], frame.at(x & ~1, 0));
+    // Row 1 is off the vertical stride: copies from row 0's grid.
+    auto row1 = rig.decoder.requestPixels(0, 1, 16);
+    for (i32 x = 0; x < 16; ++x)
+        EXPECT_EQ(row1[static_cast<size_t>(x)], frame.at(x & ~1, 0));
+    EXPECT_GT(rig.decoder.stats().resampled_pixels, 0u);
+}
+
+TEST(Decoder, SkippedPixelsComeFromHistory)
+{
+    DecoderRig rig(8, 8);
+    const Image f0 = rampFrame(8, 8);
+    Image f1 = f0;
+    f1.fill(200); // would be the new values, but the region skips frame 1
+    const std::vector<RegionLabel> labels = {{0, 0, 8, 8, 1, 2, 0}};
+    rig.push(f0, 0, labels);
+    rig.push(f1, 1, labels);
+
+    // Frame 1 is temporally skipped; the decoder must serve frame 0 data.
+    const auto px = rig.decoder.requestPixels(0, 3, 8);
+    for (i32 x = 0; x < 8; ++x)
+        EXPECT_EQ(px[static_cast<size_t>(x)], f0.at(x, 3));
+    EXPECT_GT(rig.decoder.stats().history_hits, 0u);
+    EXPECT_GT(rig.decoder.stats().sub_requests_inter, 0u);
+}
+
+TEST(Decoder, HistoryMissFallsBackToBlack)
+{
+    DecoderRig rig(8, 8);
+    // Skip 2 with phase 1: frame 0 is inactive and there is no history.
+    rig.push(rampFrame(8, 8), 0, {{0, 0, 8, 8, 1, 2, 1}});
+    const auto px = rig.decoder.requestPixels(0, 0, 8);
+    for (const u8 v : px)
+        EXPECT_EQ(v, 0);
+    EXPECT_GT(rig.decoder.stats().history_misses, 0u);
+}
+
+TEST(Decoder, MatchesSoftwareDecoderOnMixedScene)
+{
+    const i32 w = 48, h = 40;
+    DecoderRig rig(w, h);
+    const std::vector<RegionLabel> labels = {
+        {2, 2, 14, 12, 2, 1, 0},
+        {20, 6, 20, 18, 3, 2, 0},
+        {6, 24, 30, 12, 1, 3, 0},
+    };
+    SoftwareDecoder sw;
+    for (FrameIndex t = 0; t < 5; ++t)
+        rig.push(rampFrame(w, h), t, labels);
+
+    std::vector<const EncodedFrame *> history;
+    for (size_t k = 1; k < rig.store.size(); ++k)
+        history.push_back(rig.store.recent(k));
+    const Image expected = sw.decode(*rig.store.recent(0), history);
+
+    for (i32 y = 0; y < h; ++y) {
+        const auto row = rig.decoder.requestPixels(0, y, w);
+        for (i32 x = 0; x < w; ++x)
+            EXPECT_EQ(row[static_cast<size_t>(x)], expected.at(x, y))
+                << "(" << x << "," << y << ")";
+    }
+}
+
+TEST(Decoder, RequestSpanningRows)
+{
+    DecoderRig rig(8, 8);
+    const Image frame = rampFrame(8, 8);
+    rig.push(frame, 0, {fullFrameRegion(8, 8)});
+    const auto px = rig.decoder.requestPixels(6, 2, 6);
+    EXPECT_EQ(px[0], frame.at(6, 2));
+    EXPECT_EQ(px[1], frame.at(7, 2));
+    EXPECT_EQ(px[2], frame.at(0, 3));
+    EXPECT_EQ(px[5], frame.at(3, 3));
+}
+
+TEST(Decoder, RequestValidation)
+{
+    DecoderRig rig(8, 8);
+    rig.push(rampFrame(8, 8), 0, {fullFrameRegion(8, 8)});
+    EXPECT_THROW(rig.decoder.requestPixels(-1, 0, 4),
+                 std::invalid_argument);
+    EXPECT_THROW(rig.decoder.requestPixels(0, 8, 1),
+                 std::invalid_argument);
+    EXPECT_THROW(rig.decoder.requestPixels(7, 7, 3),
+                 std::invalid_argument);
+    EXPECT_NO_THROW(rig.decoder.requestPixels(7, 7, 1));
+}
+
+TEST(Decoder, EmptyStoreThrows)
+{
+    DramModel dram(1 << 20);
+    FrameStore store(dram, 8, 8);
+    RhythmicDecoder decoder(store);
+    EXPECT_THROW(decoder.requestPixels(0, 0, 1), std::runtime_error);
+}
+
+TEST(Decoder, OutOfFrameHandlerBypasses)
+{
+    DecoderRig rig(8, 8);
+    rig.push(rampFrame(8, 8), 0, {fullFrameRegion(8, 8)});
+    // Write a marker into plain DRAM and read it through the decoder.
+    rig.dram.write(0x500000, std::vector<u8>{42, 43});
+    const auto bytes = rig.decoder.requestBytes(0x500000, 2);
+    EXPECT_EQ(bytes[0], 42);
+    EXPECT_EQ(bytes[1], 43);
+    EXPECT_EQ(rig.decoder.stats().bypassed, 1u);
+
+    // An address inside the decoded window is translated instead.
+    const Image frame = rampFrame(8, 8);
+    const auto px =
+        rig.decoder.requestBytes(rig.decoder.decodedBase() + 8, 8);
+    for (i32 x = 0; x < 8; ++x)
+        EXPECT_EQ(px[static_cast<size_t>(x)], frame.at(x, 1));
+    EXPECT_EQ(rig.decoder.stats().bypassed, 1u);
+}
+
+TEST(Decoder, LatencyIsTensOfNanoseconds)
+{
+    // §6.3: the decoder adds "a few 10s of ns" per transaction.
+    DecoderRig rig(64, 64);
+    rig.push(rampFrame(64, 64), 0, {fullFrameRegion(64, 64)});
+    for (i32 y = 0; y < 8; ++y)
+        rig.decoder.requestPixels(0, y, 8);
+    const double ns = rig.decoder.avgLatencyNs();
+    EXPECT_GT(ns, 5.0);
+    EXPECT_LT(ns, 200.0);
+}
+
+TEST(Decoder, CoalescesContiguousReads)
+{
+    DecoderRig rig(32, 4);
+    rig.push(rampFrame(32, 4), 0, {fullFrameRegion(32, 4)});
+    rig.decoder.requestPixels(0, 0, 32);
+    // One whole encoded row -> one coalesced DRAM read.
+    EXPECT_EQ(rig.decoder.stats().dram_reads, 1u);
+    EXPECT_EQ(rig.decoder.stats().dram_pixel_bytes, 32u);
+}
+
+TEST(Decoder, SplitsRunsAtBurstBoundary)
+{
+    DecoderRig rig(256, 2);
+    const Image frame = rampFrame(256, 2);
+    rig.push(frame, 0, {fullFrameRegion(256, 2)});
+    const auto row = rig.decoder.requestPixels(0, 0, 256);
+    // A 256-byte contiguous run splits into 4 bursts of <= 64 bytes.
+    EXPECT_EQ(rig.decoder.stats().dram_reads, 4u);
+    EXPECT_EQ(rig.decoder.stats().dram_pixel_bytes, 256u);
+    for (i32 x = 0; x < 256; ++x)
+        EXPECT_EQ(row[static_cast<size_t>(x)], frame.at(x, 0));
+}
+
+TEST(Decoder, MaskSurvivesDramRoundTrip)
+{
+    // The mask bytes the frame store writes to DRAM reconstruct the
+    // original EncMask exactly (what the metadata scratchpad loads).
+    DecoderRig rig(32, 16);
+    const std::vector<RegionLabel> labels = {{3, 2, 20, 9, 2, 2, 0}};
+    rig.push(rampFrame(32, 16), 0, labels);
+    const StoredFrameAddrs *addrs = rig.store.recentAddrs(0);
+    const EncodedFrame *frame = rig.store.recent(0);
+    const std::vector<u8> bytes =
+        rig.dram.read(addrs->mask.base, frame->mask.packedBytes());
+    const EncMask reloaded(32, 16, bytes);
+    EXPECT_EQ(reloaded, frame->mask);
+    EXPECT_THROW(EncMask(32, 15, bytes), std::invalid_argument);
+}
+
+} // namespace
+} // namespace rpx

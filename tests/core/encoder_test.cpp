@@ -1,0 +1,281 @@
+/** @file Unit tests for the rhythmic pixel encoder. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/encoder.hpp"
+#include "frame/draw.hpp"
+
+namespace rpx {
+namespace {
+
+Image
+rampFrame(i32 w, i32 h)
+{
+    Image img(w, h);
+    for (i32 y = 0; y < h; ++y)
+        for (i32 x = 0; x < w; ++x)
+            img.set(x, y, static_cast<u8>((x + 7 * y) & 0xff));
+    return img;
+}
+
+TEST(Encoder, FullFrameRegionKeepsEverything)
+{
+    RhythmicEncoder enc(16, 12);
+    enc.setRegionLabels({fullFrameRegion(16, 12)});
+    const Image frame = rampFrame(16, 12);
+    const EncodedFrame out = enc.encodeFrame(frame, 0);
+    out.checkConsistency();
+    EXPECT_EQ(out.pixels.size(), 16u * 12u);
+    EXPECT_DOUBLE_EQ(out.keptFraction(), 1.0);
+    // Raster order preserved.
+    for (i32 i = 0; i < 16; ++i)
+        EXPECT_EQ(out.pixels[static_cast<size_t>(i)], frame.at(i, 0));
+}
+
+TEST(Encoder, NoRegionsKeepsNothing)
+{
+    RhythmicEncoder::Config cfg;
+    RhythmicEncoder enc(8, 8, cfg);
+    enc.setRegionLabels({});
+    const EncodedFrame out = enc.encodeFrame(rampFrame(8, 8), 0);
+    out.checkConsistency();
+    EXPECT_TRUE(out.pixels.empty());
+    EXPECT_EQ(out.mask.histogram()[static_cast<size_t>(PixelCode::N)],
+              64u);
+}
+
+TEST(Encoder, SingleRegionPacksRasterOrder)
+{
+    RhythmicEncoder enc(10, 10);
+    enc.setRegionLabels({{2, 3, 4, 2, 1, 1, 0}});
+    const Image frame = rampFrame(10, 10);
+    const EncodedFrame out = enc.encodeFrame(frame, 0);
+    out.checkConsistency();
+    ASSERT_EQ(out.pixels.size(), 8u);
+    size_t i = 0;
+    for (i32 y = 3; y < 5; ++y)
+        for (i32 x = 2; x < 6; ++x)
+            EXPECT_EQ(out.pixels[i++], frame.at(x, y));
+}
+
+TEST(Encoder, StrideDecimatesGrid)
+{
+    RhythmicEncoder enc(8, 8);
+    enc.setRegionLabels({{0, 0, 8, 8, 2, 1, 0}});
+    const EncodedFrame out = enc.encodeFrame(rampFrame(8, 8), 0);
+    out.checkConsistency();
+    EXPECT_EQ(out.pixels.size(), 16u); // 4x4 grid
+    EXPECT_EQ(out.mask.at(0, 0), PixelCode::R);
+    EXPECT_EQ(out.mask.at(1, 0), PixelCode::St);
+    EXPECT_EQ(out.mask.at(0, 1), PixelCode::St);
+    EXPECT_EQ(out.mask.at(2, 2), PixelCode::R);
+}
+
+TEST(Encoder, SkipMarksTemporal)
+{
+    RhythmicEncoder enc(8, 8);
+    enc.setRegionLabels({{0, 0, 8, 8, 1, 2, 0}});
+    const EncodedFrame f0 = enc.encodeFrame(rampFrame(8, 8), 0);
+    const EncodedFrame f1 = enc.encodeFrame(rampFrame(8, 8), 1);
+    EXPECT_EQ(f0.pixels.size(), 64u);
+    EXPECT_TRUE(f1.pixels.empty());
+    EXPECT_EQ(f1.mask.at(3, 3), PixelCode::Sk);
+    const EncodedFrame f2 = enc.encodeFrame(rampFrame(8, 8), 2);
+    EXPECT_EQ(f2.pixels.size(), 64u);
+}
+
+TEST(Encoder, OverlapPriorityRBeatsStBeatsSk)
+{
+    RhythmicEncoder::Config cfg;
+    cfg.require_sorted = false;
+    RhythmicEncoder enc(12, 12, cfg);
+    // Region A: stride 2, active. Region B overlapping, stride 1, skip 2
+    // (inactive on frame 1). Region C non-overlapping inactive.
+    enc.setRegionLabels({
+        {0, 0, 6, 6, 2, 1, 0},   // active strided
+        {0, 0, 3, 3, 1, 2, 0},   // inactive at t=1 (skip 2)
+    });
+    const EncodedFrame out = enc.encodeFrame(rampFrame(12, 12), 1);
+    // (1,1): A says St (off grid), B inactive says Sk; St wins.
+    EXPECT_EQ(out.mask.at(1, 1), PixelCode::St);
+    // (0,0): A grid pixel -> R despite B's Sk.
+    EXPECT_EQ(out.mask.at(0, 0), PixelCode::R);
+}
+
+TEST(Encoder, MatchesReferenceClassifier)
+{
+    RhythmicEncoder::Config cfg;
+    cfg.require_sorted = false;
+    RhythmicEncoder enc(32, 24, cfg);
+    const std::vector<RegionLabel> regions = {
+        {2, 2, 10, 8, 2, 1, 0},
+        {8, 4, 12, 12, 3, 2, 0},
+        {-4, 18, 16, 10, 1, 3, 1},
+        {20, 0, 30, 6, 2, 2, 0},
+    };
+    enc.setRegionLabels(regions);
+    const Image frame = rampFrame(32, 24);
+    for (FrameIndex t = 0; t < 6; ++t) {
+        const EncodedFrame out = enc.encodeFrame(frame, t);
+        out.checkConsistency();
+        for (i32 y = 0; y < 24; ++y) {
+            for (i32 x = 0; x < 32; ++x) {
+                EXPECT_EQ(out.mask.at(x, y),
+                          RhythmicEncoder::classify(regions, x, y, t))
+                    << "t=" << t << " (" << x << "," << y << ")";
+            }
+        }
+    }
+}
+
+TEST(Encoder, RequiresSortedByDefault)
+{
+    RhythmicEncoder enc(32, 32);
+    std::vector<RegionLabel> unsorted = {
+        {0, 20, 5, 5, 1, 1, 0},
+        {0, 2, 5, 5, 1, 1, 0},
+    };
+    EXPECT_THROW(enc.setRegionLabels(unsorted), std::invalid_argument);
+    sortRegionsByY(unsorted);
+    EXPECT_NO_THROW(enc.setRegionLabels(unsorted));
+}
+
+TEST(Encoder, GeometryMismatchThrows)
+{
+    RhythmicEncoder enc(16, 16);
+    enc.setRegionLabels({fullFrameRegion(16, 16)});
+    EXPECT_THROW(enc.encodeFrame(rampFrame(8, 8), 0),
+                 std::invalid_argument);
+    Image rgb(16, 16, PixelFormat::Rgb8);
+    EXPECT_THROW(enc.encodeFrame(rgb, 0), std::invalid_argument);
+}
+
+TEST(Encoder, WorkSavingsOfHybridVsNaive)
+{
+    // §4.1.1: the row shortlist + run-length reuse saves comparisons.
+    const std::vector<RegionLabel> regions = [] {
+        std::vector<RegionLabel> rs;
+        Rng rng(3);
+        for (int i = 0; i < 50; ++i) {
+            rs.push_back({static_cast<i32>(rng.uniformInt(0, 100)),
+                          static_cast<i32>(rng.uniformInt(0, 100)),
+                          20, 20, 1, 1, 0});
+        }
+        sortRegionsByY(rs);
+        return rs;
+    }();
+
+    u64 work[3];
+    const ComparisonMode modes[3] = {ComparisonMode::Naive,
+                                     ComparisonMode::RowSublist,
+                                     ComparisonMode::Hybrid};
+    const Image frame = rampFrame(128, 128);
+    EncodedFrame outs[3];
+    for (int m = 0; m < 3; ++m) {
+        RhythmicEncoder::Config cfg;
+        cfg.mode = modes[m];
+        RhythmicEncoder enc(128, 128, cfg);
+        enc.setRegionLabels(regions);
+        outs[m] = enc.encodeFrame(frame, 0);
+        work[m] = enc.stats().region_comparisons;
+    }
+    // All modes produce identical output.
+    EXPECT_EQ(outs[0].pixels, outs[1].pixels);
+    EXPECT_EQ(outs[0].mask, outs[1].mask);
+    EXPECT_EQ(outs[1].pixels, outs[2].pixels);
+    EXPECT_EQ(outs[1].mask, outs[2].mask);
+    // Work strictly shrinks: naive > row sublist > hybrid.
+    EXPECT_GT(work[0], work[1]);
+    EXPECT_GT(work[1], work[2]);
+}
+
+TEST(Encoder, HybridMeetsCycleBudgetWithManyRegions)
+{
+    std::vector<RegionLabel> regions;
+    Rng rng(17);
+    for (int i = 0; i < 400; ++i) {
+        regions.push_back({static_cast<i32>(rng.uniformInt(0, 600)),
+                           static_cast<i32>(rng.uniformInt(0, 440)),
+                           30, 30, static_cast<i32>(rng.uniformInt(1, 3)),
+                           static_cast<i32>(rng.uniformInt(1, 3)), 0});
+    }
+    sortRegionsByY(regions);
+    RhythmicEncoder enc(640, 480);
+    enc.setRegionLabels(regions);
+    enc.encodeFrame(rampFrame(640, 480), 0);
+    EXPECT_TRUE(enc.withinCycleBudget());
+}
+
+TEST(Encoder, SummarizeMatchesEncode)
+{
+    const std::vector<RegionLabel> regions = {
+        {3, 1, 17, 9, 2, 1, 0},
+        {10, 8, 20, 14, 3, 2, 0},
+        {0, 20, 40, 6, 1, 3, 0},
+    };
+    RhythmicEncoder::Config cfg;
+    cfg.require_sorted = false;
+    RhythmicEncoder enc(48, 32, cfg);
+    enc.setRegionLabels(regions);
+    const Image frame = rampFrame(48, 32);
+    for (FrameIndex t = 0; t < 7; ++t) {
+        const EncodedFrame out = enc.encodeFrame(frame, t);
+        const auto sum = enc.summarizeFrame(t);
+        const auto h = out.mask.histogram();
+        EXPECT_EQ(sum.r, h[static_cast<size_t>(PixelCode::R)]) << t;
+        EXPECT_EQ(sum.st, h[static_cast<size_t>(PixelCode::St)]) << t;
+        EXPECT_EQ(sum.sk, h[static_cast<size_t>(PixelCode::Sk)]) << t;
+        EXPECT_EQ(sum.n, h[static_cast<size_t>(PixelCode::N)]) << t;
+        EXPECT_EQ(sum.metadata_bytes, out.metadataBytes());
+        EXPECT_EQ(sum.total(), 48u * 32u);
+    }
+}
+
+TEST(Encoder, StatsAccumulate)
+{
+    RhythmicEncoder enc(16, 16);
+    enc.setRegionLabels({fullFrameRegion(16, 16)});
+    enc.encodeFrame(rampFrame(16, 16), 0);
+    enc.encodeFrame(rampFrame(16, 16), 1);
+    EXPECT_EQ(enc.stats().frames, 2u);
+    EXPECT_EQ(enc.stats().pixels_in, 2u * 256u);
+    EXPECT_EQ(enc.stats().pixels_encoded, 2u * 256u);
+    enc.resetStats();
+    EXPECT_EQ(enc.stats().frames, 0u);
+}
+
+/** Property sweep over stride x skip combinations. */
+class EncoderStrideSkip
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(EncoderStrideSkip, CountsMatchClosedForm)
+{
+    const int stride = std::get<0>(GetParam());
+    const int skip = std::get<1>(GetParam());
+    RhythmicEncoder enc(24, 24);
+    enc.setRegionLabels({{4, 4, 13, 11, stride, skip, 0}});
+    const Image frame = rampFrame(24, 24);
+    for (FrameIndex t = 0; t < 4; ++t) {
+        const EncodedFrame out = enc.encodeFrame(frame, t);
+        out.checkConsistency();
+        if (t % skip == 0) {
+            const i64 cols = (13 + stride - 1) / stride;
+            const i64 rows = (11 + stride - 1) / stride;
+            EXPECT_EQ(static_cast<i64>(out.pixels.size()), cols * rows);
+        } else {
+            EXPECT_TRUE(out.pixels.empty());
+            EXPECT_EQ(out.mask.at(6, 6), PixelCode::Sk);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EncoderStrideSkip,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(1, 2, 3)));
+
+} // namespace
+} // namespace rpx

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Failure-injection tests: corrupt metadata, inconsistent encoded frames,
+ * and DRAM payload corruption. The invariant checker must catch malformed
+ * frames before they reach the decoder, and payload corruption must stay
+ * contained to the affected pixels (no crashes, no out-of-bounds).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/decoder.hpp"
+#include "core/encoder.hpp"
+#include "core/frame_store.hpp"
+#include "core/sw_decoder.hpp"
+#include "memory/dram.hpp"
+
+namespace rpx {
+namespace {
+
+Image
+rampFrame(i32 w, i32 h)
+{
+    Image img(w, h);
+    for (i32 y = 0; y < h; ++y)
+        for (i32 x = 0; x < w; ++x)
+            img.set(x, y, static_cast<u8>((x + y) % 200 + 20));
+    return img;
+}
+
+EncodedFrame
+encodeOne(i32 w, i32 h)
+{
+    RhythmicEncoder enc(w, h);
+    enc.setRegionLabels({{2, 2, w / 2, h / 2, 2, 1, 0}});
+    return enc.encodeFrame(rampFrame(w, h), 0);
+}
+
+TEST(FaultInjection, TruncatedPayloadCaught)
+{
+    EncodedFrame frame = encodeOne(32, 32);
+    frame.pixels.pop_back();
+    EXPECT_THROW(frame.checkConsistency(), std::runtime_error);
+}
+
+TEST(FaultInjection, ExtraPayloadCaught)
+{
+    EncodedFrame frame = encodeOne(32, 32);
+    frame.pixels.push_back(0);
+    EXPECT_THROW(frame.checkConsistency(), std::runtime_error);
+}
+
+TEST(FaultInjection, CorruptedRowOffsetCaught)
+{
+    EncodedFrame frame = encodeOne(32, 32);
+    // Shift one row's prefix count: the offsets no longer match the mask.
+    RowOffsets bad(32);
+    for (i32 y = 0; y < 32; ++y) {
+        const u32 next = (y + 1 < 32) ? frame.offsets.offsetOf(y + 1)
+                                      : frame.offsets.total();
+        bad.setRowCount(y, next - frame.offsets.offsetOf(y) + (y == 5));
+    }
+    frame.offsets = bad;
+    EXPECT_THROW(frame.checkConsistency(), std::runtime_error);
+}
+
+TEST(FaultInjection, CorruptedMaskCaught)
+{
+    EncodedFrame frame = encodeOne(32, 32);
+    // Flip an N pixel to R: the mask now promises more payload.
+    ASSERT_EQ(frame.mask.at(31, 31), PixelCode::N);
+    frame.mask.set(31, 31, PixelCode::R);
+    EXPECT_THROW(frame.checkConsistency(), std::runtime_error);
+}
+
+TEST(FaultInjection, StoreRejectsInconsistentFrame)
+{
+    DramModel dram(1 << 24);
+    FrameStore store(dram, 32, 32);
+    EncodedFrame frame = encodeOne(32, 32);
+    frame.pixels.pop_back();
+    EXPECT_THROW(store.store(std::move(frame)), std::runtime_error);
+}
+
+TEST(FaultInjection, DramPayloadCorruptionIsContained)
+{
+    // Flip bytes in the stored payload: the decoder must return corrupted
+    // values only for the affected pixels and never misbehave otherwise.
+    DramModel dram(1 << 24);
+    RhythmicEncoder enc(32, 32);
+    FrameStore store(dram, 32, 32);
+    RhythmicDecoder decoder(store);
+    enc.setRegionLabels({fullFrameRegion(32, 32)});
+    const Image frame = rampFrame(32, 32);
+    store.store(enc.encodeFrame(frame, 0));
+
+    // Corrupt the first byte of row 3's payload behind the store's back.
+    const StoredFrameAddrs *addrs = store.recentAddrs(0);
+    const u64 victim = addrs->pixels.base + 3 * 32;
+    const u8 original = dram.peek(victim);
+    const u8 flipped = static_cast<u8>(original ^ 0xff);
+    dram.write(victim, &flipped, 1);
+
+    const auto row3 = decoder.requestPixels(0, 3, 32);
+    EXPECT_EQ(row3[0], flipped); // corruption visible where injected
+    for (i32 x = 1; x < 32; ++x)
+        EXPECT_EQ(row3[static_cast<size_t>(x)], frame.at(x, 3));
+    const auto row4 = decoder.requestPixels(0, 4, 32);
+    for (i32 x = 0; x < 32; ++x)
+        EXPECT_EQ(row4[static_cast<size_t>(x)], frame.at(x, 4));
+}
+
+TEST(FaultInjection, DecoderConsumesDramMetadataNotSimulatorState)
+{
+    // Corrupt the EncMask bytes in DRAM: the hardware decoder (which
+    // loads its scratchpad from memory) must change behaviour, proving it
+    // does not peek at simulator-side state.
+    DramModel dram(1 << 24);
+    RhythmicEncoder enc(32, 32);
+    FrameStore store(dram, 32, 32);
+    enc.setRegionLabels({fullFrameRegion(32, 32)});
+    const Image frame = rampFrame(32, 32);
+    store.store(enc.encodeFrame(frame, 0));
+
+    // Zero the first mask byte: pixels (0..3, 0) become N in memory.
+    const StoredFrameAddrs *addrs = store.recentAddrs(0);
+    const u8 zero = 0;
+    dram.write(addrs->mask.base, &zero, 1);
+
+    RhythmicDecoder decoder(store);
+    const auto row = decoder.requestPixels(0, 0, 8);
+    // Pixels 0..3 now read as non-regional (black); the in-row R count
+    // shifts, so pixel 4 maps to the payload of original pixel 0 — the
+    // decode tracks the *memory* content exactly.
+    for (int x = 0; x < 4; ++x)
+        EXPECT_EQ(row[static_cast<size_t>(x)], 0) << x;
+    for (int x = 4; x < 8; ++x)
+        EXPECT_EQ(row[static_cast<size_t>(x)], frame.at(x - 4, 0)) << x;
+}
+
+TEST(FaultInjection, SoftwareDecoderRejectsMalformedInput)
+{
+    EncodedFrame frame = encodeOne(32, 32);
+    frame.pixels.clear();
+    const SoftwareDecoder sw;
+    EXPECT_THROW(sw.decode(frame), std::runtime_error);
+}
+
+TEST(FaultInjection, HistoryGeometryMismatchCaught)
+{
+    const EncodedFrame a = encodeOne(32, 32);
+    const EncodedFrame b = encodeOne(16, 16);
+    const SoftwareDecoder sw;
+    EXPECT_THROW(sw.decode(a, {&b}), std::runtime_error);
+}
+
+} // namespace
+} // namespace rpx

@@ -1,0 +1,104 @@
+/** @file Unit tests for the encoded-frame history ring in DRAM. */
+
+#include <gtest/gtest.h>
+
+#include "core/encoder.hpp"
+#include "core/frame_store.hpp"
+#include "memory/dram.hpp"
+
+namespace rpx {
+namespace {
+
+EncodedFrame
+makeFrame(i32 w, i32 h, FrameIndex t, u8 value)
+{
+    Image img(w, h, PixelFormat::Gray8, value);
+    RhythmicEncoder enc(w, h);
+    enc.setRegionLabels({fullFrameRegion(w, h)});
+    return enc.encodeFrame(img, t);
+}
+
+TEST(FrameStore, KeepsHistoryDepth)
+{
+    DramModel dram(1 << 24);
+    FrameStore store(dram, 8, 8, /*history=*/4);
+    for (FrameIndex t = 0; t < 6; ++t)
+        store.store(makeFrame(8, 8, t, static_cast<u8>(t)));
+    EXPECT_EQ(store.size(), 4u);
+    EXPECT_EQ(store.recent(0)->index, 5);
+    EXPECT_EQ(store.recent(3)->index, 2);
+    EXPECT_EQ(store.recent(4), nullptr);
+}
+
+TEST(FrameStore, PixelsLandInDram)
+{
+    DramModel dram(1 << 24);
+    FrameStore store(dram, 4, 4);
+    store.store(makeFrame(4, 4, 0, 123));
+    const StoredFrameAddrs *addrs = store.recentAddrs(0);
+    ASSERT_NE(addrs, nullptr);
+    for (u64 i = 0; i < 16; ++i)
+        EXPECT_EQ(dram.peek(addrs->pixels.base + i), 123);
+}
+
+TEST(FrameStore, MetadataLandsInDram)
+{
+    DramModel dram(1 << 24);
+    FrameStore store(dram, 4, 4);
+    store.store(makeFrame(4, 4, 0, 9));
+    const StoredFrameAddrs *addrs = store.recentAddrs(0);
+    // Full-frame capture: every mask byte is 0b11111111 (four R codes).
+    EXPECT_EQ(dram.peek(addrs->mask.base), 0xff);
+    // Row offsets: row 1 starts at pixel 4 (little endian u32).
+    EXPECT_EQ(dram.peek(addrs->offsets.base + 4), 4);
+}
+
+TEST(FrameStore, FootprintTracksEncodedSizes)
+{
+    DramModel dram(1 << 24);
+    FrameStore store(dram, 16, 16, 2);
+    store.store(makeFrame(16, 16, 0, 1));
+    const Bytes one = store.pixelFootprint();
+    EXPECT_EQ(one, 256u);
+    store.store(makeFrame(16, 16, 1, 2));
+    EXPECT_EQ(store.pixelFootprint(), 512u);
+    // Eviction keeps the footprint bounded.
+    store.store(makeFrame(16, 16, 2, 3));
+    EXPECT_EQ(store.pixelFootprint(), 512u);
+    EXPECT_GT(store.metadataFootprint(), 0u);
+    EXPECT_EQ(store.totalFootprint(),
+              store.pixelFootprint() + store.metadataFootprint());
+}
+
+TEST(FrameStore, BytesWrittenAccumulates)
+{
+    DramModel dram(1 << 24);
+    FrameStore store(dram, 8, 8);
+    store.store(makeFrame(8, 8, 0, 1));
+    const Bytes after_one = store.bytesWritten();
+    EXPECT_GT(after_one, 64u); // pixels + metadata
+    store.store(makeFrame(8, 8, 1, 1));
+    EXPECT_EQ(store.bytesWritten(), 2 * after_one);
+}
+
+TEST(FrameStore, RejectsGeometryMismatch)
+{
+    DramModel dram(1 << 24);
+    FrameStore store(dram, 8, 8);
+    EXPECT_THROW(store.store(makeFrame(4, 4, 0, 1)),
+                 std::invalid_argument);
+}
+
+TEST(FrameStore, SlotRingReusesAddresses)
+{
+    DramModel dram(1 << 24);
+    FrameStore store(dram, 8, 8, 2);
+    store.store(makeFrame(8, 8, 0, 1));
+    const u64 base0 = store.recentAddrs(0)->pixels.base;
+    store.store(makeFrame(8, 8, 1, 2));
+    store.store(makeFrame(8, 8, 2, 3)); // evicts frame 0, reuses its slot
+    EXPECT_EQ(store.recentAddrs(0)->pixels.base, base0);
+}
+
+} // namespace
+} // namespace rpx

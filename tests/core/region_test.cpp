@@ -1,0 +1,130 @@
+/** @file Unit tests for RegionLabel semantics and list utilities. */
+
+#include <gtest/gtest.h>
+
+#include "core/region.hpp"
+
+namespace rpx {
+namespace {
+
+TEST(RegionLabel, ActiveAtSkipRhythm)
+{
+    RegionLabel r{0, 0, 10, 10, 1, 3, 0};
+    EXPECT_TRUE(r.activeAt(0));
+    EXPECT_FALSE(r.activeAt(1));
+    EXPECT_FALSE(r.activeAt(2));
+    EXPECT_TRUE(r.activeAt(3));
+    EXPECT_TRUE(r.activeAt(6));
+}
+
+TEST(RegionLabel, PhaseShiftsRhythm)
+{
+    RegionLabel r{0, 0, 10, 10, 1, 2, 1};
+    EXPECT_FALSE(r.activeAt(0));
+    EXPECT_TRUE(r.activeAt(1));
+    EXPECT_FALSE(r.activeAt(2));
+    EXPECT_TRUE(r.activeAt(3));
+}
+
+TEST(RegionLabel, SkipOneIsEveryFrame)
+{
+    RegionLabel r{0, 0, 4, 4, 1, 1, 0};
+    for (FrameIndex t = 0; t < 10; ++t)
+        EXPECT_TRUE(r.activeAt(t));
+}
+
+TEST(RegionLabel, StrideGridRelativeToOrigin)
+{
+    RegionLabel r{5, 7, 20, 20, 3, 1, 0};
+    EXPECT_TRUE(r.onStrideGrid(5, 7));
+    EXPECT_TRUE(r.onStrideGrid(8, 10));
+    EXPECT_FALSE(r.onStrideGrid(6, 7));
+    EXPECT_FALSE(r.onStrideGrid(5, 8));
+    EXPECT_TRUE(r.rowOnStride(7));
+    EXPECT_FALSE(r.rowOnStride(8));
+    EXPECT_TRUE(r.rowOnStride(10));
+}
+
+TEST(RegionLabel, SampledPixelsCeilingDivision)
+{
+    RegionLabel r{0, 0, 10, 10, 3, 1, 0};
+    // ceil(10/3) = 4 per axis.
+    EXPECT_EQ(r.sampledPixels(), 16);
+    RegionLabel full{0, 0, 10, 10, 1, 1, 0};
+    EXPECT_EQ(full.sampledPixels(), 100);
+}
+
+TEST(ValidateRegions, AcceptsPartiallyOutside)
+{
+    std::vector<RegionLabel> regions = {{-5, -5, 20, 20, 1, 1, 0}};
+    EXPECT_NO_THROW(validateRegions(regions, 100, 100));
+}
+
+TEST(ValidateRegions, RejectsFullyOutside)
+{
+    std::vector<RegionLabel> regions = {{200, 200, 20, 20, 1, 1, 0}};
+    EXPECT_THROW(validateRegions(regions, 100, 100),
+                 std::invalid_argument);
+}
+
+TEST(ValidateRegions, RejectsBadParameters)
+{
+    EXPECT_THROW(validateRegions({{0, 0, 0, 10, 1, 1, 0}}, 100, 100),
+                 std::invalid_argument);
+    EXPECT_THROW(validateRegions({{0, 0, 10, 10, 0, 1, 0}}, 100, 100),
+                 std::invalid_argument);
+    EXPECT_THROW(validateRegions({{0, 0, 10, 10, 1, 0, 0}}, 100, 100),
+                 std::invalid_argument);
+    EXPECT_THROW(validateRegions({}, 0, 100), std::invalid_argument);
+}
+
+TEST(SortRegions, StableYSort)
+{
+    std::vector<RegionLabel> regions = {
+        {0, 30, 5, 5, 1, 1, 0},
+        {1, 10, 5, 5, 1, 1, 0},
+        {2, 10, 5, 5, 2, 1, 0},
+        {3, 5, 5, 5, 1, 1, 0},
+    };
+    sortRegionsByY(regions);
+    EXPECT_TRUE(regionsSortedByY(regions));
+    EXPECT_EQ(regions[0].y, 5);
+    // Stability: the two y=10 regions keep their relative order.
+    EXPECT_EQ(regions[1].x, 1);
+    EXPECT_EQ(regions[2].x, 2);
+}
+
+TEST(FullFrameRegion, CoversEverything)
+{
+    const RegionLabel r = fullFrameRegion(640, 480);
+    EXPECT_EQ(r.rect(), (Rect{0, 0, 640, 480}));
+    EXPECT_EQ(r.stride, 1);
+    EXPECT_EQ(r.skip, 1);
+}
+
+TEST(UnionArea, NonOverlapping)
+{
+    std::vector<RegionLabel> regions = {
+        {0, 0, 10, 10, 1, 1, 0},
+        {20, 20, 10, 10, 1, 1, 0},
+    };
+    EXPECT_EQ(unionArea(regions, 100, 100), 200);
+}
+
+TEST(UnionArea, OverlapCountedOnce)
+{
+    std::vector<RegionLabel> regions = {
+        {0, 0, 10, 10, 1, 1, 0},
+        {5, 0, 10, 10, 1, 1, 0},
+    };
+    EXPECT_EQ(unionArea(regions, 100, 100), 150);
+}
+
+TEST(UnionArea, ClipsToFrame)
+{
+    std::vector<RegionLabel> regions = {{-5, -5, 10, 10, 1, 1, 0}};
+    EXPECT_EQ(unionArea(regions, 100, 100), 25);
+}
+
+} // namespace
+} // namespace rpx

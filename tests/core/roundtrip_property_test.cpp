@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Property-based tests of the encode/decode round trip: for randomized
+ * region workloads, the decoder must reproduce every encoded pixel exactly,
+ * reconstruct strided regions as block replication, recover skipped regions
+ * from history when the scene is static, and agree with the software
+ * decoder everywhere.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/decoder.hpp"
+#include "core/encoder.hpp"
+#include "core/frame_store.hpp"
+#include "core/sw_decoder.hpp"
+#include "frame/draw.hpp"
+#include "memory/dram.hpp"
+
+namespace rpx {
+namespace {
+
+Image
+noiseFrame(i32 w, i32 h, u64 seed)
+{
+    Image img(w, h);
+    Rng rng(seed);
+    for (auto &b : img.data())
+        b = static_cast<u8>(rng.uniformInt(1, 255)); // avoid black
+    return img;
+}
+
+std::vector<RegionLabel>
+randomRegions(Rng &rng, int count, i32 w, i32 h, int max_stride,
+              int max_skip)
+{
+    std::vector<RegionLabel> regions;
+    for (int i = 0; i < count; ++i) {
+        RegionLabel r;
+        r.w = static_cast<i32>(rng.uniformInt(4, w / 2));
+        r.h = static_cast<i32>(rng.uniformInt(4, h / 2));
+        r.x = static_cast<i32>(rng.uniformInt(0, w - 4));
+        r.y = static_cast<i32>(rng.uniformInt(0, h - 4));
+        r.stride = static_cast<i32>(rng.uniformInt(1, max_stride));
+        r.skip = static_cast<i32>(rng.uniformInt(1, max_skip));
+        regions.push_back(r);
+    }
+    sortRegionsByY(regions);
+    return regions;
+}
+
+struct Case {
+    int regions;
+    int max_stride;
+    int max_skip;
+    u64 seed;
+};
+
+class RoundTripProperty : public ::testing::TestWithParam<Case>
+{
+  protected:
+    static constexpr i32 kW = 64;
+    static constexpr i32 kH = 48;
+};
+
+/** Every R pixel decodes to its exact source value. */
+TEST_P(RoundTripProperty, EncodedPixelsDecodeExactly)
+{
+    const Case c = GetParam();
+    Rng rng(c.seed);
+    const auto regions =
+        randomRegions(rng, c.regions, kW, kH, c.max_stride, c.max_skip);
+
+    DramModel dram(1 << 26);
+    RhythmicEncoder enc(kW, kH);
+    FrameStore store(dram, kW, kH);
+    RhythmicDecoder decoder(store);
+    enc.setRegionLabels(regions);
+
+    for (FrameIndex t = 0; t < 4; ++t) {
+        const Image frame = noiseFrame(kW, kH, c.seed * 100 + t);
+        const EncodedFrame encoded = enc.encodeFrame(frame, t);
+        encoded.checkConsistency();
+        store.store(encoded);
+
+        for (i32 y = 0; y < kH; ++y) {
+            const auto row = decoder.requestPixels(0, y, kW);
+            for (i32 x = 0; x < kW; ++x) {
+                if (encoded.mask.at(x, y) == PixelCode::R) {
+                    EXPECT_EQ(row[static_cast<size_t>(x)], frame.at(x, y))
+                        << "t=" << t << " (" << x << "," << y << ")";
+                }
+            }
+        }
+    }
+}
+
+/** The hardware decoder and the software decoder agree on every pixel. */
+TEST_P(RoundTripProperty, HardwareMatchesSoftwareDecoder)
+{
+    const Case c = GetParam();
+    Rng rng(c.seed ^ 0x1234);
+    const auto regions =
+        randomRegions(rng, c.regions, kW, kH, c.max_stride, c.max_skip);
+
+    DramModel dram(1 << 26);
+    RhythmicEncoder enc(kW, kH);
+    FrameStore store(dram, kW, kH);
+    RhythmicDecoder decoder(store);
+    SoftwareDecoder sw;
+    enc.setRegionLabels(regions);
+
+    for (FrameIndex t = 0; t < 5; ++t)
+        store.store(enc.encodeFrame(noiseFrame(kW, kH, t + 1), t));
+
+    std::vector<const EncodedFrame *> history;
+    for (size_t k = 1; k < store.size(); ++k)
+        history.push_back(store.recent(k));
+    const Image expected = sw.decode(*store.recent(0), history);
+
+    for (i32 y = 0; y < kH; ++y) {
+        const auto row = decoder.requestPixels(0, y, kW);
+        for (i32 x = 0; x < kW; ++x)
+            EXPECT_EQ(row[static_cast<size_t>(x)], expected.at(x, y))
+                << "(" << x << "," << y << ")";
+    }
+}
+
+/** Static scenes with temporal skip decode to the original content. */
+TEST_P(RoundTripProperty, StaticSceneSurvivesSkip)
+{
+    const Case c = GetParam();
+    Rng rng(c.seed ^ 0x77);
+    auto regions =
+        randomRegions(rng, c.regions, kW, kH, 1, c.max_skip);
+    // Full density (stride 1) so in-region pixels are exact when active.
+
+    DramModel dram(1 << 26);
+    RhythmicEncoder enc(kW, kH);
+    FrameStore store(dram, kW, kH);
+    SoftwareDecoder sw;
+    enc.setRegionLabels(regions);
+
+    const Image frame = noiseFrame(kW, kH, 42);
+    for (FrameIndex t = 0; t < 4; ++t)
+        store.store(enc.encodeFrame(frame, t));
+
+    std::vector<const EncodedFrame *> history;
+    for (size_t k = 1; k < store.size(); ++k)
+        history.push_back(store.recent(k));
+    const Image decoded = sw.decode(*store.recent(0), history);
+
+    // Every pixel covered by some region decodes to the original value:
+    // max skip 3 guarantees a capture within the 4-frame history.
+    for (i32 y = 0; y < kH; ++y) {
+        for (i32 x = 0; x < kW; ++x) {
+            bool covered = false;
+            for (const auto &r : regions)
+                covered |= r.rect().contains(x, y);
+            if (covered) {
+                EXPECT_EQ(decoded.at(x, y), frame.at(x, y))
+                    << "(" << x << "," << y << ")";
+            } else {
+                EXPECT_EQ(decoded.at(x, y), 0);
+            }
+        }
+    }
+}
+
+/** Encoding is deterministic. */
+TEST_P(RoundTripProperty, EncodeIsDeterministic)
+{
+    const Case c = GetParam();
+    Rng rng(c.seed ^ 0xbeef);
+    const auto regions =
+        randomRegions(rng, c.regions, kW, kH, c.max_stride, c.max_skip);
+    RhythmicEncoder enc_a(kW, kH), enc_b(kW, kH);
+    enc_a.setRegionLabels(regions);
+    enc_b.setRegionLabels(regions);
+    const Image frame = noiseFrame(kW, kH, 5);
+    const EncodedFrame a = enc_a.encodeFrame(frame, 3);
+    const EncodedFrame b = enc_b.encodeFrame(frame, 3);
+    EXPECT_EQ(a.pixels, b.pixels);
+    EXPECT_EQ(a.mask, b.mask);
+    EXPECT_EQ(a.offsets, b.offsets);
+}
+
+/** Single strided region reconstructs as exact block replication. */
+TEST_P(RoundTripProperty, StrideBlockReplication)
+{
+    const Case c = GetParam();
+    const int s = 1 + static_cast<int>(c.seed % 4);
+    const RegionLabel region{8, 6, 33, 29, s, 1, 0};
+    DramModel dram(1 << 26);
+    RhythmicEncoder enc(kW, kH);
+    FrameStore store(dram, kW, kH);
+    SoftwareDecoder sw;
+    enc.setRegionLabels({region});
+
+    const Image frame = noiseFrame(kW, kH, c.seed);
+    store.store(enc.encodeFrame(frame, 0));
+    const Image decoded = sw.decode(*store.recent(0));
+
+    for (i32 y = region.y; y < region.y + region.h; ++y) {
+        for (i32 x = region.x; x < region.x + region.w; ++x) {
+            const i32 sx = x - (x - region.x) % s;
+            const i32 sy = y - (y - region.y) % s;
+            EXPECT_EQ(decoded.at(x, y), frame.at(sx, sy))
+                << "(" << x << "," << y << ") stride " << s;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RoundTripProperty,
+    ::testing::Values(Case{1, 1, 1, 1}, Case{1, 4, 3, 2},
+                      Case{3, 2, 2, 3}, Case{5, 3, 3, 4},
+                      Case{8, 4, 2, 5}, Case{12, 2, 3, 6},
+                      Case{20, 4, 3, 7}, Case{40, 3, 2, 8}));
+
+/** History-depth sweep: a frame store of depth D serves skips of up to
+ *  D-1 frames; deeper skips decode black. */
+class HistoryDepthProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(HistoryDepthProperty, SkipWithinWindowRecoversBeyondGoesBlack)
+{
+    const int depth = GetParam();
+    const i32 w = 24, h = 24;
+    DramModel dram(1 << 24);
+    RhythmicEncoder enc(w, h);
+    FrameStore store(dram, w, h, depth);
+    RhythmicDecoder decoder(store);
+
+    // Region skips exactly `depth` frames: after the active frame 0, the
+    // next `depth - 1` frames can still resolve from history; at frame
+    // `depth` the source frame has been evicted... unless it is exactly
+    // the retention boundary.
+    enc.setRegionLabels({{0, 0, w, h, 1, depth + 1, 0}});
+    const Image frame = noiseFrame(w, h, 31);
+    for (FrameIndex t = 0; t <= depth; ++t)
+        store.store(enc.encodeFrame(frame, t));
+
+    // Stored frames now: t = depth, depth-1, ..., 1 (depth of them) when
+    // depth+1 frames were pushed. Frame 0 (the only R capture) was
+    // evicted, so every pixel is black.
+    const auto px = decoder.requestPixels(0, 5, w);
+    for (const u8 v : px)
+        EXPECT_EQ(v, 0);
+
+    // With skip == depth, the source stays inside the window.
+    DramModel dram2(1 << 24);
+    RhythmicEncoder enc2(w, h);
+    FrameStore store2(dram2, w, h, depth);
+    RhythmicDecoder decoder2(store2);
+    enc2.setRegionLabels({{0, 0, w, h, 1, depth, 0}});
+    for (FrameIndex t = 0; t < depth; ++t)
+        store2.store(enc2.encodeFrame(frame, t));
+    const auto px2 = decoder2.requestPixels(0, 5, w);
+    for (i32 x = 0; x < w; ++x)
+        EXPECT_EQ(px2[static_cast<size_t>(x)], frame.at(x, 5));
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, HistoryDepthProperty,
+                         ::testing::Values(2, 3, 4, 6));
+
+/** Phase property: shifting the phase shifts the whole activity pattern. */
+class PhaseProperty : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PhaseProperty, PhaseShiftsRhythmNotContent)
+{
+    const int phase = GetParam();
+    const int skip = 4;
+    const i32 w = 16, h = 16;
+    RhythmicEncoder enc(w, h);
+    enc.setRegionLabels({{0, 0, w, h, 1, skip, phase}});
+    const Image frame = noiseFrame(w, h, 77);
+    for (FrameIndex t = 0; t < 10; ++t) {
+        const EncodedFrame out = enc.encodeFrame(frame, t);
+        const bool active = t >= phase && (t - phase) % skip == 0;
+        if (active) {
+            EXPECT_EQ(out.pixels.size(),
+                      static_cast<size_t>(w) * static_cast<size_t>(h))
+                << "t=" << t;
+        } else {
+            EXPECT_TRUE(out.pixels.empty()) << "t=" << t;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Phases, PhaseProperty,
+                         ::testing::Values(0, 1, 2, 3));
+
+} // namespace
+} // namespace rpx

@@ -1,0 +1,222 @@
+/** @file Unit tests for the synthetic dataset generators. */
+
+#include <gtest/gtest.h>
+
+#include "datasets/face_dataset.hpp"
+#include "datasets/pose_dataset.hpp"
+#include "datasets/renderer.hpp"
+#include "datasets/slam_dataset.hpp"
+#include "datasets/trajectory.hpp"
+#include "datasets/world.hpp"
+
+namespace rpx {
+namespace {
+
+TEST(World, GeneratesRequestedLandmarks)
+{
+    WorldConfig cfg;
+    cfg.landmarks = 50;
+    const World world(cfg);
+    EXPECT_EQ(world.landmarks().size(), 50u);
+    EXPECT_EQ(world.landmarkPositions().size(), 50u);
+    for (const auto &lm : world.landmarks()) {
+        EXPECT_FALSE(lm.texture.empty());
+        EXPECT_GT(lm.size, 0.0);
+        // Inside the room volume.
+        EXPECT_LE(std::abs(lm.position.x), cfg.room_width / 2 + 1e-9);
+        EXPECT_LE(lm.position.z, cfg.room_depth + 1e-9);
+    }
+}
+
+TEST(World, DeterministicPerSeed)
+{
+    WorldConfig cfg;
+    cfg.landmarks = 20;
+    const World a(cfg), b(cfg);
+    for (size_t i = 0; i < 20; ++i) {
+        EXPECT_DOUBLE_EQ(a.landmarks()[i].position.x,
+                         b.landmarks()[i].position.x);
+        EXPECT_EQ(a.landmarks()[i].texture, b.landmarks()[i].texture);
+    }
+}
+
+TEST(Trajectory, LookAtIsRigid)
+{
+    const Pose pose =
+        lookAt(Vec3{1, 2, 3}, Vec3{0, 0, 10}, Vec3{0, 1, 0});
+    // Rotation is orthonormal with determinant +1 (trace of R R^T = 3).
+    const Mat3 should_be_identity = pose.rotation *
+                                    pose.rotation.transposed();
+    EXPECT_NEAR(should_be_identity.trace(), 3.0, 1e-12);
+    // The camera center round-trips.
+    const Vec3 c = pose.center();
+    EXPECT_NEAR(c.x, 1.0, 1e-12);
+    EXPECT_NEAR(c.y, 2.0, 1e-12);
+    EXPECT_NEAR(c.z, 3.0, 1e-12);
+    // The target projects onto the +z axis.
+    const Vec3 target_cam = pose.transform(Vec3{0, 0, 10});
+    EXPECT_NEAR(target_cam.x, 0.0, 1e-9);
+    EXPECT_NEAR(target_cam.y, 0.0, 1e-9);
+    EXPECT_GT(target_cam.z, 0.0);
+}
+
+TEST(Trajectory, SmoothAndCorrectLength)
+{
+    TrajectoryConfig cfg;
+    cfg.frames = 60;
+    const auto poses = generateTrajectory(cfg);
+    ASSERT_EQ(poses.size(), 60u);
+    // Frame-to-frame translation stays small (smooth 30 fps motion).
+    for (size_t i = 1; i < poses.size(); ++i) {
+        const double step =
+            (poses[i].center() - poses[i - 1].center()).norm();
+        EXPECT_LT(step, 0.1) << "frame " << i;
+    }
+}
+
+TEST(Trajectory, ProfilesDiffer)
+{
+    TrajectoryConfig a, b;
+    a.profile = MotionProfile::Gentle;
+    b.profile = MotionProfile::Sweeping;
+    const auto pa = generateTrajectory(a);
+    const auto pb = generateTrajectory(b);
+    double diff = 0.0;
+    for (size_t i = 0; i < pa.size(); ++i)
+        diff += (pa[i].center() - pb[i].center()).norm();
+    EXPECT_GT(diff, 1.0);
+}
+
+TEST(Renderer, LandmarksAppearInFrame)
+{
+    WorldConfig wc;
+    wc.landmarks = 120;
+    const World world(wc);
+    const CameraIntrinsics cam =
+        CameraIntrinsics::forResolution(320, 240);
+    const SceneRenderer renderer(world, 320, 240, cam);
+    const Image frame =
+        renderer.renderGray(lookAt(Vec3{0, 0, 0.5}, Vec3{0, 0, 6},
+                                   Vec3{0, 1, 0}));
+    // The textured landmarks push pixels outside the background band.
+    int outliers = 0;
+    for (const u8 v : frame.data())
+        if (v < 80 || v > 140)
+            ++outliers;
+    EXPECT_GT(outliers, 200);
+}
+
+TEST(Renderer, GrayToRgbReplicates)
+{
+    Image gray(4, 4, PixelFormat::Gray8, 93);
+    const Image rgb = grayToRgb(gray);
+    EXPECT_EQ(rgb.channels(), 3);
+    EXPECT_EQ(rgb.at(2, 2, 0), 93);
+    EXPECT_EQ(rgb.at(2, 2, 1), 93);
+    EXPECT_EQ(rgb.at(2, 2, 2), 93);
+}
+
+TEST(SlamSequence, FramesAndGroundTruthAligned)
+{
+    SlamSequenceConfig cfg;
+    cfg.width = 160;
+    cfg.height = 120;
+    cfg.frames = 5;
+    cfg.landmarks = 60;
+    const SlamSequence seq(cfg);
+    EXPECT_EQ(seq.groundTruth().size(), 5u);
+    const Image f = seq.renderFrame(2);
+    EXPECT_EQ(f.width(), 160);
+    EXPECT_EQ(f.height(), 120);
+    EXPECT_THROW(seq.renderFrame(5), std::runtime_error);
+    EXPECT_EQ(seq.renderFrameRgb(0).channels(), 3);
+}
+
+TEST(SlamSequence, SuiteHasVariedProfiles)
+{
+    const auto suite = slamBenchmarkSuite(320, 240, 10, 3);
+    ASSERT_EQ(suite.size(), 3u);
+    EXPECT_NE(suite[0].profile, suite[1].profile);
+    EXPECT_NE(suite[0].seed, suite[1].seed);
+}
+
+TEST(FaceSequence, GroundTruthBoxesInsideFrameMostly)
+{
+    const FaceSequence seq;
+    int boxes = 0;
+    for (int t = 0; t < seq.frames(); t += 5) {
+        for (const auto &b : seq.groundTruth(t)) {
+            ++boxes;
+            const Rect clipped =
+                b.clippedTo(seq.config().width, seq.config().height);
+            EXPECT_GE(clipped.area(), b.area() / 2);
+        }
+    }
+    EXPECT_GT(boxes, 5);
+}
+
+TEST(FaceSequence, FacesBrighterThanBackground)
+{
+    const FaceSequence seq;
+    const int t = 15;
+    const Image frame = seq.renderFrame(t);
+    for (const auto &b : seq.groundTruth(t)) {
+        const Point c = b.center();
+        if (frame.inBounds(c.x, c.y)) {
+            EXPECT_GT(frame.at(c.x, c.y), 150);
+        }
+    }
+}
+
+TEST(PoseSequence, ThirteenJointsPerPerson)
+{
+    const PoseSequence seq;
+    const auto gt = seq.groundTruth(20);
+    ASSERT_FALSE(gt.empty());
+    for (const auto &person : gt) {
+        EXPECT_EQ(person.joints.size(), kJointCount);
+        // Head above pelvis (y grows downward).
+        EXPECT_LT(person.joints[static_cast<size_t>(Joint::Head)].y,
+                  person.joints[static_cast<size_t>(Joint::Pelvis)].y);
+        // The bbox covers all joints.
+        for (const auto &j : person.joints)
+            EXPECT_TRUE(person.bbox.contains(j));
+    }
+}
+
+TEST(PoseSequence, WalkersMoveRight)
+{
+    // Single walker so ground-truth indices stay aligned across frames.
+    PoseSequenceConfig cfg;
+    cfg.persons = 1;
+    const PoseSequence seq(cfg);
+    // Walkers enter within the first third of the sequence, so both
+    // sampled frames see the walker on stage.
+    const auto early = seq.groundTruth(40);
+    const auto late = seq.groundTruth(60);
+    ASSERT_FALSE(early.empty());
+    ASSERT_FALSE(late.empty());
+    EXPECT_GT(late[0].bbox.center().x, early[0].bbox.center().x);
+}
+
+TEST(PoseSequence, JointsAreBrightBlobs)
+{
+    const PoseSequence seq;
+    const int t = 25;
+    const Image frame = seq.renderFrame(t);
+    int bright = 0, total = 0;
+    for (const auto &person : seq.groundTruth(t)) {
+        for (const auto &j : person.joints) {
+            if (!frame.inBounds(j.x, j.y))
+                continue;
+            ++total;
+            if (frame.at(j.x, j.y) > 120)
+                ++bright;
+        }
+    }
+    ASSERT_GT(total, 0);
+    EXPECT_GT(bright, total * 3 / 4);
+}
+
+} // namespace
+} // namespace rpx

@@ -1,0 +1,93 @@
+/** @file Unit tests for the Table 6 / Appendix A.2 energy model. */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hpp"
+
+namespace rpx {
+namespace {
+
+TEST(EnergyModel, Table6Constants)
+{
+    const EnergyConstants c;
+    EXPECT_DOUBLE_EQ(c.sense_pj, 595.0);
+    EXPECT_DOUBLE_EQ(c.dram_write_pj + c.dram_read_pj, 700.0); // ~677 rounded
+    EXPECT_DOUBLE_EQ(2.0 * c.ddr_comm_crossing_pj, 2800.0);
+    EXPECT_DOUBLE_EQ(c.mac_pj, 4.6);
+}
+
+TEST(EnergyModel, LinearInActivity)
+{
+    const EnergyModel model;
+    PixelActivity a;
+    a.dram_pixels_written = 1000;
+    const double e1 = model.energy(a).total();
+    a.dram_pixels_written = 2000;
+    EXPECT_NEAR(model.energy(a).total(), 2.0 * e1, 1e-15);
+}
+
+TEST(EnergyModel, BreakdownComponents)
+{
+    const EnergyModel model;
+    PixelActivity a;
+    a.sensed_pixels = 1000;
+    a.csi_pixels = 1000;
+    a.dram_pixels_written = 1000;
+    a.dram_pixels_read = 1000;
+    a.mac_ops = 1000;
+    const EnergyBreakdown e = model.energy(a);
+    EXPECT_NEAR(e.sensing, 1000 * 595e-12, 1e-15);
+    EXPECT_NEAR(e.communication, 1000 * (1000e-12 + 2800e-12), 1e-15);
+    EXPECT_NEAR(e.storage, 1000 * 700e-12, 1e-15);
+    EXPECT_NEAR(e.computation, 1000 * 4.6e-12, 1e-15);
+    EXPECT_NEAR(e.total(),
+                e.sensing + e.communication + e.storage + e.computation,
+                1e-18);
+}
+
+TEST(EnergyModel, PaperHeadlineRp10SavesRoughly18mJPerFrame)
+{
+    // §6.2: at 4K, RP10 discards ~64% of pixels; the saved write+read
+    // traffic is worth ~18 mJ per frame, i.e. ~550 mW at 30 fps.
+    const EnergyModel model;
+    const u64 frame_pixels = 3840ULL * 2160ULL;
+    const u64 saved = static_cast<u64>(frame_pixels * 0.62);
+    const double saved_j = model.savedPerFrame(saved);
+    EXPECT_NEAR(saved_j, 18e-3, 2e-3);
+    EXPECT_NEAR(saved_j * 30.0, 0.55, 0.06);
+}
+
+TEST(EnergyModel, PowerDividesByTime)
+{
+    const EnergyModel model;
+    PixelActivity a;
+    a.dram_pixels_written = 1000000;
+    const double e = model.energy(a).total();
+    EXPECT_NEAR(model.power(a, 2.0), e / 2.0, 1e-15);
+    EXPECT_THROW(model.power(a, 0.0), std::invalid_argument);
+}
+
+TEST(EnergyModel, CommunicationDominatesCompute)
+{
+    // Table 6's point: moving a pixel costs 3 orders of magnitude more
+    // than computing on it.
+    const EnergyConstants c;
+    EXPECT_GT(2.0 * c.ddr_comm_crossing_pj / c.mac_pj, 500.0);
+}
+
+TEST(EnergyModel, CustomConstants)
+{
+    EnergyConstants c;
+    c.dram_write_pj = 100.0;
+    c.dram_read_pj = 50.0;
+    c.ddr_comm_crossing_pj = 0.0;
+    const EnergyModel model(c);
+    PixelActivity a;
+    a.dram_pixels_written = 10;
+    a.dram_pixels_read = 10;
+    EXPECT_NEAR(model.energy(a).storage, 10 * 150e-12, 1e-18);
+    EXPECT_NEAR(model.savedPerFrame(10), 10 * 150e-12, 1e-18);
+}
+
+} // namespace
+} // namespace rpx

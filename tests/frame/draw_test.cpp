@@ -1,0 +1,131 @@
+/** @file Unit tests for the drawing helpers. */
+
+#include <gtest/gtest.h>
+
+#include "frame/draw.hpp"
+
+namespace rpx {
+namespace {
+
+TEST(Draw, FillRectClips)
+{
+    Image img(10, 10);
+    fillRect(img, Rect{8, 8, 10, 10}, 200);
+    EXPECT_EQ(img.at(9, 9), 200);
+    EXPECT_EQ(img.at(7, 7), 0);
+}
+
+TEST(Draw, FillRectRgb)
+{
+    Image img(4, 4, PixelFormat::Rgb8);
+    fillRectRgb(img, Rect{0, 0, 2, 2}, 10, 20, 30);
+    EXPECT_EQ(img.at(1, 1, 0), 10);
+    EXPECT_EQ(img.at(1, 1, 1), 20);
+    EXPECT_EQ(img.at(1, 1, 2), 30);
+    EXPECT_EQ(img.at(3, 3, 0), 0);
+}
+
+TEST(Draw, DrawRectOutlineOnly)
+{
+    Image img(10, 10);
+    drawRect(img, Rect{2, 2, 5, 5}, 99);
+    EXPECT_EQ(img.at(2, 2), 99);
+    EXPECT_EQ(img.at(6, 6), 99);
+    EXPECT_EQ(img.at(4, 4), 0); // interior untouched
+}
+
+TEST(Draw, FillCircleRadius)
+{
+    Image img(21, 21);
+    fillCircle(img, 10, 10, 5, 255);
+    EXPECT_EQ(img.at(10, 10), 255);
+    EXPECT_EQ(img.at(10, 15), 255); // on the radius
+    EXPECT_EQ(img.at(10, 16), 0);
+    EXPECT_EQ(img.at(14, 14), 0);   // corner outside circle
+}
+
+TEST(Draw, LineEndpoints)
+{
+    Image img(10, 10);
+    drawLine(img, {1, 1}, {8, 8}, 50);
+    EXPECT_EQ(img.at(1, 1), 50);
+    EXPECT_EQ(img.at(8, 8), 50);
+    EXPECT_EQ(img.at(4, 4), 50); // diagonal passes through
+}
+
+TEST(Draw, LineClipsOutOfBounds)
+{
+    Image img(5, 5);
+    drawLine(img, {-3, 2}, {8, 2}, 70);
+    for (i32 x = 0; x < 5; ++x)
+        EXPECT_EQ(img.at(x, 2), 70);
+}
+
+TEST(Draw, CheckerboardAlternates)
+{
+    Image img(8, 8);
+    fillCheckerboard(img, 2, 10, 200);
+    EXPECT_EQ(img.at(0, 0), 10);
+    EXPECT_EQ(img.at(2, 0), 200);
+    EXPECT_EQ(img.at(0, 2), 200);
+    EXPECT_EQ(img.at(2, 2), 10);
+}
+
+TEST(Draw, GradientMonotone)
+{
+    Image img(16, 2);
+    fillGradient(img, 0, 255);
+    EXPECT_EQ(img.at(0, 0), 0);
+    EXPECT_EQ(img.at(15, 0), 255);
+    for (i32 x = 1; x < 16; ++x)
+        EXPECT_GE(img.at(x, 0), img.at(x - 1, 0));
+}
+
+TEST(Draw, ValueNoiseInRange)
+{
+    Image img(32, 32);
+    Rng rng(5);
+    fillValueNoise(img, rng, 8.0, 50, 180);
+    for (const u8 v : img.data()) {
+        EXPECT_GE(v, 50);
+        EXPECT_LE(v, 180);
+    }
+}
+
+TEST(Draw, BlitClips)
+{
+    Image dst(6, 6);
+    Image src(4, 4, PixelFormat::Gray8, 99);
+    blit(dst, src, 4, 4);
+    EXPECT_EQ(dst.at(5, 5), 99);
+    EXPECT_EQ(dst.at(3, 3), 0);
+}
+
+TEST(Draw, BlitNegativeOrigin)
+{
+    Image dst(6, 6);
+    Image src(4, 4, PixelFormat::Gray8, 88);
+    blit(dst, src, -2, -2);
+    EXPECT_EQ(dst.at(0, 0), 88);
+    EXPECT_EQ(dst.at(1, 1), 88);
+    EXPECT_EQ(dst.at(2, 2), 0);
+}
+
+TEST(Draw, GaussianBlobPeakAtCenter)
+{
+    Image img(21, 21);
+    addGaussianBlob(img, 10.0, 10.0, 2.0, 200.0);
+    EXPECT_GT(img.at(10, 10), 190);
+    EXPECT_GT(img.at(10, 10), img.at(13, 10));
+    EXPECT_EQ(img.at(0, 0), 0);
+}
+
+TEST(Draw, GaussianBlobAdditiveClamped)
+{
+    Image img(9, 9, PixelFormat::Gray8, 200);
+    addGaussianBlob(img, 4.0, 4.0, 1.5, 200.0);
+    EXPECT_EQ(img.at(4, 4), 255); // clamped
+}
+
+} // namespace
+} // namespace rpx

@@ -1,0 +1,124 @@
+/** @file Unit tests for the Image container. */
+
+#include <gtest/gtest.h>
+
+#include "frame/image.hpp"
+
+namespace rpx {
+namespace {
+
+TEST(Image, DefaultIsEmpty)
+{
+    Image img;
+    EXPECT_TRUE(img.empty());
+    EXPECT_EQ(img.pixelCount(), 0);
+}
+
+TEST(Image, AllocZeroFilled)
+{
+    Image img(4, 3);
+    EXPECT_EQ(img.byteCount(), 12u);
+    for (i32 y = 0; y < 3; ++y)
+        for (i32 x = 0; x < 4; ++x)
+            EXPECT_EQ(img.at(x, y), 0);
+}
+
+TEST(Image, RgbChannelLayout)
+{
+    Image img(2, 2, PixelFormat::Rgb8);
+    EXPECT_EQ(img.channels(), 3);
+    EXPECT_EQ(img.byteCount(), 12u);
+    img.set(1, 0, 0, 10);
+    img.set(1, 0, 1, 20);
+    img.set(1, 0, 2, 30);
+    EXPECT_EQ(img.at(1, 0, 0), 10);
+    EXPECT_EQ(img.at(1, 0, 1), 20);
+    EXPECT_EQ(img.at(1, 0, 2), 30);
+    // Raw layout is interleaved.
+    EXPECT_EQ(img.data()[3], 10);
+    EXPECT_EQ(img.data()[4], 20);
+    EXPECT_EQ(img.data()[5], 30);
+}
+
+TEST(Image, NegativeDimensionsThrow)
+{
+    EXPECT_THROW(Image(-1, 4), std::invalid_argument);
+}
+
+TEST(Image, AtClampedBorders)
+{
+    Image img(3, 3);
+    img.set(0, 0, 7);
+    img.set(2, 2, 9);
+    EXPECT_EQ(img.atClamped(-5, -5), 7);
+    EXPECT_EQ(img.atClamped(10, 10), 9);
+}
+
+TEST(Image, BilinearInterpolation)
+{
+    Image img(2, 1);
+    img.set(0, 0, 0);
+    img.set(1, 0, 100);
+    EXPECT_NEAR(img.bilinear(0.5, 0.0), 50.0, 1e-9);
+    EXPECT_NEAR(img.bilinear(0.25, 0.0), 25.0, 1e-9);
+}
+
+TEST(Image, CropClips)
+{
+    Image img(10, 10);
+    img.set(9, 9, 42);
+    const Image c = img.crop(Rect{8, 8, 10, 10});
+    EXPECT_EQ(c.width(), 2);
+    EXPECT_EQ(c.height(), 2);
+    EXPECT_EQ(c.at(1, 1), 42);
+}
+
+TEST(Image, ResizeIdentity)
+{
+    Image img(5, 4);
+    for (i32 y = 0; y < 4; ++y)
+        for (i32 x = 0; x < 5; ++x)
+            img.set(x, y, static_cast<u8>(10 * x + y));
+    const Image same = img.resized(5, 4);
+    EXPECT_EQ(same, img);
+}
+
+TEST(Image, ResizeDownUniform)
+{
+    Image img(8, 8, PixelFormat::Gray8, 77);
+    const Image half = img.resized(4, 4);
+    for (i32 y = 0; y < 4; ++y)
+        for (i32 x = 0; x < 4; ++x)
+            EXPECT_EQ(half.at(x, y), 77);
+}
+
+TEST(Image, ResizeRejectsNonPositive)
+{
+    Image img(4, 4);
+    EXPECT_THROW(img.resized(0, 4), std::invalid_argument);
+}
+
+TEST(Image, ToGrayWeights)
+{
+    Image rgb(1, 1, PixelFormat::Rgb8);
+    rgb.set(0, 0, 0, 255); // pure red
+    const Image gray = rgb.toGray();
+    EXPECT_NEAR(gray.at(0, 0), 76, 1); // 0.299 * 255
+}
+
+TEST(Image, ToGrayOnGrayIsCopy)
+{
+    Image g(3, 3, PixelFormat::Gray8, 9);
+    EXPECT_EQ(g.toGray(), g);
+}
+
+TEST(ClampToU8, Bounds)
+{
+    EXPECT_EQ(clampToU8(-4.0), 0);
+    EXPECT_EQ(clampToU8(300.0), 255);
+    EXPECT_EQ(clampToU8(127.4), 127);
+    EXPECT_EQ(clampToU8(127.6), 128);
+}
+
+} // namespace
+} // namespace rpx

@@ -1,0 +1,96 @@
+/** @file Unit tests for image-quality metrics. */
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "frame/metrics.hpp"
+
+namespace rpx {
+namespace {
+
+TEST(Mse, IdenticalIsZero)
+{
+    Image a(4, 4, PixelFormat::Gray8, 100);
+    EXPECT_DOUBLE_EQ(mse(a, a), 0.0);
+}
+
+TEST(Mse, KnownDifference)
+{
+    Image a(2, 1), b(2, 1);
+    a.set(0, 0, 10);
+    b.set(0, 0, 20); // diff 10 -> 100
+    // second pixel both 0
+    EXPECT_DOUBLE_EQ(mse(a, b), 50.0);
+}
+
+TEST(Mse, ShapeMismatchThrows)
+{
+    Image a(2, 2), b(3, 2);
+    EXPECT_THROW(mse(a, b), std::invalid_argument);
+}
+
+TEST(Psnr, InfiniteForIdentical)
+{
+    Image a(3, 3, PixelFormat::Gray8, 42);
+    EXPECT_TRUE(std::isinf(psnr(a, a)));
+}
+
+TEST(Psnr, KnownValue)
+{
+    Image a(1, 1), b(1, 1);
+    b.set(0, 0, 255);
+    // mse = 255^2 -> psnr = 0 dB.
+    EXPECT_NEAR(psnr(a, b), 0.0, 1e-9);
+}
+
+TEST(Sad, Symmetric)
+{
+    Image a(2, 2), b(2, 2);
+    a.set(0, 0, 200);
+    b.set(1, 1, 50);
+    EXPECT_EQ(sad(a, b), 250u);
+    EXPECT_EQ(sad(b, a), 250u);
+}
+
+TEST(MseInRect, OnlyCountsRect)
+{
+    Image a(10, 10), b(10, 10);
+    b.set(0, 0, 100); // outside the rect below
+    const Rect r{5, 5, 3, 3};
+    EXPECT_DOUBLE_EQ(mseInRect(a, b, r), 0.0);
+    b.set(5, 5, 30);
+    EXPECT_NEAR(mseInRect(a, b, r), 900.0 / 9.0, 1e-9);
+}
+
+TEST(Ssim, IdenticalIsOne)
+{
+    Image a(8, 8);
+    for (i32 y = 0; y < 8; ++y)
+        for (i32 x = 0; x < 8; ++x)
+            a.set(x, y, static_cast<u8>(x * 20 + y));
+    EXPECT_NEAR(ssimGlobal(a, a), 1.0, 1e-12);
+}
+
+TEST(Ssim, DegradesWithNoise)
+{
+    Image a(16, 16), b(16, 16);
+    for (i32 y = 0; y < 16; ++y) {
+        for (i32 x = 0; x < 16; ++x) {
+            const u8 v = static_cast<u8>(8 * x + y);
+            a.set(x, y, v);
+            b.set(x, y, static_cast<u8>(255 - v)); // inverted
+        }
+    }
+    EXPECT_LT(ssimGlobal(a, b), 0.1);
+}
+
+TEST(Ssim, RejectsRgb)
+{
+    Image a(2, 2, PixelFormat::Rgb8);
+    EXPECT_THROW(ssimGlobal(a, a), std::invalid_argument);
+}
+
+} // namespace
+} // namespace rpx

@@ -1,0 +1,118 @@
+/** @file Unit tests for the FPGA resource and power models (Table 5). */
+
+#include <gtest/gtest.h>
+
+#include "hw/power_model.hpp"
+#include "hw/resource_model.hpp"
+
+namespace rpx {
+namespace {
+
+TEST(ResourceModel, ParallelMatchesTable5)
+{
+    const ResourceModel model;
+    const auto r100 =
+        model.encoderUsage(EncoderDesign::Parallel, 100);
+    EXPECT_EQ(r100.luts, 4644u);
+    EXPECT_EQ(r100.ffs, 5935u);
+    EXPECT_EQ(r100.brams, 6u);
+    EXPECT_TRUE(r100.synthesizable);
+
+    const auto r200 =
+        model.encoderUsage(EncoderDesign::Parallel, 200);
+    EXPECT_EQ(r200.luts, 8635u);
+    EXPECT_EQ(r200.ffs, 10935u);
+
+    const auto r400 =
+        model.encoderUsage(EncoderDesign::Parallel, 400);
+    EXPECT_EQ(r400.luts, 16251u);
+    EXPECT_EQ(r400.ffs, 20685u);
+}
+
+TEST(ResourceModel, ParallelFailsSynthesisAt1600)
+{
+    const ResourceModel model;
+    const auto r = model.encoderUsage(EncoderDesign::Parallel, 1600);
+    EXPECT_FALSE(r.synthesizable);
+    EXPECT_EQ(r.toString(), "No Synth");
+}
+
+TEST(ResourceModel, HybridMatchesTable5)
+{
+    const ResourceModel model;
+    const u32 counts[] = {100, 200, 400, 1600};
+    const u64 luts[] = {942, 949, 944, 952};
+    const u64 ffs[] = {1189, 1190, 1191, 1186};
+    for (int i = 0; i < 4; ++i) {
+        const auto r =
+            model.encoderUsage(EncoderDesign::Hybrid, counts[i]);
+        EXPECT_EQ(r.luts, luts[i]) << counts[i];
+        EXPECT_EQ(r.ffs, ffs[i]) << counts[i];
+        EXPECT_EQ(r.brams, 11u);
+        EXPECT_TRUE(r.synthesizable);
+    }
+}
+
+TEST(ResourceModel, HybridIsFlatParallelGrows)
+{
+    const ResourceModel model;
+    const auto h100 = model.encoderUsage(EncoderDesign::Hybrid, 100);
+    const auto h1600 = model.encoderUsage(EncoderDesign::Hybrid, 1600);
+    EXPECT_LT(h1600.luts, h100.luts + 50); // flat within jitter
+    const auto p100 = model.encoderUsage(EncoderDesign::Parallel, 100);
+    const auto p400 = model.encoderUsage(EncoderDesign::Parallel, 400);
+    EXPECT_GT(p400.luts, 3 * p100.luts); // ~linear growth
+}
+
+TEST(ResourceModel, DecoderAgnosticToRegions)
+{
+    const ResourceModel model;
+    const auto d0 = model.decoderUsage(1920, 0);
+    const auto d1600 = model.decoderUsage(1920, 1600);
+    EXPECT_EQ(d0.luts, d1600.luts);
+    EXPECT_EQ(d0.luts, 699u);
+    EXPECT_EQ(d0.ffs, 1082u);
+    EXPECT_EQ(d0.brams, 2u);
+}
+
+TEST(ResourceModel, DecoderBramScalesWithWidth)
+{
+    const ResourceModel model;
+    EXPECT_EQ(model.decoderUsage(3840).brams, 4u);
+    EXPECT_EQ(model.decoderUsage(640).brams, 2u);
+}
+
+TEST(ResourceModel, RejectsZeroRegions)
+{
+    const ResourceModel model;
+    EXPECT_THROW(model.encoderUsage(EncoderDesign::Hybrid, 0),
+                 std::invalid_argument);
+}
+
+TEST(PowerModel, EncoderAt1600RegionsIs45mW)
+{
+    // §6.3: "Our encoder consumes 45 mW for supporting 1600 regions,
+    // which entails less than 7% of standard mobile ISP chip power".
+    const PowerModel power;
+    const double mw =
+        power.encoderPowerMw(EncoderDesign::Hybrid, 1600);
+    EXPECT_NEAR(mw, 45.0, 0.5);
+    EXPECT_LT(power.encoderIspFraction(EncoderDesign::Hybrid, 1600),
+              0.07);
+}
+
+TEST(PowerModel, DecoderUnderOneMilliwatt)
+{
+    const PowerModel power;
+    EXPECT_LT(power.decoderPowerMw(), 1.0);
+}
+
+TEST(PowerModel, ParallelCostsMoreThanHybrid)
+{
+    const PowerModel power;
+    EXPECT_GT(power.encoderPowerMw(EncoderDesign::Parallel, 400),
+              power.encoderPowerMw(EncoderDesign::Hybrid, 400));
+}
+
+} // namespace
+} // namespace rpx

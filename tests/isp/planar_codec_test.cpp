@@ -1,0 +1,124 @@
+/** @file Unit tests for the planar YUV rhythmic codec. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "frame/draw.hpp"
+#include "frame/metrics.hpp"
+#include "isp/planar_codec.hpp"
+
+namespace rpx {
+namespace {
+
+YuvImage
+colorScene(i32 w, i32 h, u64 seed)
+{
+    Image rgb(w, h, PixelFormat::Rgb8);
+    Rng rng(seed);
+    for (i32 y = 0; y < h; ++y) {
+        for (i32 x = 0; x < w; ++x) {
+            rgb.set(x, y, 0, static_cast<u8>(rng.uniformInt(0, 255)));
+            rgb.set(x, y, 1, static_cast<u8>((x * 3 + y) % 256));
+            rgb.set(x, y, 2, static_cast<u8>((x + y * 5) % 256));
+        }
+    }
+    return rgbToYuv(rgb);
+}
+
+TEST(PlanarCodec, FullFrame444IsLossless)
+{
+    const i32 w = 32, h = 24;
+    PlanarRhythmicCodec codec(w, h, ChromaSubsampling::Yuv444);
+    codec.setRegionLabels({fullFrameRegion(w, h)});
+    const YuvImage scene = colorScene(w, h, 1);
+    const EncodedYuvFrame encoded = codec.encode(scene, 0);
+    const YuvImage back = codec.decode(encoded);
+    EXPECT_EQ(back.y, scene.y);
+    EXPECT_EQ(back.u, scene.u);
+    EXPECT_EQ(back.v, scene.v);
+    EXPECT_NEAR(encoded.keptFraction(), 1.0, 1e-9);
+}
+
+TEST(PlanarCodec, Yuv420LumaLosslessChromaClose)
+{
+    const i32 w = 32, h = 24;
+    PlanarRhythmicCodec codec(w, h, ChromaSubsampling::Yuv420);
+    codec.setRegionLabels({fullFrameRegion(w, h)});
+
+    // Smooth chroma so 4:2:0 resampling is nearly invertible.
+    Image rgb(w, h, PixelFormat::Rgb8);
+    fillRectRgb(rgb, rgb.bounds(), 180, 90, 60);
+    const YuvImage scene = rgbToYuv(rgb);
+
+    const EncodedYuvFrame encoded = codec.encode(scene, 0);
+    const YuvImage back = codec.decode(encoded);
+    EXPECT_EQ(back.y, scene.y);
+    EXPECT_LE(mse(back.u, scene.u), 2.0);
+    EXPECT_LE(mse(back.v, scene.v), 2.0);
+    // 4:2:0 stores half the bytes of 4:4:4.
+    EXPECT_EQ(encoded.u.pixelBytes(), static_cast<Bytes>(w * h / 4));
+}
+
+TEST(PlanarCodec, ChromaLabelsScaleWithSubsampling)
+{
+    PlanarRhythmicCodec codec(64, 48, ChromaSubsampling::Yuv420);
+    EXPECT_EQ(codec.chromaWidth(), 32);
+    EXPECT_EQ(codec.chromaHeight(), 24);
+    codec.setRegionLabels({{8, 8, 16, 16, 2, 1, 0}});
+    const YuvImage scene = colorScene(64, 48, 2);
+    const EncodedYuvFrame encoded = codec.encode(scene, 0);
+    // Luma keeps an 8x8 stride-2 grid of the 16x16 region; chroma keeps
+    // a 4x4 grid of the scaled 8x8 region.
+    EXPECT_EQ(encoded.y.pixels.size(), 64u);
+    EXPECT_EQ(encoded.u.pixels.size(), 16u);
+    EXPECT_EQ(encoded.v.pixels.size(), 16u);
+}
+
+TEST(PlanarCodec, UnsampledChromaIsNeutral)
+{
+    PlanarRhythmicCodec codec(32, 32, ChromaSubsampling::Yuv444);
+    codec.setRegionLabels({{0, 0, 8, 8, 1, 1, 0}});
+    const YuvImage scene = colorScene(32, 32, 3);
+    const YuvImage back = codec.decode(codec.encode(scene, 0));
+    // Outside the region: luma black, chroma neutral -> gray, not green.
+    EXPECT_EQ(back.y.at(20, 20), 0);
+    EXPECT_EQ(back.u.at(20, 20), 128);
+    EXPECT_EQ(back.v.at(20, 20), 128);
+    const Image rgb = yuvToRgb(back);
+    EXPECT_EQ(rgb.at(20, 20, 0), rgb.at(20, 20, 1));
+    EXPECT_EQ(rgb.at(20, 20, 1), rgb.at(20, 20, 2));
+}
+
+TEST(PlanarCodec, SkipRecoversFromHistoryAcrossAllPlanes)
+{
+    const i32 w = 16, h = 16;
+    PlanarRhythmicCodec codec(w, h, ChromaSubsampling::Yuv444);
+    codec.setRegionLabels({{0, 0, w, h, 1, 2, 0}});
+    const YuvImage scene = colorScene(w, h, 4);
+    const EncodedYuvFrame f0 = codec.encode(scene, 0);
+    const EncodedYuvFrame f1 = codec.encode(scene, 1); // skipped
+    EXPECT_TRUE(f1.y.pixels.empty());
+    EXPECT_TRUE(f1.u.pixels.empty());
+    const YuvImage back = codec.decode(f1, {&f0});
+    EXPECT_EQ(back.y, scene.y);
+    EXPECT_EQ(back.u, scene.u);
+    EXPECT_EQ(back.v, scene.v);
+}
+
+TEST(PlanarCodec, RejectsOddGeometryFor420)
+{
+    EXPECT_THROW(PlanarRhythmicCodec(31, 24, ChromaSubsampling::Yuv420),
+                 std::invalid_argument);
+    EXPECT_NO_THROW(
+        PlanarRhythmicCodec(31, 23, ChromaSubsampling::Yuv444));
+}
+
+TEST(PlanarCodec, GeometryMismatchThrows)
+{
+    PlanarRhythmicCodec codec(16, 16);
+    const YuvImage wrong = colorScene(8, 8, 5);
+    EXPECT_THROW(codec.encode(wrong, 0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace rpx

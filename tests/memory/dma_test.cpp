@@ -1,0 +1,77 @@
+/** @file Unit tests for the line-burst DMA writer. */
+
+#include <gtest/gtest.h>
+
+#include "memory/dma.hpp"
+
+namespace rpx {
+namespace {
+
+TEST(Dma, BuffersUntilFlush)
+{
+    DramModel dram(1 << 16);
+    DmaWriter dma(dram, 0x100);
+    dma.push(1);
+    dma.push(2);
+    EXPECT_EQ(dma.pending(), 2u);
+    EXPECT_EQ(dma.bytesCommitted(), 0u);
+    EXPECT_EQ(dram.stats().write_transactions, 0u);
+
+    dma.flush();
+    EXPECT_EQ(dma.pending(), 0u);
+    EXPECT_EQ(dma.bytesCommitted(), 2u);
+    EXPECT_EQ(dram.stats().write_transactions, 1u);
+    EXPECT_EQ(dram.peek(0x100), 1);
+    EXPECT_EQ(dram.peek(0x101), 2);
+}
+
+TEST(Dma, SequentialLines)
+{
+    DramModel dram(1 << 16);
+    DmaWriter dma(dram, 0);
+    for (u8 v = 0; v < 10; ++v)
+        dma.push(v);
+    dma.flush();
+    for (u8 v = 10; v < 20; ++v)
+        dma.push(v);
+    dma.flush();
+    EXPECT_EQ(dma.burstsIssued(), 2u);
+    for (u8 v = 0; v < 20; ++v)
+        EXPECT_EQ(dram.peek(v), v);
+}
+
+TEST(Dma, AutoFlushAtCapacity)
+{
+    DramModel dram(1 << 16);
+    DmaWriter dma(dram, 0, /*line_capacity=*/4);
+    for (u8 v = 0; v < 6; ++v)
+        dma.push(v);
+    // One automatic flush at 4 bytes, 2 still pending.
+    EXPECT_EQ(dma.burstsIssued(), 1u);
+    EXPECT_EQ(dma.pending(), 2u);
+    dma.flush();
+    EXPECT_EQ(dma.bytesCommitted(), 6u);
+}
+
+TEST(Dma, FlushEmptyIsNoop)
+{
+    DramModel dram(1 << 16);
+    DmaWriter dma(dram, 0);
+    dma.flush();
+    EXPECT_EQ(dma.burstsIssued(), 0u);
+    EXPECT_EQ(dram.stats().write_transactions, 0u);
+}
+
+TEST(Dma, BlockPush)
+{
+    DramModel dram(1 << 16);
+    DmaWriter dma(dram, 0x40);
+    const u8 block[5] = {9, 8, 7, 6, 5};
+    dma.push(block, 5);
+    dma.flush();
+    EXPECT_EQ(dram.read(0x40, 5), (std::vector<u8>{9, 8, 7, 6, 5}));
+    EXPECT_EQ(dma.cursor(), 0x40u + 5u);
+}
+
+} // namespace
+} // namespace rpx

@@ -1,0 +1,94 @@
+/** @file Unit tests for the motion-vector region policy. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "frame/draw.hpp"
+#include "policy/mv_policy.hpp"
+
+namespace rpx {
+namespace {
+
+Image
+sceneWithObject(i32 object_x, u64 seed)
+{
+    Image img(128, 96);
+    Rng rng(seed);
+    fillValueNoise(img, rng, 40.0, 90, 120);
+    Image patch(20, 20);
+    fillCheckerboard(patch, 4, 20, 235);
+    blit(img, patch, object_x, 40);
+    return img;
+}
+
+TEST(MvPolicy, ExtrapolatesRegionAlongMotion)
+{
+    MotionVectorPolicy policy(128, 96);
+    policy.seedRegions({{28, 36, 30, 30, 1, 1, 0}});
+
+    policy.observe(sceneWithObject(30, 7)); // baseline frame
+    policy.observe(sceneWithObject(36, 7)); // object moved +6 px
+
+    const auto regions = policy.regionsForNextFrame();
+    ASSERT_EQ(regions.size(), 1u);
+    // The region tracked the object rightward (margin also grows it).
+    EXPECT_GT(regions[0].x + regions[0].w / 2, 43 + 2);
+    EXPECT_GT(policy.sceneMotion(), 0.0);
+}
+
+TEST(MvPolicy, FastMotionMeansNoSkip)
+{
+    MotionVectorPolicy policy(128, 96);
+    policy.seedRegions({{24, 36, 36, 30, 1, 3, 0}});
+    policy.observe(sceneWithObject(30, 9));
+    policy.observe(sceneWithObject(40, 9)); // 10 px/frame: fast
+    const auto regions = policy.regionsForNextFrame();
+    ASSERT_EQ(regions.size(), 1u);
+    EXPECT_EQ(regions[0].skip, 1);
+}
+
+TEST(MvPolicy, StaticSceneMaxSkip)
+{
+    MotionVectorPolicy policy(128, 96);
+    policy.seedRegions({{28, 36, 30, 30, 1, 1, 0}});
+    const Image frame = sceneWithObject(30, 11);
+    policy.observe(frame);
+    policy.observe(frame);
+    const auto regions = policy.regionsForNextFrame();
+    ASSERT_EQ(regions.size(), 1u);
+    EXPECT_EQ(regions[0].skip, 3);
+}
+
+TEST(MvPolicy, RegionsStayInsideFrame)
+{
+    MotionVectorPolicy policy(128, 96);
+    policy.seedRegions({{100, 60, 28, 28, 1, 1, 0}});
+    for (int i = 0; i < 6; ++i) {
+        policy.observe(sceneWithObject(30 + 2 * i, 13));
+        for (const auto &r : policy.regionsForNextFrame()) {
+            EXPECT_GE(r.x, 0);
+            EXPECT_GE(r.y, 0);
+            EXPECT_LE(r.x + r.w, 128);
+            EXPECT_LE(r.y + r.h, 96);
+        }
+    }
+}
+
+TEST(MvPolicy, FirstObservationIsBaselineOnly)
+{
+    MotionVectorPolicy policy(64, 64);
+    policy.seedRegions({{10, 10, 20, 20, 1, 1, 0}});
+    policy.observe(Image(64, 64, PixelFormat::Gray8, 100));
+    EXPECT_DOUBLE_EQ(policy.sceneMotion(), 0.0);
+    EXPECT_EQ(policy.regionsForNextFrame()[0].x, 10);
+}
+
+TEST(MvPolicy, Validation)
+{
+    EXPECT_THROW(MotionVectorPolicy(0, 10), std::invalid_argument);
+    MotionVectorPolicy policy(64, 64);
+    EXPECT_THROW(policy.observe(Image(32, 32)), std::invalid_argument);
+}
+
+} // namespace
+} // namespace rpx

@@ -1,0 +1,203 @@
+/** @file Unit tests for region-selection policies and the Kalman filter. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "policy/box_policy.hpp"
+#include "policy/cycle_policy.hpp"
+#include "policy/feature_policy.hpp"
+#include "policy/kalman.hpp"
+
+namespace rpx {
+namespace {
+
+OrbFeature
+featureAt(double x, double y, float size, int octave, u8 tag)
+{
+    OrbFeature f;
+    f.x = x;
+    f.y = y;
+    f.size = size;
+    f.octave = octave;
+    for (size_t i = 0; i < f.descriptor.size(); ++i)
+        f.descriptor[i] = static_cast<u8>(tag * 31 + i * 7);
+    return f;
+}
+
+TEST(CyclePolicy, FullCaptureOnBoundaries)
+{
+    CyclePolicy policy(100, 100, 10);
+    EXPECT_TRUE(policy.isFullCapture(0));
+    EXPECT_FALSE(policy.isFullCapture(5));
+    EXPECT_TRUE(policy.isFullCapture(10));
+    policy.setTrackedRegions({{5, 5, 10, 10, 1, 1, 0}});
+    EXPECT_EQ(policy.regionsFor(0).size(), 1u);
+    EXPECT_EQ(policy.regionsFor(0)[0], fullFrameRegion(100, 100));
+    EXPECT_EQ(policy.regionsFor(3)[0].w, 10);
+}
+
+TEST(CyclePolicy, FallsBackToFullFrameWithoutProposals)
+{
+    CyclePolicy policy(64, 64, 5);
+    EXPECT_EQ(policy.regionsFor(2)[0], fullFrameRegion(64, 64));
+}
+
+TEST(CyclePolicy, RejectsBadCycle)
+{
+    EXPECT_THROW(CyclePolicy(64, 64, 0), std::invalid_argument);
+}
+
+TEST(FeaturePolicy, SizeDrivesRegionExtent)
+{
+    FeaturePolicy policy(640, 480);
+    policy.observe({featureAt(100, 100, 24.0f, 0, 1)});
+    const auto regions = policy.regionsForNextFrame();
+    ASSERT_EQ(regions.size(), 1u);
+    // 24 * 1.6 margin = 38.
+    EXPECT_NEAR(regions[0].w, 38, 1);
+    EXPECT_EQ(regions[0].stride, 1); // octave 0 -> full density
+    EXPECT_EQ(regions[0].skip, 1);   // unknown motion -> conservative
+    // Centered on the feature.
+    EXPECT_NEAR(regions[0].x + regions[0].w / 2, 100, 2);
+}
+
+TEST(FeaturePolicy, OctaveDrivesStride)
+{
+    FeaturePolicy policy(640, 480);
+    EXPECT_EQ(policy.strideFor(featureAt(0, 0, 10, 0, 1)), 1);
+    EXPECT_EQ(policy.strideFor(featureAt(0, 0, 10, 2, 1)), 3);
+    EXPECT_EQ(policy.strideFor(featureAt(0, 0, 10, 9, 1)), 4); // capped
+}
+
+TEST(FeaturePolicy, DisplacementDrivesSkip)
+{
+    FeaturePolicy policy(640, 480);
+    EXPECT_EQ(policy.skipFor(-1.0), 1);   // unknown
+    EXPECT_EQ(policy.skipFor(10.0), 1);   // fast
+    EXPECT_EQ(policy.skipFor(0.5), 3);    // static -> max skip
+    const int mid = policy.skipFor(3.5);
+    EXPECT_GE(mid, 1);
+    EXPECT_LE(mid, 3);
+}
+
+TEST(FeaturePolicy, TracksDisplacementAcrossObservations)
+{
+    FeaturePolicy policy(640, 480);
+    policy.observe({featureAt(100, 100, 20, 0, 5)});
+    // Same descriptor, moved 8 px: fast motion -> skip 1.
+    policy.observe({featureAt(108, 100, 20, 0, 5)});
+    const auto regions = policy.regionsForNextFrame();
+    ASSERT_EQ(regions.size(), 1u);
+    EXPECT_EQ(regions[0].skip, 1);
+
+    // Static feature across frames -> maximum skip.
+    FeaturePolicy lazy(640, 480);
+    lazy.observe({featureAt(200, 200, 20, 0, 6)});
+    lazy.observe({featureAt(200.4, 200, 20, 0, 6)});
+    EXPECT_EQ(lazy.regionsForNextFrame()[0].skip, 3);
+}
+
+TEST(FeaturePolicy, OutputIsSortedAndClipped)
+{
+    FeaturePolicy policy(200, 200);
+    policy.observe({
+        featureAt(195, 150, 30, 0, 1),
+        featureAt(5, 5, 30, 0, 2),
+        featureAt(100, 195, 30, 0, 3),
+    });
+    const auto regions = policy.regionsForNextFrame();
+    EXPECT_TRUE(regionsSortedByY(regions));
+    for (const auto &r : regions) {
+        EXPECT_GE(r.x, 0);
+        EXPECT_GE(r.y, 0);
+        EXPECT_LE(r.x + r.w, 200);
+        EXPECT_LE(r.y + r.h, 200);
+    }
+}
+
+TEST(Kalman2D, ConvergesToConstantVelocity)
+{
+    Kalman2D kf(0.0, 0.0);
+    for (int t = 1; t <= 30; ++t) {
+        kf.predict();
+        kf.update(3.0 * t, -1.0 * t);
+    }
+    EXPECT_NEAR(kf.vx(), 3.0, 0.3);
+    EXPECT_NEAR(kf.vy(), -1.0, 0.3);
+    EXPECT_NEAR(kf.speed(), std::sqrt(10.0), 0.4);
+    // Prediction continues the motion.
+    const auto p = kf.predict();
+    EXPECT_NEAR(p[0], 3.0 * 31, 1.5);
+}
+
+TEST(Kalman2D, UncertaintyShrinksWithUpdates)
+{
+    Kalman2D kf(10.0, 10.0);
+    const double before = kf.positionUncertainty();
+    for (int i = 0; i < 5; ++i) {
+        kf.predict();
+        kf.update(10.0, 10.0);
+    }
+    EXPECT_LT(kf.positionUncertainty(), before);
+}
+
+TEST(BoxPolicy, TracksAndPredictsMovingBox)
+{
+    BoxPolicy policy(640, 480);
+    for (int t = 0; t < 8; ++t)
+        policy.observe({Rect{100 + 6 * t, 200, 40, 40}});
+    EXPECT_EQ(policy.trackCount(), 1u);
+    const auto regions = policy.regionsForNextFrame();
+    ASSERT_EQ(regions.size(), 1u);
+    // Fast horizontal motion: skip 1, region leads the box.
+    EXPECT_EQ(regions[0].skip, 1);
+    EXPECT_GT(regions[0].x + regions[0].w / 2, 130);
+}
+
+TEST(BoxPolicy, StaticBoxGetsMaxSkip)
+{
+    BoxPolicy policy(640, 480);
+    for (int t = 0; t < 8; ++t)
+        policy.observe({Rect{300, 200, 40, 40}});
+    const auto regions = policy.regionsForNextFrame();
+    ASSERT_EQ(regions.size(), 1u);
+    EXPECT_EQ(regions[0].skip, 3);
+}
+
+TEST(BoxPolicy, DropsStaleTracks)
+{
+    BoxPolicy policy(640, 480);
+    policy.observe({Rect{100, 100, 30, 30}});
+    EXPECT_EQ(policy.trackCount(), 1u);
+    for (int i = 0; i < 5; ++i)
+        policy.observe({});
+    EXPECT_EQ(policy.trackCount(), 0u);
+}
+
+TEST(BoxPolicy, SeparateTracksForSeparateObjects)
+{
+    BoxPolicy policy(640, 480);
+    for (int t = 0; t < 4; ++t)
+        policy.observe({Rect{100, 100, 30, 30}, Rect{400, 300, 50, 50}});
+    EXPECT_EQ(policy.trackCount(), 2u);
+    EXPECT_EQ(policy.regionsForNextFrame().size(), 2u);
+}
+
+TEST(BoxPolicy, StrideGrowsWithBoxSize)
+{
+    BoxPolicy policy(1920, 1080);
+    for (int t = 0; t < 3; ++t)
+        policy.observe({Rect{100, 100, 30, 30}, Rect{600, 300, 300, 300}});
+    const auto regions = policy.regionsForNextFrame();
+    ASSERT_EQ(regions.size(), 2u);
+    const auto &small = regions[0].w < regions[1].w ? regions[0]
+                                                    : regions[1];
+    const auto &large = regions[0].w < regions[1].w ? regions[1]
+                                                    : regions[0];
+    EXPECT_EQ(small.stride, 1);
+    EXPECT_GT(large.stride, 1);
+}
+
+} // namespace
+} // namespace rpx

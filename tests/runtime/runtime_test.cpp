@@ -1,0 +1,161 @@
+/** @file Unit tests for the register file, driver, and user-space API. */
+
+#include <gtest/gtest.h>
+
+#include "runtime/api.hpp"
+#include "runtime/driver.hpp"
+#include "runtime/registers.hpp"
+
+namespace rpx {
+namespace {
+
+TEST(RegisterFile, LoadAndCommitRegions)
+{
+    RegisterFile regs(16);
+    const std::vector<RegionLabel> regions = {
+        {1, 2, 3, 4, 2, 3, 1},
+        {5, 6, 7, 8, 1, 1, 0},
+    };
+    regs.loadRegions(regions);
+    ASSERT_EQ(regs.activeRegions().size(), 2u);
+    EXPECT_EQ(regs.activeRegions()[0], regions[0]);
+    EXPECT_EQ(regs.activeRegions()[1], regions[1]);
+    EXPECT_TRUE(regs.enabled());
+    EXPECT_EQ(regs.commitCount(), 1u);
+}
+
+TEST(RegisterFile, CommitIsAtomic)
+{
+    RegisterFile regs(8);
+    regs.loadRegions({{1, 1, 2, 2, 1, 1, 0}});
+    // Stage new values without committing: active list is unchanged.
+    regs.writeWord(static_cast<u32>(RegOffset::RegionCount), 2);
+    EXPECT_EQ(regs.activeRegions().size(), 1u);
+    // The commit strobe latches the staged state.
+    regs.writeWord(static_cast<u32>(RegOffset::Control), 0x3);
+    EXPECT_EQ(regs.activeRegions().size(), 2u);
+}
+
+TEST(RegisterFile, CapacityEnforced)
+{
+    RegisterFile regs(2);
+    std::vector<RegionLabel> three(3, RegionLabel{0, 0, 1, 1, 1, 1, 0});
+    EXPECT_THROW(regs.loadRegions(three), std::invalid_argument);
+}
+
+TEST(RegisterFile, OutOfRangeAccessThrows)
+{
+    RegisterFile regs(1);
+    EXPECT_THROW(regs.writeWord(100000, 1), std::invalid_argument);
+    EXPECT_THROW(regs.readWord(100000), std::invalid_argument);
+}
+
+TEST(RegisterFile, AxiWriteCountMatchesRecordSize)
+{
+    RegisterFile regs(8);
+    const u64 before = regs.writeCount();
+    regs.loadRegions({{0, 0, 4, 4, 1, 1, 0}});
+    // 1 count + 7 record words + 1 control.
+    EXPECT_EQ(regs.writeCount() - before, 9u);
+}
+
+TEST(Driver, ValidatesAndSorts)
+{
+    RegisterFile regs(16);
+    RegionDriver driver(regs, 100, 100);
+    std::vector<RegionLabel> unsorted = {
+        {0, 50, 10, 10, 1, 1, 0},
+        {0, 5, 10, 10, 1, 1, 0},
+    };
+    driver.setRegionLabels(unsorted);
+    EXPECT_EQ(regs.activeRegions()[0].y, 5);
+    EXPECT_EQ(regs.activeRegions()[1].y, 50);
+    EXPECT_EQ(driver.ioctlCount(), 1u);
+}
+
+TEST(Driver, RejectsInvalidRegions)
+{
+    RegisterFile regs(16);
+    RegionDriver driver(regs, 100, 100);
+    EXPECT_THROW(driver.setRegionLabels({{500, 500, 10, 10, 1, 1, 0}}),
+                 std::invalid_argument);
+    EXPECT_THROW(driver.setRegionLabels({{0, 0, 10, 10, -1, 1, 0}}),
+                 std::invalid_argument);
+}
+
+TEST(Driver, ProgramsFrameGeometry)
+{
+    RegisterFile regs(4);
+    RegionDriver driver(regs, 640, 480);
+    EXPECT_EQ(regs.readWord(static_cast<u32>(RegOffset::FrameWidth)),
+              640u);
+    EXPECT_EQ(regs.readWord(static_cast<u32>(RegOffset::FrameHeight)),
+              480u);
+    (void)driver;
+}
+
+TEST(Runtime, DefaultsToFullFrame)
+{
+    RegisterFile regs(16);
+    RegionDriver driver(regs, 64, 48);
+    RegionRuntime runtime(driver);
+    const auto &labels = runtime.beginFrame();
+    ASSERT_EQ(labels.size(), 1u);
+    EXPECT_EQ(labels[0], fullFrameRegion(64, 48));
+}
+
+TEST(Runtime, PersistentListSticksAcrossFrames)
+{
+    RegisterFile regs(16);
+    RegionDriver driver(regs, 64, 48);
+    RegionRuntime runtime(driver);
+    runtime.setRegionLabels({{1, 1, 8, 8, 1, 1, 0}});
+    EXPECT_EQ(runtime.beginFrame().size(), 1u);
+    EXPECT_EQ(runtime.beginFrame()[0].w, 8);
+    EXPECT_EQ(runtime.beginFrame()[0].w, 8);
+}
+
+TEST(Runtime, OneShotListRevertsToPersistent)
+{
+    RegisterFile regs(16);
+    RegionDriver driver(regs, 64, 48);
+    RegionRuntime runtime(driver);
+    runtime.setRegionLabels({{1, 1, 8, 8, 1, 1, 0}}); // persistent
+    runtime.setRegionLabels({{2, 2, 4, 4, 1, 1, 0}}, /*persist=*/false);
+    EXPECT_EQ(runtime.beginFrame()[0].w, 4); // the one-shot list
+    EXPECT_EQ(runtime.beginFrame()[0].w, 8); // back to persistent
+}
+
+TEST(Runtime, UsageStatisticsRecorded)
+{
+    RegisterFile regs(16);
+    RegionDriver driver(regs, 64, 48);
+    RegionRuntime runtime(driver);
+    runtime.setRegionLabels({
+        {0, 0, 8, 16, 2, 3, 0},
+        {10, 10, 32, 4, 1, 1, 0},
+    });
+    runtime.beginFrame();
+    const RegionUsageStats &usage = runtime.usage();
+    EXPECT_EQ(usage.min_w, 8);
+    EXPECT_EQ(usage.max_w, 32);
+    EXPECT_EQ(usage.min_h, 4);
+    EXPECT_EQ(usage.max_h, 16);
+    EXPECT_EQ(usage.max_stride, 2);
+    EXPECT_EQ(usage.max_skip, 3);
+}
+
+TEST(Runtime, OnlyReprogramsOnChange)
+{
+    RegisterFile regs(16);
+    RegionDriver driver(regs, 64, 48);
+    RegionRuntime runtime(driver);
+    runtime.setRegionLabels({{1, 1, 8, 8, 1, 1, 0}});
+    runtime.beginFrame();
+    const u64 ioctls = driver.ioctlCount();
+    runtime.beginFrame(); // unchanged list: no new driver call
+    EXPECT_EQ(driver.ioctlCount(), ioctls);
+}
+
+} // namespace
+} // namespace rpx

@@ -1,0 +1,115 @@
+/** @file Unit tests for the sensor model and CSI-2 link. */
+
+#include <gtest/gtest.h>
+
+#include "sensor/csi2.hpp"
+#include "sensor/sensor.hpp"
+
+namespace rpx {
+namespace {
+
+TEST(Sensor, PresetsMatchPaperResolutions)
+{
+    EXPECT_EQ(sensorPreset4K().width, 3840);
+    EXPECT_EQ(sensorPreset4K().height, 2160);
+    EXPECT_DOUBLE_EQ(sensorPreset4K().fps, 60.0);
+    EXPECT_EQ(sensorPreset720p().width, 1280);
+    EXPECT_EQ(sensorPresetSvga().width, 800);
+    EXPECT_EQ(sensorPreset480p().height, 480);
+}
+
+TEST(Sensor, BayerMosaicRggbLayout)
+{
+    SensorConfig cfg = sensorPreset480p();
+    cfg.width = 4;
+    cfg.height = 4;
+    SensorModel sensor(cfg);
+
+    Image scene(4, 4, PixelFormat::Rgb8);
+    for (i32 y = 0; y < 4; ++y) {
+        for (i32 x = 0; x < 4; ++x) {
+            scene.set(x, y, 0, 100); // R
+            scene.set(x, y, 1, 150); // G
+            scene.set(x, y, 2, 200); // B
+        }
+    }
+    const Image raw = sensor.capture(scene);
+    ASSERT_EQ(raw.format(), PixelFormat::BayerRggb);
+    EXPECT_EQ(raw.at(0, 0), 100); // R site
+    EXPECT_EQ(raw.at(1, 0), 150); // G site
+    EXPECT_EQ(raw.at(0, 1), 150); // G site
+    EXPECT_EQ(raw.at(1, 1), 200); // B site
+}
+
+TEST(Sensor, ResizesSceneToSensorResolution)
+{
+    SensorConfig cfg = sensorPreset480p();
+    cfg.width = 8;
+    cfg.height = 6;
+    SensorModel sensor(cfg);
+    Image scene(32, 32, PixelFormat::Rgb8);
+    const Image raw = sensor.capture(scene);
+    EXPECT_EQ(raw.width(), 8);
+    EXPECT_EQ(raw.height(), 6);
+}
+
+TEST(Sensor, GrayCaptureAndFrameCount)
+{
+    SensorConfig cfg = sensorPreset480p();
+    cfg.width = 8;
+    cfg.height = 8;
+    SensorModel sensor(cfg);
+    Image scene(8, 8, PixelFormat::Gray8, 50);
+    const Image g = sensor.captureGray(scene);
+    EXPECT_EQ(g.at(3, 3), 50);
+    sensor.captureGray(scene);
+    EXPECT_EQ(sensor.frameCount(), 2u);
+}
+
+TEST(Sensor, NoiseIsBoundedAndSeeded)
+{
+    SensorConfig cfg = sensorPreset480p();
+    cfg.width = 16;
+    cfg.height = 16;
+    cfg.read_noise_sigma = 2.0;
+    SensorModel a(cfg), b(cfg);
+    Image scene(16, 16, PixelFormat::Gray8, 128);
+    const Image fa = a.captureGray(scene);
+    const Image fb = b.captureGray(scene);
+    EXPECT_EQ(fa, fb); // same seed -> identical noise
+    int changed = 0;
+    for (const u8 v : fa.data())
+        if (v != 128)
+            ++changed;
+    EXPECT_GT(changed, 50);
+}
+
+TEST(Sensor, RejectsBadConfig)
+{
+    SensorConfig cfg;
+    cfg.width = 0;
+    EXPECT_THROW(SensorModel{cfg}, std::invalid_argument);
+}
+
+TEST(Csi2, BandwidthCheck4K60)
+{
+    Csi2Link link; // 4 lanes x 1.44 Gbps
+    const u64 pixels_4k = 3840ULL * 2160ULL;
+    // 4K60 RAW10 needs ~5.2 Gbps of the 5.76 Gbps the link offers.
+    EXPECT_TRUE(link.supportsRate(pixels_4k, 60.0));
+    EXPECT_FALSE(link.supportsRate(pixels_4k, 120.0));
+}
+
+TEST(Csi2, TransferAccounting)
+{
+    Csi2Link link;
+    link.transferFrame(1000);
+    link.transferFrame(500);
+    EXPECT_EQ(link.pixelsTransferred(), 1500u);
+    // 1 nJ/pixel default.
+    EXPECT_NEAR(link.energyJoules(), 1500e-9, 1e-12);
+    EXPECT_GT(link.bitsTransferred(), 15000.0); // 10 bpp + overhead
+}
+
+} // namespace
+} // namespace rpx

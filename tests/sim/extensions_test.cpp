@@ -1,0 +1,145 @@
+/** @file Unit tests for the §7 future-direction studies. */
+
+#include <gtest/gtest.h>
+
+#include "policy/adaptive_cycle.hpp"
+#include "sim/extensions.hpp"
+
+namespace rpx {
+namespace {
+
+RegionTrace
+smallTrace(i32 w, i32 h, int frames, int cycle)
+{
+    RegionTrace trace;
+    for (int t = 0; t < frames; ++t) {
+        if (t % cycle == 0)
+            trace.push_back({fullFrameRegion(w, h)});
+        else
+            trace.push_back({RegionLabel{10, 10, 60, 60, 2, 1, 0}});
+    }
+    return trace;
+}
+
+TEST(Dramless, TinyBudgetFitsNothing)
+{
+    const auto trace = smallTrace(640, 480, 20, 10);
+    DramlessConfig cfg;
+    cfg.sram_budget = 1024; // 1 KB
+    const DramlessResult r = analyzeDramless(trace, 640, 480, cfg);
+    EXPECT_EQ(r.frames_fitting, 0u);
+    EXPECT_DOUBLE_EQ(r.avoidedFraction(), 0.0);
+    EXPECT_EQ(r.dram_bytes_baseline, r.dram_bytes_dramless);
+}
+
+TEST(Dramless, HugeBudgetFitsAllTrackedFrames)
+{
+    const auto trace = smallTrace(640, 480, 20, 10);
+    DramlessConfig cfg;
+    cfg.sram_budget = 64ULL * 1024 * 1024;
+    const DramlessResult r = analyzeDramless(trace, 640, 480, cfg);
+    // Full captures (frames 0 and 10) always go to DRAM; the 18 tracked
+    // frames fit.
+    EXPECT_EQ(r.frames_fitting, 18u);
+    EXPECT_GT(r.avoidedFraction(), 0.0);
+    EXPECT_LT(r.avoidedFraction(), 1.0);
+}
+
+TEST(Dramless, IntermediateBudgetFitsTrackedWindows)
+{
+    // Tracked frames are small; windows containing the full capture are
+    // not. With CL=10 and a 4-frame window, 6 of every 10 frames fit a
+    // budget sized between one tracked window and one full frame.
+    const auto trace = smallTrace(640, 480, 40, 10);
+    DramlessConfig cfg;
+    cfg.bytes_per_pixel = 1.0;
+    // Tracked window: 4 * (900 px + ~79 KB metadata) ~ 330 KB.
+    cfg.sram_budget = 400 * 1024;
+    const DramlessResult r = analyzeDramless(trace, 640, 480, cfg);
+    EXPECT_GT(r.frames_fitting, 0u);
+    EXPECT_LT(r.frames_fitting, r.frames);
+    EXPECT_GT(r.avoidedFraction(), 0.0);
+    EXPECT_LT(r.avoidedFraction(), 1.0);
+}
+
+TEST(Placement, InSensorReducesCsiTraffic)
+{
+    const auto trace = smallTrace(640, 480, 20, 10);
+    const EnergyModel energy;
+    const PlacementResult isp = analyzePlacement(
+        trace, 640, 480, 30.0, EncoderPlacement::AtIspOutput, energy);
+    const PlacementResult sensor = analyzePlacement(
+        trace, 640, 480, 30.0, EncoderPlacement::InSensor, energy);
+    EXPECT_DOUBLE_EQ(isp.csi_pixels_per_frame, 640.0 * 480.0);
+    EXPECT_LT(sensor.csi_pixels_per_frame,
+              0.5 * isp.csi_pixels_per_frame);
+    EXPECT_LT(sensor.csi_power_w, isp.csi_power_w);
+    EXPECT_GT(sensor.csi_power_w, 0.0);
+}
+
+TEST(AdaptiveCycle, HighMotionShrinksCycle)
+{
+    AdaptiveCyclePolicy policy(640, 480);
+    EXPECT_EQ(policy.currentCycle(), policy.config().max_cycle);
+    for (int i = 0; i < 30; ++i)
+        policy.observeMotion(10.0);
+    EXPECT_EQ(policy.currentCycle(), policy.config().min_cycle);
+    for (int i = 0; i < 60; ++i)
+        policy.observeMotion(0.2);
+    EXPECT_EQ(policy.currentCycle(), policy.config().max_cycle);
+}
+
+TEST(AdaptiveCycle, SmoothingResistsSpikes)
+{
+    AdaptiveCyclePolicy policy(640, 480);
+    for (int i = 0; i < 30; ++i)
+        policy.observeMotion(0.2); // settle at max cycle
+    policy.observeMotion(8.0);     // one fast frame
+    // The EWMA absorbs a single spike instead of slamming to min_cycle.
+    EXPECT_GT(policy.currentCycle(), policy.config().min_cycle);
+}
+
+TEST(AdaptiveCycle, SchedulesFullCaptures)
+{
+    AdaptiveCycleConfig cfg;
+    cfg.min_cycle = 2;
+    cfg.max_cycle = 4;
+    AdaptiveCyclePolicy policy(100, 100, cfg);
+    policy.setTrackedRegions({{10, 10, 20, 20, 1, 1, 0}});
+    for (int i = 0; i < 10; ++i)
+        policy.observeMotion(0.0); // calm: cycle = 4
+
+    int fulls = 0;
+    for (int t = 0; t < 12; ++t) {
+        const auto labels = policy.nextFrame();
+        if (labels.size() == 1 && labels[0].w == 100)
+            ++fulls;
+    }
+    EXPECT_EQ(fulls, 3); // frames 0, 4, 8
+}
+
+TEST(AdaptiveCycle, FullFrameUntilProposalsExist)
+{
+    AdaptiveCyclePolicy policy(64, 64);
+    const auto first = policy.nextFrame();
+    ASSERT_EQ(first.size(), 1u);
+    EXPECT_EQ(first[0], fullFrameRegion(64, 64));
+    const auto second = policy.nextFrame(); // still no proposals
+    EXPECT_EQ(second[0], fullFrameRegion(64, 64));
+}
+
+TEST(AdaptiveCycle, RejectsBadConfig)
+{
+    AdaptiveCycleConfig cfg;
+    cfg.min_cycle = 10;
+    cfg.max_cycle = 5;
+    EXPECT_THROW(AdaptiveCyclePolicy(64, 64, cfg),
+                 std::invalid_argument);
+    AdaptiveCycleConfig cfg2;
+    cfg2.smoothing = 0.0;
+    EXPECT_THROW(AdaptiveCyclePolicy(64, 64, cfg2),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace rpx

@@ -1,0 +1,157 @@
+/** @file Integration tests for the end-to-end vision pipeline. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "frame/draw.hpp"
+#include "frame/metrics.hpp"
+#include "sim/pipeline.hpp"
+#include "sim/report.hpp"
+
+namespace rpx {
+namespace {
+
+Image
+testScene(i32 w, i32 h, u64 seed)
+{
+    Image scene(w, h);
+    Rng rng(seed);
+    fillValueNoise(scene, rng, 30.0, 60, 180);
+    return scene;
+}
+
+PipelineConfig
+smallPipeline()
+{
+    PipelineConfig pc;
+    pc.width = 96;
+    pc.height = 64;
+    return pc;
+}
+
+TEST(Pipeline, FullFrameDefaultIsLossless)
+{
+    VisionPipeline pipeline(smallPipeline());
+    const Image scene = testScene(96, 64, 1);
+    const auto result = pipeline.processFrame(scene);
+    EXPECT_DOUBLE_EQ(result.kept_fraction, 1.0);
+    EXPECT_EQ(result.decoded, scene);
+}
+
+TEST(Pipeline, RegionsReduceTrafficAndPreserveRegions)
+{
+    VisionPipeline pipeline(smallPipeline());
+    pipeline.runtime().setRegionLabels({{10, 10, 40, 30, 1, 1, 0}});
+    const Image scene = testScene(96, 64, 2);
+    const auto result = pipeline.processFrame(scene);
+    EXPECT_NEAR(result.kept_fraction, 40.0 * 30 / (96.0 * 64), 1e-9);
+    // Region content exact; outside black.
+    EXPECT_DOUBLE_EQ(mseInRect(scene, result.decoded,
+                               Rect{10, 10, 40, 30}),
+                     0.0);
+    EXPECT_EQ(result.decoded.at(0, 0), 0);
+    EXPECT_LT(result.traffic.bytes_written, 96u * 64u / 2u);
+}
+
+TEST(Pipeline, TemporalSkipServedFromHistory)
+{
+    VisionPipeline pipeline(smallPipeline());
+    pipeline.runtime().setRegionLabels({{0, 0, 96, 64, 1, 2, 0}});
+    const Image scene = testScene(96, 64, 3);
+    const auto f0 = pipeline.processFrame(scene);
+    const auto f1 = pipeline.processFrame(scene);
+    EXPECT_DOUBLE_EQ(f0.kept_fraction, 1.0);
+    EXPECT_DOUBLE_EQ(f1.kept_fraction, 0.0);
+    // Skipped frame still decodes to the (static) scene.
+    EXPECT_EQ(f1.decoded, scene);
+}
+
+TEST(Pipeline, TrafficSummaryAccumulates)
+{
+    VisionPipeline pipeline(smallPipeline());
+    const Image scene = testScene(96, 64, 4);
+    pipeline.processFrame(scene);
+    pipeline.processFrame(scene);
+    EXPECT_EQ(pipeline.traffic().frames, 2u);
+    EXPECT_EQ(pipeline.traffic().bytes_written, 2u * 96u * 64u);
+    EXPECT_EQ(pipeline.frameIndex(), 2);
+}
+
+TEST(Pipeline, SensorPathProducesSimilarFrame)
+{
+    PipelineConfig pc = smallPipeline();
+    pc.use_sensor_path = true;
+    VisionPipeline pipeline(pc);
+    const Image scene_gray = testScene(96, 64, 5);
+
+    // RGB scene through Bayer mosaic + demosaic + gamma.
+    Image scene_rgb(96, 64, PixelFormat::Rgb8);
+    for (i32 y = 0; y < 64; ++y)
+        for (i32 x = 0; x < 96; ++x)
+            for (int c = 0; c < 3; ++c)
+                scene_rgb.set(x, y, c, scene_gray.at(x, y));
+
+    const auto result = pipeline.processFrame(scene_rgb);
+    EXPECT_EQ(result.decoded.width(), 96);
+    // Gamma brightens; structure is preserved (monotone map), so the
+    // decoded frame correlates strongly with the scene.
+    EXPECT_GT(ssimGlobal(result.decoded, scene_gray), 0.35);
+    EXPECT_THROW(pipeline.processFrame(scene_gray),
+                 std::invalid_argument);
+}
+
+TEST(Pipeline, DecoderRequestsWorkAgainstPipelineState)
+{
+    VisionPipeline pipeline(smallPipeline());
+    const Image scene = testScene(96, 64, 6);
+    pipeline.processFrame(scene);
+    auto &decoder = pipeline.decoder();
+    const auto row = decoder.requestPixels(0, 10, 96);
+    for (i32 x = 0; x < 96; ++x)
+        EXPECT_EQ(row[static_cast<size_t>(x)], scene.at(x, 10));
+}
+
+TEST(Pipeline, EncoderCycleBudgetHolds)
+{
+    VisionPipeline pipeline(smallPipeline());
+    std::vector<RegionLabel> labels;
+    for (int i = 0; i < 64; ++i)
+        labels.push_back({(i * 13) % 80, (i * 29) % 48, 12, 12, 1, 1, 0});
+    pipeline.runtime().setRegionLabels(labels);
+    const Image scene = testScene(96, 64, 7);
+    for (int t = 0; t < 3; ++t)
+        pipeline.processFrame(scene);
+    EXPECT_TRUE(pipeline.encoder().withinCycleBudget());
+}
+
+TEST(Pipeline, ReportContainsAllSections)
+{
+    VisionPipeline pipeline(smallPipeline());
+    const Image scene = testScene(96, 64, 11);
+    pipeline.processFrame(scene);
+    pipeline.decoder().requestPixels(0, 0, 16);
+    const std::string report = pipelineReport(pipeline);
+    for (const char *key :
+         {"frames.processed", "encoder.kept_fraction",
+          "decoder.avg_latency_ns", "dram.bytes_written",
+          "traffic.throughput_mbps", "csi.pixels_transferred",
+          "energy.total_mj"}) {
+        EXPECT_NE(report.find(key), std::string::npos) << key;
+    }
+}
+
+TEST(Pipeline, FootprintBoundedByHistory)
+{
+    VisionPipeline pipeline(smallPipeline());
+    const Image scene = testScene(96, 64, 8);
+    Bytes footprint = 0;
+    for (int t = 0; t < 8; ++t)
+        footprint = pipeline.processFrame(scene).traffic.footprint;
+    // 4 retained full frames + metadata.
+    const Bytes frame = 96u * 64u;
+    EXPECT_GE(footprint, 4 * frame);
+    EXPECT_LE(footprint, 4 * frame + 4 * (frame / 4 + 64 * 4 + 4096));
+}
+
+} // namespace
+} // namespace rpx

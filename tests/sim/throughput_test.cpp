@@ -1,0 +1,196 @@
+/** @file Unit tests for the throughput simulator (§5.3.1 / Fig. 8). */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiments.hpp"
+#include "sim/throughput_sim.hpp"
+
+namespace rpx {
+namespace {
+
+ThroughputConfig
+smallConfig()
+{
+    ThroughputConfig cfg;
+    cfg.width = 640;
+    cfg.height = 480;
+    cfg.fps = 30.0;
+    cfg.bytes_per_pixel = 1.0; // keep closed-form expectations simple
+    return cfg;
+}
+
+RegionTrace
+cycleTrace(i32 w, i32 h, int frames, int cycle, std::vector<RegionLabel> tracked)
+{
+    RegionTrace trace;
+    for (int t = 0; t < frames; ++t) {
+        if (t % cycle == 0)
+            trace.push_back({fullFrameRegion(w, h)});
+        else
+            trace.push_back(tracked);
+    }
+    return trace;
+}
+
+TEST(ThroughputSim, FchMatchesClosedForm)
+{
+    const ThroughputSimulator sim(smallConfig());
+    const RegionTrace trace(10); // 10 empty frames; FCH ignores labels
+    const ThroughputResult r = sim.evaluate(CaptureScheme::FCH, trace);
+    // 640*480 bytes written + read per frame at 30 fps; the framebuffer
+    // ring holds `history` (4) frames.
+    EXPECT_NEAR(r.throughput_mbps, 2.0 * 640 * 480 * 30 / 1e6, 1e-9);
+    EXPECT_NEAR(r.footprint_mb, 4.0 * 640 * 480 / 1e6, 1e-9);
+    EXPECT_DOUBLE_EQ(r.kept_fraction, 1.0);
+}
+
+TEST(ThroughputSim, FclScalesQuadratically)
+{
+    const ThroughputSimulator sim(smallConfig());
+    const RegionTrace trace(10);
+    const auto fch = sim.evaluate(CaptureScheme::FCH, trace);
+    const auto fcl = sim.evaluate(CaptureScheme::FCL, trace);
+    EXPECT_NEAR(fcl.throughput_mbps / fch.throughput_mbps, 0.0625, 0.01);
+    EXPECT_NEAR(fcl.kept_fraction, 0.0625, 1e-9);
+}
+
+TEST(ThroughputSim, RhythmicCountsEncodedPixelsPlusMetadata)
+{
+    const ThroughputSimulator sim(smallConfig());
+    // One frame, one quarter-frame region at stride 1.
+    RegionTrace trace{{RegionLabel{0, 0, 320, 240, 1, 1, 0}}};
+    const auto r = sim.evaluate(CaptureScheme::RP, trace);
+    const double payload = 320.0 * 240.0;
+    const double metadata = 640.0 * 480.0 / 4.0 + 480.0 * 4.0;
+    EXPECT_NEAR(static_cast<double>(r.traffic.bytes_written), payload,
+                1e-9);
+    EXPECT_NEAR(static_cast<double>(r.traffic.metadata_bytes),
+                2.0 * metadata, 1e-9);
+    EXPECT_NEAR(r.kept_fraction, 0.25, 1e-9);
+}
+
+TEST(ThroughputSim, HigherCycleLengthReducesTraffic)
+{
+    // §6.2: "memory traffic decreases by 5-10% with every 5-step increase
+    // in cycle length".
+    const ThroughputSimulator sim(smallConfig());
+    const std::vector<RegionLabel> tracked = {
+        {40, 40, 120, 120, 2, 1, 0},
+        {300, 200, 100, 100, 2, 2, 0},
+    };
+    double prev = 1e18;
+    for (int cl : {5, 10, 15}) {
+        const auto trace = cycleTrace(640, 480, 60, cl, tracked);
+        const auto r = sim.evaluate(CaptureScheme::RP, trace);
+        EXPECT_LT(r.throughput_mbps, prev) << "CL=" << cl;
+        prev = r.throughput_mbps;
+    }
+}
+
+TEST(ThroughputSim, RhythmicBeatsFchOnSparseWorkloads)
+{
+    const ThroughputSimulator sim(smallConfig());
+    const auto trace = cycleTrace(640, 480, 40, 10,
+                                  {{100, 100, 150, 150, 2, 1, 0}});
+    const auto rp = sim.evaluate(CaptureScheme::RP, trace);
+    const auto fch = sim.evaluate(CaptureScheme::FCH, trace);
+    EXPECT_LT(rp.throughput_mbps, 0.6 * fch.throughput_mbps);
+    EXPECT_LT(rp.footprint_mb, 0.7 * fch.footprint_mb);
+}
+
+TEST(ThroughputSim, H264ExceedsFch)
+{
+    const ThroughputSimulator sim(smallConfig());
+    const RegionTrace trace(20);
+    const auto h264 = sim.evaluate(CaptureScheme::H264, trace);
+    const auto fch = sim.evaluate(CaptureScheme::FCH, trace);
+    EXPECT_GT(h264.throughput_mbps, fch.throughput_mbps);
+    EXPECT_GT(h264.footprint_mb, fch.footprint_mb);
+}
+
+TEST(ThroughputSim, MultiRoiStoresDenseWindows)
+{
+    const ThroughputSimulator sim(smallConfig());
+    // Strided sparse regions: RP stores 1/4 density, multi-ROI full.
+    RegionTrace trace;
+    for (int t = 0; t < 10; ++t) {
+        std::vector<RegionLabel> labels;
+        for (int i = 0; i < 30; ++i)
+            labels.push_back({(i * 73) % 560, (i * 97) % 400, 40, 40,
+                              2, 1, 0});
+        trace.push_back(labels);
+    }
+    const auto rp = sim.evaluate(CaptureScheme::RP, trace);
+    const auto roi = sim.evaluate(CaptureScheme::MultiRoi, trace);
+    EXPECT_GT(static_cast<double>(roi.traffic.bytes_written),
+              static_cast<double>(rp.traffic.bytes_written));
+}
+
+TEST(ThroughputSim, FootprintUsesHistoryWindow)
+{
+    ThroughputConfig cfg = smallConfig();
+    cfg.history = 4;
+    const ThroughputSimulator sim(cfg);
+    const auto trace = cycleTrace(640, 480, 20, 20,
+                                  {{0, 0, 64, 64, 1, 1, 0}});
+    const auto r = sim.evaluate(CaptureScheme::RP, trace);
+    // Peak: the full first frame plus three small ones (+metadata).
+    const double full = 640.0 * 480.0;
+    EXPECT_GT(r.footprint_peak_mb, full / 1e6);
+    EXPECT_LT(r.footprint_peak_mb, 2.5 * full / 1e6);
+}
+
+TEST(ThroughputSim, BytesPerPixelScalesPayloadNotMetadata)
+{
+    ThroughputConfig one = smallConfig();
+    ThroughputConfig two = smallConfig();
+    two.bytes_per_pixel = 2.0;
+    RegionTrace trace{{RegionLabel{0, 0, 320, 240, 1, 1, 0}}};
+    const auto r1 = ThroughputSimulator(one).evaluate(CaptureScheme::RP,
+                                                      trace);
+    const auto r2 = ThroughputSimulator(two).evaluate(CaptureScheme::RP,
+                                                      trace);
+    EXPECT_EQ(r2.traffic.bytes_written, 2 * r1.traffic.bytes_written);
+    EXPECT_EQ(r2.traffic.metadata_bytes, r1.traffic.metadata_bytes);
+    // FCH scales fully, so the *relative* metadata overhead halves and
+    // the rhythmic advantage grows with wider pixel formats.
+    const auto f1 = ThroughputSimulator(one).evaluate(CaptureScheme::FCH,
+                                                      trace);
+    const auto f2 = ThroughputSimulator(two).evaluate(CaptureScheme::FCH,
+                                                      trace);
+    EXPECT_LT(r2.throughput_mbps / f2.throughput_mbps,
+              r1.throughput_mbps / f1.throughput_mbps);
+}
+
+TEST(ScaleTrace, PreservesStructure)
+{
+    RegionTrace trace{{RegionLabel{10, 20, 100, 50, 2, 3, 0}}};
+    const RegionTrace scaled = scaleTrace(trace, 640, 480, 1280, 960);
+    ASSERT_EQ(scaled.size(), 1u);
+    ASSERT_EQ(scaled[0].size(), 1u);
+    EXPECT_EQ(scaled[0][0].x, 20);
+    EXPECT_EQ(scaled[0][0].w, 200);
+    EXPECT_EQ(scaled[0][0].h, 100);
+    EXPECT_EQ(scaled[0][0].stride, 2); // preserved
+    EXPECT_EQ(scaled[0][0].skip, 3);
+}
+
+TEST(ScaleTrace, DropsRegionsScaledOut)
+{
+    RegionTrace trace{{RegionLabel{630, 470, 10, 10, 1, 1, 0}}};
+    const RegionTrace scaled = scaleTrace(trace, 640, 480, 64, 48);
+    ASSERT_EQ(scaled.size(), 1u);
+    EXPECT_LE(scaled[0].size(), 1u);
+}
+
+TEST(PaperSweep, HasSevenBars)
+{
+    const auto sweep = paperSchemeSweep();
+    EXPECT_EQ(sweep.size(), 7u);
+    EXPECT_EQ(schemeName(sweep[0].scheme), "FCH");
+    EXPECT_EQ(schemeName(sweep[2].scheme, sweep[2].cycle_length), "RP5");
+    EXPECT_EQ(schemeName(sweep[6].scheme), "Multi-ROI");
+}
+
+} // namespace
+} // namespace rpx

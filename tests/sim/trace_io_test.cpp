@@ -1,0 +1,121 @@
+/** @file Unit tests for region-trace serialisation. */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "sim/trace_io.hpp"
+
+namespace rpx {
+namespace {
+
+TraceFile
+sampleTrace()
+{
+    TraceFile file;
+    file.width = 640;
+    file.height = 480;
+    file.trace.push_back({fullFrameRegion(640, 480)});
+    file.trace.push_back({
+        {10, 20, 30, 40, 2, 3, 1},
+        {50, 60, 70, 80, 1, 1, 0},
+    });
+    file.trace.push_back({}); // a frame with no regions
+    file.trace.push_back({{5, 5, 5, 5, 4, 2, 0}});
+    return file;
+}
+
+TEST(TraceIo, RoundTrip)
+{
+    const TraceFile original = sampleTrace();
+    std::stringstream ss;
+    writeTrace(ss, original);
+    const TraceFile back = readTrace(ss);
+    EXPECT_EQ(back.width, original.width);
+    EXPECT_EQ(back.height, original.height);
+    ASSERT_EQ(back.trace.size(), original.trace.size());
+    for (size_t t = 0; t < original.trace.size(); ++t)
+        EXPECT_EQ(back.trace[t], original.trace[t]) << "frame " << t;
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    const std::string path = "/tmp/rpx_trace_io_test.csv";
+    writeTraceFile(path, sampleTrace());
+    const TraceFile back = readTraceFile(path);
+    EXPECT_EQ(back.trace.size(), 4u);
+    EXPECT_EQ(back.trace[1].size(), 2u);
+    EXPECT_TRUE(back.trace[2].empty());
+}
+
+TEST(TraceIo, RejectsBadHeader)
+{
+    std::stringstream ss("bogus\nframe,x,y,w,h,stride,skip,phase\n");
+    EXPECT_THROW(readTrace(ss), std::runtime_error);
+    std::stringstream empty;
+    EXPECT_THROW(readTrace(empty), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsBadColumns)
+{
+    std::stringstream ss("# rpx-trace v1 width=10 height=10\nwrong\n");
+    EXPECT_THROW(readTrace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsNonNumericField)
+{
+    std::stringstream ss(
+        "# rpx-trace v1 width=10 height=10\n"
+        "frame,x,y,w,h,stride,skip,phase\n"
+        "0,1,2,three,4,1,1,0\n");
+    EXPECT_THROW(readTrace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsOutOfOrderFrames)
+{
+    std::stringstream ss(
+        "# rpx-trace v1 width=10 height=10\n"
+        "frame,x,y,w,h,stride,skip,phase\n"
+        "2,1,2,3,4,1,1,0\n"
+        "0,1,2,3,4,1,1,0\n");
+    EXPECT_THROW(readTrace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsMissingFrameIndex)
+{
+    std::stringstream ss(
+        "# rpx-trace v1 width=10 height=10\n"
+        "frame,x,y,w,h,stride,skip,phase\n"
+        ",1,2,3,4,1,1,0\n");
+    EXPECT_THROW(readTrace(ss), std::runtime_error);
+    std::stringstream neg(
+        "# rpx-trace v1 width=10 height=10\n"
+        "frame,x,y,w,h,stride,skip,phase\n"
+        "-3,1,2,3,4,1,1,0\n");
+    EXPECT_THROW(readTrace(neg), std::runtime_error);
+}
+
+TEST(TraceIo, MissingFileThrows)
+{
+    EXPECT_THROW(readTraceFile("/nonexistent/dir/trace.csv"),
+                 std::runtime_error);
+    EXPECT_THROW(writeTraceFile("/nonexistent/dir/trace.csv",
+                                sampleTrace()),
+                 std::runtime_error);
+}
+
+TEST(TraceIo, CommentsAndBlanksIgnored)
+{
+    std::stringstream ss(
+        "# rpx-trace v1 width=10 height=10\n"
+        "frame,x,y,w,h,stride,skip,phase\n"
+        "# a comment\n"
+        "\n"
+        "0,1,2,3,4,1,1,0\n");
+    const TraceFile back = readTrace(ss);
+    ASSERT_EQ(back.trace.size(), 1u);
+    EXPECT_EQ(back.trace[0].size(), 1u);
+}
+
+} // namespace
+} // namespace rpx

@@ -1,0 +1,85 @@
+/** @file Unit tests for raster-scan pixel streaming. */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "frame/image.hpp"
+#include "stream/pixel_stream.hpp"
+
+namespace rpx {
+namespace {
+
+TEST(PixelStream, RasterOrderAndSidebands)
+{
+    Image img(3, 2);
+    for (i32 y = 0; y < 2; ++y)
+        for (i32 x = 0; x < 3; ++x)
+            img.set(x, y, static_cast<u8>(10 * y + x));
+
+    std::vector<PixelBeat> beats;
+    const u64 n = streamImage(img, [&](const PixelBeat &b) {
+        beats.push_back(b);
+        return true;
+    });
+    ASSERT_EQ(n, 6u);
+    ASSERT_EQ(beats.size(), 6u);
+
+    // Raster order.
+    EXPECT_EQ(beats[0].x, 0);
+    EXPECT_EQ(beats[0].y, 0);
+    EXPECT_EQ(beats[4].x, 1);
+    EXPECT_EQ(beats[4].y, 1);
+
+    // Start-of-frame only on the first beat.
+    EXPECT_TRUE(beats[0].sof);
+    for (size_t i = 1; i < beats.size(); ++i)
+        EXPECT_FALSE(beats[i].sof);
+
+    // End-of-line on the last beat of each row.
+    EXPECT_TRUE(beats[2].eol);
+    EXPECT_TRUE(beats[5].eol);
+    EXPECT_FALSE(beats[1].eol);
+
+    // Values carried through.
+    EXPECT_EQ(beats[4].value, 11);
+}
+
+TEST(PixelStream, CollectRoundTrip)
+{
+    Image img(5, 4);
+    for (i32 y = 0; y < 4; ++y)
+        for (i32 x = 0; x < 5; ++x)
+            img.set(x, y, static_cast<u8>(x * y + 3));
+
+    std::vector<PixelBeat> beats;
+    streamImage(img, [&](const PixelBeat &b) {
+        beats.push_back(b);
+        return true;
+    });
+    EXPECT_EQ(collectImage(beats, 5, 4), img);
+}
+
+TEST(CycleBudget, TwoPixelsPerClock)
+{
+    CycleBudget budget(2.0);
+    budget.addPixels(1000);
+    budget.addCycles(500);
+    EXPECT_TRUE(budget.withinBudget());
+    budget.addCycles(1);
+    EXPECT_FALSE(budget.withinBudget());
+}
+
+TEST(CycleBudget, Reset)
+{
+    CycleBudget budget(2.0);
+    budget.addPixels(10);
+    budget.addCycles(100);
+    EXPECT_FALSE(budget.withinBudget());
+    budget.reset();
+    EXPECT_TRUE(budget.withinBudget());
+    EXPECT_EQ(budget.pixels(), 0u);
+}
+
+} // namespace
+} // namespace rpx

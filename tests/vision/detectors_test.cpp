@@ -1,0 +1,141 @@
+/** @file Unit tests for the face detector and pose estimator. */
+
+#include <gtest/gtest.h>
+
+#include "datasets/face_dataset.hpp"
+#include "datasets/pose_dataset.hpp"
+#include "frame/draw.hpp"
+#include "vision/eval.hpp"
+#include "vision/face_detector.hpp"
+#include "vision/integral.hpp"
+#include "vision/pose_estimator.hpp"
+
+namespace rpx {
+namespace {
+
+TEST(IntegralImage, BoxSums)
+{
+    Image img(4, 4);
+    for (i32 y = 0; y < 4; ++y)
+        for (i32 x = 0; x < 4; ++x)
+            img.set(x, y, static_cast<u8>(x + 4 * y));
+    const IntegralImage integral(img);
+    EXPECT_EQ(integral.boxSum(Rect{0, 0, 4, 4}), 120u);
+    EXPECT_EQ(integral.boxSum(Rect{1, 1, 2, 2}), 5u + 6u + 9u + 10u);
+    EXPECT_DOUBLE_EQ(integral.boxMean(Rect{0, 0, 2, 1}), 0.5);
+    // Clipping.
+    EXPECT_EQ(integral.boxSum(Rect{-5, -5, 100, 100}), 120u);
+    EXPECT_EQ(integral.boxSum(Rect{10, 10, 2, 2}), 0u);
+}
+
+TEST(FaceDetector, FindsFacesAtCorrectLocations)
+{
+    const FaceSequence seq;
+    const FaceDetector detector;
+    int checked = 0;
+    for (int t : {10, 25, 40}) {
+        const auto gt = seq.groundTruth(t);
+        const auto det = detector.detect(seq.renderFrame(t));
+        const FrameEval e = evaluateFrame(det, gt, 0.5);
+        if (!gt.empty()) {
+            EXPECT_GE(e.true_positives, static_cast<int>(gt.size()) - 1)
+                << "frame " << t;
+            ++checked;
+        }
+        EXPECT_LE(e.false_positives, 2) << "frame " << t;
+    }
+    EXPECT_GT(checked, 0);
+}
+
+TEST(FaceDetector, EmptySceneYieldsNothing)
+{
+    Image img(200, 200, PixelFormat::Gray8, 100);
+    const FaceDetector detector;
+    EXPECT_TRUE(detector.detect(img).empty());
+}
+
+TEST(FaceDetector, RejectsRgbInput)
+{
+    Image rgb(64, 64, PixelFormat::Rgb8);
+    const FaceDetector detector;
+    EXPECT_THROW(detector.detect(rgb), std::invalid_argument);
+}
+
+TEST(FaceDetector, BadOptionsThrow)
+{
+    FaceDetectorOptions opts;
+    opts.scales.clear();
+    EXPECT_THROW(FaceDetector{opts}, std::invalid_argument);
+}
+
+TEST(PoseEstimator, FindsJointBlobs)
+{
+    Image img(200, 200, PixelFormat::Gray8, 60);
+    addGaussianBlob(img, 50.0, 50.0, 2.5, 150.0);
+    addGaussianBlob(img, 120.0, 80.0, 2.5, 150.0);
+    const PoseEstimator estimator;
+    const auto kps = estimator.detect(img);
+    ASSERT_EQ(kps.size(), 2u);
+    // Keypoints localise within a few pixels.
+    for (const auto &k : kps) {
+        const bool near_a =
+            std::abs(k.x - 50) <= 3 && std::abs(k.y - 50) <= 3;
+        const bool near_b =
+            std::abs(k.x - 120) <= 3 && std::abs(k.y - 80) <= 3;
+        EXPECT_TRUE(near_a || near_b);
+    }
+}
+
+TEST(PoseEstimator, IgnoresBlackBorderArtifacts)
+{
+    // A black (unsampled) band next to bright content must not produce
+    // keypoints — the min_ring_mean gate.
+    Image img(100, 100, PixelFormat::Gray8, 0);
+    fillRect(img, Rect{40, 0, 60, 100}, 90);
+    const PoseEstimator estimator;
+    EXPECT_TRUE(estimator.detect(img).empty());
+}
+
+TEST(PoseEstimator, DetectsDatasetJoints)
+{
+    const PoseSequence seq;
+    const PoseEstimator estimator;
+    const int t = 20;
+    const auto gt = seq.groundTruth(t);
+    ASSERT_FALSE(gt.empty());
+    const auto kps = estimator.detect(seq.renderFrame(t));
+    // Most joints of each person produce a keypoint within 6 px.
+    int found = 0, total = 0;
+    for (const auto &person : gt) {
+        for (const auto &j : person.joints) {
+            ++total;
+            for (const auto &k : kps) {
+                const double dx = k.x - j.x, dy = k.y - j.y;
+                if (dx * dx + dy * dy <= 36.0) {
+                    ++found;
+                    break;
+                }
+            }
+        }
+    }
+    EXPECT_GT(found, total * 2 / 3);
+}
+
+TEST(PoseEstimator, KeypointsToDetections)
+{
+    const std::vector<Keypoint> kps{{10.0, 20.0, 5.0}};
+    const auto det = PoseEstimator::keypointsToDetections(kps, 8);
+    ASSERT_EQ(det.size(), 1u);
+    EXPECT_EQ(det[0].box, (Rect{6, 16, 8, 8}));
+    EXPECT_DOUBLE_EQ(det[0].score, 5.0);
+}
+
+TEST(PoseEstimator, BadOptionsThrow)
+{
+    PoseEstimatorOptions opts;
+    opts.outer = opts.inner;
+    EXPECT_THROW(PoseEstimator{opts}, std::invalid_argument);
+}
+
+} // namespace
+} // namespace rpx

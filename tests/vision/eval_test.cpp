@@ -1,0 +1,101 @@
+/** @file Unit tests for IoU/mAP/PCK evaluation. */
+
+#include <gtest/gtest.h>
+
+#include "vision/eval.hpp"
+
+namespace rpx {
+namespace {
+
+TEST(EvaluateFrame, PerfectDetections)
+{
+    const std::vector<Rect> gt{{10, 10, 20, 20}, {50, 50, 20, 20}};
+    const std::vector<Detection> det{{gt[0], 0.9}, {gt[1], 0.8}};
+    const FrameEval e = evaluateFrame(det, gt, 0.5);
+    EXPECT_EQ(e.true_positives, 2);
+    EXPECT_EQ(e.false_positives, 0);
+    EXPECT_EQ(e.false_negatives, 0);
+}
+
+TEST(EvaluateFrame, MissAndFalseAlarm)
+{
+    const std::vector<Rect> gt{{10, 10, 20, 20}};
+    const std::vector<Detection> det{{Rect{200, 200, 20, 20}, 0.9}};
+    const FrameEval e = evaluateFrame(det, gt, 0.5);
+    EXPECT_EQ(e.true_positives, 0);
+    EXPECT_EQ(e.false_positives, 1);
+    EXPECT_EQ(e.false_negatives, 1);
+}
+
+TEST(EvaluateFrame, GreedyClaimsByScore)
+{
+    // Two detections on the same ground truth: only the higher-scoring
+    // one is a TP, the other becomes an FP.
+    const std::vector<Rect> gt{{10, 10, 20, 20}};
+    const std::vector<Detection> det{{Rect{11, 11, 20, 20}, 0.5},
+                                     {Rect{10, 10, 20, 20}, 0.9}};
+    const FrameEval e = evaluateFrame(det, gt, 0.5);
+    EXPECT_EQ(e.true_positives, 1);
+    EXPECT_EQ(e.false_positives, 1);
+}
+
+TEST(EvaluateFrame, ThresholdBoundary)
+{
+    const std::vector<Rect> gt{{0, 0, 10, 10}};
+    // IoU exactly 1/3.
+    const std::vector<Detection> det{{Rect{5, 0, 10, 10}, 1.0}};
+    EXPECT_EQ(evaluateFrame(det, gt, 0.33).true_positives, 1);
+    EXPECT_EQ(evaluateFrame(det, gt, 0.34).true_positives, 0);
+}
+
+TEST(EvaluateFrame, InvalidThresholdThrows)
+{
+    EXPECT_THROW(evaluateFrame({}, {}, 0.0), std::invalid_argument);
+    EXPECT_THROW(evaluateFrame({}, {}, 1.1), std::invalid_argument);
+}
+
+TEST(Map, AccumulatesOverFrames)
+{
+    std::vector<FrameEval> frames;
+    frames.push_back({3, 1, 0}); // 3 TP, 1 FP
+    frames.push_back({1, 3, 2});
+    // total TP=4, FP=4 -> 50%.
+    EXPECT_DOUBLE_EQ(meanAveragePrecision(frames), 50.0);
+    // recall: TP=4, FN=2 -> 66.7%.
+    EXPECT_NEAR(recall(frames), 66.67, 0.01);
+}
+
+TEST(Map, EmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(meanAveragePrecision({}), 0.0);
+    EXPECT_DOUBLE_EQ(recall({}), 0.0);
+    EXPECT_DOUBLE_EQ(f1Score({}), 0.0);
+}
+
+TEST(F1, BalancesPrecisionAndRecall)
+{
+    std::vector<FrameEval> frames;
+    frames.push_back({4, 0, 4}); // perfect precision, 50% recall
+    // F1 = 2*4 / (2*4 + 0 + 4) = 66.7%.
+    EXPECT_NEAR(f1Score(frames), 200.0 / 3.0, 1e-9);
+    frames.clear();
+    frames.push_back({4, 0, 0});
+    EXPECT_DOUBLE_EQ(f1Score(frames), 100.0);
+}
+
+TEST(Pck, WithinRadiusCounts)
+{
+    std::vector<KeypointPair> pairs;
+    pairs.push_back({10.0, 10.0, 11.0, 10.0, true, 10.0}); // dist 1 <= 2
+    pairs.push_back({10.0, 10.0, 15.0, 10.0, true, 10.0}); // dist 5 > 2
+    pairs.push_back({0.0, 0.0, 0.0, 0.0, false, 10.0});    // missing
+    EXPECT_NEAR(pck(pairs, 0.2), 100.0 / 3.0, 1e-9);
+}
+
+TEST(Pck, EmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(pck({}), 0.0);
+}
+
+} // namespace
+} // namespace rpx

@@ -1,0 +1,106 @@
+/** @file Unit tests for the FAST corner detector. */
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "frame/draw.hpp"
+#include "vision/fast.hpp"
+
+namespace rpx {
+namespace {
+
+TEST(Fast, FlatImageHasNoCorners)
+{
+    Image img(32, 32, PixelFormat::Gray8, 128);
+    EXPECT_TRUE(detectFast(img).empty());
+}
+
+TEST(Fast, BrightSquareCornersDetected)
+{
+    Image img(40, 40, PixelFormat::Gray8, 20);
+    fillRect(img, Rect{10, 10, 16, 16}, 220);
+    const auto corners = detectFast(img);
+    ASSERT_FALSE(corners.empty());
+    // Each detected corner should be near one of the square's corners.
+    for (const auto &c : corners) {
+        const bool near_corner =
+            (std::abs(c.x - 10) <= 2 || std::abs(c.x - 25) <= 2) &&
+            (std::abs(c.y - 10) <= 2 || std::abs(c.y - 25) <= 2);
+        EXPECT_TRUE(near_corner) << c.x << "," << c.y;
+    }
+}
+
+TEST(Fast, DarkCornerAlsoDetected)
+{
+    Image img(40, 40, PixelFormat::Gray8, 220);
+    fillRect(img, Rect{12, 12, 12, 12}, 15);
+    EXPECT_FALSE(detectFast(img).empty());
+}
+
+TEST(Fast, EdgesAreNotCorners)
+{
+    // A long straight vertical edge should trigger (far) fewer detections
+    // than an actual corner pattern.
+    Image img(40, 40, PixelFormat::Gray8, 20);
+    fillRect(img, Rect{20, 0, 20, 40}, 220);
+    const auto corners = detectFast(img);
+    EXPECT_LE(corners.size(), 2u);
+}
+
+TEST(Fast, ThresholdControlsSensitivity)
+{
+    Image img(40, 40, PixelFormat::Gray8, 100);
+    fillRect(img, Rect{15, 15, 10, 10}, 130); // weak 30-level corner
+    FastOptions lo;
+    lo.threshold = 12;
+    FastOptions hi;
+    hi.threshold = 60;
+    EXPECT_FALSE(detectFast(img, lo).empty());
+    EXPECT_TRUE(detectFast(img, hi).empty());
+}
+
+TEST(Fast, NonmaxReducesDuplicates)
+{
+    // High-frequency noise fires clusters of adjacent segment-test hits;
+    // non-maximum suppression must thin them.
+    Image img(64, 64);
+    Rng rng(12);
+    fillValueNoise(img, rng, 3.0, 0, 255);
+    FastOptions with;
+    with.threshold = 12;
+    FastOptions without = with;
+    without.nonmax = false;
+    const auto a = detectFast(img, with);
+    const auto b = detectFast(img, without);
+    ASSERT_FALSE(a.empty());
+    EXPECT_LT(a.size(), b.size());
+}
+
+TEST(Fast, BorderRespected)
+{
+    Image img(16, 16, PixelFormat::Gray8, 0);
+    fillRect(img, Rect{0, 0, 3, 3}, 255);
+    for (const auto &c : detectFast(img)) {
+        EXPECT_GE(c.x, 3);
+        EXPECT_GE(c.y, 3);
+        EXPECT_LT(c.x, 13);
+        EXPECT_LT(c.y, 13);
+    }
+}
+
+TEST(Fast, OptionValidation)
+{
+    Image img(16, 16);
+    FastOptions bad;
+    bad.threshold = 0;
+    EXPECT_THROW(detectFast(img, bad), std::invalid_argument);
+    bad.threshold = 10;
+    bad.arc_length = 17;
+    EXPECT_THROW(detectFast(img, bad), std::invalid_argument);
+    Image rgb(8, 8, PixelFormat::Rgb8);
+    EXPECT_THROW(detectFast(rgb), std::invalid_argument);
+}
+
+} // namespace
+} // namespace rpx

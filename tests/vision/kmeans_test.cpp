@@ -1,0 +1,87 @@
+/** @file Unit tests for k-means clustering and multi-ROI rect merging. */
+
+#include <gtest/gtest.h>
+
+#include "vision/kmeans.hpp"
+
+namespace rpx {
+namespace {
+
+TEST(KMeans, TwoObviousClusters)
+{
+    std::vector<Point> points;
+    for (i32 i = 0; i < 10; ++i) {
+        points.push_back({i % 3, i % 2});          // near origin
+        points.push_back({100 + i % 3, 100 + i % 2}); // far corner
+    }
+    const KMeansResult result = kmeansPoints(points, 2, KMeansOptions{});
+    ASSERT_EQ(result.centroids.size(), 2u);
+    // Same-cluster points share assignments.
+    for (size_t i = 2; i < points.size(); i += 2)
+        EXPECT_EQ(result.assignment[i], result.assignment[0]);
+    for (size_t i = 3; i < points.size(); i += 2)
+        EXPECT_EQ(result.assignment[i], result.assignment[1]);
+    EXPECT_NE(result.assignment[0], result.assignment[1]);
+}
+
+TEST(KMeans, KClampedToPointCount)
+{
+    const std::vector<Point> points{{0, 0}, {5, 5}};
+    const KMeansResult result = kmeansPoints(points, 10, KMeansOptions{});
+    EXPECT_EQ(result.centroids.size(), 2u);
+}
+
+TEST(KMeans, EmptyInput)
+{
+    EXPECT_TRUE(kmeansPoints({}, 3, KMeansOptions{}).centroids.empty());
+    EXPECT_TRUE(mergeRectsKMeans({}, 3).empty());
+}
+
+TEST(KMeans, DeterministicForSeed)
+{
+    std::vector<Point> points;
+    for (i32 i = 0; i < 30; ++i)
+        points.push_back({(i * 17) % 100, (i * 31) % 100});
+    const auto a = kmeansPoints(points, 4, KMeansOptions{});
+    const auto b = kmeansPoints(points, 4, KMeansOptions{});
+    EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(MergeRects, FewRectsPassThrough)
+{
+    const std::vector<Rect> rects{{0, 0, 10, 10}, {50, 50, 10, 10}};
+    EXPECT_EQ(mergeRectsKMeans(rects, 16), rects);
+}
+
+TEST(MergeRects, ReducesToBudget)
+{
+    // 100 small regions (the V-SLAM regime) must merge to <= 16 windows.
+    std::vector<Rect> rects;
+    for (int i = 0; i < 100; ++i)
+        rects.push_back(
+            {(i * 37) % 600, (i * 53) % 440, 20 + i % 9, 20 + i % 7});
+    const auto merged = mergeRectsKMeans(rects, 16);
+    EXPECT_LE(merged.size(), 16u);
+    EXPECT_GE(merged.size(), 1u);
+}
+
+TEST(MergeRects, UnionCoversMembers)
+{
+    std::vector<Rect> rects;
+    for (int i = 0; i < 40; ++i)
+        rects.push_back({(i * 97) % 500, (i * 61) % 400, 15, 15});
+    const auto merged = mergeRectsKMeans(rects, 4);
+    for (const auto &r : rects) {
+        bool covered = false;
+        for (const auto &m : merged) {
+            if (m.intersect(r) == r) {
+                covered = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(covered) << r;
+    }
+}
+
+} // namespace
+} // namespace rpx

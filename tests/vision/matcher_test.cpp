@@ -1,0 +1,112 @@
+/** @file Unit tests for the brute-force descriptor matcher. */
+
+#include <gtest/gtest.h>
+
+#include "vision/matcher.hpp"
+
+namespace rpx {
+namespace {
+
+Descriptor
+pattern(u8 seed)
+{
+    Descriptor d{};
+    for (size_t i = 0; i < d.size(); ++i)
+        d[i] = static_cast<u8>(seed * 37 + i * 11);
+    return d;
+}
+
+/** Flip `bits` low bits of a descriptor. */
+Descriptor
+corrupt(Descriptor d, int bits)
+{
+    for (int i = 0; i < bits; ++i)
+        d[static_cast<size_t>(i / 8)] ^= static_cast<u8>(1u << (i % 8));
+    return d;
+}
+
+TEST(Matcher, ExactMatches)
+{
+    const std::vector<Descriptor> train{pattern(1), pattern(2),
+                                        pattern(3)};
+    const std::vector<Descriptor> query{pattern(2)};
+    const auto matches = matchDescriptors(query, train);
+    ASSERT_EQ(matches.size(), 1u);
+    EXPECT_EQ(matches[0].train_index, 1u);
+    EXPECT_EQ(matches[0].distance, 0);
+}
+
+TEST(Matcher, MaxDistanceRejects)
+{
+    const std::vector<Descriptor> train{pattern(1)};
+    const std::vector<Descriptor> query{corrupt(pattern(1), 100)};
+    MatchOptions opts;
+    opts.max_distance = 50;
+    opts.ratio = 0.0;
+    EXPECT_TRUE(matchDescriptors(query, train, opts).empty());
+    opts.max_distance = 128;
+    EXPECT_EQ(matchDescriptors(query, train, opts).size(), 1u);
+}
+
+TEST(Matcher, RatioTestRejectsAmbiguous)
+{
+    // Two near-identical train entries make the best/second-best ratio
+    // approach 1 and fail Lowe's test.
+    const Descriptor base = pattern(7);
+    const std::vector<Descriptor> train{corrupt(base, 4),
+                                        corrupt(base, 5)};
+    const std::vector<Descriptor> query{base};
+    MatchOptions opts;
+    opts.ratio = 0.8;
+    opts.cross_check = false;
+    EXPECT_TRUE(matchDescriptors(query, train, opts).empty());
+    opts.ratio = 0.0; // disabled
+    EXPECT_EQ(matchDescriptors(query, train, opts).size(), 1u);
+}
+
+TEST(Matcher, CrossCheckRequiresMutual)
+{
+    // q0 is closest to t0, but t0 is closer to q1: cross-check kills q0.
+    const Descriptor t0 = pattern(9);
+    const std::vector<Descriptor> train{t0};
+    const std::vector<Descriptor> query{corrupt(t0, 6), corrupt(t0, 2)};
+    MatchOptions opts;
+    opts.ratio = 0.0;
+    const auto matches = matchDescriptors(query, train, opts);
+    ASSERT_EQ(matches.size(), 1u);
+    EXPECT_EQ(matches[0].query_index, 1u);
+}
+
+TEST(Matcher, EmptyInputs)
+{
+    EXPECT_TRUE(matchDescriptors({}, {pattern(1)}).empty());
+    EXPECT_TRUE(matchDescriptors({pattern(1)}, {}).empty());
+}
+
+TEST(Matcher, DescriptorsOfExtracts)
+{
+    std::vector<OrbFeature> features(2);
+    features[0].descriptor = pattern(1);
+    features[1].descriptor = pattern(2);
+    const auto d = descriptorsOf(features);
+    ASSERT_EQ(d.size(), 2u);
+    EXPECT_EQ(d[0], pattern(1));
+    EXPECT_EQ(d[1], pattern(2));
+}
+
+TEST(Matcher, ManyToManyConsistency)
+{
+    std::vector<Descriptor> train;
+    for (u8 i = 0; i < 20; ++i)
+        train.push_back(pattern(i));
+    std::vector<Descriptor> query;
+    for (u8 i = 0; i < 20; ++i)
+        query.push_back(corrupt(pattern(i), 1));
+    const auto matches = matchDescriptors(query, train);
+    EXPECT_GT(matches.size(), 15u);
+    for (const auto &m : matches)
+        EXPECT_EQ(m.query_index, m.train_index);
+}
+
+} // namespace
+} // namespace rpx

@@ -1,0 +1,120 @@
+/** @file Unit tests for block-matching motion estimation. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "frame/draw.hpp"
+#include "vision/motion.hpp"
+
+namespace rpx {
+namespace {
+
+Image
+texture(i32 w, i32 h, u64 seed)
+{
+    Image img(w, h);
+    Rng rng(seed);
+    fillValueNoise(img, rng, 6.0, 20, 230);
+    return img;
+}
+
+/** Shift an image by (dx, dy), clamping at the borders. */
+Image
+shifted(const Image &src, i32 dx, i32 dy)
+{
+    Image out(src.width(), src.height());
+    for (i32 y = 0; y < src.height(); ++y)
+        for (i32 x = 0; x < src.width(); ++x)
+            out.set(x, y, src.atClamped(x - dx, y - dy));
+    return out;
+}
+
+TEST(Motion, StaticSceneHasZeroField)
+{
+    const Image a = texture(64, 64, 1);
+    const auto field = estimateMotion(a, a);
+    ASSERT_FALSE(field.empty());
+    for (const auto &mv : field) {
+        EXPECT_EQ(mv.dx, 0);
+        EXPECT_EQ(mv.dy, 0);
+    }
+    EXPECT_DOUBLE_EQ(meanMotionMagnitude(field), 0.0);
+}
+
+class MotionShift : public ::testing::TestWithParam<std::pair<i32, i32>>
+{
+};
+
+TEST_P(MotionShift, RecoversGlobalTranslation)
+{
+    const auto [dx, dy] = GetParam();
+    const Image prev = texture(96, 96, 2);
+    const Image cur = shifted(prev, dx, dy);
+    const auto field = estimateMotion(prev, cur);
+    const MotionVector dom = dominantMotion(field);
+    EXPECT_EQ(dom.dx, dx);
+    EXPECT_EQ(dom.dy, dy);
+    EXPECT_NEAR(meanMotionMagnitude(field),
+                std::sqrt(static_cast<double>(dx * dx + dy * dy)), 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, MotionShift,
+                         ::testing::Values(std::pair{3, 0},
+                                           std::pair{0, -4},
+                                           std::pair{5, 5},
+                                           std::pair{-6, 2},
+                                           std::pair{-9, -7}));
+
+TEST(Motion, TexturelessBlocksFlaggedUnreliable)
+{
+    Image flat(64, 64, PixelFormat::Gray8, 100);
+    const auto field = estimateMotion(flat, flat);
+    for (const auto &mv : field)
+        EXPECT_TRUE(std::isinf(mv.sad));
+    EXPECT_DOUBLE_EQ(meanMotionMagnitude(field), 0.0);
+    EXPECT_EQ(dominantMotion(field).dx, 0);
+}
+
+TEST(Motion, LocalObjectMotionDetected)
+{
+    // Static textured background with one moving textured patch.
+    Image prev = texture(128, 96, 3);
+    Image cur = prev;
+    Image patch(24, 24);
+    fillCheckerboard(patch, 4, 10, 240);
+    blit(prev, patch, 40, 40);
+    blit(cur, patch, 46, 40); // moved +6 px in x
+
+    const auto field = estimateMotion(prev, cur);
+    bool found_motion = false;
+    for (const auto &mv : field) {
+        if (std::isinf(mv.sad))
+            continue;
+        const bool covers_patch =
+            Rect{mv.block_x, mv.block_y, 16, 16}.overlaps(
+                Rect{40, 40, 30, 24});
+        if (covers_patch && mv.dx >= 4)
+            found_motion = true;
+        if (!covers_patch) {
+            EXPECT_LE(std::abs(mv.dx), 1) << mv.block_x << ","
+                                          << mv.block_y;
+        }
+    }
+    EXPECT_TRUE(found_motion);
+}
+
+TEST(Motion, Validation)
+{
+    Image a(32, 32), b(16, 16);
+    EXPECT_THROW(estimateMotion(a, b), std::invalid_argument);
+    MotionOptions bad;
+    bad.block_size = 2;
+    EXPECT_THROW(estimateMotion(a, a, bad), std::invalid_argument);
+    Image rgb(32, 32, PixelFormat::Rgb8);
+    EXPECT_THROW(estimateMotion(rgb, rgb), std::invalid_argument);
+}
+
+} // namespace
+} // namespace rpx

@@ -1,0 +1,177 @@
+/** @file Unit tests for the 3-D math and the Gauss-Newton PnP solver. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "vision/pnp.hpp"
+
+namespace rpx {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(Vec3, BasicOps)
+{
+    const Vec3 a{1, 2, 3}, b{4, 5, 6};
+    EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+    const Vec3 c = a.cross(b);
+    EXPECT_DOUBLE_EQ(c.x, -3.0);
+    EXPECT_DOUBLE_EQ(c.y, 6.0);
+    EXPECT_DOUBLE_EQ(c.z, -3.0);
+    EXPECT_NEAR((a - a).norm(), 0.0, 1e-15);
+    EXPECT_NEAR((Vec3{3, 4, 0}).norm(), 5.0, 1e-15);
+}
+
+TEST(Mat3, MultiplyAndTranspose)
+{
+    Mat3 rot = expSo3(Vec3{0, 0, kPi / 2});
+    const Vec3 v = rot * Vec3{1, 0, 0};
+    EXPECT_NEAR(v.x, 0.0, 1e-12);
+    EXPECT_NEAR(v.y, 1.0, 1e-12);
+    const Mat3 ident = rot * rot.transposed();
+    EXPECT_NEAR(ident.trace(), 3.0, 1e-12);
+}
+
+TEST(So3, ExpLogRoundTrip)
+{
+    Rng rng(4);
+    for (int i = 0; i < 20; ++i) {
+        const Vec3 w{rng.uniform(-1.5, 1.5), rng.uniform(-1.5, 1.5),
+                     rng.uniform(-1.5, 1.5)};
+        const Vec3 back = logSo3(expSo3(w));
+        EXPECT_NEAR(back.x, w.x, 1e-9);
+        EXPECT_NEAR(back.y, w.y, 1e-9);
+        EXPECT_NEAR(back.z, w.z, 1e-9);
+    }
+}
+
+TEST(So3, IdentityMapsToZero)
+{
+    const Vec3 w = logSo3(Mat3::identity());
+    EXPECT_NEAR(w.norm(), 0.0, 1e-15);
+    EXPECT_NEAR(rotationAngle(Mat3::identity(), Mat3::identity()), 0.0,
+                1e-15);
+}
+
+TEST(Pose, TransformInverseComposition)
+{
+    Pose pose;
+    pose.rotation = expSo3(Vec3{0.1, -0.2, 0.3});
+    pose.translation = {1.0, 2.0, 3.0};
+    const Vec3 p{4.0, 5.0, 6.0};
+    const Vec3 back = pose.inverse().transform(pose.transform(p));
+    EXPECT_NEAR(back.x, p.x, 1e-12);
+    EXPECT_NEAR(back.y, p.y, 1e-12);
+    EXPECT_NEAR(back.z, p.z, 1e-12);
+
+    const Pose ident = pose.compose(pose.inverse());
+    EXPECT_NEAR(ident.translation.norm(), 0.0, 1e-12);
+    EXPECT_NEAR(ident.rotation.trace(), 3.0, 1e-12);
+}
+
+TEST(Pose, CenterIsCameraPositionInWorld)
+{
+    const Vec3 eye{1.0, -2.0, 0.5};
+    Pose pose;
+    pose.rotation = expSo3(Vec3{0.0, 0.4, 0.0});
+    pose.translation = pose.rotation * (eye * -1.0);
+    const Vec3 c = pose.center();
+    EXPECT_NEAR(c.x, eye.x, 1e-12);
+    EXPECT_NEAR(c.y, eye.y, 1e-12);
+    EXPECT_NEAR(c.z, eye.z, 1e-12);
+}
+
+TEST(Camera, ProjectionBasics)
+{
+    const CameraIntrinsics cam = CameraIntrinsics::forResolution(640, 480);
+    EXPECT_DOUBLE_EQ(cam.cx, 320.0);
+    EXPECT_DOUBLE_EQ(cam.cy, 240.0);
+    const auto center = projectPoint(cam, Vec3{0, 0, 2});
+    ASSERT_TRUE(center.has_value());
+    EXPECT_DOUBLE_EQ((*center)[0], 320.0);
+    EXPECT_DOUBLE_EQ((*center)[1], 240.0);
+    EXPECT_FALSE(projectPoint(cam, Vec3{0, 0, -1}).has_value());
+}
+
+class PnpRecovery : public ::testing::TestWithParam<u64>
+{
+};
+
+TEST_P(PnpRecovery, RecoversGroundTruthPoseFromNoisyStart)
+{
+    Rng rng(GetParam());
+    const CameraIntrinsics cam = CameraIntrinsics::forResolution(640, 480);
+
+    Pose gt;
+    gt.rotation = expSo3(Vec3{rng.uniform(-0.2, 0.2),
+                              rng.uniform(-0.2, 0.2),
+                              rng.uniform(-0.2, 0.2)});
+    gt.translation = {rng.uniform(-0.5, 0.5), rng.uniform(-0.5, 0.5),
+                      rng.uniform(-0.3, 0.3)};
+
+    std::vector<Correspondence> points;
+    for (int i = 0; i < 40; ++i) {
+        const Vec3 world{rng.uniform(-2, 2), rng.uniform(-1.5, 1.5),
+                         rng.uniform(3, 8)};
+        const auto uv = projectPoint(cam, gt.transform(world));
+        if (!uv)
+            continue;
+        points.push_back({world, (*uv)[0], (*uv)[1]});
+    }
+    ASSERT_GE(points.size(), 20u);
+
+    // Start from a perturbed pose (tracking from the previous frame).
+    Pose init = gt;
+    init.translation = init.translation + Vec3{0.05, -0.04, 0.06};
+    init.rotation = expSo3(Vec3{0.02, 0.02, -0.01}) * init.rotation;
+
+    const PnpResult result = solvePnp(cam, points, init);
+    EXPECT_TRUE(result.converged);
+    EXPECT_LT(result.rms_reprojection_error, 0.5);
+    EXPECT_NEAR((result.pose.center() - gt.center()).norm(), 0.0, 1e-3);
+    EXPECT_LT(rotationAngle(result.pose.rotation, gt.rotation), 1e-3);
+    EXPECT_EQ(result.inliers, static_cast<int>(points.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PnpRecovery,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Pnp, RobustToOutliers)
+{
+    Rng rng(9);
+    const CameraIntrinsics cam = CameraIntrinsics::forResolution(640, 480);
+    Pose gt;
+    gt.translation = {0.1, -0.1, 0.2};
+
+    std::vector<Correspondence> points;
+    for (int i = 0; i < 60; ++i) {
+        const Vec3 world{rng.uniform(-2, 2), rng.uniform(-1.5, 1.5),
+                         rng.uniform(3, 8)};
+        const auto uv = projectPoint(cam, gt.transform(world));
+        if (!uv)
+            continue;
+        Correspondence c{world, (*uv)[0], (*uv)[1]};
+        if (i % 10 == 0) { // 10% gross outliers
+            c.u += rng.uniform(50, 120);
+            c.v -= rng.uniform(50, 120);
+        }
+        points.push_back(c);
+    }
+
+    const PnpResult result = solvePnp(cam, points, Pose{});
+    EXPECT_TRUE(result.converged);
+    // Huber keeps the estimate close despite the outliers.
+    EXPECT_LT((result.pose.center() - gt.center()).norm(), 0.05);
+}
+
+TEST(Pnp, RejectsTooFewPoints)
+{
+    const CameraIntrinsics cam;
+    std::vector<Correspondence> three(3);
+    EXPECT_THROW(solvePnp(cam, three, Pose{}), std::invalid_argument);
+}
+
+} // namespace
+} // namespace rpx

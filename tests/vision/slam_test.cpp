@@ -1,0 +1,113 @@
+/** @file Unit tests for the SLAM tracker and trajectory metrics. */
+
+#include <gtest/gtest.h>
+
+#include "datasets/slam_dataset.hpp"
+#include "vision/slam.hpp"
+
+namespace rpx {
+namespace {
+
+SlamSequenceConfig
+tinySequence()
+{
+    SlamSequenceConfig cfg;
+    cfg.width = 320;
+    cfg.height = 240;
+    cfg.frames = 10;
+    cfg.landmarks = 150;
+    cfg.motion_amplitude = 0.3;
+    return cfg;
+}
+
+TEST(SlamTracker, BuildsMapFromBootstrapFrame)
+{
+    const SlamSequence seq(tinySequence());
+    SlamConfig cfg;
+    cfg.camera = seq.camera();
+    SlamTracker tracker(cfg);
+    const size_t mapped = tracker.buildMap(
+        seq.renderFrame(0), seq.groundTruth()[0],
+        seq.landmarkPositions());
+    EXPECT_GT(mapped, 10u);
+    EXPECT_EQ(tracker.map().size(), mapped);
+}
+
+TEST(SlamTracker, TracksSmoothMotion)
+{
+    const SlamSequence seq(tinySequence());
+    SlamConfig cfg;
+    cfg.camera = seq.camera();
+    SlamTracker tracker(cfg);
+    tracker.buildMap(seq.renderFrame(0), seq.groundTruth()[0],
+                     seq.landmarkPositions());
+
+    int tracked = 0;
+    std::vector<Pose> est{seq.groundTruth()[0]};
+    for (int t = 1; t < seq.frames(); ++t) {
+        const TrackResult r = tracker.track(seq.renderFrame(t));
+        est.push_back(r.pose);
+        tracked += r.tracked ? 1 : 0;
+    }
+    EXPECT_GE(tracked, seq.frames() - 2);
+
+    const TrajectoryMetrics m =
+        computeTrajectoryMetrics(seq.groundTruth(), est);
+    // Full-resolution tracking should be accurate to centimetres.
+    EXPECT_LT(m.ate_mean, 0.12);
+    EXPECT_GT(m.frames, 0u);
+}
+
+TEST(SlamTracker, NoMapMeansNoTracking)
+{
+    const SlamSequence seq(tinySequence());
+    SlamConfig cfg;
+    cfg.camera = seq.camera();
+    SlamTracker tracker(cfg);
+    const TrackResult r = tracker.track(seq.renderFrame(1));
+    EXPECT_FALSE(r.tracked);
+    EXPECT_EQ(r.matches, 0);
+}
+
+TEST(SlamTracker, RejectsSillyConfig)
+{
+    SlamConfig cfg;
+    cfg.min_matches = 2;
+    EXPECT_THROW(SlamTracker{cfg}, std::invalid_argument);
+}
+
+TEST(TrajectoryMetrics, ZeroForIdenticalTrajectories)
+{
+    const SlamSequence seq(tinySequence());
+    const auto &gt = seq.groundTruth();
+    const TrajectoryMetrics m = computeTrajectoryMetrics(gt, gt);
+    EXPECT_NEAR(m.ate_mean, 0.0, 1e-12);
+    EXPECT_NEAR(m.rpe_trans_mean, 0.0, 1e-12);
+    EXPECT_NEAR(m.rpe_rot_mean_deg, 0.0, 1e-9);
+}
+
+TEST(TrajectoryMetrics, KnownOffset)
+{
+    std::vector<Pose> gt(5), est(5);
+    for (size_t i = 0; i < 5; ++i) {
+        gt[i].translation = {0.0, 0.0, static_cast<double>(i)};
+        est[i].translation = {0.1, 0.0, static_cast<double>(i)};
+    }
+    const TrajectoryMetrics m = computeTrajectoryMetrics(gt, est);
+    // Constant offset: ATE = 0.1 everywhere, RPE = 0 (relative motion
+    // identical).
+    EXPECT_NEAR(m.ate_mean, 0.1, 1e-12);
+    EXPECT_NEAR(m.ate_stddev, 0.0, 1e-12);
+    EXPECT_NEAR(m.rpe_trans_mean, 0.0, 1e-12);
+}
+
+TEST(TrajectoryMetrics, MismatchedLengthsThrow)
+{
+    std::vector<Pose> a(3), b(4);
+    EXPECT_THROW(computeTrajectoryMetrics(a, b), std::invalid_argument);
+    EXPECT_THROW(computeTrajectoryMetrics(a, a, 0),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace rpx
