@@ -20,6 +20,8 @@
 #include "core/sw_decoder.hpp"
 #include "frame/draw.hpp"
 #include "memory/dram.hpp"
+#include "obs/metrics_export.hpp"
+#include "obs/perf_registry.hpp"
 
 namespace rpx {
 namespace {
@@ -138,7 +140,54 @@ BM_SoftwareDecoder1080p(benchmark::State &state)
 BENCHMARK(BM_SoftwareDecoder1080p)->Arg(10)->Arg(30)->Arg(60)->Arg(100)
     ->Unit(benchmark::kMillisecond);
 
+/**
+ * Console reporter that also mirrors every run into a PerfRegistry so
+ * the results land in a machine-readable snapshot next to the console
+ * table (BENCH_encoder_decoder.json, consumed by regression tooling).
+ */
+class RegistryReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit RegistryReporter(obs::PerfRegistry &registry)
+        : registry_(registry)
+    {
+    }
+
+    void ReportRuns(const std::vector<Run> &runs) override
+    {
+        for (const Run &run : runs) {
+            if (run.error_occurred)
+                continue;
+            const std::string base = "bench." + run.benchmark_name();
+            const double iters = static_cast<double>(run.iterations);
+            registry_.gauge(base + ".real_time_ns")
+                .set(run.real_accumulated_time / iters * 1e9);
+            registry_.gauge(base + ".cpu_time_ns")
+                .set(run.cpu_accumulated_time / iters * 1e9);
+            registry_.gauge(base + ".iterations").set(iters);
+            for (const auto &[name, counter] : run.counters)
+                registry_.gauge(base + "." + name).set(counter.value);
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+  private:
+    obs::PerfRegistry &registry_;
+};
+
 } // namespace
 } // namespace rpx
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    rpx::obs::PerfRegistry registry;
+    rpx::RegistryReporter reporter(registry);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    rpx::obs::writeMetricsJsonFile(registry, "BENCH_encoder_decoder.json");
+    return 0;
+}

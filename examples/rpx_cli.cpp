@@ -2,13 +2,23 @@
  * @file
  * Command-line driver for the evaluation harness: run any workload under
  * any capture scheme, export the region trace, or replay a saved trace
- * through the throughput simulator at an arbitrary resolution.
+ * through the throughput simulator at an arbitrary resolution — with
+ * optional observability output (Chrome-trace stage spans, metric
+ * snapshots, log level).
  *
  * Usage:
  *   rpx_cli run   --task slam|face|pose --scheme FCH|FCL|RP|MULTIROI
- *                 [--cycle N] [--frames N] [--trace-out FILE]
+ *                 [--cycle N] [--frames N] [--region-trace-out FILE]
+ *                 [--trace-out FILE] [--metrics-out FILE]
+ *                 [--log-level debug|info|warn|silent]
  *   rpx_cli replay --trace FILE --scheme FCH|FCL|RP|H264|MULTIROI
  *                 [--width N --height N] [--fps F]
+ *                 [--trace-out FILE] [--metrics-out FILE]
+ *                 [--log-level debug|info|warn|silent]
+ *
+ * --trace-out writes a chrome://tracing / Perfetto-compatible JSON of
+ * per-frame pipeline stage spans; --metrics-out writes a counter/gauge/
+ * histogram snapshot (JSON, or CSV when the file ends in ".csv").
  */
 
 #include <cstring>
@@ -16,6 +26,9 @@
 #include <map>
 #include <string>
 
+#include "common/logging.hpp"
+#include "obs/metrics_export.hpp"
+#include "obs/obs.hpp"
 #include "sim/experiments.hpp"
 #include "sim/trace_io.hpp"
 #include "sim/workload.hpp"
@@ -31,10 +44,14 @@ usage()
         << "usage:\n"
         << "  rpx_cli run    --task slam|face|pose --scheme "
            "FCH|FCL|RP|MULTIROI [--cycle N]\n"
-        << "                 [--frames N] [--trace-out FILE]\n"
+        << "                 [--frames N] [--region-trace-out FILE]\n"
+        << "                 [--trace-out FILE] [--metrics-out FILE]\n"
+        << "                 [--log-level debug|info|warn|silent]\n"
         << "  rpx_cli replay --trace FILE --scheme "
            "FCH|FCL|RP|H264|MULTIROI [--width N]\n"
-        << "                 [--height N] [--fps F]\n";
+        << "                 [--height N] [--fps F] [--trace-out FILE]\n"
+        << "                 [--metrics-out FILE]\n"
+        << "                 [--log-level debug|info|warn|silent]\n";
     std::exit(2);
 }
 
@@ -67,9 +84,42 @@ schemeFromName(const std::string &name)
     usage();
 }
 
+/** Apply --log-level and prepare the obs context the flags ask for. */
+void
+applyObsFlags(const std::map<std::string, std::string> &flags,
+              obs::ObsContext &ctx)
+{
+    if (flags.count("log-level")) {
+        setLogLevel(detail::parseLogLevel(flags.at("log-level").c_str(),
+                                          logLevel()));
+    }
+    if (flags.count("trace-out"))
+        ctx.enableTrace();
+}
+
+/** Write --trace-out / --metrics-out files after a run. */
+void
+exportObs(const std::map<std::string, std::string> &flags,
+          const obs::ObsContext &ctx)
+{
+    if (flags.count("trace-out")) {
+        ctx.trace()->writeJsonFile(flags.at("trace-out"));
+        std::cout << "  spans:      " << flags.at("trace-out") << " ("
+                  << ctx.trace()->size() << " events)\n";
+    }
+    if (flags.count("metrics-out")) {
+        obs::writeMetricsFile(ctx.registry(), flags.at("metrics-out"));
+        std::cout << "  metrics:    " << flags.at("metrics-out") << " ("
+                  << ctx.registry().size() << " metrics)\n";
+    }
+}
+
 int
 runCommand(const std::map<std::string, std::string> &flags)
 {
+    obs::ObsContext obs_ctx;
+    applyObsFlags(flags, obs_ctx);
+
     const std::string task =
         flags.count("task") ? flags.at("task") : "slam";
     WorkloadConfig wc;
@@ -77,6 +127,7 @@ runCommand(const std::map<std::string, std::string> &flags)
         flags.count("scheme") ? flags.at("scheme") : "RP");
     wc.cycle_length =
         flags.count("cycle") ? std::stoi(flags.at("cycle")) : 10;
+    wc.obs = &obs_ctx;
     const int frames =
         flags.count("frames") ? std::stoi(flags.at("frames")) : 60;
 
@@ -126,15 +177,16 @@ runCommand(const std::map<std::string, std::string> &flags)
               << fmtDouble(base.pipeline_traffic.footprintMB(), 2)
               << " MB\n";
 
-    if (flags.count("trace-out")) {
+    if (flags.count("region-trace-out")) {
         TraceFile file;
         file.width = base.width;
         file.height = base.height;
         file.trace = base.trace;
-        writeTraceFile(flags.at("trace-out"), file);
-        std::cout << "  trace:      " << flags.at("trace-out") << " ("
-                  << file.trace.size() << " frames)\n";
+        writeTraceFile(flags.at("region-trace-out"), file);
+        std::cout << "  trace:      " << flags.at("region-trace-out")
+                  << " (" << file.trace.size() << " frames)\n";
     }
+    exportObs(flags, obs_ctx);
     return 0;
 }
 
@@ -143,6 +195,8 @@ replayCommand(const std::map<std::string, std::string> &flags)
 {
     if (!flags.count("trace"))
         usage();
+    obs::ObsContext obs_ctx;
+    applyObsFlags(flags, obs_ctx);
     const TraceFile file = readTraceFile(flags.at("trace"));
 
     ThroughputConfig tc;
@@ -160,7 +214,8 @@ replayCommand(const std::map<std::string, std::string> &flags)
 
     const CaptureScheme scheme = schemeFromName(
         flags.count("scheme") ? flags.at("scheme") : "RP");
-    const ThroughputSimulator sim(tc);
+    ThroughputSimulator sim(tc);
+    sim.attachObs(&obs_ctx);
     const ThroughputResult r = sim.evaluate(scheme, trace);
 
     std::cout << schemeName(scheme) << " replay of "
@@ -174,6 +229,7 @@ replayCommand(const std::map<std::string, std::string> &flags)
               << " MB peak\n";
     std::cout << "  kept:       "
               << fmtDouble(100.0 * r.kept_fraction, 1) << "%\n";
+    exportObs(flags, obs_ctx);
     return 0;
 }
 

@@ -1,26 +1,71 @@
 #include "common/logging.hpp"
 
+#include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <iostream>
+#include <mutex>
 
 namespace rpx {
 
 namespace {
-LogLevel g_level = LogLevel::Warn;
+
+std::atomic<LogLevel> &
+levelRef()
+{
+    // Initial level from the environment, read once at first use, so
+    // tools pick up RPX_LOG_LEVEL without each needing a flag.
+    static std::atomic<LogLevel> level{detail::parseLogLevel(
+        std::getenv("RPX_LOG_LEVEL"), LogLevel::Warn)};
+    return level;
 }
+
+/** Serialises concurrent emitLog calls so lines never interleave. */
+std::mutex &
+logMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+} // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    levelRef().store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return levelRef().load(std::memory_order_relaxed);
 }
 
 namespace detail {
+
+LogLevel
+parseLogLevel(const char *name, LogLevel fallback)
+{
+    if (!name)
+        return fallback;
+    std::string lower;
+    for (const char *p = name; *p; ++p)
+        lower += static_cast<char>(
+            std::tolower(static_cast<unsigned char>(*p)));
+    if (lower == "debug")
+        return LogLevel::Debug;
+    if (lower == "info")
+        return LogLevel::Info;
+    if (lower == "warn")
+        return LogLevel::Warn;
+    if (lower == "silent")
+        return LogLevel::Silent;
+    return fallback;
+}
 
 void
 emitLog(LogLevel level, const std::string &msg)
@@ -39,7 +84,25 @@ emitLog(LogLevel level, const std::string &msg)
       case LogLevel::Silent:
         return;
     }
-    std::cerr << tag << msg << "\n";
+
+    // Wall-clock timestamp with millisecond resolution.
+    const auto now = std::chrono::system_clock::now();
+    const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        now.time_since_epoch())
+                        .count() %
+                    1000;
+    std::tm tm{};
+    localtime_r(&secs, &tm);
+    char stamp[32];
+    std::snprintf(stamp, sizeof(stamp),
+                  "[%02d:%02d:%02d.%03d] ", tm.tm_hour, tm.tm_min,
+                  tm.tm_sec, static_cast<int>(ms));
+
+    // One guarded write per message: concurrent loggers cannot interleave
+    // within a line.
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::cerr << stamp << tag << msg << "\n";
 }
 
 } // namespace detail

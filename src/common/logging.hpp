@@ -16,12 +16,19 @@ namespace rpx {
 
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Silent = 3 };
 
-/** Set the global minimum level that is emitted (default Warn). */
+/**
+ * Set the global minimum level that is emitted. The initial level comes
+ * from the RPX_LOG_LEVEL environment variable (debug|info|warn|silent,
+ * case-insensitive) when set, else Warn.
+ */
 void setLogLevel(LogLevel level);
 LogLevel logLevel();
 
 namespace detail {
+/** Thread-safe, timestamped write to stderr (one line per call). */
 void emitLog(LogLevel level, const std::string &msg);
+/** Parse a level name (case-insensitive); `fallback` on unknown/null. */
+LogLevel parseLogLevel(const char *name, LogLevel fallback);
 }
 
 /** Informative status message (suppressed below Info). */

@@ -233,7 +233,44 @@ RhythmicDecoder::requestPixels(i32 x, i32 y, i32 count)
     // Metadata touched for this transaction: the mask bits and the offset
     // entries of the rows the request covers (already resident in the
     // scratchpad; accounted there).
+    if (obs_transactions_)
+        mirrorObs();
     return result;
+}
+
+void
+RhythmicDecoder::mirrorObs()
+{
+    obs_transactions_->add(stats_.transactions - obs_seen_.transactions);
+    obs_pixels_->add(stats_.pixels_requested - obs_seen_.pixels_requested);
+    obs_dram_reads_->add(stats_.dram_reads - obs_seen_.dram_reads);
+    obs_pixel_bytes_->add(stats_.dram_pixel_bytes -
+                          obs_seen_.dram_pixel_bytes);
+    obs_metadata_bytes_->add(stats_.metadata_bytes -
+                             obs_seen_.metadata_bytes);
+    obs_history_hits_->add(stats_.history_hits - obs_seen_.history_hits);
+    obs_black_pixels_->add(stats_.black_pixels - obs_seen_.black_pixels);
+    obs_seen_ = stats_;
+}
+
+void
+RhythmicDecoder::attachObs(obs::ObsContext *ctx)
+{
+    if (!ctx) {
+        obs_transactions_ = obs_pixels_ = obs_dram_reads_ = nullptr;
+        obs_pixel_bytes_ = obs_metadata_bytes_ = nullptr;
+        obs_history_hits_ = obs_black_pixels_ = nullptr;
+        return;
+    }
+    obs::PerfRegistry &r = ctx->registry();
+    obs_transactions_ = &r.counter("decoder.transactions");
+    obs_pixels_ = &r.counter("decoder.pixels_requested");
+    obs_dram_reads_ = &r.counter("decoder.dram_reads");
+    obs_pixel_bytes_ = &r.counter("decoder.dram_pixel_bytes");
+    obs_metadata_bytes_ = &r.counter("decoder.metadata_bytes");
+    obs_history_hits_ = &r.counter("decoder.history_hits");
+    obs_black_pixels_ = &r.counter("decoder.black_pixels");
+    obs_seen_ = stats_;
 }
 
 std::vector<u8>

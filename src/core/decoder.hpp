@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/frame_store.hpp"
+#include "obs/obs.hpp"
 #include "stream/fifo.hpp"
 
 namespace rpx {
@@ -100,6 +101,12 @@ class RhythmicDecoder
     const DecoderStats &stats() const { return stats_; }
     void resetStats() { stats_.reset(); }
 
+    /**
+     * Attach an observability context: "decoder.*" counters mirror
+     * per-transaction stat deltas. Null detaches (default, zero-cost).
+     */
+    void attachObs(obs::ObsContext *ctx);
+
     /** Mean modelled latency per transaction in nanoseconds. */
     double avgLatencyNs() const;
 
@@ -133,6 +140,20 @@ class RhythmicDecoder
     std::vector<const EncodedFrame *> scratch_keys_;
 
     void refreshScratchpad();
+
+    /** Push stats_ deltas since the last mirror into the obs counters. */
+    void mirrorObs();
+
+    // Cached counter handles; null when no observer is attached.
+    obs::Counter *obs_transactions_ = nullptr;
+    obs::Counter *obs_pixels_ = nullptr;
+    obs::Counter *obs_dram_reads_ = nullptr;
+    obs::Counter *obs_pixel_bytes_ = nullptr;
+    obs::Counter *obs_metadata_bytes_ = nullptr;
+    obs::Counter *obs_history_hits_ = nullptr;
+    obs::Counter *obs_black_pixels_ = nullptr;
+    /** Stats already mirrored into the counters (delta baseline). */
+    DecoderStats obs_seen_;
 };
 
 } // namespace rpx

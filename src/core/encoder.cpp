@@ -330,6 +330,9 @@ RhythmicEncoder::encodeFrame(const Image &gray, FrameIndex t)
     out.offsets = RowOffsets(frame_h_);
     out.pixels.reserve(static_cast<size_t>(frame_w_) * 4);
 
+    const u64 comparisons_before = stats_.region_comparisons;
+    const Cycles cycles_before = stats_.compare_cycles;
+
     std::vector<ShortlistEntry> shortlist;
     for (i32 y = 0; y < frame_h_; ++y) {
         buildShortlist(y, t, shortlist);
@@ -341,7 +344,31 @@ RhythmicEncoder::encodeFrame(const Image &gray, FrameIndex t)
     ++stats_.frames;
     stats_.pixels_in += static_cast<u64>(gray.pixelCount());
     stats_.pixels_encoded += out.pixels.size();
+    if (obs_frames_) {
+        obs_frames_->inc();
+        obs_pixels_in_->add(static_cast<u64>(gray.pixelCount()));
+        obs_pixels_kept_->add(out.pixels.size());
+        obs_comparisons_->add(stats_.region_comparisons -
+                              comparisons_before);
+        obs_compare_cycles_->add(stats_.compare_cycles - cycles_before);
+    }
     return out;
+}
+
+void
+RhythmicEncoder::attachObs(obs::ObsContext *ctx)
+{
+    if (!ctx) {
+        obs_frames_ = obs_pixels_in_ = obs_pixels_kept_ = nullptr;
+        obs_comparisons_ = obs_compare_cycles_ = nullptr;
+        return;
+    }
+    obs::PerfRegistry &r = ctx->registry();
+    obs_frames_ = &r.counter("encoder.frames");
+    obs_pixels_in_ = &r.counter("encoder.pixels_in");
+    obs_pixels_kept_ = &r.counter("encoder.pixels_kept");
+    obs_comparisons_ = &r.counter("encoder.region_comparisons");
+    obs_compare_cycles_ = &r.counter("encoder.compare_cycles");
 }
 
 bool

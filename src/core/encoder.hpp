@@ -29,6 +29,7 @@
 #include "core/encoded_frame.hpp"
 #include "core/region.hpp"
 #include "frame/image.hpp"
+#include "obs/obs.hpp"
 #include "stream/fifo.hpp"
 #include "stream/pixel_stream.hpp"
 
@@ -136,6 +137,12 @@ class RhythmicEncoder
     const EncoderStats &stats() const { return stats_; }
     void resetStats() { stats_.reset(); }
 
+    /**
+     * Attach an observability context: "encoder.*" counters mirror the
+     * per-frame work/traffic deltas. Null detaches (default, zero-cost).
+     */
+    void attachObs(obs::ObsContext *ctx);
+
     /** True when the modelled comparison work fit the pixel-clock budget. */
     bool withinCycleBudget() const;
 
@@ -160,6 +167,13 @@ class RhythmicEncoder
     Config config_;
     std::vector<RegionLabel> regions_;
     EncoderStats stats_;
+
+    // Cached counter handles; null when no observer is attached.
+    obs::Counter *obs_frames_ = nullptr;
+    obs::Counter *obs_pixels_in_ = nullptr;
+    obs::Counter *obs_pixels_kept_ = nullptr;
+    obs::Counter *obs_comparisons_ = nullptr;
+    obs::Counter *obs_compare_cycles_ = nullptr;
 };
 
 } // namespace rpx

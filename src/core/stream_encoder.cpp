@@ -145,7 +145,27 @@ StreamingEncoder::finishFrame()
     EncodedFrame out = std::move(*current_);
     current_.reset();
     out.checkConsistency();
+    if (obs_frames_) {
+        obs_frames_->inc();
+        obs_beats_->add(beats_consumed_);
+        obs_stalls_->add(fifo_.pushStalls() - obs_stalls_seen_);
+        obs_stalls_seen_ = fifo_.pushStalls();
+    }
     return out;
+}
+
+void
+StreamingEncoder::attachObs(obs::ObsContext *ctx)
+{
+    if (!ctx) {
+        obs_frames_ = obs_beats_ = obs_stalls_ = nullptr;
+        return;
+    }
+    obs::PerfRegistry &r = ctx->registry();
+    obs_frames_ = &r.counter("stream_encoder.frames");
+    obs_beats_ = &r.counter("stream_encoder.beats");
+    obs_stalls_ = &r.counter("stream_encoder.push_stalls");
+    obs_stalls_seen_ = fifo_.pushStalls();
 }
 
 } // namespace rpx

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/encoder.hpp"
+#include "obs/obs.hpp"
 #include "stream/fifo.hpp"
 #include "stream/pixel_stream.hpp"
 
@@ -78,6 +79,12 @@ class StreamingEncoder
         return regions_;
     }
 
+    /**
+     * Attach an observability context: "stream_encoder.*" counters mirror
+     * frames/beats/stalls as frames complete. Null detaches (default).
+     */
+    void attachObs(obs::ObsContext *ctx);
+
   private:
     void processBeat(const PixelBeat &beat);
     void startRow(i32 row);
@@ -103,6 +110,12 @@ class StreamingEncoder
         bool row_on_stride;
     };
     std::vector<RowEntry> shortlist_;
+
+    // Cached counter handles; null when no observer is attached.
+    obs::Counter *obs_frames_ = nullptr;
+    obs::Counter *obs_beats_ = nullptr;
+    obs::Counter *obs_stalls_ = nullptr;
+    u64 obs_stalls_seen_ = 0; //!< pushStalls() high-water already mirrored
 };
 
 } // namespace rpx

@@ -13,6 +13,21 @@ DramModel::DramModel(u64 capacity) : capacity_(capacity)
 }
 
 void
+DramModel::attachObs(obs::ObsContext *ctx)
+{
+    if (!ctx) {
+        obs_read_bytes_ = obs_write_bytes_ = nullptr;
+        obs_read_txns_ = obs_write_txns_ = nullptr;
+        return;
+    }
+    obs::PerfRegistry &r = ctx->registry();
+    obs_read_bytes_ = &r.counter("dram.read_bytes");
+    obs_write_bytes_ = &r.counter("dram.write_bytes");
+    obs_read_txns_ = &r.counter("dram.read_transactions");
+    obs_write_txns_ = &r.counter("dram.write_transactions");
+}
+
+void
 DramModel::checkRange(u64 addr, size_t len) const
 {
     if (addr + len > capacity_ || addr + len < addr) {
@@ -38,6 +53,10 @@ DramModel::write(u64 addr, const u8 *data, size_t len)
     stats_.bytes_written += len;
     stats_.write_transactions += 1;
     stats_.write_bursts += (len + kBurstBytes - 1) / kBurstBytes;
+    if (obs_write_bytes_) {
+        obs_write_bytes_->add(len);
+        obs_write_txns_->inc();
+    }
 }
 
 void
@@ -56,6 +75,10 @@ DramModel::read(u64 addr, u8 *out, size_t len) const
     stats_.bytes_read += len;
     stats_.read_transactions += 1;
     stats_.read_bursts += (len + kBurstBytes - 1) / kBurstBytes;
+    if (obs_read_bytes_) {
+        obs_read_bytes_->add(len);
+        obs_read_txns_->inc();
+    }
 }
 
 std::vector<u8>

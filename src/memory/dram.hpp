@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "obs/obs.hpp"
 
 namespace rpx {
 
@@ -66,6 +67,13 @@ class DramModel
     const DramStats &stats() const { return stats_; }
     void resetStats() { stats_.reset(); }
 
+    /**
+     * Attach an observability context: registers "dram.*" counters and
+     * mirrors traffic into them from then on. Null detaches (the default;
+     * accesses then cost no instrumentation beyond one branch).
+     */
+    void attachObs(obs::ObsContext *ctx);
+
   private:
     void checkRange(u64 addr, size_t len) const;
 
@@ -73,6 +81,12 @@ class DramModel
     /** Backing store, grown lazily to the high-water address. */
     mutable std::vector<u8> store_;
     mutable DramStats stats_;
+
+    // Cached counter handles; null when no observer is attached.
+    obs::Counter *obs_read_bytes_ = nullptr;
+    obs::Counter *obs_write_bytes_ = nullptr;
+    obs::Counter *obs_read_txns_ = nullptr;
+    obs::Counter *obs_write_txns_ = nullptr;
 };
 
 } // namespace rpx

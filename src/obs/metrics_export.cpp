@@ -1,0 +1,122 @@
+#include "obs/metrics_export.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "obs/trace.hpp"
+
+namespace rpx::obs {
+
+namespace {
+
+const char *
+kindName(MetricSample::Kind kind)
+{
+    switch (kind) {
+      case MetricSample::Kind::Counter:
+        return "counter";
+      case MetricSample::Kind::Gauge:
+        return "gauge";
+      case MetricSample::Kind::Histogram:
+        return "histogram";
+    }
+    return "unknown";
+}
+
+/** JSON has no Inf/NaN; clamp to null-safe 0 (only empty histograms). */
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "0";
+    std::ostringstream os;
+    os << v;
+    return os.str();
+}
+
+} // namespace
+
+void
+writeMetricsJson(const std::vector<MetricSample> &samples, std::ostream &os)
+{
+    os << "{\"metrics\":{";
+    bool first = true;
+    for (const MetricSample &s : samples) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n\"" << jsonEscape(s.name) << "\":{\"kind\":\""
+           << kindName(s.kind) << "\"";
+        if (s.kind == MetricSample::Kind::Histogram) {
+            os << ",\"count\":" << jsonNumber(s.value)
+               << ",\"sum\":" << jsonNumber(s.sum)
+               << ",\"min\":" << jsonNumber(s.min)
+               << ",\"max\":" << jsonNumber(s.max) << ",\"bounds\":[";
+            for (size_t i = 0; i < s.bounds.size(); ++i)
+                os << (i ? "," : "") << jsonNumber(s.bounds[i]);
+            os << "],\"buckets\":[";
+            for (size_t i = 0; i < s.buckets.size(); ++i)
+                os << (i ? "," : "") << s.buckets[i];
+            os << "]";
+        } else {
+            os << ",\"value\":" << jsonNumber(s.value);
+        }
+        os << "}";
+    }
+    os << "\n}}\n";
+}
+
+void
+writeMetricsCsv(const std::vector<MetricSample> &samples, std::ostream &os)
+{
+    os << "name,kind,value,sum,min,max\n";
+    for (const MetricSample &s : samples) {
+        os << s.name << "," << kindName(s.kind) << "," << jsonNumber(s.value)
+           << "," << jsonNumber(s.sum) << "," << jsonNumber(s.min) << ","
+           << jsonNumber(s.max) << "\n";
+    }
+}
+
+namespace {
+
+template <typename Writer>
+void
+writeFile(const PerfRegistry &registry, const std::string &path,
+          Writer writer)
+{
+    std::ofstream os(path);
+    if (!os)
+        throwRuntime("cannot open metrics output file: ", path);
+    writer(registry.snapshot(), os);
+    if (!os.good())
+        throwRuntime("failed writing metrics output file: ", path);
+}
+
+} // namespace
+
+void
+writeMetricsJsonFile(const PerfRegistry &registry, const std::string &path)
+{
+    writeFile(registry, path, writeMetricsJson);
+}
+
+void
+writeMetricsCsvFile(const PerfRegistry &registry, const std::string &path)
+{
+    writeFile(registry, path, writeMetricsCsv);
+}
+
+void
+writeMetricsFile(const PerfRegistry &registry, const std::string &path)
+{
+    const bool csv =
+        path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+    if (csv)
+        writeMetricsCsvFile(registry, path);
+    else
+        writeMetricsJsonFile(registry, path);
+}
+
+} // namespace rpx::obs

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Machine-readable metric-snapshot exporters.
+ *
+ * JSON: {"metrics":{"<name>":{"kind":"counter","value":N}, ...}} with
+ * histogram entries carrying count/sum/min/max/bounds/buckets. CSV: one
+ * row per metric, "name,kind,value,sum,min,max". Both render the
+ * name-sorted snapshot, so output is deterministic for a deterministic run.
+ */
+
+#ifndef RPX_OBS_METRICS_EXPORT_HPP
+#define RPX_OBS_METRICS_EXPORT_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/perf_registry.hpp"
+
+namespace rpx::obs {
+
+void writeMetricsJson(const std::vector<MetricSample> &samples,
+                      std::ostream &os);
+void writeMetricsCsv(const std::vector<MetricSample> &samples,
+                     std::ostream &os);
+
+/** Snapshot `registry` and write to `path`; throws on I/O failure. */
+void writeMetricsJsonFile(const PerfRegistry &registry,
+                          const std::string &path);
+void writeMetricsCsvFile(const PerfRegistry &registry,
+                         const std::string &path);
+
+/** Dispatch on extension: ".csv" writes CSV, anything else JSON. */
+void writeMetricsFile(const PerfRegistry &registry, const std::string &path);
+
+} // namespace rpx::obs
+
+#endif // RPX_OBS_METRICS_EXPORT_HPP

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The observability context handed to instrumented components.
+ *
+ * Components hold a nullable `ObsContext *`; a null context is the disabled
+ * state and every instrumentation site reduces to one inlined null check
+ * (no clock reads, no allocation, no locking), so attaching nothing keeps
+ * the hot paths at seed speed. With a context attached, counters update
+ * through cached handles, stage latencies feed fixed-bucket histograms, and
+ * (when tracing is enabled) each stage emits a Chrome-trace span per frame.
+ */
+
+#ifndef RPX_OBS_OBS_HPP
+#define RPX_OBS_OBS_HPP
+
+#include <memory>
+#include <string>
+
+#include "obs/perf_registry.hpp"
+#include "obs/trace.hpp"
+
+namespace rpx::obs {
+
+/** Trace lanes ("tid" in the Chrome trace) per instrumented component. */
+enum class TraceLane : u32 {
+    Pipeline = 0,
+    Sensor = 1,
+    Isp = 2,
+    Encoder = 3,
+    Dram = 4,
+    Decoder = 5,
+    Sim = 6,
+};
+
+/**
+ * Registry + optional trace recorder shared by one pipeline's components.
+ */
+class ObsContext
+{
+  public:
+    PerfRegistry &registry() { return registry_; }
+    const PerfRegistry &registry() const { return registry_; }
+
+    /** Start recording spans; idempotent. */
+    void enableTrace()
+    {
+        if (!trace_)
+            trace_ = std::make_unique<TraceRecorder>();
+    }
+
+    /** Null until enableTrace() is called. */
+    TraceRecorder *trace() { return trace_.get(); }
+    const TraceRecorder *trace() const { return trace_.get(); }
+
+  private:
+    PerfRegistry registry_;
+    std::unique_ptr<TraceRecorder> trace_;
+};
+
+/**
+ * RAII stage timer: measures a scope, feeds a latency histogram
+ * (microseconds) and, when tracing is on, records a span tagged with the
+ * frame index. Constructed with a null context it does nothing and the
+ * whole object optimises away.
+ */
+class ScopedStageTimer
+{
+  public:
+    /**
+     * @param ctx   null to disable (zero-cost)
+     * @param hist  pre-registered latency histogram (may be null)
+     * @param name  span/stage name (must outlive the timer; use literals)
+     * @param cat   span category
+     * @param lane  trace lane the span lands on
+     * @param frame frame index recorded in the span args (-1 = none)
+     */
+    ScopedStageTimer(ObsContext *ctx, Histogram *hist, const char *name,
+                     const char *cat, TraceLane lane, i64 frame = -1)
+        : ctx_(ctx), hist_(hist), name_(name), cat_(cat), lane_(lane),
+          frame_(frame)
+    {
+        if (ctx_ && ctx_->trace())
+            start_us_ = ctx_->trace()->nowUs();
+        else if (ctx_)
+            start_ = std::chrono::steady_clock::now();
+    }
+
+    ~ScopedStageTimer()
+    {
+        if (!ctx_)
+            return;
+        double dur_us;
+        if (TraceRecorder *tr = ctx_->trace()) {
+            dur_us = tr->nowUs() - start_us_;
+            tr->record({name_, cat_, start_us_, dur_us,
+                        static_cast<u32>(lane_), frame_});
+        } else {
+            dur_us = std::chrono::duration<double, std::micro>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count();
+        }
+        if (hist_)
+            hist_->record(dur_us);
+    }
+
+    ScopedStageTimer(const ScopedStageTimer &) = delete;
+    ScopedStageTimer &operator=(const ScopedStageTimer &) = delete;
+
+  private:
+    ObsContext *ctx_;
+    Histogram *hist_;
+    const char *name_;
+    const char *cat_;
+    TraceLane lane_;
+    i64 frame_;
+    double start_us_ = 0.0;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace rpx::obs
+
+#endif // RPX_OBS_OBS_HPP

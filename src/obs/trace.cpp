@@ -1,0 +1,106 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace rpx::obs {
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+double
+TraceRecorder::nowUs() const
+{
+    const auto dt = std::chrono::steady_clock::now() - epoch_;
+    return std::chrono::duration<double, std::micro>(dt).count();
+}
+
+void
+TraceRecorder::record(TraceSpan span)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    spans_.push_back(std::move(span));
+}
+
+size_t
+TraceRecorder::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_.size();
+}
+
+std::vector<TraceSpan>
+TraceRecorder::spans() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return spans_;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void
+TraceRecorder::writeJson(std::ostream &os) const
+{
+    const std::vector<TraceSpan> spans = this->spans();
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    for (const TraceSpan &s : spans) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n{\"name\":\"" << jsonEscape(s.name) << "\",\"cat\":\""
+           << jsonEscape(s.cat) << "\",\"ph\":\"X\",\"ts\":" << s.ts_us
+           << ",\"dur\":" << s.dur_us << ",\"pid\":1,\"tid\":" << s.tid;
+        if (s.frame >= 0)
+            os << ",\"args\":{\"frame\":" << s.frame << "}";
+        os << "}";
+    }
+    os << "\n]}\n";
+}
+
+void
+TraceRecorder::writeJsonFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        throwRuntime("cannot open trace output file: ", path);
+    writeJson(os);
+    if (!os.good())
+        throwRuntime("failed writing trace output file: ", path);
+}
+
+} // namespace rpx::obs

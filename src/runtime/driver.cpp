@@ -21,9 +21,29 @@ RegionDriver::setRegionLabels(std::vector<RegionLabel> regions)
     validateRegions(regions, frame_w_, frame_h_);
     sortRegionsByY(regions);
     const u64 before = regs_.writeCount();
+    const size_t count = regions.size();
     regs_.loadRegions(regions);
     ++ioctls_;
-    return regs_.writeCount() - before;
+    const u64 writes = regs_.writeCount() - before;
+    if (obs_ioctls_) {
+        obs_ioctls_->inc();
+        obs_axi_writes_->add(writes);
+        obs_regions_->add(count);
+    }
+    return writes;
+}
+
+void
+RegionDriver::attachObs(obs::ObsContext *ctx)
+{
+    if (!ctx) {
+        obs_ioctls_ = obs_axi_writes_ = obs_regions_ = nullptr;
+        return;
+    }
+    obs::PerfRegistry &r = ctx->registry();
+    obs_ioctls_ = &r.counter("driver.ioctls");
+    obs_axi_writes_ = &r.counter("driver.axi_writes");
+    obs_regions_ = &r.counter("driver.regions_programmed");
 }
 
 } // namespace rpx

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/region.hpp"
+#include "obs/obs.hpp"
 #include "runtime/registers.hpp"
 
 namespace rpx {
@@ -44,11 +45,22 @@ class RegionDriver
     /** Total ioctl calls serviced. */
     u64 ioctlCount() const { return ioctls_; }
 
+    /**
+     * Attach an observability context: "driver.*" counters mirror ioctl
+     * and AXI-write volume. Null detaches (default, zero-cost).
+     */
+    void attachObs(obs::ObsContext *ctx);
+
   private:
     RegisterFile &regs_;
     i32 frame_w_;
     i32 frame_h_;
     u64 ioctls_ = 0;
+
+    // Cached counter handles; null when no observer is attached.
+    obs::Counter *obs_ioctls_ = nullptr;
+    obs::Counter *obs_axi_writes_ = nullptr;
+    obs::Counter *obs_regions_ = nullptr;
 };
 
 } // namespace rpx

@@ -38,39 +38,92 @@ VisionPipeline::VisionPipeline(const PipelineConfig &config)
     store_ = std::make_unique<FrameStore>(*dram_, config.width,
                                           config.height, config.history);
     decoder_ = std::make_unique<RhythmicDecoder>(*store_);
+
+    if ((obs_ = config.obs)) {
+        dram_->attachObs(obs_);
+        driver_->attachObs(obs_);
+        encoder_->attachObs(obs_);
+        decoder_->attachObs(obs_);
+        obs::PerfRegistry &r = obs_->registry();
+        obs_frames_ = &r.counter("pipeline.frames");
+        obs_bytes_written_ = &r.counter("pipeline.bytes_written");
+        obs_bytes_read_ = &r.counter("pipeline.bytes_read");
+        obs_metadata_bytes_ = &r.counter("pipeline.metadata_bytes");
+        obs_kept_fraction_ = &r.gauge("pipeline.kept_fraction");
+        obs_footprint_ = &r.gauge("pipeline.footprint_bytes");
+        obs_h_sensor_ =
+            &r.histogram("pipeline.stage.sensor_readout.latency_us");
+        obs_h_isp_ = &r.histogram("pipeline.stage.isp.latency_us");
+        obs_h_encode_ = &r.histogram("pipeline.stage.encode.latency_us");
+        obs_h_dram_write_ =
+            &r.histogram("pipeline.stage.dram_write.latency_us");
+        obs_h_decode_ = &r.histogram("pipeline.stage.decode.latency_us");
+        obs_h_frame_ = &r.histogram("pipeline.frame.latency_us");
+    }
 }
 
 PipelineFrameResult
 VisionPipeline::processFrame(const Image &scene)
 {
     const FrameIndex t = next_frame_++;
+    obs::ScopedStageTimer frame_span(obs_, obs_h_frame_, "frame",
+                                     "pipeline", obs::TraceLane::Pipeline,
+                                     t);
 
     // 1. Runtime programs the encoder for this frame.
     runtime_->beginFrame();
     encoder_->setRegionLabels(registers_.activeRegions());
 
-    // 2. Capture: sensor readout (+ CSI transfer) and ISP.
+    // 2. Capture: sensor readout (+ CSI transfer) and ISP. On the fast
+    //    (sensor-less) path the CSI transfer stands in for the readout and
+    //    the gray conversion/resize is the ISP-equivalent work, so both
+    //    stages still emit a span per frame.
     Image gray;
     if (config_.use_sensor_path) {
         if (scene.channels() != 3)
             throwInvalid("sensor path needs an RGB scene frame");
-        const Image raw = sensor_.capture(scene);
-        csi_.transferFrame(static_cast<u64>(raw.pixelCount()));
-        gray = isp_.process(raw);
+        Image raw;
+        {
+            obs::ScopedStageTimer span(obs_, obs_h_sensor_,
+                                       "sensor_readout", "pipeline",
+                                       obs::TraceLane::Sensor, t);
+            raw = sensor_.capture(scene);
+            csi_.transferFrame(static_cast<u64>(raw.pixelCount()));
+        }
+        {
+            obs::ScopedStageTimer span(obs_, obs_h_isp_, "isp", "pipeline",
+                                       obs::TraceLane::Isp, t);
+            gray = isp_.process(raw);
+        }
     } else {
-        gray = scene.channels() == 1 ? scene : scene.toGray();
-        if (gray.width() != config_.width ||
-            gray.height() != config_.height)
-            gray = gray.resized(config_.width, config_.height);
+        {
+            obs::ScopedStageTimer span(obs_, obs_h_isp_, "isp", "pipeline",
+                                       obs::TraceLane::Isp, t);
+            gray = scene.channels() == 1 ? scene : scene.toGray();
+            if (gray.width() != config_.width ||
+                gray.height() != config_.height)
+                gray = gray.resized(config_.width, config_.height);
+        }
+        obs::ScopedStageTimer span(obs_, obs_h_sensor_, "sensor_readout",
+                                   "pipeline", obs::TraceLane::Sensor, t);
         csi_.transferFrame(static_cast<u64>(gray.pixelCount()));
     }
 
     // 3. Encode and commit to the framebuffer ring in DRAM.
-    EncodedFrame encoded = encoder_->encodeFrame(gray, t);
+    EncodedFrame encoded;
+    {
+        obs::ScopedStageTimer span(obs_, obs_h_encode_, "encode",
+                                   "pipeline", obs::TraceLane::Encoder, t);
+        encoded = encoder_->encodeFrame(gray, t);
+    }
     const double kept = encoded.keptFraction();
     const Bytes pixel_bytes = encoded.pixelBytes();
     const Bytes metadata_bytes = encoded.metadataBytes();
-    store_->store(std::move(encoded));
+    {
+        obs::ScopedStageTimer span(obs_, obs_h_dram_write_, "dram_write",
+                                   "pipeline", obs::TraceLane::Dram, t);
+        store_->store(std::move(encoded));
+    }
 
     // 4. Decode the full frame for the application (software decoder fast
     //    path; the hardware decoder unit serves per-transaction requests
@@ -79,7 +132,11 @@ VisionPipeline::processFrame(const Image &scene)
     for (size_t k = 1; k < store_->size(); ++k)
         history.push_back(store_->recent(k));
     PipelineFrameResult result;
-    result.decoded = sw_decoder_.decode(*store_->recent(0), history);
+    {
+        obs::ScopedStageTimer span(obs_, obs_h_decode_, "decode",
+                                   "pipeline", obs::TraceLane::Decoder, t);
+        result.decoded = sw_decoder_.decode(*store_->recent(0), history);
+    }
     result.kept_fraction = kept;
     result.index = t;
 
@@ -91,6 +148,15 @@ VisionPipeline::processFrame(const Image &scene)
     result.traffic.metadata_bytes = 2 * metadata_bytes; // write + read
     result.traffic.footprint = store_->totalFootprint();
     traffic_.add(result.traffic);
+
+    if (obs_frames_) {
+        obs_frames_->inc();
+        obs_bytes_written_->add(result.traffic.bytes_written);
+        obs_bytes_read_->add(result.traffic.bytes_read);
+        obs_metadata_bytes_->add(result.traffic.metadata_bytes);
+        obs_kept_fraction_->set(kept);
+        obs_footprint_->set(static_cast<double>(result.traffic.footprint));
+    }
     return result;
 }
 

@@ -17,6 +17,7 @@
 #include "core/sw_decoder.hpp"
 #include "isp/isp_pipeline.hpp"
 #include "memory/dram.hpp"
+#include "obs/obs.hpp"
 #include "runtime/api.hpp"
 #include "runtime/driver.hpp"
 #include "runtime/registers.hpp"
@@ -40,6 +41,14 @@ struct PipelineConfig {
     int history = 4;
     u32 max_regions = 1600;
     ComparisonMode comparison_mode = ComparisonMode::Hybrid;
+    /**
+     * Optional observability context (not owned; must outlive the
+     * pipeline). When set, every component registers its counters there,
+     * per-stage latencies feed histograms, and — if the context has
+     * tracing enabled — each frame emits one Chrome-trace span per stage.
+     * Null (the default) keeps all instrumentation disabled at zero cost.
+     */
+    obs::ObsContext *obs = nullptr;
 };
 
 /** Result of pushing one frame through the pipeline. */
@@ -74,6 +83,9 @@ class VisionPipeline
     const Csi2Link &csi() const { return csi_; }
     FrameIndex frameIndex() const { return next_frame_; }
 
+    /** Observability context the pipeline reports into (may be null). */
+    obs::ObsContext *obsContext() { return obs_; }
+
   private:
     PipelineConfig config_;
     std::unique_ptr<DramModel> dram_;
@@ -89,6 +101,22 @@ class VisionPipeline
     SoftwareDecoder sw_decoder_;
     TrafficSummary traffic_;
     FrameIndex next_frame_ = 0;
+
+    obs::ObsContext *obs_ = nullptr;
+    // Pipeline-level handles; null when no context is attached.
+    obs::Counter *obs_frames_ = nullptr;
+    obs::Counter *obs_bytes_written_ = nullptr;
+    obs::Counter *obs_bytes_read_ = nullptr;
+    obs::Counter *obs_metadata_bytes_ = nullptr;
+    obs::Gauge *obs_kept_fraction_ = nullptr;
+    obs::Gauge *obs_footprint_ = nullptr;
+    // Per-stage latency histograms (microseconds).
+    obs::Histogram *obs_h_sensor_ = nullptr;
+    obs::Histogram *obs_h_isp_ = nullptr;
+    obs::Histogram *obs_h_encode_ = nullptr;
+    obs::Histogram *obs_h_dram_write_ = nullptr;
+    obs::Histogram *obs_h_decode_ = nullptr;
+    obs::Histogram *obs_h_frame_ = nullptr;
 };
 
 } // namespace rpx

@@ -133,17 +133,46 @@ ThroughputSimulator::evaluateMultiRoi(const RegionTrace &trace) const
     return result;
 }
 
+void
+ThroughputSimulator::publishObs(CaptureScheme scheme, size_t frames,
+                                const ThroughputResult &result) const
+{
+    obs::PerfRegistry &r = obs_->registry();
+    r.counter("throughput_sim.evaluations").inc();
+    r.counter("throughput_sim.frames").add(frames);
+    r.counter("throughput_sim.bytes_written")
+        .add(result.traffic.bytes_written);
+    r.counter("throughput_sim.bytes_read").add(result.traffic.bytes_read);
+    r.counter("throughput_sim.metadata_bytes")
+        .add(result.traffic.metadata_bytes);
+    const std::string prefix =
+        "throughput_sim." + schemeName(scheme) + ".";
+    r.gauge(prefix + "throughput_mbps").set(result.throughput_mbps);
+    r.gauge(prefix + "footprint_mb").set(result.footprint_mb);
+    r.gauge(prefix + "kept_fraction").set(result.kept_fraction);
+}
+
 ThroughputResult
 ThroughputSimulator::evaluate(CaptureScheme scheme,
                               const RegionTrace &trace) const
 {
+    obs::ScopedStageTimer span(
+        obs_, obs_ ? &obs_->registry().histogram(
+                         "throughput_sim.evaluate.latency_us")
+                   : nullptr,
+        "evaluate", "throughput_sim", obs::TraceLane::Sim);
+    const auto finish = [&](ThroughputResult result) {
+        if (obs_)
+            publishObs(scheme, trace.size(), result);
+        return result;
+    };
     switch (scheme) {
       case CaptureScheme::FCH: {
         // Frame-based pipelines keep the same framebuffer ring depth the
         // rhythmic pipeline uses, so footprints compare like for like.
         FrameBasedCapture cap(config_.width, config_.height,
                               config_.history, config_.bytes_per_pixel);
-        return evaluateFixed(cap.frameTraffic(), trace.size());
+        return finish(evaluateFixed(cap.frameTraffic(), trace.size()));
       }
       case CaptureScheme::FCL: {
         const i32 w = std::max<i32>(
@@ -155,18 +184,18 @@ ThroughputSimulator::evaluate(CaptureScheme scheme,
         ThroughputResult r = evaluateFixed(cap.frameTraffic(),
                                            trace.size());
         r.kept_fraction = config_.fcl_scale * config_.fcl_scale;
-        return r;
+        return finish(r);
       }
       case CaptureScheme::H264: {
         H264Config hc;
         hc.bytes_per_pixel = config_.bytes_per_pixel;
         H264Capture cap(config_.width, config_.height, hc);
-        return evaluateFixed(cap.frameTraffic(), trace.size());
+        return finish(evaluateFixed(cap.frameTraffic(), trace.size()));
       }
       case CaptureScheme::MultiRoi:
-        return evaluateMultiRoi(trace);
+        return finish(evaluateMultiRoi(trace));
       case CaptureScheme::RP:
-        return evaluateRhythmic(trace);
+        return finish(evaluateRhythmic(trace));
     }
     throwInvalid("unknown capture scheme");
 }

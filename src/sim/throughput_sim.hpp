@@ -15,6 +15,7 @@
 #include "baseline/h264_model.hpp"
 #include "baseline/multi_roi.hpp"
 #include "core/encoder.hpp"
+#include "obs/obs.hpp"
 #include "sim/platform.hpp"
 
 namespace rpx {
@@ -70,13 +71,23 @@ class ThroughputSimulator
     ThroughputResult evaluate(CaptureScheme scheme,
                               const RegionTrace &trace) const;
 
+    /**
+     * Attach an observability context: each evaluate() then times itself
+     * (one "evaluate" span + "throughput_sim.*" counters/gauges of the
+     * evaluated traffic). Null detaches (default, zero-cost).
+     */
+    void attachObs(obs::ObsContext *ctx) { obs_ = ctx; }
+
   private:
     ThroughputResult evaluateRhythmic(const RegionTrace &trace) const;
     ThroughputResult evaluateMultiRoi(const RegionTrace &trace) const;
     ThroughputResult evaluateFixed(const FrameTraffic &per_frame,
                                    size_t frames) const;
+    void publishObs(CaptureScheme scheme, size_t frames,
+                    const ThroughputResult &result) const;
 
     ThroughputConfig config_;
+    obs::ObsContext *obs_ = nullptr;
 };
 
 } // namespace rpx

@@ -124,6 +124,7 @@ runSlamWorkload(const SlamSequenceConfig &sequence_cfg,
     PipelineConfig pc;
     pc.width = w;
     pc.height = h;
+    pc.obs = config.obs;
     VisionPipeline pipeline(pc);
 
     SlamConfig sc;
@@ -215,6 +216,7 @@ runFaceWorkload(const FaceSequenceConfig &sequence_cfg,
     PipelineConfig pc;
     pc.width = w;
     pc.height = h;
+    pc.obs = config.obs;
     VisionPipeline pipeline(pc);
 
     FaceDetector detector;
@@ -261,6 +263,7 @@ runPoseWorkload(const PoseSequenceConfig &sequence_cfg,
     PipelineConfig pc;
     pc.width = w;
     pc.height = h;
+    pc.obs = config.obs;
     VisionPipeline pipeline(pc);
 
     PoseEstimator estimator;

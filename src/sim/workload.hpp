@@ -43,6 +43,11 @@ struct WorkloadConfig {
      */
     bool refresh_map = true;
     int map_refresh_interval = 15;
+    /**
+     * Optional observability context handed to the run's VisionPipeline
+     * (see PipelineConfig::obs). Not owned; null disables instrumentation.
+     */
+    obs::ObsContext *obs = nullptr;
 };
 
 /** Region statistics of a trace (Table 4). */

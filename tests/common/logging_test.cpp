@@ -1,7 +1,10 @@
 /** @file Unit tests for logging levels and the error helpers. */
 
 #include <iostream>
+#include <regex>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -24,6 +27,18 @@ class CerrCapture
     std::streambuf *old_;
 };
 
+/** "[HH:MM:SS.mmm] " wall-clock prefix every emitted line carries. */
+const std::regex kStampedLine(
+    R"(\[\d{2}:\d{2}:\d{2}\.\d{3}\] [^\n]*\n)");
+
+/** Strip the timestamp prefixes so tests can compare message content. */
+std::string
+withoutStamps(const std::string &text)
+{
+    return std::regex_replace(
+        text, std::regex(R"(\[\d{2}:\d{2}:\d{2}\.\d{3}\] )"), "");
+}
+
 class LoggingTest : public ::testing::Test
 {
   protected:
@@ -34,7 +49,9 @@ TEST_F(LoggingTest, WarnEmittedAtDefaultLevel)
 {
     CerrCapture capture;
     warn("disk ", 42, " is wobbly");
-    EXPECT_EQ(capture.text(), "warn: disk 42 is wobbly\n");
+    EXPECT_EQ(withoutStamps(capture.text()), "warn: disk 42 is wobbly\n");
+    EXPECT_TRUE(std::regex_match(capture.text(), kStampedLine))
+        << capture.text();
 }
 
 TEST_F(LoggingTest, InfoSuppressedAtDefaultLevel)
@@ -52,7 +69,8 @@ TEST_F(LoggingTest, DebugLevelEmitsEverything)
     debug("d");
     inform("i");
     warn("w");
-    EXPECT_EQ(capture.text(), "debug: d\ninfo: i\nwarn: w\n");
+    EXPECT_EQ(withoutStamps(capture.text()),
+              "debug: d\ninfo: i\nwarn: w\n");
 }
 
 TEST_F(LoggingTest, SilentSuppressesAll)
@@ -62,6 +80,48 @@ TEST_F(LoggingTest, SilentSuppressesAll)
     warn("nothing to see");
     EXPECT_TRUE(capture.text().empty());
     EXPECT_EQ(logLevel(), LogLevel::Silent);
+}
+
+TEST_F(LoggingTest, ParseLogLevelNames)
+{
+    using detail::parseLogLevel;
+    EXPECT_EQ(parseLogLevel("debug", LogLevel::Warn), LogLevel::Debug);
+    EXPECT_EQ(parseLogLevel("INFO", LogLevel::Warn), LogLevel::Info);
+    EXPECT_EQ(parseLogLevel("Warn", LogLevel::Silent), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel("silent", LogLevel::Warn), LogLevel::Silent);
+    // Unknown and missing names fall back (RPX_LOG_LEVEL typos are safe).
+    EXPECT_EQ(parseLogLevel("verbose", LogLevel::Warn), LogLevel::Warn);
+    EXPECT_EQ(parseLogLevel(nullptr, LogLevel::Info), LogLevel::Info);
+}
+
+TEST_F(LoggingTest, ConcurrentWarnsDoNotInterleaveWithinLines)
+{
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 50;
+    CerrCapture capture;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([i] {
+            for (int k = 0; k < kPerThread; ++k)
+                warn("thread ", i, " message ", k, " end");
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    // Every line is complete: stamped, tagged, and terminated. A torn
+    // write would produce a line that fails the pattern.
+    std::istringstream lines(capture.text());
+    std::string line;
+    int count = 0;
+    const std::regex line_re(
+        R"(\[\d{2}:\d{2}:\d{2}\.\d{3}\] warn: thread \d+ message \d+ end)");
+    while (std::getline(lines, line)) {
+        EXPECT_TRUE(std::regex_match(line, line_re)) << line;
+        ++count;
+    }
+    EXPECT_EQ(count, kThreads * kPerThread);
 }
 
 TEST(ErrorHelpers, ThrowInvalidFormatsMessage)

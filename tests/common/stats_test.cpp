@@ -70,6 +70,70 @@ TEST(RunningStats, MergeWithEmpty)
     EXPECT_DOUBLE_EQ(c.mean(), mean_before);
 }
 
+TEST(RunningStats, MergingEmptyDoesNotPoisonMinMax)
+{
+    // An empty accumulator carries +/-infinity sentinels internally;
+    // merging it in must not leak them into min()/max().
+    RunningStats a, empty;
+    a.add(-2.0);
+    a.add(7.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.min(), -2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 7.0);
+    EXPECT_TRUE(std::isfinite(a.min()));
+    EXPECT_TRUE(std::isfinite(a.max()));
+}
+
+TEST(RunningStats, MergeIntoEmptyCopiesExactly)
+{
+    RunningStats src;
+    for (double v : {4.0, -1.0, 2.5, 4.0, 0.5})
+        src.add(v);
+
+    RunningStats dst;
+    dst.merge(src);
+    EXPECT_EQ(dst.count(), src.count());
+    EXPECT_DOUBLE_EQ(dst.mean(), src.mean());
+    EXPECT_DOUBLE_EQ(dst.variance(), src.variance());
+    EXPECT_DOUBLE_EQ(dst.stddev(), src.stddev());
+    EXPECT_DOUBLE_EQ(dst.sum(), src.sum());
+    EXPECT_DOUBLE_EQ(dst.min(), src.min());
+    EXPECT_DOUBLE_EQ(dst.max(), src.max());
+
+    // The copy must behave like the original under further adds.
+    dst.add(10.0);
+    src.add(10.0);
+    EXPECT_DOUBLE_EQ(dst.mean(), src.mean());
+    EXPECT_DOUBLE_EQ(dst.stddev(), src.stddev());
+    EXPECT_DOUBLE_EQ(dst.max(), 10.0);
+}
+
+TEST(RunningStats, MergeEmptyIntoEmptyStaysEmpty)
+{
+    RunningStats a, b;
+    a.merge(b);
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+    EXPECT_DOUBLE_EQ(a.stddev(), 0.0);
+}
+
+TEST(RunningStats, ResetAfterMergeClearsSentinels)
+{
+    RunningStats a;
+    a.add(5.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.min(), 0.0);
+    EXPECT_DOUBLE_EQ(a.max(), 0.0);
+    // After reset the accumulator accepts new data cleanly.
+    a.add(-3.0);
+    EXPECT_DOUBLE_EQ(a.min(), -3.0);
+    EXPECT_DOUBLE_EQ(a.max(), -3.0);
+}
+
 TEST(Percentile, Median)
 {
     EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4, 5}, 50.0), 3.0);
