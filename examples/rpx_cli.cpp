@@ -8,7 +8,8 @@
  *
  * Usage:
  *   rpx_cli run   --task slam|face|pose --scheme FCH|FCL|RP|MULTIROI
- *                 [--cycle N] [--frames N] [--region-trace-out FILE]
+ *                 [--cycle N] [--frames N] [--encoder-threads N]
+ *                 [--region-trace-out FILE]
  *                 [--trace-out FILE] [--metrics-out FILE]
  *                 [--log-level debug|info|warn|silent]
  *   rpx_cli replay --trace FILE --scheme FCH|FCL|RP|H264|MULTIROI
@@ -44,7 +45,8 @@ usage()
         << "usage:\n"
         << "  rpx_cli run    --task slam|face|pose --scheme "
            "FCH|FCL|RP|MULTIROI [--cycle N]\n"
-        << "                 [--frames N] [--region-trace-out FILE]\n"
+        << "                 [--frames N] [--encoder-threads N]\n"
+        << "                 [--region-trace-out FILE]\n"
         << "                 [--trace-out FILE] [--metrics-out FILE]\n"
         << "                 [--log-level debug|info|warn|silent]\n"
         << "  rpx_cli replay --trace FILE --scheme "
@@ -127,6 +129,10 @@ runCommand(const std::map<std::string, std::string> &flags)
         flags.count("scheme") ? flags.at("scheme") : "RP");
     wc.cycle_length =
         flags.count("cycle") ? std::stoi(flags.at("cycle")) : 10;
+    // 1 = serial encode (default); 0 = one worker per hardware thread.
+    wc.encoder_threads = flags.count("encoder-threads")
+                             ? std::stoi(flags.at("encoder-threads"))
+                             : 1;
     wc.obs = &obs_ctx;
     const int frames =
         flags.count("frames") ? std::stoi(flags.at("frames")) : 60;

@@ -1,0 +1,67 @@
+#include "common/thread_pool.hpp"
+
+#include "common/error.hpp"
+
+namespace rpx {
+
+ThreadPool::ThreadPool(int threads)
+{
+    if (threads < 1)
+        throwInvalid("ThreadPool needs at least one thread, got ", threads);
+    workers_.reserve(static_cast<size_t>(threads));
+    for (int i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> job)
+{
+    std::packaged_task<void()> task(std::move(job));
+    std::future<void> future = task.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_)
+            throwRuntime("submit on a stopping ThreadPool");
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+    return future;
+}
+
+int
+ThreadPool::hardwareThreads()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::packaged_task<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task(); // exceptions land in the task's future
+    }
+}
+
+} // namespace rpx

@@ -1,6 +1,7 @@
 #include "core/decoder.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/error.hpp"
 
@@ -26,11 +27,16 @@ void
 RhythmicDecoder::refreshScratchpad()
 {
     // The scratchpad mirrors the metadata of the four most recent encoded
-    // frames (§4.2.1). Rebuild the caches when the frame set changed.
+    // frames (§4.2.1). Rebuild the caches when the frame set changed. The
+    // key pairs the slot pointer with the frame's capture index: the frame
+    // store's deque can reuse element storage as slots cycle, so a new
+    // frame may alias an evicted one's address, and the pointer alone
+    // would read as "unchanged".
     bool stale = scratch_keys_.size() != store_.size();
     if (!stale) {
         for (size_t k = 0; k < scratch_keys_.size(); ++k) {
-            if (scratch_keys_[k] != store_.recent(k)) {
+            const EncodedFrame *f = store_.recent(k);
+            if (scratch_keys_[k] != ScratchKey{f, f->index}) {
                 stale = true;
                 break;
             }
@@ -44,7 +50,7 @@ RhythmicDecoder::refreshScratchpad()
     for (size_t k = 0; k < store_.size(); ++k) {
         const EncodedFrame *f = store_.recent(k);
         const StoredFrameAddrs *addrs = store_.recentAddrs(k);
-        scratch_keys_.push_back(f);
+        scratch_keys_.push_back(ScratchKey{f, f->index});
 
         // Load the frame's metadata from DRAM — the decoder consumes
         // memory content, not simulator-side state. The mask bytes
@@ -278,17 +284,57 @@ RhythmicDecoder::requestBytes(u64 addr, size_t len)
 {
     const u64 base = config_.decoded_base;
     const u64 end = base + decodedSize();
-    if (addr >= base && addr + len <= end) {
-        const u64 offset = addr - base;
-        const i32 w = store_.frameWidth();
-        return requestPixels(static_cast<i32>(offset % w),
-                             static_cast<i32>(offset / w),
-                             static_cast<i32>(len));
+
+    // Out-of-Frame Handler (§4.2.1): the transaction may lie entirely
+    // outside the decoded-frame aperture, entirely inside it, or straddle
+    // either edge. A straddling request must be split — the in-aperture
+    // bytes are pixel-translated, the rest bypasses to standard DRAM —
+    // otherwise the caller would receive raw encoded-frame DRAM content
+    // for the in-frame portion.
+    if (len == 0 || addr >= end || addr + len <= base) {
+        ++stats_.bypassed;
+        return store_.dram().read(addr, len);
     }
-    // Out-of-Frame Handler: not a pixel transaction — bypass to standard
-    // DRAM access (§4.2.1).
-    ++stats_.bypassed;
-    return store_.dram().read(addr, len);
+
+    const u64 pix_begin = std::max(addr, base);
+    const u64 pix_end = std::min(addr + len, end);
+
+    std::vector<u8> result;
+    result.reserve(len);
+
+    if (addr < pix_begin) {
+        // Prefix before the aperture: plain DRAM.
+        ++stats_.bypassed;
+        const std::vector<u8> head =
+            store_.dram().read(addr, static_cast<size_t>(pix_begin - addr));
+        result.insert(result.end(), head.begin(), head.end());
+    }
+
+    // In-aperture portion, chunked so each requestPixels count fits i32
+    // (decodedSize() can exceed INT32_MAX at extreme geometries; the old
+    // static_cast<i32>(len) silently truncated).
+    constexpr u64 kMaxChunk =
+        static_cast<u64>(std::numeric_limits<i32>::max());
+    const i32 w = store_.frameWidth();
+    for (u64 pos = pix_begin; pos < pix_end;) {
+        const u64 chunk = std::min(pix_end - pos, kMaxChunk);
+        const u64 offset = pos - base;
+        const std::vector<u8> pixels =
+            requestPixels(static_cast<i32>(offset % w),
+                          static_cast<i32>(offset / w),
+                          static_cast<i32>(chunk));
+        result.insert(result.end(), pixels.begin(), pixels.end());
+        pos += chunk;
+    }
+
+    if (pix_end < addr + len) {
+        // Suffix past the aperture: plain DRAM.
+        ++stats_.bypassed;
+        const std::vector<u8> tail = store_.dram().read(
+            pix_end, static_cast<size_t>(addr + len - pix_end));
+        result.insert(result.end(), tail.begin(), tail.end());
+    }
+    return result;
 }
 
 double

@@ -130,6 +130,18 @@ class RhythmicDecoder
     Config config_;
     DecoderStats stats_;
     /**
+     * Identity of one mirrored frame: slot pointer *and* capture index.
+     * The pointer alone is not a safe staleness key — the FrameStore's
+     * deque can hand a new frame the storage of an evicted one.
+     */
+    struct ScratchKey {
+        const EncodedFrame *frame = nullptr;
+        FrameIndex index = 0;
+
+        bool operator==(const ScratchKey &) const = default;
+    };
+
+    /**
      * Metadata scratchpad: per recent frame, the EncMask/RowOffsets
      * reconstructed from DRAM bytes (pixel payloads stay in DRAM) plus a
      * prefix cache for fast in-row queries. scratch_keys_ tracks which
@@ -137,7 +149,7 @@ class RhythmicDecoder
      */
     std::vector<std::unique_ptr<MaskPrefixCache>> scratch_;
     std::vector<std::unique_ptr<EncodedFrame>> scratch_meta_;
-    std::vector<const EncodedFrame *> scratch_keys_;
+    std::vector<ScratchKey> scratch_keys_;
 
     void refreshScratchpad();
 

@@ -93,6 +93,15 @@ class EncMask
     /** Raw packed bytes (2 bits per pixel, row-major, LSB-first). */
     const std::vector<u8> &bytes() const { return bits_; }
 
+    /**
+     * Copy every row of `src` (same width) into this mask starting at row
+     * `y0` — the ParallelEncoder's shard-stitching primitive. Requires the
+     * destination bit offset of row y0 to be byte-aligned (true whenever
+     * y0 is a multiple of 4, since 4 rows occupy exactly w bytes) so the
+     * copy is a straight byte move instead of a bit shuffle.
+     */
+    void blitRows(const EncMask &src, i32 y0);
+
     bool operator==(const EncMask &) const = default;
 
   private:

@@ -59,8 +59,24 @@ RhythmicEncoder::classify(const std::vector<RegionLabel> &regions, i32 x,
 }
 
 void
+EncoderStats::accumulate(const EncoderStats &other)
+{
+    frames += other.frames;
+    pixels_in += other.pixels_in;
+    pixels_encoded += other.pixels_encoded;
+    region_comparisons += other.region_comparisons;
+    selector_examined += other.selector_examined;
+    rows_with_regions += other.rows_with_regions;
+    rows_skipped += other.rows_skipped;
+    run_reuses += other.run_reuses;
+    compare_cycles += other.compare_cycles;
+    stream_cycles += other.stream_cycles;
+}
+
+void
 RhythmicEncoder::buildShortlist(i32 row, FrameIndex t,
-                                std::vector<ShortlistEntry> &out)
+                                std::vector<ShortlistEntry> &out,
+                                EncoderStats *stats) const
 {
     out.clear();
     // The list is y-sorted, so the selector stops at the first region that
@@ -69,20 +85,8 @@ RhythmicEncoder::buildShortlist(i32 row, FrameIndex t,
     for (const auto &r : regions_) {
         if (r.y > row)
             break;
-        ++stats_.selector_examined;
-        if (r.rect().containsRow(row))
-            out.push_back({&r, r.activeAt(t), r.rowOnStride(row)});
-    }
-}
-
-void
-RhythmicEncoder::buildShortlistConst(i32 row, FrameIndex t,
-                                     std::vector<ShortlistEntry> &out) const
-{
-    out.clear();
-    for (const auto &r : regions_) {
-        if (r.y > row)
-            break;
+        if (stats)
+            ++stats->selector_examined;
         if (r.rect().containsRow(row))
             out.push_back({&r, r.activeAt(t), r.rowOnStride(row)});
     }
@@ -97,7 +101,7 @@ RhythmicEncoder::summarizeFrame(FrameIndex t) const
     std::vector<i32> edges;
 
     for (i32 y = 0; y < frame_h_; ++y) {
-        buildShortlistConst(y, t, shortlist);
+        buildShortlist(y, t, shortlist, nullptr);
         if (shortlist.empty()) {
             sum.n += static_cast<u64>(w);
             continue;
@@ -180,25 +184,47 @@ RhythmicEncoder::summarizeFrame(FrameIndex t) const
 }
 
 void
-RhythmicEncoder::encodeRow(const Image &gray, i32 y, FrameIndex t,
-                           const std::vector<ShortlistEntry> &shortlist,
-                           EncodedFrame &out, u32 &row_count)
+RhythmicEncoder::chargeRowCycles(u64 row_comparisons,
+                                 EncoderStats &stats) const
 {
-    (void)t;
+    // Cycle model: the row needs w / ppc cycles to stream through; the
+    // comparison engine needs comparisons / lanes cycles. Whichever is
+    // larger limits the row. Every row streams, even region-free ones, so
+    // both accumulators advance for every row of the frame.
+    const Cycles stream_cycles = static_cast<Cycles>(
+        static_cast<double>(frame_w_) / config_.pixels_per_clock + 0.999);
+    const Cycles engine_cycles =
+        (row_comparisons + config_.engine_lanes - 1) /
+        static_cast<u64>(config_.engine_lanes);
+    stats.stream_cycles += stream_cycles;
+    stats.compare_cycles += std::max(stream_cycles, engine_cycles);
+}
+
+void
+RhythmicEncoder::encodeRow(const Image &gray, i32 y,
+                           const std::vector<ShortlistEntry> &shortlist,
+                           EncMask &mask, i32 mask_y, std::vector<u8> &pixels,
+                           u32 &row_count, EncoderStats &stats) const
+{
     row_count = 0;
     const i32 w = frame_w_;
     const u8 *row = gray.row(y);
 
     if (shortlist.empty()) {
-        ++stats_.rows_skipped;
+        ++stats.rows_skipped;
+        u64 row_comparisons = 0;
         if (config_.mode == ComparisonMode::Naive) {
-            stats_.region_comparisons +=
+            // The naive engine still checks every region for every pixel
+            // of a region-free row; that work occupies engine cycles too.
+            row_comparisons =
                 static_cast<u64>(regions_.size()) * static_cast<u64>(w);
         }
+        stats.region_comparisons += row_comparisons;
+        chargeRowCycles(row_comparisons, stats);
         // Mask rows default to N; nothing to emit.
         return;
     }
-    ++stats_.rows_with_regions;
+    ++stats.rows_with_regions;
 
     // Boundary sweep: split the row into spans with a constant covering set
     // of shortlisted regions. Within a span only x-stride checks vary, which
@@ -260,7 +286,7 @@ RhythmicEncoder::encodeRow(const Image &gray, i32 y, FrameIndex t,
           case ComparisonMode::Hybrid:
             row_comparisons += shortlist.size();
             if (span > 1)
-                stats_.run_reuses += static_cast<u64>(span - 1);
+                stats.run_reuses += static_cast<u64>(span - 1);
             break;
         }
 
@@ -273,8 +299,8 @@ RhythmicEncoder::encodeRow(const Image &gray, i32 y, FrameIndex t,
         if (all_grid_stride1) {
             // Fast path: the entire span is R.
             for (i32 x = a; x < b; ++x) {
-                out.mask.set(x, y, PixelCode::R);
-                out.pixels.push_back(row[x]);
+                mask.set(x, mask_y, PixelCode::R);
+                pixels.push_back(row[x]);
                 ++row_count;
             }
             continue;
@@ -291,25 +317,56 @@ RhythmicEncoder::encodeRow(const Image &gray, i32 y, FrameIndex t,
                 }
             }
             if (code != PixelCode::N)
-                out.mask.set(x, y, code);
+                mask.set(x, mask_y, code);
             if (code == PixelCode::R) {
-                out.pixels.push_back(row[x]);
+                pixels.push_back(row[x]);
                 ++row_count;
             }
         }
     }
 
-    stats_.region_comparisons += row_comparisons;
+    stats.region_comparisons += row_comparisons;
+    chargeRowCycles(row_comparisons, stats);
+}
 
-    // Cycle model: the row needs w / ppc cycles to stream through; the
-    // comparison engine needs comparisons / lanes cycles. Whichever is
-    // larger limits the row.
-    const Cycles stream_cycles = static_cast<Cycles>(
-        static_cast<double>(w) / config_.pixels_per_clock + 0.999);
-    const Cycles engine_cycles =
-        (row_comparisons + config_.engine_lanes - 1) /
-        static_cast<u64>(config_.engine_lanes);
-    stats_.compare_cycles += std::max(stream_cycles, engine_cycles);
+void
+RhythmicEncoder::encodeBand(const Image &gray, FrameIndex t, i32 y0, i32 y1,
+                            BandShard &out) const
+{
+    RPX_ASSERT(y0 >= 0 && y0 < y1 && y1 <= frame_h_,
+               "encodeBand row range out of frame");
+    out.y0 = y0;
+    out.y1 = y1;
+    out.mask = EncMask(frame_w_, y1 - y0);
+    out.pixels.clear();
+    out.row_counts.assign(static_cast<size_t>(y1 - y0), 0);
+    out.work.reset();
+
+    std::vector<ShortlistEntry> shortlist;
+    for (i32 y = y0; y < y1; ++y) {
+        buildShortlist(y, t, shortlist, &out.work);
+        u32 row_count = 0;
+        encodeRow(gray, y, shortlist, out.mask, y - y0, out.pixels,
+                  row_count, out.work);
+        out.row_counts[static_cast<size_t>(y - y0)] = row_count;
+    }
+}
+
+void
+RhythmicEncoder::commitFrameStats(const EncodedFrame &out, u64 pixels_in,
+                                  const EncoderStats &work)
+{
+    stats_.accumulate(work);
+    ++stats_.frames;
+    stats_.pixels_in += pixels_in;
+    stats_.pixels_encoded += out.pixels.size();
+    if (obs_frames_) {
+        obs_frames_->inc();
+        obs_pixels_in_->add(pixels_in);
+        obs_pixels_kept_->add(out.pixels.size());
+        obs_comparisons_->add(work.region_comparisons);
+        obs_compare_cycles_->add(work.compare_cycles);
+    }
 }
 
 EncodedFrame
@@ -322,36 +379,24 @@ RhythmicEncoder::encodeFrame(const Image &gray, FrameIndex t)
                      gray.height(), ", configured ", frame_w_, "x",
                      frame_h_);
 
+    // The serial path is a single whole-frame band: the exact code the
+    // ParallelEncoder fans out per band, which is what makes serial and
+    // parallel output byte-identical by construction.
+    BandShard shard;
+    shard.pixels.reserve(static_cast<size_t>(frame_w_) * 4);
+    encodeBand(gray, t, 0, frame_h_, shard);
+
     EncodedFrame out;
     out.index = t;
     out.width = frame_w_;
     out.height = frame_h_;
-    out.mask = EncMask(frame_w_, frame_h_);
+    out.mask = std::move(shard.mask);
+    out.pixels = std::move(shard.pixels);
     out.offsets = RowOffsets(frame_h_);
-    out.pixels.reserve(static_cast<size_t>(frame_w_) * 4);
+    for (i32 y = 0; y < frame_h_; ++y)
+        out.offsets.setRowCount(y, shard.row_counts[static_cast<size_t>(y)]);
 
-    const u64 comparisons_before = stats_.region_comparisons;
-    const Cycles cycles_before = stats_.compare_cycles;
-
-    std::vector<ShortlistEntry> shortlist;
-    for (i32 y = 0; y < frame_h_; ++y) {
-        buildShortlist(y, t, shortlist);
-        u32 row_count = 0;
-        encodeRow(gray, y, t, shortlist, out, row_count);
-        out.offsets.setRowCount(y, row_count);
-    }
-
-    ++stats_.frames;
-    stats_.pixels_in += static_cast<u64>(gray.pixelCount());
-    stats_.pixels_encoded += out.pixels.size();
-    if (obs_frames_) {
-        obs_frames_->inc();
-        obs_pixels_in_->add(static_cast<u64>(gray.pixelCount()));
-        obs_pixels_kept_->add(out.pixels.size());
-        obs_comparisons_->add(stats_.region_comparisons -
-                              comparisons_before);
-        obs_compare_cycles_->add(stats_.compare_cycles - cycles_before);
-    }
+    commitFrameStats(out, static_cast<u64>(gray.pixelCount()), shard.work);
     return out;
 }
 
@@ -374,10 +419,11 @@ RhythmicEncoder::attachObs(obs::ObsContext *ctx)
 bool
 RhythmicEncoder::withinCycleBudget() const
 {
-    const Cycles budget = static_cast<Cycles>(
-        static_cast<double>(stats_.pixels_in) / config_.pixels_per_clock +
-        0.999);
-    return stats_.compare_cycles <= budget;
+    // Every row now charges at least its stream time to compare_cycles
+    // (see chargeRowCycles), so the budget is the accumulated stream time
+    // of the same rows — not a pixels_in estimate, which over-granted
+    // headroom on sparse frames whose skipped rows charged nothing.
+    return stats_.compare_cycles <= stats_.stream_cycles;
 }
 
 } // namespace rpx

@@ -55,9 +55,27 @@ struct EncoderStats {
     u64 rows_with_regions = 0;   //!< rows whose shortlist was non-empty
     u64 rows_skipped = 0;        //!< rows skipped entirely (empty shortlist)
     u64 run_reuses = 0;          //!< pixels classified via run-length reuse
-    Cycles compare_cycles = 0;   //!< modelled comparison-engine cycles
+    /**
+     * Modelled encoder cycles: per row, the larger of the stream time
+     * (w / ppc) and the comparison-engine time. Every row is charged,
+     * including rows with an empty shortlist — they still stream through
+     * the sequencer at line rate.
+     */
+    Cycles compare_cycles = 0;
+    /**
+     * The pixel-clock budget: sum of per-row stream times (w / ppc,
+     * rounded up per row) over the same rows compare_cycles covers.
+     * compare_cycles == stream_cycles iff no row was engine-bound.
+     */
+    Cycles stream_cycles = 0;
 
     void reset() { *this = EncoderStats{}; }
+
+    /**
+     * Fold another stats block into this one (all counters are additive).
+     * Used to merge per-band shard stats into frame totals.
+     */
+    void accumulate(const EncoderStats &other);
 };
 
 /**
@@ -123,6 +141,39 @@ class RhythmicEncoder
     FrameSummary summarizeFrame(FrameIndex t) const;
 
     /**
+     * One horizontally-stitchable slice of an encoded frame: the rows
+     * [y0, y1) encoded exactly as encodeFrame() would, with the mask and
+     * row counts rebased to the band (mask row 0 == frame row y0) and all
+     * work counters accumulated into a band-local stats block.
+     */
+    struct BandShard {
+        i32 y0 = 0;                  //!< first frame row of the band
+        i32 y1 = 0;                  //!< one past the last frame row
+        EncMask mask;                //!< (frame_w, y1 - y0) band mask
+        std::vector<u8> pixels;      //!< packed band payload, raster order
+        std::vector<u32> row_counts; //!< encoded pixels per band row
+        EncoderStats work;           //!< band-local work counters
+    };
+
+    /**
+     * Encode rows [y0, y1) of `gray` into `out`. Thread-safe: const, and
+     * all mutable state lives in the shard, so disjoint bands of the same
+     * frame can be encoded concurrently (the ParallelEncoder's fan-out).
+     * encodeFrame() is itself one whole-frame band plus commitFrameStats().
+     */
+    void encodeBand(const Image &gray, FrameIndex t, i32 y0, i32 y1,
+                    BandShard &out) const;
+
+    /**
+     * Fold one frame's worth of band work counters plus the assembled
+     * output into stats_ and the attached obs counters. ParallelEncoder
+     * calls this once per frame after stitching its shards, which keeps
+     * serial and parallel stats bit-identical.
+     */
+    void commitFrameStats(const EncodedFrame &out, u64 pixels_in,
+                          const EncoderStats &work);
+
+    /**
      * Classify a single pixel against a label list — the reference
      * semantics every comparison mode must reproduce.
      *
@@ -143,7 +194,11 @@ class RhythmicEncoder
      */
     void attachObs(obs::ObsContext *ctx);
 
-    /** True when the modelled comparison work fit the pixel-clock budget. */
+    /**
+     * True when the modelled comparison work fit the pixel-clock budget:
+     * no processed row took longer than its stream time, i.e.
+     * compare_cycles == stream_cycles.
+     */
     bool withinCycleBudget() const;
 
   private:
@@ -154,13 +209,24 @@ class RhythmicEncoder
         bool row_on_stride; //!< row matches the vertical stride
     };
 
+    /**
+     * RoI-selector pass for one row. When `stats` is non-null, regions the
+     * selector examined are counted there (the analytic summarizeFrame()
+     * passes null: it models output, not work).
+     */
     void buildShortlist(i32 row, FrameIndex t,
-                        std::vector<ShortlistEntry> &out);
-    void buildShortlistConst(i32 row, FrameIndex t,
-                             std::vector<ShortlistEntry> &out) const;
-    void encodeRow(const Image &gray, i32 y, FrameIndex t,
+                        std::vector<ShortlistEntry> &out,
+                        EncoderStats *stats) const;
+    /**
+     * Encode one row into a band-local mask/payload. `mask_y` is the row's
+     * position inside `mask` (bands rebase their rows to 0).
+     */
+    void encodeRow(const Image &gray, i32 y,
                    const std::vector<ShortlistEntry> &shortlist,
-                   EncodedFrame &out, u32 &row_count);
+                   EncMask &mask, i32 mask_y, std::vector<u8> &pixels,
+                   u32 &row_count, EncoderStats &stats) const;
+    /** Per-row cycle model: stream time vs comparison-engine time. */
+    void chargeRowCycles(u64 row_comparisons, EncoderStats &stats) const;
 
     i32 frame_w_;
     i32 frame_h_;

@@ -14,6 +14,7 @@
 #include "core/decoder.hpp"
 #include "core/encoder.hpp"
 #include "core/frame_store.hpp"
+#include "core/parallel_encoder.hpp"
 #include "core/sw_decoder.hpp"
 #include "isp/isp_pipeline.hpp"
 #include "memory/dram.hpp"
@@ -41,6 +42,12 @@ struct PipelineConfig {
     int history = 4;
     u32 max_regions = 1600;
     ComparisonMode comparison_mode = ComparisonMode::Hybrid;
+    /**
+     * Encoder worker threads: 1 (default) is the serial path, 0 resolves
+     * to one per hardware thread, N > 1 encodes row bands concurrently.
+     * Output is byte-identical across all settings.
+     */
+    int encoder_threads = 1;
     /**
      * Optional observability context (not owned; must outlive the
      * pipeline). When set, every component registers its counters there,
@@ -75,7 +82,10 @@ class VisionPipeline
     /** Push one scene frame (RGB for the sensor path, else grayscale). */
     PipelineFrameResult processFrame(const Image &scene);
 
-    const RhythmicEncoder &encoder() const { return *encoder_; }
+    /** Serial-encoder view: region list, merged stats, cycle budget. */
+    const RhythmicEncoder &encoder() const { return encoder_->serial(); }
+    /** The (possibly multi-threaded) encoder frames go through. */
+    const ParallelEncoder &parallelEncoder() const { return *encoder_; }
     RhythmicDecoder &decoder() { return *decoder_; }
     const FrameStore &frameStore() const { return *store_; }
     const DramModel &dram() const { return *dram_; }
@@ -95,7 +105,7 @@ class VisionPipeline
     RegisterFile registers_;
     std::unique_ptr<RegionDriver> driver_;
     std::unique_ptr<RegionRuntime> runtime_;
-    std::unique_ptr<RhythmicEncoder> encoder_;
+    std::unique_ptr<ParallelEncoder> encoder_;
     std::unique_ptr<FrameStore> store_;
     std::unique_ptr<RhythmicDecoder> decoder_;
     SoftwareDecoder sw_decoder_;

@@ -50,6 +50,10 @@ pipelineReport(VisionPipeline &pipeline, const EnergyModel &energy)
     line(os, "encoder.rows_skipped",
          static_cast<double>(enc.rows_skipped));
     line(os, "encoder.run_reuses", static_cast<double>(enc.run_reuses));
+    line(os, "encoder.compare_cycles",
+         static_cast<double>(enc.compare_cycles), "modelled");
+    line(os, "encoder.stream_cycles",
+         static_cast<double>(enc.stream_cycles), "budget");
     line(os, "encoder.meets_2ppc",
          pipeline.encoder().withinCycleBudget() ? 1.0 : 0.0, "bool");
 

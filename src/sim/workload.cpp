@@ -124,6 +124,7 @@ runSlamWorkload(const SlamSequenceConfig &sequence_cfg,
     PipelineConfig pc;
     pc.width = w;
     pc.height = h;
+    pc.encoder_threads = config.encoder_threads;
     pc.obs = config.obs;
     VisionPipeline pipeline(pc);
 
@@ -216,6 +217,7 @@ runFaceWorkload(const FaceSequenceConfig &sequence_cfg,
     PipelineConfig pc;
     pc.width = w;
     pc.height = h;
+    pc.encoder_threads = config.encoder_threads;
     pc.obs = config.obs;
     VisionPipeline pipeline(pc);
 
@@ -263,6 +265,7 @@ runPoseWorkload(const PoseSequenceConfig &sequence_cfg,
     PipelineConfig pc;
     pc.width = w;
     pc.height = h;
+    pc.encoder_threads = config.encoder_threads;
     pc.obs = config.obs;
     VisionPipeline pipeline(pc);
 

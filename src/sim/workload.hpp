@@ -44,6 +44,11 @@ struct WorkloadConfig {
     bool refresh_map = true;
     int map_refresh_interval = 15;
     /**
+     * Encoder worker threads for the run's pipeline (see
+     * PipelineConfig::encoder_threads); 1 = serial, 0 = hardware threads.
+     */
+    int encoder_threads = 1;
+    /**
      * Optional observability context handed to the run's VisionPipeline
      * (see PipelineConfig::obs). Not owned; null disables instrumentation.
      */

@@ -1,0 +1,84 @@
+/** @file Unit tests for the persistent worker pool. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+
+namespace rpx {
+namespace {
+
+TEST(ThreadPool, RunsEveryJob)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4);
+    std::atomic<int> ran{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 1000; ++i)
+        futures.push_back(pool.submit([&ran] { ++ran; }));
+    for (auto &f : futures)
+        f.get();
+    EXPECT_EQ(ran.load(), 1000);
+}
+
+TEST(ThreadPool, FuturePropagatesJobException)
+{
+    ThreadPool pool(2);
+    auto f = pool.submit([] { throw std::runtime_error("worker boom"); });
+    EXPECT_THROW(f.get(), std::runtime_error);
+    // The pool survives a throwing job and keeps serving.
+    auto ok = pool.submit([] {});
+    EXPECT_NO_THROW(ok.get());
+}
+
+TEST(ThreadPool, JobsRunConcurrently)
+{
+    // Two jobs that each wait for the other to start can only both finish
+    // if two workers run them at the same time.
+    ThreadPool pool(2);
+    std::atomic<int> started{0};
+    auto rendezvous = [&started] {
+        ++started;
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(10);
+        while (started.load() < 2 &&
+               std::chrono::steady_clock::now() < deadline)
+            std::this_thread::yield();
+    };
+    auto a = pool.submit(rendezvous);
+    auto b = pool.submit(rendezvous);
+    a.get();
+    b.get();
+    EXPECT_EQ(started.load(), 2);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingJobs)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&ran] { ++ran; });
+        // Destructor joins after finishing the queue.
+    }
+    EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ThreadPool, RejectsInvalidThreadCount)
+{
+    EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+    EXPECT_THROW(ThreadPool(-3), std::invalid_argument);
+}
+
+TEST(ThreadPool, HardwareThreadsIsPositive)
+{
+    EXPECT_GE(ThreadPool::hardwareThreads(), 1);
+}
+
+} // namespace
+} // namespace rpx

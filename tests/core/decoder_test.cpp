@@ -188,6 +188,97 @@ TEST(Decoder, OutOfFrameHandlerBypasses)
     EXPECT_EQ(rig.decoder.stats().bypassed, 1u);
 }
 
+TEST(Decoder, ByteRequestStraddlingApertureEndSplits)
+{
+    // Regression: a transaction that *starts* inside the decoded-frame
+    // aperture but runs past its end was routed entirely to bypass,
+    // returning raw DRAM content for the in-frame bytes. The handler must
+    // split it: pixel-translate the in-aperture part, bypass the rest.
+    const i32 w = 8, h = 8;
+    DramModel dram(1 << 23);
+    RhythmicEncoder encoder(w, h);
+    FrameStore store(dram, w, h);
+    RhythmicDecoder::Config dc;
+    // A small aperture base keeps the bypass reads within test-sized DRAM
+    // (the default 2 GB base would balloon the backing store).
+    dc.decoded_base = 0x400000;
+    RhythmicDecoder decoder(store, dc);
+
+    const Image frame = rampFrame(w, h);
+    encoder.setRegionLabels({fullFrameRegion(w, h)});
+    store.store(encoder.encodeFrame(frame, 0));
+
+    const u64 end = dc.decoded_base + decoder.decodedSize();
+    dram.write(end, std::vector<u8>{0xAA, 0xBB, 0xCC});
+
+    // Last 4 pixels of the frame + 3 bytes past the aperture.
+    const auto bytes = decoder.requestBytes(end - 4, 7);
+    ASSERT_EQ(bytes.size(), 7u);
+    for (i32 i = 0; i < 4; ++i)
+        EXPECT_EQ(bytes[static_cast<size_t>(i)], frame.at(4 + i, 7));
+    EXPECT_EQ(bytes[4], 0xAA);
+    EXPECT_EQ(bytes[5], 0xBB);
+    EXPECT_EQ(bytes[6], 0xCC);
+    EXPECT_EQ(decoder.stats().bypassed, 1u); // the suffix read only
+}
+
+TEST(Decoder, ByteRequestStraddlingApertureStartSplits)
+{
+    const i32 w = 8, h = 8;
+    DramModel dram(1 << 23);
+    RhythmicEncoder encoder(w, h);
+    FrameStore store(dram, w, h);
+    RhythmicDecoder::Config dc;
+    dc.decoded_base = 0x400000;
+    RhythmicDecoder decoder(store, dc);
+
+    const Image frame = rampFrame(w, h);
+    encoder.setRegionLabels({fullFrameRegion(w, h)});
+    store.store(encoder.encodeFrame(frame, 0));
+
+    dram.write(dc.decoded_base - 2, std::vector<u8>{0x11, 0x22});
+
+    // Two bytes before the aperture + the first 4 pixels of row 0.
+    const auto head = decoder.requestBytes(dc.decoded_base - 2, 6);
+    ASSERT_EQ(head.size(), 6u);
+    EXPECT_EQ(head[0], 0x11);
+    EXPECT_EQ(head[1], 0x22);
+    for (i32 i = 0; i < 4; ++i)
+        EXPECT_EQ(head[static_cast<size_t>(i + 2)], frame.at(i, 0));
+    EXPECT_EQ(decoder.stats().bypassed, 1u);
+
+    // A request overlapping both edges splits into three parts.
+    const auto all =
+        decoder.requestBytes(dc.decoded_base - 1, decoder.decodedSize() + 2);
+    ASSERT_EQ(all.size(), static_cast<size_t>(w) * h + 2);
+    EXPECT_EQ(all[0], 0x22);
+    for (i32 y = 0; y < h; ++y)
+        for (i32 x = 0; x < w; ++x)
+            EXPECT_EQ(all[static_cast<size_t>(1 + y * w + x)],
+                      frame.at(x, y));
+    EXPECT_EQ(decoder.stats().bypassed, 3u); // prefix + suffix added two
+}
+
+TEST(Decoder, ScratchpadTracksNewestFrameAcrossRingWrap)
+{
+    // Regression: the scratchpad staleness check compared stored
+    // EncodedFrame pointers only. Once the history ring wraps, the store
+    // can hand a new frame the heap storage of an evicted one, leaving a
+    // matching pointer over stale mirrored metadata. The (pointer, index)
+    // key refreshes correctly, so the decoder always serves the newest
+    // frame's content.
+    DecoderRig rig(8, 8);
+    const std::vector<RegionLabel> labels = {fullFrameRegion(8, 8)};
+    for (FrameIndex t = 0; t < 12; ++t) { // 3x the 4-deep history ring
+        Image frame(8, 8);
+        frame.fill(static_cast<u8>(40 + 3 * t));
+        rig.push(frame, t, labels);
+        const auto row = rig.decoder.requestPixels(0, 0, 8);
+        for (const u8 v : row)
+            ASSERT_EQ(v, static_cast<u8>(40 + 3 * t)) << "t=" << t;
+    }
+}
+
 TEST(Decoder, LatencyIsTensOfNanoseconds)
 {
     // §6.3: the decoder adds "a few 10s of ns" per transaction.

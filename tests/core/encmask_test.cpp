@@ -128,6 +128,36 @@ TEST(EncMask, AsciiRendering)
     EXPECT_THROW(maskToAscii(mask, 0), std::invalid_argument);
 }
 
+TEST(EncMask, BlitRowsStitchesAlignedBands)
+{
+    // Odd width: individual rows are not byte-aligned, but any 4-row
+    // boundary is (4 rows x 2 bits = exactly w bytes) — the invariant the
+    // parallel encoder's band stitching rests on.
+    const i32 w = 5, h = 12;
+    EncMask whole(w, h);
+    EncMask stitched(w, h);
+    const PixelCode codes[] = {PixelCode::N, PixelCode::St, PixelCode::Sk,
+                               PixelCode::R};
+    for (i32 y0 = 0; y0 < h; y0 += 4) {
+        EncMask band(w, 4);
+        for (i32 y = 0; y < 4; ++y) {
+            for (i32 x = 0; x < w; ++x) {
+                const PixelCode c = codes[(x + 2 * (y0 + y)) % 4];
+                band.set(x, y, c);
+                whole.set(x, y0 + y, c);
+            }
+        }
+        stitched.blitRows(band, y0);
+    }
+    EXPECT_EQ(stitched, whole);
+    EXPECT_EQ(stitched.bytes(), whole.bytes());
+
+    EncMask misaligned(w, 4);
+    EXPECT_THROW(stitched.blitRows(misaligned, 2), std::runtime_error);
+    EncMask wrong_width(w + 1, 4);
+    EXPECT_THROW(stitched.blitRows(wrong_width, 4), std::invalid_argument);
+}
+
 TEST(RowOffsets, PackedBytesFourPerRow)
 {
     RowOffsets offsets(1080);

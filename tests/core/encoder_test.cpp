@@ -207,6 +207,60 @@ TEST(Encoder, HybridMeetsCycleBudgetWithManyRegions)
     EXPECT_TRUE(enc.withinCycleBudget());
 }
 
+TEST(Encoder, RegionFreeRowsStillChargeStreamCycles)
+{
+    // Regression: rows with an empty shortlist used to return before the
+    // cycle model, so sparse frames reported fewer cycles than the pixel
+    // stream actually takes. Every row streams at line rate regardless of
+    // regions.
+    RhythmicEncoder enc(64, 64); // default 2 px/clock -> 32 cycles/row
+    enc.setRegionLabels({{8, 8, 8, 8, 1, 1, 0}}); // 56 region-free rows
+    enc.encodeFrame(rampFrame(64, 64), 0);
+    const EncoderStats &st = enc.stats();
+    EXPECT_EQ(st.rows_skipped, 56u);
+    EXPECT_EQ(st.stream_cycles, 64u * 32u);
+    // Hybrid engine work never exceeds the stream time here, so the
+    // modelled cycles equal the budget exactly — not just <=.
+    EXPECT_EQ(st.compare_cycles, st.stream_cycles);
+    EXPECT_TRUE(enc.withinCycleBudget());
+}
+
+TEST(Encoder, StreamCyclesRoundUpPerRow)
+{
+    // Odd width: 63 px at 2 px/clock is 32 cycles per row, rounded up
+    // per row (not once per frame).
+    RhythmicEncoder enc(63, 10);
+    enc.setRegionLabels({});
+    enc.encodeFrame(rampFrame(63, 10), 0);
+    EXPECT_EQ(enc.stats().stream_cycles, 10u * 32u);
+    EXPECT_EQ(enc.stats().compare_cycles, enc.stats().stream_cycles);
+}
+
+TEST(Encoder, NaiveModeChargesEngineCyclesOnSkippedRows)
+{
+    // Regression: the naive engine checks every region for every pixel
+    // even on rows no region covers. With enough labels those rows are
+    // engine-bound; pre-fix their cycles were dropped entirely and the
+    // encoder claimed to meet the 2 px/clock budget.
+    RhythmicEncoder::Config cfg;
+    cfg.mode = ComparisonMode::Naive;
+    RhythmicEncoder enc(64, 64, cfg);
+    std::vector<RegionLabel> regions(64, RegionLabel{0, 0, 4, 4, 1, 1, 0});
+    enc.setRegionLabels(regions);
+    enc.encodeFrame(rampFrame(64, 64), 0);
+    const EncoderStats &st = enc.stats();
+    // Rows 4..63: 64 regions x 64 px = 4096 checks -> 256 engine cycles,
+    // eight times the 32-cycle stream slot.
+    EXPECT_EQ(st.stream_cycles, 64u * 32u);
+    EXPECT_GT(st.compare_cycles, st.stream_cycles);
+    EXPECT_FALSE(enc.withinCycleBudget());
+    // The same row budget is fine for the shortlist-based engine.
+    RhythmicEncoder hybrid(64, 64);
+    hybrid.setRegionLabels(regions);
+    hybrid.encodeFrame(rampFrame(64, 64), 0);
+    EXPECT_TRUE(hybrid.withinCycleBudget());
+}
+
 TEST(Encoder, SummarizeMatchesEncode)
 {
     const std::vector<RegionLabel> regions = {
