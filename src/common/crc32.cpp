@@ -1,0 +1,49 @@
+#include "common/crc32.hpp"
+
+#include <array>
+
+namespace rpx {
+
+namespace {
+
+std::array<u32, 256>
+makeTable()
+{
+    std::array<u32, 256> table{};
+    for (u32 i = 0; i < 256; ++i) {
+        u32 c = i;
+        for (int k = 0; k < 8; ++k)
+            c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+const std::array<u32, 256> &
+table()
+{
+    static const std::array<u32, 256> t = makeTable();
+    return t;
+}
+
+} // namespace
+
+void
+Crc32::update(const u8 *data, size_t len)
+{
+    const auto &t = table();
+    u32 c = state_;
+    for (size_t i = 0; i < len; ++i)
+        c = t[(c ^ data[i]) & 0xffu] ^ (c >> 8);
+    state_ = c;
+}
+
+u32
+crc32(const u8 *data, size_t len)
+{
+    Crc32 crc;
+    crc.update(data, len);
+    return crc.value();
+}
+
+} // namespace rpx

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+ *
+ * Used to seal the encoded-frame metadata (EncMask bytes + row-offset
+ * table) at encode/commit time so the decoder can detect corruption picked
+ * up on the link, in DRAM, or in the frame store, and quarantine the frame
+ * instead of decoding garbage. Table-driven, one shared 256-entry table.
+ */
+
+#ifndef RPX_COMMON_CRC32_HPP
+#define RPX_COMMON_CRC32_HPP
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rpx {
+
+/**
+ * Incremental CRC-32 accumulator.
+ *
+ *     Crc32 crc;
+ *     crc.update(mask_bytes.data(), mask_bytes.size());
+ *     crc.update(offset_bytes.data(), offset_bytes.size());
+ *     u32 sealed = crc.value();
+ */
+class Crc32
+{
+  public:
+    void update(const u8 *data, size_t len);
+
+    void
+    update(const std::vector<u8> &data)
+    {
+        update(data.data(), data.size());
+    }
+
+    /** Finalised checksum of everything fed so far. */
+    u32 value() const { return state_ ^ 0xffffffffu; }
+
+    void reset() { state_ = 0xffffffffu; }
+
+  private:
+    u32 state_ = 0xffffffffu;
+};
+
+/** One-shot CRC-32 of a buffer. */
+u32 crc32(const u8 *data, size_t len);
+
+inline u32
+crc32(const std::vector<u8> &data)
+{
+    return crc32(data.data(), data.size());
+}
+
+} // namespace rpx
+
+#endif // RPX_COMMON_CRC32_HPP

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 
 namespace rpx {
@@ -68,6 +69,26 @@ RhythmicDecoder::refreshScratchpad()
         const std::vector<u8> offs = store_.dram().read(
             addrs->offsets.base,
             static_cast<size_t>(f->height) * sizeof(u32));
+
+        // Integrity gate 1: when the store seals metadata, verify the
+        // CRC over the raw fetched bytes before trusting any of them.
+        bool safe = true;
+        if (store_.metadataCrcEnabled()) {
+            Crc32 crc;
+            crc.update(meta->mask.bytes());
+            crc.update(offs);
+            const std::vector<u8> cell =
+                store_.dram().read(addrs->crc.base, sizeof(u32));
+            const u32 sealed = static_cast<u32>(cell[0]) |
+                               (static_cast<u32>(cell[1]) << 8) |
+                               (static_cast<u32>(cell[2]) << 16) |
+                               (static_cast<u32>(cell[3]) << 24);
+            if (crc.value() != sealed) {
+                ++stats_.crc_failures;
+                safe = false;
+            }
+        }
+
         RowOffsets offsets(f->height);
         auto word = [&](i32 y) {
             const size_t b = static_cast<size_t>(y) * 4;
@@ -83,6 +104,25 @@ RhythmicDecoder::refreshScratchpad()
         meta->offsets = std::move(offsets);
         stats_.metadata_bytes += mask_bytes + offs.size();
 
+        // Integrity gate 2: bounds-validate the reconstructed metadata so
+        // no later translation can index outside the slot's payload range
+        // (payload size is not checked — the payload stays in DRAM).
+        if (safe && !meta->validate(nullptr, /*check_payload=*/false)) {
+            ++stats_.validation_failures;
+            safe = false;
+        }
+
+        if (!safe) {
+            // Quarantine: keep the slot's position so frame tags still
+            // line up, but never address it.
+            ++stats_.frames_quarantined;
+            if (obs_quarantined_)
+                obs_quarantined_->inc();
+            scratch_meta_.push_back(nullptr);
+            scratch_.push_back(nullptr);
+            continue;
+        }
+
         scratch_meta_.push_back(std::move(meta));
         scratch_.push_back(
             std::make_unique<MaskPrefixCache>(*scratch_meta_.back()));
@@ -94,8 +134,11 @@ RhythmicDecoder::translatePixel(i32 x, i32 y, size_t result_pos,
                                 std::vector<SubRequest> &subs,
                                 std::vector<u8> &result)
 {
-    const EncodedFrame &current = *scratch_meta_[0];
-    const PixelCode code = current.mask.at(x, y);
+    const EncodedFrame *current = scratch_meta_[0].get();
+    // A quarantined newest frame has no trustworthy mask: treat every
+    // pixel like a temporally skipped one and look to history.
+    const PixelCode code =
+        current ? current->mask.at(x, y) : PixelCode::Sk;
 
     if (code == PixelCode::N) {
         result[result_pos] = config_.black_value;
@@ -105,9 +148,11 @@ RhythmicDecoder::translatePixel(i32 x, i32 y, size_t result_pos,
 
     if (code == PixelCode::R || code == PixelCode::St) {
         // Intra-frame: resolve via the resampling rules of the FIFO
-        // sampling unit (§4.2.2).
+        // sampling unit (§4.2.2). The offset bound is a no-op for
+        // consistent frames; it only bites when an unsealed store let a
+        // mask/offset mismatch through validation.
         auto src = findPixelSource(*scratch_[0], x, y, config_.max_upscan);
-        if (src) {
+        if (src && src->offset < current->offsets.total()) {
             subs.push_back({0, src->offset, result_pos});
             ++stats_.sub_requests_intra;
             if (code == PixelCode::St)
@@ -120,12 +165,14 @@ RhythmicDecoder::translatePixel(i32 x, i32 y, size_t result_pos,
 
     // Sk (or unresolvable St): search the recently stored encoded frames.
     for (size_t k = 1; k < scratch_meta_.size(); ++k) {
+        if (!scratch_meta_[k])
+            continue; // quarantined history frame
         const EncodedFrame &past = *scratch_meta_[k];
         const PixelCode pcode = past.mask.at(x, y);
         if (pcode != PixelCode::R && pcode != PixelCode::St)
             continue;
         auto src = findPixelSource(*scratch_[k], x, y, config_.max_upscan);
-        if (src) {
+        if (src && src->offset < past.offsets.total()) {
             subs.push_back({k, src->offset, result_pos});
             ++stats_.sub_requests_inter;
             ++stats_.history_hits;
@@ -266,9 +313,11 @@ RhythmicDecoder::attachObs(obs::ObsContext *ctx)
         obs_transactions_ = obs_pixels_ = obs_dram_reads_ = nullptr;
         obs_pixel_bytes_ = obs_metadata_bytes_ = nullptr;
         obs_history_hits_ = obs_black_pixels_ = nullptr;
+        obs_quarantined_ = nullptr;
         return;
     }
     obs::PerfRegistry &r = ctx->registry();
+    obs_quarantined_ = &r.counter("decoder.frames_quarantined");
     obs_transactions_ = &r.counter("decoder.transactions");
     obs_pixels_ = &r.counter("decoder.pixels_requested");
     obs_dram_reads_ = &r.counter("decoder.dram_reads");

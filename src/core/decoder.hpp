@@ -46,6 +46,9 @@ struct DecoderStats {
     u64 history_misses = 0;      //!< Sk pixels with no stored source
     u64 bypassed = 0;            //!< non-pixel transactions passed through
     Cycles cycles = 0;           //!< modelled transaction latency
+    u64 frames_quarantined = 0;  //!< scratchpad loads rejected as unsafe
+    u64 crc_failures = 0;        //!< metadata CRC mismatches on fetch
+    u64 validation_failures = 0; //!< metadata bounds-check rejections
 
     void reset() { *this = DecoderStats{}; }
 };
@@ -145,7 +148,11 @@ class RhythmicDecoder
      * Metadata scratchpad: per recent frame, the EncMask/RowOffsets
      * reconstructed from DRAM bytes (pixel payloads stay in DRAM) plus a
      * prefix cache for fast in-row queries. scratch_keys_ tracks which
-     * stored frames the scratchpad currently mirrors.
+     * stored frames the scratchpad currently mirrors. An entry is null
+     * when the fetched metadata failed its safety checks (bounds
+     * validation, or the CRC when the store seals metadata): the frame is
+     * quarantined — never addressed — and requests against it fall back
+     * to history or black instead of chasing corrupt offsets.
      */
     std::vector<std::unique_ptr<MaskPrefixCache>> scratch_;
     std::vector<std::unique_ptr<EncodedFrame>> scratch_meta_;
@@ -164,6 +171,7 @@ class RhythmicDecoder
     obs::Counter *obs_metadata_bytes_ = nullptr;
     obs::Counter *obs_history_hits_ = nullptr;
     obs::Counter *obs_black_pixels_ = nullptr;
+    obs::Counter *obs_quarantined_ = nullptr;
     /** Stats already mirrored into the counters (delta baseline). */
     DecoderStats obs_seen_;
 };

@@ -1,6 +1,7 @@
 #include "core/frame_store.hpp"
 
 #include <string>
+#include <utility>
 
 #include "common/error.hpp"
 #include "memory/dma.hpp"
@@ -29,22 +30,27 @@ FrameStore::FrameStore(DramModel &dram, i32 frame_w, i32 frame_h,
         addrs.mask = allocator_.allocate(mask_capacity, tag + ".mask");
         addrs.offsets =
             allocator_.allocate(offsets_capacity, tag + ".offsets");
+        addrs.crc = allocator_.allocate(sizeof(u32), tag + ".crc");
         slot_addrs_.push_back(addrs);
     }
 }
 
-void
+FrameStoreReport
 FrameStore::store(EncodedFrame frame)
 {
     if (frame.width != frame_w_ || frame.height != frame_h_)
         throwInvalid("stored frame geometry mismatch");
     frame.checkConsistency();
 
+    FrameStoreReport report;
     const StoredFrameAddrs &addrs = slot_addrs_[next_slot_];
     next_slot_ = (next_slot_ + 1) % slot_addrs_.size();
 
     // Pixel payload: line-burst DMA, one flush per encoded row (§4.1.2).
-    DmaWriter dma(dram_, addrs.pixels.base);
+    // With an injector attached bursts can fail transiently; the writer
+    // retries within its budget, and a line lost past it simply leaves the
+    // slot's previous content in that range.
+    DmaWriter dma(dram_, addrs.pixels.base, 8192, injector_);
     size_t cursor = 0;
     for (i32 y = 0; y < frame.height; ++y) {
         const u32 row_start = frame.offsets.offsetOf(y);
@@ -58,26 +64,78 @@ FrameStore::store(EncodedFrame frame)
     }
     RPX_ASSERT(cursor == frame.pixels.size(),
                "DMA cursor mismatch while storing frame");
+    report.dma_retries = dma.retries();
+    report.dma_dropped_bursts = dma.droppedBursts();
+    report.dma_dropped_bytes = dma.droppedBytes();
 
-    // Metadata: packed mask bytes + row-offset table.
-    dram_.write(addrs.mask.base, frame.mask.bytes());
-    std::vector<u8> offs_bytes;
-    offs_bytes.reserve(static_cast<size_t>(frame.height) * sizeof(u32));
-    for (i32 y = 0; y < frame.height; ++y) {
-        const u32 v = frame.offsets.offsetOf(y);
-        offs_bytes.push_back(static_cast<u8>(v));
-        offs_bytes.push_back(static_cast<u8>(v >> 8));
-        offs_bytes.push_back(static_cast<u8>(v >> 16));
-        offs_bytes.push_back(static_cast<u8>(v >> 24));
+    // Metadata: packed mask bytes + row-offset table. The CRC seal is
+    // computed from the clean representation before any injected damage,
+    // so decoders can tell a corrupted table from a valid one.
+    std::vector<u8> mask_bytes = frame.mask.bytes();
+    std::vector<u8> offs_bytes = frame.packOffsets();
+    if (crc_protect_) {
+        frame.sealMetadata();
+        report.crc_sealed = true;
     }
-    dram_.write(addrs.offsets.base, offs_bytes);
 
-    bytes_written_ +=
-        frame.pixelBytes() + frame.mask.packedBytes() + offs_bytes.size();
+    if (injector_) {
+        // In-flight metadata corruption (stage FrameMeta) hits the packed
+        // bytes on their way to DRAM.
+        report.meta_bytes_corrupted =
+            injector_->corruptBuffer(fault::Stage::FrameMeta,
+                                     mask_bytes.data(), mask_bytes.size()) +
+            injector_->corruptBuffer(fault::Stage::FrameMeta,
+                                     offs_bytes.data(), offs_bytes.size());
+    }
+
+    dram_.write(addrs.mask.base, mask_bytes);
+    dram_.write(addrs.offsets.base, offs_bytes);
+    if (crc_protect_) {
+        const u32 crc = frame.metadata_crc;
+        const u8 cell[4] = {static_cast<u8>(crc),
+                            static_cast<u8>(crc >> 8),
+                            static_cast<u8>(crc >> 16),
+                            static_cast<u8>(crc >> 24)};
+        dram_.write(addrs.crc.base, cell, sizeof(cell));
+    }
+
+    bytes_written_ += frame.pixelBytes() + mask_bytes.size() +
+                      offs_bytes.size() + (crc_protect_ ? sizeof(u32) : 0);
+
+    if (report.meta_bytes_corrupted > 0) {
+        // Keep the in-model slot coherent with the damaged DRAM image:
+        // rebuild mask and offsets from the corrupted bytes with the same
+        // reconstruction the decoder's metadata scratchpad applies (row
+        // counts from adjacent start-offset diffs; last row from the
+        // mask). The CRC seal still reflects the clean metadata, so
+        // validate() on this slot now reports the mismatch.
+        frame.mask =
+            EncMask(frame.width, frame.height, std::move(mask_bytes));
+        RowOffsets offsets(frame.height);
+        auto word = [&](i32 y) {
+            const size_t b = static_cast<size_t>(y) * 4;
+            return static_cast<u32>(offs_bytes[b]) |
+                   (static_cast<u32>(offs_bytes[b + 1]) << 8) |
+                   (static_cast<u32>(offs_bytes[b + 2]) << 16) |
+                   (static_cast<u32>(offs_bytes[b + 3]) << 24);
+        };
+        for (i32 y = 0; y + 1 < frame.height; ++y)
+            offsets.setRowCount(y, word(y + 1) - word(y));
+        offsets.setRowCount(frame.height - 1,
+                            frame.mask.encodedInRow(frame.height - 1));
+        frame.offsets = std::move(offsets);
+    }
+
+    lifetime_.dma_retries += report.dma_retries;
+    lifetime_.dma_dropped_bursts += report.dma_dropped_bursts;
+    lifetime_.dma_dropped_bytes += report.dma_dropped_bytes;
+    lifetime_.meta_bytes_corrupted += report.meta_bytes_corrupted;
+    lifetime_.crc_sealed = lifetime_.crc_sealed || report.crc_sealed;
 
     slots_.push_front(Slot{std::move(frame), addrs});
     while (slots_.size() > static_cast<size_t>(history_))
         slots_.pop_back();
+    return report;
 }
 
 const EncodedFrame *

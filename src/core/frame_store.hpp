@@ -5,6 +5,16 @@
  * The encoder commits each encoded frame plus metadata to a framebuffer
  * slot; the decoder's metadata scratchpad spans the four most recent frames
  * so temporally skipped pixels can be reconstructed from history.
+ *
+ * Robustness: with CRC protection enabled the store seals each frame's
+ * metadata (mask + row-offset table) with a CRC-32 at commit time and
+ * writes the checksum next to the metadata, so decoders can detect
+ * corruption picked up anywhere between commit and fetch. With a fault
+ * injector attached, the commit path itself can be degraded: DMA payload
+ * bursts fail transiently (retried with a bounded budget) and metadata can
+ * be corrupted in flight (stage FrameMeta) — in both the DRAM image and
+ * the in-model slot, so the software and hardware decode paths observe
+ * the same damage.
  */
 
 #ifndef RPX_CORE_FRAME_STORE_HPP
@@ -14,6 +24,7 @@
 #include <optional>
 
 #include "core/encoded_frame.hpp"
+#include "fault/fault.hpp"
 #include "memory/dram.hpp"
 #include "memory/framebuffer.hpp"
 
@@ -24,6 +35,23 @@ struct StoredFrameAddrs {
     BufferRange pixels;
     BufferRange mask;
     BufferRange offsets;
+    BufferRange crc; //!< 4-byte metadata CRC cell (LE; valid when sealed)
+};
+
+/** What happened while committing one frame. */
+struct FrameStoreReport {
+    u64 dma_retries = 0;        //!< transient burst failures recovered
+    u64 dma_dropped_bursts = 0; //!< bursts lost past the retry budget
+    u64 dma_dropped_bytes = 0;  //!< payload bytes lost with them
+    u64 meta_bytes_corrupted = 0; //!< injected metadata damage (bytes)
+    bool crc_sealed = false;    //!< metadata CRC written for this frame
+
+    bool
+    clean() const
+    {
+        return dma_retries == 0 && dma_dropped_bursts == 0 &&
+               meta_bytes_corrupted == 0;
+    }
 };
 
 /**
@@ -49,9 +77,14 @@ class FrameStore
     i32 frameWidth() const { return frame_w_; }
     i32 frameHeight() const { return frame_h_; }
     DramModel &dram() { return dram_; }
+    const DramModel &dram() const { return dram_; }
 
-    /** Commit an encoded frame; evicts the oldest once history is full. */
-    void store(EncodedFrame frame);
+    /**
+     * Commit an encoded frame; evicts the oldest once history is full.
+     * Returns the commit's fault/protection report (all-zero in the
+     * default, fault-free configuration).
+     */
+    FrameStoreReport store(EncodedFrame frame);
 
     /** Number of frames currently retained. */
     size_t size() const { return slots_.size(); }
@@ -64,6 +97,26 @@ class FrameStore
 
     /** DRAM placement of the k-th most recent frame. */
     const StoredFrameAddrs *recentAddrs(size_t k = 0) const;
+
+    /**
+     * Seal each committed frame's metadata with a CRC-32 and write it to
+     * the slot's CRC cell (decoders then verify on fetch). Off by
+     * default: the unprotected path is byte-identical to the seed.
+     */
+    void enableMetadataCrc(bool on) { crc_protect_ = on; }
+    bool metadataCrcEnabled() const { return crc_protect_; }
+
+    /**
+     * Attach a fault injector: DMA payload bursts consult stage Dma and
+     * committed metadata consults stage FrameMeta. Null detaches.
+     */
+    void setFaultInjector(fault::FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
+
+    /** Aggregate of every store() report since construction. */
+    const FrameStoreReport &lifetimeReport() const { return lifetime_; }
 
     /**
      * Occupied bytes of pixel payload across retained frames — the encoded
@@ -97,6 +150,9 @@ class FrameStore
     std::deque<Slot> slots_;                    //!< newest at front
     size_t next_slot_ = 0;
     Bytes bytes_written_ = 0;
+    bool crc_protect_ = false;
+    fault::FaultInjector *injector_ = nullptr;
+    FrameStoreReport lifetime_;
 };
 
 } // namespace rpx

@@ -13,11 +13,10 @@ SoftwareDecoder::SoftwareDecoder(const Config &config) : config_(config)
 }
 
 Image
-SoftwareDecoder::decode(
+SoftwareDecoder::decodeCore(
     const EncodedFrame &current,
     const std::vector<const EncodedFrame *> &history) const
 {
-    current.checkConsistency();
     Image out(current.width, current.height, PixelFormat::Gray8);
     if (config_.black_value != 0)
         out.fill(config_.black_value);
@@ -25,15 +24,18 @@ SoftwareDecoder::decode(
     MaskPrefixCache cache(current);
     std::vector<std::unique_ptr<MaskPrefixCache>> hist_caches;
     hist_caches.reserve(history.size());
-    for (const EncodedFrame *f : history) {
-        RPX_ASSERT(f != nullptr, "null history frame");
-        RPX_ASSERT(f->width == current.width && f->height == current.height,
-                   "history frame geometry mismatch");
+    for (const EncodedFrame *f : history)
         hist_caches.push_back(std::make_unique<MaskPrefixCache>(*f));
-    }
 
     last_history_fills_ = 0;
     last_black_ = 0;
+
+    // Payload bounds: validate() guarantees the row-offset table stays
+    // inside [0, pixels.size()], but a corrupt mask can still disagree
+    // with the offsets, so every derived payload index is range-checked
+    // before the read — an out-of-range source demotes the pixel to the
+    // history/black fallback instead of reading out of bounds.
+    const size_t cur_limit = current.pixels.size();
 
     for (i32 y = 0; y < current.height; ++y) {
         u8 *row = out.row(y);
@@ -45,7 +47,7 @@ SoftwareDecoder::decode(
             }
             if (code == PixelCode::R || code == PixelCode::St) {
                 auto src = findPixelSource(cache, x, y, config_.max_upscan);
-                if (src) {
+                if (src && src->offset < cur_limit) {
                     row[x] = current.pixels[src->offset];
                     continue;
                 }
@@ -60,7 +62,7 @@ SoftwareDecoder::decode(
                     continue;
                 auto src = findPixelSource(*hist_caches[k], x, y,
                                            config_.max_upscan);
-                if (src) {
+                if (src && src->offset < past.pixels.size()) {
                     row[x] = past.pixels[src->offset];
                     ++last_history_fills_;
                     filled = true;
@@ -72,6 +74,46 @@ SoftwareDecoder::decode(
         }
     }
     return out;
+}
+
+Image
+SoftwareDecoder::decode(
+    const EncodedFrame &current,
+    const std::vector<const EncodedFrame *> &history) const
+{
+    current.checkConsistency();
+    for (const EncodedFrame *f : history) {
+        RPX_ASSERT(f != nullptr, "null history frame");
+        RPX_ASSERT(f->width == current.width && f->height == current.height,
+                   "history frame geometry mismatch");
+    }
+    return decodeCore(current, history);
+}
+
+SwDecodeStatus
+SoftwareDecoder::tryDecode(const EncodedFrame &current,
+                           const std::vector<const EncodedFrame *> &history,
+                           Image &out) const
+{
+    SwDecodeStatus status;
+    std::string why;
+    if (!current.validate(&why)) {
+        status.ok = false;
+        status.quarantined = true;
+        status.reason = std::move(why);
+        return status;
+    }
+    std::vector<const EncodedFrame *> usable;
+    usable.reserve(history.size());
+    for (const EncodedFrame *f : history) {
+        if (f != nullptr && f->width == current.width &&
+            f->height == current.height && f->validate())
+            usable.push_back(f);
+        else
+            ++status.history_skipped;
+    }
+    out = decodeCore(current, usable);
+    return status;
 }
 
 } // namespace rpx

@@ -5,17 +5,34 @@
  * full frame-based image (our from-scratch stand-in for the paper's
  * C++/OpenCV software decoder), and as the reference the hardware decoder
  * is differential-tested against.
+ *
+ * Two entry points share one bounds-checked core:
+ *  - decode(): the strict path — throws on malformed input (legacy
+ *    behaviour, used when corrupt data indicates a programming error);
+ *  - tryDecode(): the corruption-safe path — validates the current frame
+ *    (including its metadata CRC when sealed) and quarantines it instead
+ *    of throwing, and silently skips unusable history frames, so a
+ *    pipeline facing injected or real faults keeps producing frames.
  */
 
 #ifndef RPX_CORE_SW_DECODER_HPP
 #define RPX_CORE_SW_DECODER_HPP
 
+#include <string>
 #include <vector>
 
 #include "core/encoded_frame.hpp"
 #include "frame/image.hpp"
 
 namespace rpx {
+
+/** Outcome of SoftwareDecoder::tryDecode. */
+struct SwDecodeStatus {
+    bool ok = true;           //!< out image holds a decode of the frame
+    bool quarantined = false; //!< current frame rejected (out untouched)
+    std::string reason;       //!< failure description when quarantined
+    size_t history_skipped = 0; //!< history frames dropped as unusable
+};
 
 /**
  * Whole-frame software decoder.
@@ -36,17 +53,33 @@ class SoftwareDecoder
      * encoded frames, most recent first (up to the hardware's four-frame
      * window; extras are used if given). Skipped pixels resolve to the most
      * recent history frame that sampled them; unresolvable pixels are black.
+     * Throws std::runtime_error on malformed current or history frames.
      */
     Image decode(const EncodedFrame &current,
                  const std::vector<const EncodedFrame *> &history = {}) const;
 
-    /** Number of pixels the last decode() filled from history frames. */
+    /**
+     * Corruption-safe decode. Validates `current` (bounds safety plus the
+     * metadata CRC when sealed); on failure returns quarantined=true and
+     * leaves `out` untouched — never throws on corrupt metadata, never
+     * reads out of range. Unusable history frames (null, wrong geometry,
+     * failing validation) are skipped and counted, not fatal.
+     */
+    SwDecodeStatus tryDecode(const EncodedFrame &current,
+                             const std::vector<const EncodedFrame *> &history,
+                             Image &out) const;
+
+    /** Number of pixels the last decode filled from history frames. */
     u64 lastHistoryFills() const { return last_history_fills_; }
 
-    /** Number of pixels the last decode() left black. */
+    /** Number of pixels the last decode left black. */
     u64 lastBlackPixels() const { return last_black_; }
 
   private:
+    /** Shared bounds-checked reconstruction over pre-validated frames. */
+    Image decodeCore(const EncodedFrame &current,
+                     const std::vector<const EncodedFrame *> &history) const;
+
     Config config_;
     mutable u64 last_history_fills_ = 0;
     mutable u64 last_black_ = 0;

@@ -1,0 +1,208 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace rpx::fault {
+
+const char *
+stageName(Stage stage)
+{
+    switch (stage) {
+    case Stage::Csi2:
+        return "csi2";
+    case Stage::DramRead:
+        return "dram_read";
+    case Stage::DramWrite:
+        return "dram_write";
+    case Stage::Dma:
+        return "dma";
+    case Stage::FrameMeta:
+        return "frame_meta";
+    case Stage::Deadline:
+        return "deadline";
+    }
+    return "unknown";
+}
+
+bool
+FaultPlan::enabled() const
+{
+    for (const FaultSpec &s : stages)
+        if (s.enabled())
+            return true;
+    return false;
+}
+
+FaultPlan
+FaultPlan::uniform(double byte_error_rate, u64 seed, double drop_scale)
+{
+    FaultPlan plan;
+    plan.seed = seed;
+    const double drop =
+        std::min(1.0, std::max(0.0, byte_error_rate * drop_scale));
+    plan.at(Stage::Csi2).byte_error_rate = byte_error_rate;
+    plan.at(Stage::Csi2).drop_rate = drop;
+    plan.at(Stage::DramRead).byte_error_rate = byte_error_rate;
+    plan.at(Stage::DramWrite).byte_error_rate = byte_error_rate;
+    plan.at(Stage::FrameMeta).byte_error_rate = byte_error_rate;
+    plan.at(Stage::Dma).drop_rate = drop;
+    return plan;
+}
+
+u64
+FaultStats::totalDrops() const
+{
+    u64 total = 0;
+    for (const StageFaultStats &s : stage)
+        total += s.drops;
+    return total;
+}
+
+u64
+FaultStats::totalBytesCorrupted() const
+{
+    u64 total = 0;
+    for (const StageFaultStats &s : stage)
+        total += s.bytes_corrupted;
+    return total;
+}
+
+FaultInjector::FaultInjector(const FaultPlan &plan) : plan_(plan)
+{
+    for (const FaultSpec &spec : plan_.stages) {
+        if (spec.byte_error_rate < 0.0 || spec.byte_error_rate > 1.0 ||
+            spec.drop_rate < 0.0 || spec.drop_rate > 1.0 ||
+            spec.stall_rate < 0.0 || spec.stall_rate > 1.0)
+            throwInvalid("fault rates must lie in [0, 1]");
+    }
+    // Decorrelated per-stage streams: the injection pattern one stage sees
+    // is independent of how often the others draw.
+    const Rng root(plan_.seed);
+    for (size_t i = 0; i < kStageCount; ++i)
+        rng_[i] = root.fork(i + 1);
+}
+
+Rng &
+FaultInjector::rngFor(Stage stage)
+{
+    return rng_[static_cast<size_t>(stage)];
+}
+
+bool
+FaultInjector::dropEvent(Stage stage)
+{
+    const FaultSpec &spec = plan_.at(stage);
+    StageFaultStats &st = stats_.stage[static_cast<size_t>(stage)];
+    ++st.events;
+    if (spec.drop_rate <= 0.0)
+        return false;
+    if (!rngFor(stage).chance(spec.drop_rate))
+        return false;
+    ++st.drops;
+    if (obs::Counter *c = obs_[static_cast<size_t>(stage)].drops)
+        c->inc();
+    return true;
+}
+
+Cycles
+FaultInjector::stallEvent(Stage stage)
+{
+    const FaultSpec &spec = plan_.at(stage);
+    if (spec.stall_rate <= 0.0)
+        return 0;
+    if (!rngFor(stage).chance(spec.stall_rate))
+        return 0;
+    StageFaultStats &st = stats_.stage[static_cast<size_t>(stage)];
+    ++st.stalls;
+    st.stall_cycles += spec.stall_cycles;
+    if (obs::Counter *c = obs_[static_cast<size_t>(stage)].stalls)
+        c->inc();
+    return spec.stall_cycles;
+}
+
+u64
+FaultInjector::corruptBuffer(Stage stage, u8 *data, size_t len)
+{
+    const FaultSpec &spec = plan_.at(stage);
+    if (spec.byte_error_rate <= 0.0 || len == 0 || data == nullptr)
+        return 0;
+    StageFaultStats &st = stats_.stage[static_cast<size_t>(stage)];
+    ++st.buffers_touched;
+    Rng &rng = rngFor(stage);
+    u64 hits = 0;
+
+    const double p = spec.byte_error_rate;
+    if (p >= 1.0) {
+        for (size_t i = 0; i < len; ++i) {
+            data[i] ^= static_cast<u8>(1u << rng.uniformInt(0, 7));
+            ++hits;
+        }
+    } else {
+        // Geometric skip sampling: the gap to the next victim byte is
+        // Geometric(p), so a clean megabyte costs one draw, not a million.
+        const double log1mp = std::log1p(-p);
+        auto gap = [&]() -> size_t {
+            const double u = rng.uniform(); // in [0, 1)
+            const double g = std::floor(std::log1p(-u) / log1mp);
+            if (g >= static_cast<double>(len))
+                return len; // off the end — no more victims
+            return static_cast<size_t>(g);
+        };
+        for (size_t i = gap(); i < len;) {
+            data[i] ^= static_cast<u8>(1u << rng.uniformInt(0, 7));
+            ++hits;
+            const size_t g = gap();
+            if (g >= len - i - 1)
+                break;
+            i += g + 1;
+        }
+    }
+    st.bytes_corrupted += hits;
+    if (obs::Counter *c = obs_[static_cast<size_t>(stage)].bytes_corrupted)
+        c->add(hits);
+    return hits;
+}
+
+std::vector<i32>
+FaultInjector::sampleDroppedRows(Stage stage, i32 rows)
+{
+    const FaultSpec &spec = plan_.at(stage);
+    std::vector<i32> dropped;
+    if (spec.drop_rate <= 0.0 || rows <= 0)
+        return dropped;
+    StageFaultStats &st = stats_.stage[static_cast<size_t>(stage)];
+    Rng &rng = rngFor(stage);
+    for (i32 y = 0; y < rows; ++y) {
+        ++st.events;
+        if (rng.chance(spec.drop_rate))
+            dropped.push_back(y);
+    }
+    st.drops += dropped.size();
+    if (!dropped.empty())
+        if (obs::Counter *c = obs_[static_cast<size_t>(stage)].drops)
+            c->add(dropped.size());
+    return dropped;
+}
+
+void
+FaultInjector::attachObs(obs::ObsContext *ctx)
+{
+    if (!ctx) {
+        obs_ = {};
+        return;
+    }
+    obs::PerfRegistry &r = ctx->registry();
+    for (size_t i = 0; i < kStageCount; ++i) {
+        const std::string prefix =
+            std::string("fault.") + stageName(static_cast<Stage>(i));
+        obs_[i].drops = &r.counter(prefix + ".drops");
+        obs_[i].stalls = &r.counter(prefix + ".stalls");
+        obs_[i].bytes_corrupted = &r.counter(prefix + ".bytes_corrupted");
+    }
+}
+
+} // namespace rpx::fault

@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Deterministic, seeded fault injection (rpx::fault).
+ *
+ * The reproduction's hardware path — IMX274 readout, MIPI CSI-2 link,
+ * encoder DMA, LPDDR4 — is modelled as perfect, but the real links it
+ * stands in for are not: CSI packets drop lines, DRAM cells flip bits,
+ * DMA transactions fail transiently, and bandwidth contention makes
+ * frames miss their deadline. A FaultPlan describes the fault environment
+ * per pipeline stage; a FaultInjector is the runtime that components
+ * consult at their injection points. Every draw comes from a per-stage
+ * fork of one seeded PRNG, so a given (plan, call sequence) reproduces the
+ * exact same fault pattern on every run and platform.
+ *
+ * Components hold a nullable `FaultInjector *`; the null (default) state
+ * costs one branch per injection point, preserving the zero-cost rule the
+ * obs subsystem established.
+ */
+
+#ifndef RPX_FAULT_FAULT_HPP
+#define RPX_FAULT_FAULT_HPP
+
+#include <array>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "obs/obs.hpp"
+
+namespace rpx::fault {
+
+/** Pipeline stages with injection points. */
+enum class Stage : u32 {
+    Csi2 = 0,   //!< sensor -> SoC link (bit flips, dropped lines)
+    DramRead,   //!< transient read-path corruption
+    DramWrite,  //!< stored-bit corruption and write stalls
+    Dma,        //!< line-burst DMA transaction failures
+    FrameMeta,  //!< encoded-frame mask/offset metadata corruption
+    Deadline,   //!< forced frame-deadline misses (contention stand-in)
+};
+
+constexpr size_t kStageCount = 6;
+
+/** Printable stage name ("csi2", "dram_read", ...). */
+const char *stageName(Stage stage);
+
+/**
+ * Fault intensity for one stage. All rates are probabilities in [0, 1];
+ * a default-constructed spec injects nothing.
+ */
+struct FaultSpec {
+    /** P(a byte of a touched buffer gets one bit flipped). */
+    double byte_error_rate = 0.0;
+    /** P(an event — line, transaction, deadline — is dropped/missed). */
+    double drop_rate = 0.0;
+    /** P(an event stalls for stall_cycles). */
+    double stall_rate = 0.0;
+    /** Cycles charged per stall event. */
+    Cycles stall_cycles = 64;
+
+    bool
+    enabled() const
+    {
+        return byte_error_rate > 0.0 || drop_rate > 0.0 || stall_rate > 0.0;
+    }
+};
+
+/**
+ * A complete, seeded fault environment: one spec per stage.
+ */
+struct FaultPlan {
+    u64 seed = 0x5eedf417ULL;
+    std::array<FaultSpec, kStageCount> stages{};
+
+    FaultSpec &at(Stage s) { return stages[static_cast<size_t>(s)]; }
+    const FaultSpec &
+    at(Stage s) const
+    {
+        return stages[static_cast<size_t>(s)];
+    }
+
+    /** True when any stage injects anything. */
+    bool enabled() const;
+
+    /**
+     * Convenience plan: the same byte error rate on CSI, DRAM and frame
+     * metadata, with matching transaction drop rates on DMA/CSI scaled by
+     * `drop_scale` (drop_rate = rate * drop_scale, clamped to 1).
+     */
+    static FaultPlan uniform(double byte_error_rate, u64 seed,
+                             double drop_scale = 10.0);
+};
+
+/** Per-stage injection counters. */
+struct StageFaultStats {
+    u64 events = 0;         //!< decision points consulted
+    u64 drops = 0;          //!< events dropped / transactions failed
+    u64 stalls = 0;         //!< events stalled
+    u64 buffers_touched = 0; //!< buffers passed through corruptBuffer
+    u64 bytes_corrupted = 0; //!< bytes with at least one flipped bit
+    Cycles stall_cycles = 0; //!< total stall penalty charged
+};
+
+/** Aggregate injection record, indexed by stage. */
+struct FaultStats {
+    std::array<StageFaultStats, kStageCount> stage{};
+
+    const StageFaultStats &
+    at(Stage s) const
+    {
+        return stage[static_cast<size_t>(s)];
+    }
+
+    u64 totalDrops() const;
+    u64 totalBytesCorrupted() const;
+
+    void reset() { *this = FaultStats{}; }
+};
+
+/**
+ * Runtime fault source components consult at their injection points.
+ *
+ * Each stage draws from its own decorrelated PRNG stream (forked from the
+ * plan seed), so the fault pattern seen by, say, the DMA engine does not
+ * depend on how many CSI frames crossed the link first.
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultPlan &plan);
+
+    const FaultPlan &plan() const { return plan_; }
+
+    /** True when the next event at `stage` is dropped / failed / missed. */
+    bool dropEvent(Stage stage);
+
+    /** Stall penalty for the next event (0 = no stall). */
+    Cycles stallEvent(Stage stage);
+
+    /**
+     * Flip one random bit in each independently-selected victim byte of
+     * `data` (victims drawn per byte_error_rate via geometric skips, so
+     * clean buffers cost O(1) draws). Returns the number of bytes hit.
+     */
+    u64 corruptBuffer(Stage stage, u8 *data, size_t len);
+
+    /**
+     * Sample which of `rows` lines are dropped this frame (one drop_rate
+     * Bernoulli per row). Returns ascending row indices; empty when the
+     * stage has no drop rate.
+     */
+    std::vector<i32> sampleDroppedRows(Stage stage, i32 rows);
+
+    const FaultStats &stats() const { return stats_; }
+    void resetStats() { stats_.reset(); }
+
+    /**
+     * Attach an observability context: "fault.<stage>.{drops,stalls,
+     * bytes_corrupted}" counters mirror every injection from then on.
+     * Null detaches.
+     */
+    void attachObs(obs::ObsContext *ctx);
+
+  private:
+    Rng &rngFor(Stage stage);
+
+    FaultPlan plan_;
+    std::array<Rng, kStageCount> rng_;
+    FaultStats stats_;
+
+    struct StageObs {
+        obs::Counter *drops = nullptr;
+        obs::Counter *stalls = nullptr;
+        obs::Counter *bytes_corrupted = nullptr;
+    };
+    std::array<StageObs, kStageCount> obs_{};
+};
+
+} // namespace rpx::fault
+
+#endif // RPX_FAULT_FAULT_HPP

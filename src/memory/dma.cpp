@@ -4,10 +4,13 @@
 
 namespace rpx {
 
-DmaWriter::DmaWriter(DramModel &dram, u64 base, size_t line_capacity)
-    : dram_(dram), base_(base), line_capacity_(line_capacity)
+DmaWriter::DmaWriter(DramModel &dram, u64 base, size_t line_capacity,
+                     fault::FaultInjector *injector, int max_retries)
+    : dram_(dram), base_(base), line_capacity_(line_capacity),
+      injector_(injector), max_retries_(max_retries)
 {
     RPX_ASSERT(line_capacity > 0, "DMA line capacity must be positive");
+    RPX_ASSERT(max_retries >= 0, "DMA retry budget must be non-negative");
     line_.reserve(line_capacity);
 }
 
@@ -26,15 +29,32 @@ DmaWriter::push(const u8 *data, size_t len)
         push(data[i]);
 }
 
-void
+bool
 DmaWriter::flush()
 {
     if (line_.empty())
-        return;
+        return true;
+    if (injector_) {
+        // Transient burst failures: re-issue with a bounded budget; an
+        // exhausted budget loses the line (stale bytes remain at the
+        // destination) but never wedges the writer.
+        int attempts = 0;
+        while (injector_->dropEvent(fault::Stage::Dma)) {
+            if (++attempts > max_retries_) {
+                ++dropped_bursts_;
+                dropped_bytes_ += line_.size();
+                committed_ += line_.size();
+                line_.clear();
+                return false;
+            }
+            ++retries_;
+        }
+    }
     dram_.write(base_ + committed_, line_.data(), line_.size());
     committed_ += line_.size();
     ++bursts_;
     line_.clear();
+    return true;
 }
 
 } // namespace rpx

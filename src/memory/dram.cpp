@@ -53,6 +53,15 @@ DramModel::write(u64 addr, const u8 *data, size_t len)
     stats_.bytes_written += len;
     stats_.write_transactions += 1;
     stats_.write_bursts += (len + kBurstBytes - 1) / kBurstBytes;
+    if (injector_) {
+        // Stored-bit corruption lands in the cell array, so later reads
+        // of this range return the damaged bytes.
+        if (injector_->corruptBuffer(fault::Stage::DramWrite,
+                                     store_.data() + addr, len) > 0)
+            ++stats_.corrupted_writes;
+        stats_.stall_cycles +=
+            injector_->stallEvent(fault::Stage::DramWrite);
+    }
     if (obs_write_bytes_) {
         obs_write_bytes_->add(len);
         obs_write_txns_->inc();
@@ -75,6 +84,13 @@ DramModel::read(u64 addr, u8 *out, size_t len) const
     stats_.bytes_read += len;
     stats_.read_transactions += 1;
     stats_.read_bursts += (len + kBurstBytes - 1) / kBurstBytes;
+    if (injector_) {
+        // Transient read-path corruption: only the returned beat is
+        // damaged; the stored copy stays intact.
+        if (injector_->corruptBuffer(fault::Stage::DramRead, out, len) > 0)
+            ++stats_.corrupted_reads;
+        stats_.stall_cycles += injector_->stallEvent(fault::Stage::DramRead);
+    }
     if (obs_read_bytes_) {
         obs_read_bytes_->add(len);
         obs_read_txns_->inc();

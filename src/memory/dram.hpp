@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "fault/fault.hpp"
 #include "obs/obs.hpp"
 
 namespace rpx {
@@ -26,6 +27,11 @@ struct DramStats {
     u64 write_transactions = 0;
     u64 read_bursts = 0;
     u64 write_bursts = 0;
+    /** Contention-stall penalty charged by an attached fault injector. */
+    Cycles stall_cycles = 0;
+    /** Transactions whose data was corrupted by an attached injector. */
+    u64 corrupted_reads = 0;
+    u64 corrupted_writes = 0;
 
     Bytes totalBytes() const { return bytes_read + bytes_written; }
 
@@ -74,6 +80,19 @@ class DramModel
      */
     void attachObs(obs::ObsContext *ctx);
 
+    /**
+     * Attach a fault injector. Writes consult stage DramWrite: stored
+     * bits can be flipped after commit (retention/ECC-escape errors) and
+     * transactions can stall for bandwidth-contention cycles. Reads
+     * consult stage DramRead: the returned data — not the stored copy —
+     * can be corrupted (transient bus/sense errors). Null detaches (the
+     * default; accesses then cost one branch).
+     */
+    void setFaultInjector(fault::FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
+
   private:
     void checkRange(u64 addr, size_t len) const;
 
@@ -81,6 +100,7 @@ class DramModel
     /** Backing store, grown lazily to the high-water address. */
     mutable std::vector<u8> store_;
     mutable DramStats stats_;
+    fault::FaultInjector *injector_ = nullptr;
 
     // Cached counter handles; null when no observer is attached.
     obs::Counter *obs_read_bytes_ = nullptr;

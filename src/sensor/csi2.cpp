@@ -1,5 +1,7 @@
 #include "sensor/csi2.hpp"
 
+#include <cstring>
+
 #include "common/error.hpp"
 
 namespace rpx {
@@ -10,10 +12,56 @@ Csi2Link::Csi2Link(const Csi2Config &config) : config_(config)
     RPX_ASSERT(config.gbps_per_lane > 0.0, "lane rate must be positive");
 }
 
-void
-Csi2Link::transferFrame(u64 pixels)
+Csi2FrameStatus
+Csi2Link::account(u64 pixels, double fps)
 {
     pixels_ += pixels;
+    ++frames_;
+    Csi2FrameStatus status;
+    if (fps > 0.0 && !supportsRate(pixels, fps)) {
+        status.rate_supported = false;
+        status.ok = false;
+    }
+    return status;
+}
+
+Csi2FrameStatus
+Csi2Link::transferFrame(u64 pixels, double fps)
+{
+    Csi2FrameStatus status = account(pixels, fps);
+    if (!status.ok)
+        ++error_frames_;
+    return status;
+}
+
+Csi2FrameStatus
+Csi2Link::transferFrame(Image &frame, double fps)
+{
+    Csi2FrameStatus status =
+        account(static_cast<u64>(frame.pixelCount()), fps);
+    if (injector_ && !frame.empty()) {
+        // Lost long-packet lines: the receiver gets nothing for the line,
+        // modelled as a zero fill across all channels.
+        const std::vector<i32> dropped =
+            injector_->sampleDroppedRows(fault::Stage::Csi2,
+                                         frame.height());
+        const size_t row_bytes =
+            static_cast<size_t>(frame.width()) *
+            static_cast<size_t>(frame.channels());
+        for (i32 y : dropped)
+            std::memset(frame.row(y), 0, row_bytes);
+        status.dropped_lines = static_cast<u32>(dropped.size());
+
+        // Payload bit errors in the surviving data.
+        status.corrupted_bytes = injector_->corruptBuffer(
+            fault::Stage::Csi2, frame.data().data(), frame.byteCount());
+
+        if (status.dropped_lines > 0 || status.corrupted_bytes > 0)
+            status.ok = false;
+    }
+    if (!status.ok)
+        ++error_frames_;
+    return status;
 }
 
 double
@@ -29,6 +77,8 @@ Csi2Link::frameTransferTime(u64 pixels) const
 bool
 Csi2Link::supportsRate(u64 pixels, double fps) const
 {
+    if (fps <= 0.0)
+        return false; // undefined rate: report failure, not a div-by-zero
     return frameTransferTime(pixels) <= 1.0 / fps;
 }
 
@@ -42,7 +92,8 @@ Csi2Link::bitsTransferred() const
 double
 Csi2Link::energyJoules() const
 {
-    return static_cast<double>(pixels_) * config_.energy_pj_per_pixel * 1e-12;
+    return static_cast<double>(pixels_) * config_.energy_pj_per_pixel *
+           1e-12;
 }
 
 } // namespace rpx

@@ -6,12 +6,21 @@
  * (§2). The model computes per-frame link occupancy and energy from lane
  * count, bit rate, and payload size; the paper's appendix measures roughly
  * 1 nJ/pixel over CSI.
+ *
+ * Real CSI-2 links are not error-free: ECC covers packet headers only, and
+ * payload CRC detects — but cannot correct — line corruption, so receivers
+ * see bit errors and dropped lines. transferFrame() therefore reports a
+ * per-frame status instead of silently assuming success, and an attached
+ * rpx::fault::FaultInjector can corrupt the payload and drop lines the way
+ * a marginal link would.
  */
 
 #ifndef RPX_SENSOR_CSI2_HPP
 #define RPX_SENSOR_CSI2_HPP
 
 #include "common/types.hpp"
+#include "fault/fault.hpp"
+#include "frame/image.hpp"
 
 namespace rpx {
 
@@ -24,6 +33,18 @@ struct Csi2Config {
     double energy_pj_per_pixel = 1000.0; //!< ~1 nJ/pixel (paper appendix)
 };
 
+/** Per-frame CSI-2 transfer outcome. */
+struct Csi2FrameStatus {
+    /** No faults and (when fps was given) the link rate sufficed. */
+    bool ok = true;
+    /** False when the frame's pixel load exceeds the lane bandwidth. */
+    bool rate_supported = true;
+    /** Payload lines lost on the wire this frame. */
+    u32 dropped_lines = 0;
+    /** Payload bytes with injected bit errors this frame. */
+    u64 corrupted_bytes = 0;
+};
+
 /**
  * Per-frame CSI-2 transfer accounting.
  */
@@ -34,16 +55,40 @@ class Csi2Link
 
     const Csi2Config &config() const { return config_; }
 
-    /** Record one frame of `pixels` crossing the link. */
-    void transferFrame(u64 pixels);
+    /**
+     * Record one frame of `pixels` crossing the link and report its
+     * status. When `fps` is positive the status also reflects whether the
+     * lane bandwidth sustains this frame size at that rate. Count-only
+     * overload: no payload to damage, so an attached injector leaves the
+     * status clean.
+     */
+    Csi2FrameStatus transferFrame(u64 pixels, double fps = 0.0);
+
+    /**
+     * Transfer a frame's payload: accounting plus fault application. With
+     * an injector attached, dropped lines are zeroed in place (the
+     * receiver sees a blank line where the packet was lost) and bit
+     * errors are flipped into the surviving bytes; the returned status
+     * reports the damage so the pipeline can react.
+     */
+    Csi2FrameStatus transferFrame(Image &frame, double fps = 0.0);
 
     /** Seconds required to move `pixels` across the link. */
     double frameTransferTime(u64 pixels) const;
 
-    /** True when `pixels` at `fps` fits the aggregate lane bandwidth. */
+    /**
+     * True when `pixels` at `fps` fits the aggregate lane bandwidth.
+     * A non-positive `fps` is an undefined rate and reports false.
+     */
     bool supportsRate(u64 pixels, double fps) const;
 
     u64 pixelsTransferred() const { return pixels_; }
+
+    /** Frames pushed through the link so far. */
+    u64 framesTransferred() const { return frames_; }
+
+    /** Frames whose status came back not-ok. */
+    u64 errorFrames() const { return error_frames_; }
 
     /** Total wire bits including protocol overhead. */
     double bitsTransferred() const;
@@ -51,9 +96,23 @@ class Csi2Link
     /** Total link energy in joules. */
     double energyJoules() const;
 
+    /**
+     * Attach a fault injector (stage Csi2). Null detaches (the default;
+     * transfers then cost one branch).
+     */
+    void setFaultInjector(fault::FaultInjector *injector)
+    {
+        injector_ = injector;
+    }
+
   private:
+    Csi2FrameStatus account(u64 pixels, double fps);
+
     Csi2Config config_;
     u64 pixels_ = 0;
+    u64 frames_ = 0;
+    u64 error_frames_ = 0;
+    fault::FaultInjector *injector_ = nullptr;
 };
 
 } // namespace rpx

@@ -1,5 +1,9 @@
 #include "sim/pipeline.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
 #include "common/error.hpp"
 
 namespace rpx {
@@ -40,11 +44,28 @@ VisionPipeline::VisionPipeline(const PipelineConfig &config)
                                           config.height, config.history);
     decoder_ = std::make_unique<RhythmicDecoder>(*store_);
 
+    if (config.fault.enabled()) {
+        if (config.fault.plan) {
+            injector_ =
+                std::make_unique<fault::FaultInjector>(*config.fault.plan);
+            csi_.setFaultInjector(injector_.get());
+            dram_->setFaultInjector(injector_.get());
+            store_->setFaultInjector(injector_.get());
+        }
+        store_->enableMetadataCrc(config.fault.crc_metadata);
+        degrade_ = std::make_unique<fault::DegradationController>(
+            config.fault.degradation);
+    }
+
     if ((obs_ = config.obs)) {
         dram_->attachObs(obs_);
         driver_->attachObs(obs_);
         encoder_->attachObs(obs_);
         decoder_->attachObs(obs_);
+        if (injector_)
+            injector_->attachObs(obs_);
+        if (degrade_)
+            degrade_->attachObs(obs_);
         obs::PerfRegistry &r = obs_->registry();
         obs_frames_ = &r.counter("pipeline.frames");
         obs_bytes_written_ = &r.counter("pipeline.bytes_written");
@@ -67,19 +88,35 @@ PipelineFrameResult
 VisionPipeline::processFrame(const Image &scene)
 {
     const FrameIndex t = next_frame_++;
+    const auto frame_start = std::chrono::steady_clock::now();
     obs::ScopedStageTimer frame_span(obs_, obs_h_frame_, "frame",
                                      "pipeline", obs::TraceLane::Pipeline,
                                      t);
 
-    // 1. Runtime programs the encoder for this frame.
+    // 1. Runtime programs the encoder for this frame. Under degradation
+    //    the ladder sheds work first: the region budget shrinks (tail
+    //    labels dropped, keeping y-order) and temporal skips coarsen.
     runtime_->beginFrame();
-    encoder_->setRegionLabels(registers_.activeRegions());
+    std::vector<RegionLabel> labels = registers_.activeRegions();
+    if (degrade_ && degrade_->level() > 0) {
+        const size_t keep = std::max<size_t>(
+            1, static_cast<size_t>(
+                   std::floor(static_cast<double>(labels.size()) *
+                              degrade_->regionBudgetScale())));
+        if (labels.size() > keep)
+            labels.resize(keep);
+        const i32 boost = degrade_->skipBoost();
+        for (RegionLabel &l : labels)
+            l.skip = std::min<i32>(l.skip + boost, 64);
+    }
+    encoder_->setRegionLabels(std::move(labels));
 
     // 2. Capture: sensor readout (+ CSI transfer) and ISP. On the fast
     //    (sensor-less) path the CSI transfer stands in for the readout and
     //    the gray conversion/resize is the ISP-equivalent work, so both
     //    stages still emit a span per frame.
     Image gray;
+    Csi2FrameStatus csi_status;
     if (config_.use_sensor_path) {
         if (scene.channels() != 3)
             throwInvalid("sensor path needs an RGB scene frame");
@@ -89,7 +126,13 @@ VisionPipeline::processFrame(const Image &scene)
                                        "sensor_readout", "pipeline",
                                        obs::TraceLane::Sensor, t);
             raw = sensor_.capture(scene);
-            csi_.transferFrame(static_cast<u64>(raw.pixelCount()));
+            // With an injector on the link the transfer can drop lines
+            // and flip payload bits in the raw mosaic before the ISP.
+            csi_status =
+                injector_
+                    ? csi_.transferFrame(raw, config_.fps)
+                    : csi_.transferFrame(
+                          static_cast<u64>(raw.pixelCount()));
         }
         {
             obs::ScopedStageTimer span(obs_, obs_h_isp_, "isp", "pipeline",
@@ -107,7 +150,10 @@ VisionPipeline::processFrame(const Image &scene)
         }
         obs::ScopedStageTimer span(obs_, obs_h_sensor_, "sensor_readout",
                                    "pipeline", obs::TraceLane::Sensor, t);
-        csi_.transferFrame(static_cast<u64>(gray.pixelCount()));
+        csi_status = injector_
+                         ? csi_.transferFrame(gray, config_.fps)
+                         : csi_.transferFrame(
+                               static_cast<u64>(gray.pixelCount()));
     }
 
     // 3. Encode and commit to the framebuffer ring in DRAM.
@@ -120,15 +166,18 @@ VisionPipeline::processFrame(const Image &scene)
     const double kept = encoded.keptFraction();
     const Bytes pixel_bytes = encoded.pixelBytes();
     const Bytes metadata_bytes = encoded.metadataBytes();
+    FrameStoreReport store_report;
     {
         obs::ScopedStageTimer span(obs_, obs_h_dram_write_, "dram_write",
                                    "pipeline", obs::TraceLane::Dram, t);
-        store_->store(std::move(encoded));
+        store_report = store_->store(std::move(encoded));
     }
 
     // 4. Decode the full frame for the application (software decoder fast
     //    path; the hardware decoder unit serves per-transaction requests
-    //    and is exercised by tests/examples).
+    //    and is exercised by tests/examples). The graceful path validates
+    //    the stored frame and, when it is quarantined, serves the last
+    //    good image (or black before any good frame exists).
     std::vector<const EncodedFrame *> history;
     for (size_t k = 1; k < store_->size(); ++k)
         history.push_back(store_->recent(k));
@@ -136,10 +185,57 @@ VisionPipeline::processFrame(const Image &scene)
     {
         obs::ScopedStageTimer span(obs_, obs_h_decode_, "decode",
                                    "pipeline", obs::TraceLane::Decoder, t);
-        result.decoded = sw_decoder_.decode(*store_->recent(0), history);
+        if (config_.fault.graceful) {
+            SwDecodeStatus st =
+                sw_decoder_.tryDecode(*store_->recent(0), history,
+                                      result.decoded);
+            if (st.quarantined) {
+                result.quarantined = true;
+                result.held_last_good = true;
+                result.decoded =
+                    have_last_good_
+                        ? last_good_
+                        : Image(config_.width, config_.height,
+                                PixelFormat::Gray8, 0);
+            } else {
+                last_good_ = result.decoded;
+                have_last_good_ = true;
+            }
+        } else {
+            result.decoded =
+                sw_decoder_.decode(*store_->recent(0), history);
+        }
     }
     result.kept_fraction = kept;
     result.index = t;
+
+    // 4b. Frame health drives the degradation ladder: a deadline miss is
+    //     either a real wall-clock overrun (when deadline_ms is set) or an
+    //     injected scheduling fault (stage Deadline).
+    result.csi_dropped_lines = csi_status.dropped_lines;
+    result.transient_faults =
+        store_report.dma_retries + store_report.dma_dropped_bursts +
+        (csi_status.corrupted_bytes > 0 ? 1 : 0) +
+        (csi_status.dropped_lines > 0 ? 1 : 0);
+    if (injector_ && injector_->dropEvent(fault::Stage::Deadline))
+        result.deadline_missed = true;
+    if (config_.fault.deadline_ms > 0.0) {
+        const double elapsed_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - frame_start)
+                .count();
+        if (elapsed_ms > config_.fault.deadline_ms)
+            result.deadline_missed = true;
+    }
+    if (degrade_) {
+        fault::FrameHealth health;
+        health.deadline_missed = result.deadline_missed;
+        health.decode_quarantined = result.quarantined;
+        health.transient_faults =
+            static_cast<u32>(result.transient_faults);
+        degrade_->onFrame(health);
+        result.degradation_level = degrade_->level();
+    }
 
     // 5. Traffic: the encoder wrote payload+metadata; the app read the
     //    frame back through the decoder (which fetches only encoded pixels

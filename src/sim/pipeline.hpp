@@ -12,6 +12,8 @@
 
 #include "baseline/frame_based.hpp"
 #include "core/decoder.hpp"
+#include "fault/degradation.hpp"
+#include "fault/fault.hpp"
 #include "core/encoder.hpp"
 #include "core/frame_store.hpp"
 #include "core/parallel_encoder.hpp"
@@ -26,6 +28,42 @@
 #include "sensor/sensor.hpp"
 
 namespace rpx {
+
+/**
+ * Fault-injection and resilience knobs for one pipeline instance. The
+ * default-constructed value disables everything: no injector is built, no
+ * CRC is written, the strict decode path runs, and per-frame output is
+ * byte-identical to a pipeline without this struct.
+ */
+struct PipelineFaultConfig {
+    /**
+     * Fault plan to inject from (not owned; copied into the pipeline's
+     * injector at construction). Null = no injection.
+     */
+    const fault::FaultPlan *plan = nullptr;
+    /** Seal stored metadata with CRC-32 and verify it on decode. */
+    bool crc_metadata = false;
+    /**
+     * Route whole-frame decodes through the corruption-safe path:
+     * quarantined frames hold the last good image instead of throwing.
+     */
+    bool graceful = false;
+    /**
+     * Wall-clock frame deadline in milliseconds; 0 (default) disables the
+     * wall-clock check (injected Stage::Deadline misses still count).
+     */
+    double deadline_ms = 0.0;
+    /** Escalation-ladder tuning (used when resilience is active). */
+    fault::DegradationConfig degradation;
+
+    /** True when any resilience machinery needs to be constructed. */
+    bool
+    enabled() const
+    {
+        return plan != nullptr || crc_metadata || graceful ||
+               deadline_ms > 0.0;
+    }
+};
 
 /** Pipeline configuration. */
 struct PipelineConfig {
@@ -56,6 +94,8 @@ struct PipelineConfig {
      * Null (the default) keeps all instrumentation disabled at zero cost.
      */
     obs::ObsContext *obs = nullptr;
+    /** Fault injection + resilience (default: everything off). */
+    PipelineFaultConfig fault;
 };
 
 /** Result of pushing one frame through the pipeline. */
@@ -64,6 +104,13 @@ struct PipelineFrameResult {
     double kept_fraction = 0.0; //!< encoded pixels / total pixels
     FrameTraffic traffic;     //!< this frame's memory traffic
     FrameIndex index = 0;
+    // Resilience outcome (all-default when PipelineFaultConfig is off).
+    bool deadline_missed = false;  //!< wall-clock or injected miss
+    bool quarantined = false;      //!< decode rejected the stored frame
+    bool held_last_good = false;   //!< decoded is a held earlier frame
+    int degradation_level = 0;     //!< ladder level after this frame
+    u32 csi_dropped_lines = 0;     //!< CSI long-packet lines lost
+    u64 transient_faults = 0;      //!< contained faults (DMA retries etc.)
 };
 
 /**
@@ -96,6 +143,18 @@ class VisionPipeline
     /** Observability context the pipeline reports into (may be null). */
     obs::ObsContext *obsContext() { return obs_; }
 
+    /** The fault injector (null when no plan was configured). */
+    const fault::FaultInjector *faultInjector() const
+    {
+        return injector_.get();
+    }
+
+    /** The degradation controller (null when resilience is off). */
+    const fault::DegradationController *degradation() const
+    {
+        return degrade_.get();
+    }
+
   private:
     PipelineConfig config_;
     std::unique_ptr<DramModel> dram_;
@@ -111,6 +170,12 @@ class VisionPipeline
     SoftwareDecoder sw_decoder_;
     TrafficSummary traffic_;
     FrameIndex next_frame_ = 0;
+
+    // Resilience machinery; null unless config_.fault enables it.
+    std::unique_ptr<fault::FaultInjector> injector_;
+    std::unique_ptr<fault::DegradationController> degrade_;
+    Image last_good_;             //!< hold-last-good fallback frame
+    bool have_last_good_ = false;
 
     obs::ObsContext *obs_ = nullptr;
     // Pipeline-level handles; null when no context is attached.

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * rpx::fault unit tests: CRC-32 reference vectors, deterministic seeded
+ * injection, rate calibration, and plan validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "common/crc32.hpp"
+#include "fault/fault.hpp"
+
+namespace rpx {
+namespace {
+
+using fault::FaultInjector;
+using fault::FaultPlan;
+using fault::Stage;
+
+TEST(Crc32, KnownVector)
+{
+    // The classic CRC-32/IEEE check value.
+    const char *msg = "123456789";
+    EXPECT_EQ(crc32(reinterpret_cast<const u8 *>(msg), 9), 0xCBF43926u);
+}
+
+TEST(Crc32, EmptyIsZero)
+{
+    EXPECT_EQ(crc32(nullptr, 0), 0u);
+    Crc32 crc;
+    EXPECT_EQ(crc.value(), 0u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot)
+{
+    std::vector<u8> data(1024);
+    std::iota(data.begin(), data.end(), 0);
+    const u32 whole = crc32(data);
+
+    Crc32 crc;
+    crc.update(data.data(), 100);
+    crc.update(data.data() + 100, 1);
+    crc.update(data.data() + 101, 923);
+    EXPECT_EQ(crc.value(), whole);
+
+    crc.reset();
+    crc.update(data);
+    EXPECT_EQ(crc.value(), whole);
+}
+
+TEST(Crc32, DetectsSingleBitFlip)
+{
+    std::vector<u8> data(256, 0xA5);
+    const u32 clean = crc32(data);
+    data[97] ^= 0x10;
+    EXPECT_NE(crc32(data), clean);
+}
+
+TEST(FaultPlanTest, DefaultInjectsNothing)
+{
+    FaultPlan plan;
+    EXPECT_FALSE(plan.enabled());
+
+    FaultInjector inj(plan);
+    std::vector<u8> buf(4096, 0x42);
+    EXPECT_EQ(inj.corruptBuffer(Stage::Csi2, buf.data(), buf.size()), 0u);
+    EXPECT_FALSE(inj.dropEvent(Stage::Dma));
+    EXPECT_EQ(inj.stallEvent(Stage::DramWrite), 0u);
+    EXPECT_TRUE(inj.sampleDroppedRows(Stage::Csi2, 480).empty());
+    for (u8 b : buf)
+        EXPECT_EQ(b, 0x42);
+}
+
+TEST(FaultPlanTest, UniformSetsDocumentedRates)
+{
+    const FaultPlan plan = FaultPlan::uniform(1e-3, 77);
+    EXPECT_TRUE(plan.enabled());
+    EXPECT_EQ(plan.seed, 77u);
+    EXPECT_DOUBLE_EQ(plan.at(Stage::Csi2).byte_error_rate, 1e-3);
+    EXPECT_DOUBLE_EQ(plan.at(Stage::DramRead).byte_error_rate, 1e-3);
+    EXPECT_DOUBLE_EQ(plan.at(Stage::DramWrite).byte_error_rate, 1e-3);
+    EXPECT_DOUBLE_EQ(plan.at(Stage::FrameMeta).byte_error_rate, 1e-3);
+    EXPECT_DOUBLE_EQ(plan.at(Stage::Csi2).drop_rate, 1e-2);
+    EXPECT_DOUBLE_EQ(plan.at(Stage::Dma).drop_rate, 1e-2);
+}
+
+TEST(FaultPlanTest, RatesOutsideUnitIntervalRejected)
+{
+    FaultPlan plan;
+    plan.at(Stage::Csi2).byte_error_rate = 1.5;
+    EXPECT_THROW(FaultInjector{plan}, std::invalid_argument);
+
+    FaultPlan neg;
+    neg.at(Stage::Dma).drop_rate = -0.1;
+    EXPECT_THROW(FaultInjector{neg}, std::invalid_argument);
+}
+
+TEST(FaultInjectorTest, SameSeedSamePattern)
+{
+    const FaultPlan plan = FaultPlan::uniform(0.01, 1234);
+    FaultInjector a(plan);
+    FaultInjector b(plan);
+
+    std::vector<u8> buf_a(8192, 0x5A);
+    std::vector<u8> buf_b(8192, 0x5A);
+    EXPECT_EQ(a.corruptBuffer(Stage::Csi2, buf_a.data(), buf_a.size()),
+              b.corruptBuffer(Stage::Csi2, buf_b.data(), buf_b.size()));
+    EXPECT_EQ(buf_a, buf_b);
+
+    EXPECT_EQ(a.sampleDroppedRows(Stage::Csi2, 480),
+              b.sampleDroppedRows(Stage::Csi2, 480));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.dropEvent(Stage::Dma), b.dropEvent(Stage::Dma));
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiverge)
+{
+    std::vector<u8> buf_a(8192, 0), buf_b(8192, 0);
+    FaultInjector a(FaultPlan::uniform(0.01, 1));
+    FaultInjector b(FaultPlan::uniform(0.01, 2));
+    a.corruptBuffer(Stage::Csi2, buf_a.data(), buf_a.size());
+    b.corruptBuffer(Stage::Csi2, buf_b.data(), buf_b.size());
+    EXPECT_NE(buf_a, buf_b);
+}
+
+TEST(FaultInjectorTest, StagesAreDecorrelated)
+{
+    // Consuming draws on one stage must not shift another stage's stream.
+    const FaultPlan plan = FaultPlan::uniform(0.01, 99);
+    FaultInjector a(plan);
+    FaultInjector b(plan);
+    std::vector<u8> scratch(4096, 0);
+    a.corruptBuffer(Stage::Csi2, scratch.data(), scratch.size());
+    for (int i = 0; i < 1000; ++i)
+        a.dropEvent(Stage::Csi2);
+
+    std::vector<u8> buf_a(4096, 0x33), buf_b(4096, 0x33);
+    a.corruptBuffer(Stage::FrameMeta, buf_a.data(), buf_a.size());
+    b.corruptBuffer(Stage::FrameMeta, buf_b.data(), buf_b.size());
+    EXPECT_EQ(buf_a, buf_b);
+}
+
+TEST(FaultInjectorTest, ByteErrorRateCalibrated)
+{
+    FaultPlan plan;
+    plan.at(Stage::DramWrite).byte_error_rate = 0.01;
+    FaultInjector inj(plan);
+
+    constexpr size_t kBytes = 1 << 20;
+    std::vector<u8> buf(kBytes, 0);
+    const u64 hit = inj.corruptBuffer(Stage::DramWrite, buf.data(), kBytes);
+    // Binomial(1M, 0.01): mean 10486, sigma ~102. Allow +/- 10 sigma.
+    EXPECT_GT(hit, 9400u);
+    EXPECT_LT(hit, 11600u);
+
+    u64 damaged = 0;
+    for (u8 b : buf)
+        damaged += (b != 0);
+    EXPECT_EQ(damaged, hit); // exactly one bit flipped per victim byte
+    EXPECT_EQ(inj.stats().at(Stage::DramWrite).bytes_corrupted, hit);
+}
+
+TEST(FaultInjectorTest, DropRateCalibrated)
+{
+    FaultPlan plan;
+    plan.at(Stage::Deadline).drop_rate = 0.5;
+    FaultInjector inj(plan);
+    int drops = 0;
+    for (int i = 0; i < 10000; ++i)
+        drops += inj.dropEvent(Stage::Deadline);
+    EXPECT_GT(drops, 4500);
+    EXPECT_LT(drops, 5500);
+    EXPECT_EQ(inj.stats().at(Stage::Deadline).drops,
+              static_cast<u64>(drops));
+    EXPECT_EQ(inj.stats().at(Stage::Deadline).events, 10000u);
+}
+
+TEST(FaultInjectorTest, StallChargesConfiguredCycles)
+{
+    FaultPlan plan;
+    plan.at(Stage::DramRead).stall_rate = 1.0;
+    plan.at(Stage::DramRead).stall_cycles = 128;
+    FaultInjector inj(plan);
+    EXPECT_EQ(inj.stallEvent(Stage::DramRead), 128u);
+    EXPECT_EQ(inj.stallEvent(Stage::DramRead), 128u);
+    EXPECT_EQ(inj.stats().at(Stage::DramRead).stall_cycles, 256u);
+}
+
+TEST(FaultInjectorTest, DroppedRowsSortedAndInRange)
+{
+    FaultPlan plan;
+    plan.at(Stage::Csi2).drop_rate = 0.2;
+    FaultInjector inj(plan);
+    const std::vector<i32> rows = inj.sampleDroppedRows(Stage::Csi2, 480);
+    EXPECT_FALSE(rows.empty());
+    i32 prev = -1;
+    for (i32 r : rows) {
+        EXPECT_GT(r, prev);
+        EXPECT_LT(r, 480);
+        prev = r;
+    }
+}
+
+TEST(FaultInjectorTest, StatsResetClearsCounters)
+{
+    FaultInjector inj(FaultPlan::uniform(0.05, 5));
+    std::vector<u8> buf(4096, 0);
+    inj.corruptBuffer(Stage::Csi2, buf.data(), buf.size());
+    EXPECT_GT(inj.stats().totalBytesCorrupted(), 0u);
+    inj.resetStats();
+    EXPECT_EQ(inj.stats().totalBytesCorrupted(), 0u);
+    EXPECT_EQ(inj.stats().totalDrops(), 0u);
+}
+
+} // namespace
+} // namespace rpx
