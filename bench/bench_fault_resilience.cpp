@@ -19,9 +19,15 @@
  *   rec_frames    mean frames from a disturbance (quarantine/miss) back
  *                 to the first clean frame
  *
- * Flags: --quick (shorter sequence, CI smoke), --out FILE (JSON snapshot
- * path; default BENCH_fault_resilience.json). The snapshot lands via the
- * obs metrics exporter, one gauge per cell, for regression tooling.
+ * Flags: --quick (shorter sequence, CI smoke), --out-dir DIR (artifact
+ * directory, default build/bench_out), --out FILE (override for the raw
+ * metrics snapshot path). Two artifacts land in the out dir: the full
+ * gauge snapshot (METRICS_fault_resilience.json, one gauge per table
+ * cell) and the BenchReport of headline metrics
+ * (BENCH_fault_resilience.json) that trend_compare gates on. The sweep
+ * is fully seeded, so the headline metrics are "model"-kind: byte-stable
+ * for a given sequence length (--quick vs full differ — compare like
+ * with like; the committed trend baseline uses --quick).
  */
 
 #include <algorithm>
@@ -30,9 +36,11 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "frame/draw.hpp"
 #include "frame/metrics.hpp"
+#include "obs/bench_report.hpp"
 #include "obs/metrics_export.hpp"
 #include "sim/pipeline.hpp"
 
@@ -161,15 +169,19 @@ int
 main(int argc, char **argv)
 {
     bool quick = false;
-    std::string out_path = "BENCH_fault_resilience.json";
+    std::string out_dir = "build/bench_out";
+    std::string out_path; // empty = derive from out_dir
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0) {
             quick = true;
         } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
             out_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--out-dir") == 0 &&
+                   i + 1 < argc) {
+            out_dir = argv[++i];
         } else {
             std::cerr << "usage: bench_fault_resilience [--quick] "
-                         "[--out FILE]\n";
+                         "[--out-dir DIR] [--out FILE]\n";
             return 1;
         }
     }
@@ -216,8 +228,10 @@ main(int argc, char **argv)
     };
 
     char line[160];
+    std::vector<SweepRow> rows;
     for (double rate : rates) {
         const SweepRow row = runSweep(rate, frames, reference);
+        rows.push_back(row);
         std::snprintf(line, sizeof(line),
                       "  %-9.0e %6d %7llu %5llu %8llu %5llu %5llu %10llu "
                       "%8.2f %11.2f",
@@ -241,7 +255,25 @@ main(int argc, char **argv)
                  "coarsen) until clean frames recover it. PSNR is against "
                  "the fault-free\nrun of the same sequence.\n";
 
+    // Headline BenchReport for the trend store. Everything here is
+    // seeded and wall-clock-free, hence "model" kind (tight gating).
+    obs::BenchReport report;
+    report.bench = "fault_resilience";
+    report.commit = obs::benchCommitFromEnv();
+    for (const SweepRow &row : rows) {
+        char tag[32];
+        std::snprintf(tag, sizeof(tag), "rate_%.0e", row.rate);
+        report.setMetric(std::string("psnr_db_") + tag, row.mean_psnr_db, "dB", "higher", "model");
+        report.setMetric(std::string("recovery_frames_") + tag, row.mean_recovery_frames, "frames", "lower",
+                          "model");
+    }
+    const std::string report_path =
+        obs::benchReportPath(out_dir, "fault_resilience");
+    obs::writeBenchReportFile(report, report_path);
+    if (out_path.empty())
+        out_path = out_dir + "/METRICS_fault_resilience.json";
     obs::writeMetricsJsonFile(registry, out_path);
-    std::cout << "\nWrote " << out_path << "\n";
+    std::cout << "\nWrote " << out_path << "\nWrote " << report_path
+              << "\n";
     return 0;
 }

@@ -12,17 +12,26 @@
  *    would be meaningless);
  *  - Mpixel/s throughput.
  *
- * Results also land in BENCH_parallel_encoder.json via the obs metrics
- * exporter for regression tooling.
+ * `--out-dir DIR` (default build/bench_out; stripped before
+ * google-benchmark sees argv) selects where the two artifacts land:
+ * METRICS_parallel_encoder.json (full registry snapshot) and
+ * BENCH_parallel_encoder.json (headline BenchReport for trend_compare —
+ * bit_identical gates as a model metric, the speedups are wall-kind and
+ * only warn).
  */
 
 #include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "common/rng.hpp"
 #include "core/parallel_encoder.hpp"
 #include "frame/draw.hpp"
+#include "obs/bench_report.hpp"
 #include "obs/metrics_export.hpp"
 #include "obs/perf_registry.hpp"
 
@@ -196,6 +205,7 @@ class RegistryReporter : public benchmark::ConsoleReporter
 int
 main(int argc, char **argv)
 {
+    const std::string out_dir = rpx::benchutil::consumeOutDir(argc, argv);
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;
@@ -203,7 +213,39 @@ main(int argc, char **argv)
     rpx::RegistryReporter reporter(registry);
     benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
-    rpx::obs::writeMetricsJsonFile(registry,
-                                   "BENCH_parallel_encoder.json");
+
+    // Headline report. bit_identical is a hard correctness bit (model
+    // kind, a flip to 0 must gate); speedups are wall-clock and warn-only
+    // — CI runners have too few cores to promise a stable 4-thread ratio.
+    rpx::obs::BenchReport report;
+    report.bench = "parallel_encoder";
+    report.commit = rpx::obs::benchCommitFromEnv();
+    const auto samples = registry.snapshot();
+    double v = 0.0;
+    if (rpx::benchutil::findGauge(samples,
+                                  "BM_ParallelEncoderRegions1080p/4",
+                                  ".bit_identical", v))
+        report.setMetric("regions_bit_identical_4t", v, "bool", "higher", "model");
+    if (rpx::benchutil::findGauge(samples,
+                                  "BM_ParallelEncoderDense1080p/4",
+                                  ".bit_identical", v))
+        report.setMetric("dense_bit_identical_4t", v, "bool", "higher", "model");
+    if (rpx::benchutil::findGauge(samples,
+                                  "BM_ParallelEncoderRegions1080p/4",
+                                  ".speedup_vs_serial", v))
+        report.setMetric("regions_speedup_4t", v, "x", "higher", "wall");
+    if (rpx::benchutil::findGauge(samples,
+                                  "BM_ParallelEncoderDense1080p/4",
+                                  ".speedup_vs_serial", v))
+        report.setMetric("dense_speedup_4t", v, "x", "higher", "wall");
+
+    const std::string report_path =
+        rpx::obs::benchReportPath(out_dir, "parallel_encoder");
+    rpx::obs::writeBenchReportFile(report, report_path);
+    const std::string metrics_path =
+        out_dir + "/METRICS_parallel_encoder.json";
+    rpx::obs::writeMetricsJsonFile(registry, metrics_path);
+    std::cout << "\nWrote " << metrics_path << "\nWrote " << report_path
+              << "\n";
     return 0;
 }

@@ -11,6 +11,7 @@
  *                 [--cycle N] [--frames N] [--encoder-threads N]
  *                 [--region-trace-out FILE]
  *                 [--trace-out FILE] [--metrics-out FILE]
+ *                 [--journal-out FILE]
  *                 [--log-level debug|info|warn|silent]
  *   rpx_cli replay --trace FILE --scheme FCH|FCL|RP|H264|MULTIROI
  *                 [--width N --height N] [--fps F]
@@ -19,17 +20,22 @@
  *
  * --trace-out writes a chrome://tracing / Perfetto-compatible JSON of
  * per-frame pipeline stage spans; --metrics-out writes a counter/gauge/
- * histogram snapshot (JSON, or CSV when the file ends in ".csv").
+ * histogram snapshot (JSON, or CSV when the file ends in ".csv");
+ * --journal-out (run only) streams one JSON line per processed frame with
+ * stage latencies, traffic, energy, and per-region attribution (the
+ * "rpx-frame-telemetry-v1" schema, see src/obs/telemetry.hpp).
  */
 
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "common/logging.hpp"
 #include "obs/metrics_export.hpp"
 #include "obs/obs.hpp"
+#include "obs/telemetry.hpp"
 #include "sim/experiments.hpp"
 #include "sim/trace_io.hpp"
 #include "sim/workload.hpp"
@@ -48,6 +54,7 @@ usage()
         << "                 [--frames N] [--encoder-threads N]\n"
         << "                 [--region-trace-out FILE]\n"
         << "                 [--trace-out FILE] [--metrics-out FILE]\n"
+        << "                 [--journal-out FILE]\n"
         << "                 [--log-level debug|info|warn|silent]\n"
         << "  rpx_cli replay --trace FILE --scheme "
            "FCH|FCL|RP|H264|MULTIROI [--width N]\n"
@@ -122,6 +129,16 @@ runCommand(const std::map<std::string, std::string> &flags)
     obs::ObsContext obs_ctx;
     applyObsFlags(flags, obs_ctx);
 
+    // Per-frame telemetry journal: the sink streams one JSON line per
+    // frame as the run progresses, so even aborted runs leave a journal.
+    std::unique_ptr<obs::TelemetrySink> journal;
+    if (flags.count("journal-out")) {
+        obs::TelemetrySink::Config tc;
+        tc.journal_path = flags.at("journal-out");
+        tc.keep_frames = 0; // the file is the product; retain nothing
+        journal = std::make_unique<obs::TelemetrySink>(tc);
+    }
+
     const std::string task =
         flags.count("task") ? flags.at("task") : "slam";
     WorkloadConfig wc;
@@ -134,6 +151,7 @@ runCommand(const std::map<std::string, std::string> &flags)
                              ? std::stoi(flags.at("encoder-threads"))
                              : 1;
     wc.obs = &obs_ctx;
+    wc.telemetry = journal.get();
     const int frames =
         flags.count("frames") ? std::stoi(flags.at("frames")) : 60;
 
@@ -191,6 +209,11 @@ runCommand(const std::map<std::string, std::string> &flags)
         writeTraceFile(flags.at("region-trace-out"), file);
         std::cout << "  trace:      " << flags.at("region-trace-out")
                   << " (" << file.trace.size() << " frames)\n";
+    }
+    if (journal) {
+        journal->flush();
+        std::cout << "  journal:    " << flags.at("journal-out") << " ("
+                  << journal->totals().frames << " frames)\n";
     }
     exportObs(flags, obs_ctx);
     return 0;

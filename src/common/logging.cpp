@@ -64,6 +64,12 @@ parseLogLevel(const char *name, LogLevel fallback)
         return LogLevel::Warn;
     if (lower == "silent")
         return LogLevel::Silent;
+    // Unrecognized non-empty name: keep the fallback, but say so — a typo
+    // in RPX_LOG_LEVEL (e.g. "verbose") used to silently drop debug logs.
+    if (!lower.empty())
+        emitLog(LogLevel::Warn,
+                std::string("unrecognized RPX_LOG_LEVEL '") + name +
+                    "' (expected debug|info|warn|silent); keeping default");
     return fallback;
 }
 

@@ -27,7 +27,12 @@ LogLevel logLevel();
 namespace detail {
 /** Thread-safe, timestamped write to stderr (one line per call). */
 void emitLog(LogLevel level, const std::string &msg);
-/** Parse a level name (case-insensitive); `fallback` on unknown/null. */
+/**
+ * Parse a level name (case-insensitive). Returns `fallback` when `name` is
+ * null or empty; an unrecognized non-empty name also returns `fallback`
+ * but emits a warning naming the bad value, so a typo in RPX_LOG_LEVEL is
+ * visible instead of silently reverting to the default.
+ */
 LogLevel parseLogLevel(const char *name, LogLevel fallback);
 }
 

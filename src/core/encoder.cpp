@@ -74,6 +74,28 @@ EncoderStats::accumulate(const EncoderStats &other)
 }
 
 void
+RegionAttribution::reset(size_t regions)
+{
+    kept.assign(regions, 0);
+    comparisons.assign(regions, 0);
+}
+
+void
+RegionAttribution::accumulate(const RegionAttribution &other)
+{
+    if (other.empty())
+        return;
+    if (empty())
+        reset(other.kept.size());
+    RPX_ASSERT(kept.size() == other.kept.size(),
+               "attribution region-count mismatch");
+    for (size_t i = 0; i < kept.size(); ++i) {
+        kept[i] += other.kept[i];
+        comparisons[i] += other.comparisons[i];
+    }
+}
+
+void
 RhythmicEncoder::buildShortlist(i32 row, FrameIndex t,
                                 std::vector<ShortlistEntry> &out,
                                 EncoderStats *stats) const
@@ -204,11 +226,18 @@ void
 RhythmicEncoder::encodeRow(const Image &gray, i32 y,
                            const std::vector<ShortlistEntry> &shortlist,
                            EncMask &mask, i32 mask_y, std::vector<u8> &pixels,
-                           u32 &row_count, EncoderStats &stats) const
+                           u32 &row_count, EncoderStats &stats,
+                           RegionAttribution *attr) const
 {
     row_count = 0;
     const i32 w = frame_w_;
     const u8 *row = gray.row(y);
+
+    // Attribution slot for a shortlist/grid pointer (they point into
+    // regions_, so pointer arithmetic recovers the label index).
+    const auto slot = [this](const RegionLabel *r) {
+        return static_cast<size_t>(r - regions_.data());
+    };
 
     if (shortlist.empty()) {
         ++stats.rows_skipped;
@@ -218,6 +247,10 @@ RhythmicEncoder::encodeRow(const Image &gray, i32 y,
             // of a region-free row; that work occupies engine cycles too.
             row_comparisons =
                 static_cast<u64>(regions_.size()) * static_cast<u64>(w);
+            if (attr) {
+                for (size_t i = 0; i < regions_.size(); ++i)
+                    attr->comparisons[i] += static_cast<u64>(w);
+            }
         }
         stats.region_comparisons += row_comparisons;
         chargeRowCycles(row_comparisons, stats);
@@ -253,7 +286,7 @@ RhythmicEncoder::encodeRow(const Image &gray, i32 y,
         // Covering set for this span.
         bool any_cover = false;
         bool any_active = false;
-        bool all_grid_stride1 = false;
+        const RegionLabel *stride1_region = nullptr;
         std::vector<const RegionLabel *> grid_regions;
         for (const auto &e : shortlist) {
             const i32 lo = e.region->x;
@@ -265,26 +298,40 @@ RhythmicEncoder::encodeRow(const Image &gray, i32 y,
                 any_active = true;
                 if (e.row_on_stride) {
                     grid_regions.push_back(e.region);
-                    if (e.region->stride == 1)
-                        all_grid_stride1 = true;
+                    if (e.region->stride == 1 && !stride1_region)
+                        stride1_region = e.region;
                 }
             }
         }
 
         // Work accounting by mode. One sublist scan happens per span
         // (hybrid), per pixel (row-sublist), or against the full region
-        // list per pixel (naive).
+        // list per pixel (naive). Attribution mirrors each charge exactly
+        // so per-region comparisons sum back to region_comparisons.
         switch (config_.mode) {
           case ComparisonMode::Naive:
             row_comparisons +=
                 static_cast<u64>(regions_.size()) * static_cast<u64>(span);
+            if (attr) {
+                for (size_t i = 0; i < regions_.size(); ++i)
+                    attr->comparisons[i] += static_cast<u64>(span);
+            }
             break;
           case ComparisonMode::RowSublist:
             row_comparisons +=
                 static_cast<u64>(shortlist.size()) * static_cast<u64>(span);
+            if (attr) {
+                for (const auto &e : shortlist)
+                    attr->comparisons[slot(e.region)] +=
+                        static_cast<u64>(span);
+            }
             break;
           case ComparisonMode::Hybrid:
             row_comparisons += shortlist.size();
+            if (attr) {
+                for (const auto &e : shortlist)
+                    attr->comparisons[slot(e.region)] += 1;
+            }
             if (span > 1)
                 stats.run_reuses += static_cast<u64>(span - 1);
             break;
@@ -296,23 +343,33 @@ RhythmicEncoder::encodeRow(const Image &gray, i32 y,
         const PixelCode base =
             any_active ? PixelCode::St : PixelCode::Sk;
 
-        if (all_grid_stride1) {
-            // Fast path: the entire span is R.
+        if (stride1_region) {
+            // Fast path: the entire span is R; attribution claims it for
+            // the first stride-1 region covering the span (deterministic,
+            // and independent of which overlapping grid happens to match
+            // a given x first).
             for (i32 x = a; x < b; ++x) {
                 mask.set(x, mask_y, PixelCode::R);
                 pixels.push_back(row[x]);
                 ++row_count;
             }
+            if (attr)
+                attr->kept[slot(stride1_region)] += static_cast<u64>(span);
             continue;
         }
 
         for (i32 x = a; x < b; ++x) {
             PixelCode code = base;
             for (const RegionLabel *r : grid_regions) {
-                if (config_.mode == ComparisonMode::Hybrid)
+                if (config_.mode == ComparisonMode::Hybrid) {
                     ++row_comparisons;
+                    if (attr)
+                        attr->comparisons[slot(r)] += 1;
+                }
                 if ((x - r->x) % r->stride == 0) {
                     code = PixelCode::R;
+                    if (attr)
+                        attr->kept[slot(r)] += 1;
                     break;
                 }
             }
@@ -341,25 +398,30 @@ RhythmicEncoder::encodeBand(const Image &gray, FrameIndex t, i32 y0, i32 y1,
     out.pixels.clear();
     out.row_counts.assign(static_cast<size_t>(y1 - y0), 0);
     out.work.reset();
+    out.attr.reset(attribute_regions_ ? regions_.size() : 0);
+    RegionAttribution *attr = attribute_regions_ ? &out.attr : nullptr;
 
     std::vector<ShortlistEntry> shortlist;
     for (i32 y = y0; y < y1; ++y) {
         buildShortlist(y, t, shortlist, &out.work);
         u32 row_count = 0;
         encodeRow(gray, y, shortlist, out.mask, y - y0, out.pixels,
-                  row_count, out.work);
+                  row_count, out.work, attr);
         out.row_counts[static_cast<size_t>(y - y0)] = row_count;
     }
 }
 
 void
 RhythmicEncoder::commitFrameStats(const EncodedFrame &out, u64 pixels_in,
-                                  const EncoderStats &work)
+                                  const EncoderStats &work,
+                                  const RegionAttribution *attr)
 {
     stats_.accumulate(work);
     ++stats_.frames;
     stats_.pixels_in += pixels_in;
     stats_.pixels_encoded += out.pixels.size();
+    if (attribute_regions_)
+        last_attr_ = attr ? *attr : RegionAttribution{};
     if (obs_frames_) {
         obs_frames_->inc();
         obs_pixels_in_->add(pixels_in);
@@ -396,7 +458,8 @@ RhythmicEncoder::encodeFrame(const Image &gray, FrameIndex t)
     for (i32 y = 0; y < frame_h_; ++y)
         out.offsets.setRowCount(y, shard.row_counts[static_cast<size_t>(y)]);
 
-    commitFrameStats(out, static_cast<u64>(gray.pixelCount()), shard.work);
+    commitFrameStats(out, static_cast<u64>(gray.pixelCount()), shard.work,
+                     &shard.attr);
     return out;
 }
 

@@ -79,6 +79,30 @@ struct EncoderStats {
 };
 
 /**
+ * Per-region attribution of encoder work: slot i corresponds to
+ * regionLabels()[i] of the encoder that produced it.
+ *
+ * Attribution is deterministic and conserving — every counted unit lands in
+ * exactly one slot, so the vectors sum back to the frame aggregates:
+ *   sum(kept)        == EncoderStats::pixels_encoded
+ *   sum(comparisons) == EncoderStats::region_comparisons
+ * An R pixel claimed by several overlapping grids is attributed to the
+ * region the comparison engine matched first (the sweep's break target);
+ * the stride-1 fast path attributes its whole span to the first stride-1
+ * region covering it — the same region the per-pixel loop would match.
+ */
+struct RegionAttribution {
+    std::vector<u64> kept;        //!< R pixels attributed to each region
+    std::vector<u64> comparisons; //!< engine checks attributed to each region
+
+    /** Zero `regions` slots (0 releases storage = attribution off). */
+    void reset(size_t regions);
+    /** Elementwise add; other must be empty or the same size. */
+    void accumulate(const RegionAttribution &other);
+    bool empty() const { return kept.empty(); }
+};
+
+/**
  * Streaming rhythmic pixel encoder.
  */
 class RhythmicEncoder
@@ -153,6 +177,8 @@ class RhythmicEncoder
         std::vector<u8> pixels;      //!< packed band payload, raster order
         std::vector<u32> row_counts; //!< encoded pixels per band row
         EncoderStats work;           //!< band-local work counters
+        /** Band-local per-region work; empty unless attribution enabled. */
+        RegionAttribution attr;
     };
 
     /**
@@ -171,7 +197,27 @@ class RhythmicEncoder
      * serial and parallel stats bit-identical.
      */
     void commitFrameStats(const EncodedFrame &out, u64 pixels_in,
-                          const EncoderStats &work);
+                          const EncoderStats &work,
+                          const RegionAttribution *attr = nullptr);
+
+    /**
+     * Toggle per-region work attribution (off by default: the hot loops
+     * then skip every attribution branch via a null pointer, keeping the
+     * non-telemetry path cost-free). When on, each encoded frame also
+     * fills lastFrameAttribution().
+     */
+    void enableRegionAttribution(bool on) { attribute_regions_ = on; }
+    bool regionAttributionEnabled() const { return attribute_regions_; }
+
+    /**
+     * Per-region attribution of the most recently committed frame
+     * (empty when attribution is disabled). Indexed like regionLabels()
+     * as of that frame — read it before the next setRegionLabels().
+     */
+    const RegionAttribution &lastFrameAttribution() const
+    {
+        return last_attr_;
+    }
 
     /**
      * Classify a single pixel against a label list — the reference
@@ -224,7 +270,8 @@ class RhythmicEncoder
     void encodeRow(const Image &gray, i32 y,
                    const std::vector<ShortlistEntry> &shortlist,
                    EncMask &mask, i32 mask_y, std::vector<u8> &pixels,
-                   u32 &row_count, EncoderStats &stats) const;
+                   u32 &row_count, EncoderStats &stats,
+                   RegionAttribution *attr) const;
     /** Per-row cycle model: stream time vs comparison-engine time. */
     void chargeRowCycles(u64 row_comparisons, EncoderStats &stats) const;
 
@@ -233,6 +280,8 @@ class RhythmicEncoder
     Config config_;
     std::vector<RegionLabel> regions_;
     EncoderStats stats_;
+    bool attribute_regions_ = false;
+    RegionAttribution last_attr_;
 
     // Cached counter handles; null when no observer is attached.
     obs::Counter *obs_frames_ = nullptr;

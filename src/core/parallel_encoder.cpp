@@ -94,6 +94,7 @@ ParallelEncoder::encodeFrame(const Image &gray, FrameIndex t)
     out.pixels.reserve(total_pixels);
 
     EncoderStats work;
+    RegionAttribution attr;
     for (const auto &shard : shards_) {
         out.mask.blitRows(shard.mask, shard.y0);
         out.pixels.insert(out.pixels.end(), shard.pixels.begin(),
@@ -102,10 +103,11 @@ ParallelEncoder::encodeFrame(const Image &gray, FrameIndex t)
             out.offsets.setRowCount(
                 y, shard.row_counts[static_cast<size_t>(y - shard.y0)]);
         work.accumulate(shard.work);
+        attr.accumulate(shard.attr);
     }
 
     serial_.commitFrameStats(out, static_cast<u64>(gray.pixelCount()),
-                             work);
+                             work, &attr);
     return out;
 }
 

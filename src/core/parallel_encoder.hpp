@@ -91,6 +91,25 @@ class ParallelEncoder
     bool withinCycleBudget() const { return serial_.withinCycleBudget(); }
     void attachObs(obs::ObsContext *ctx) { serial_.attachObs(ctx); }
 
+    /**
+     * Per-region attribution passthrough. Band shards attribute rows
+     * independently and the merge is an elementwise sum, so parallel
+     * attribution is bit-identical to serial (same invariants: kept sums
+     * to pixels_encoded, comparisons to region_comparisons).
+     */
+    void enableRegionAttribution(bool on)
+    {
+        serial_.enableRegionAttribution(on);
+    }
+    bool regionAttributionEnabled() const
+    {
+        return serial_.regionAttributionEnabled();
+    }
+    const RegionAttribution &lastFrameAttribution() const
+    {
+        return serial_.lastFrameAttribution();
+    }
+
     RhythmicEncoder::FrameSummary summarizeFrame(FrameIndex t) const
     {
         return serial_.summarizeFrame(t);

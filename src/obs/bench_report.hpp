@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Standardized benchmark reports and trend comparison (obs v2).
+ *
+ * Every bench_* binary emits one BenchReport — a named set of headline
+ * metrics with units, a better-direction, and a measurement kind — as
+ * `BENCH_<bench>.json` under a configurable --out-dir. A copy of each
+ * report, keyed by the commit that produced it, lives in the committed
+ * `bench/trend/` store; the `trend_compare` tool diffs a fresh run against
+ * that baseline and fails CI on regressions.
+ *
+ * The `kind` field is what makes gating sane on noisy runners:
+ *  - "model" metrics come from the deterministic cycle/energy/traffic
+ *    models (identical on every machine) and gate at a tight threshold;
+ *  - "wall" metrics are wall-clock throughput (1-core CI containers make
+ *    them noisy) and only warn unless --gate-wall is passed.
+ */
+
+#ifndef RPX_OBS_BENCH_REPORT_HPP
+#define RPX_OBS_BENCH_REPORT_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace rpx::obs {
+
+/** One headline metric of a benchmark run. */
+struct BenchMetric {
+    double value = 0.0;
+    std::string unit;      //!< "MB/s", "nJ", "ratio", ...
+    std::string direction; //!< "higher" or "lower" (is better)
+    std::string kind;      //!< "model" (deterministic) or "wall" (clock)
+};
+
+/** One benchmark binary's report (schema "rpx-bench-report-v1"). */
+struct BenchReport {
+    std::string bench;  //!< short name, e.g. "encoder_decoder"
+    std::string commit; //!< producing commit (or "unknown")
+    std::string pr;     //!< optional PR identifier
+    std::map<std::string, BenchMetric> metrics; //!< name-sorted
+
+    void
+    setMetric(const std::string &name, double value,
+              const std::string &unit, const std::string &direction,
+              const std::string &kind)
+    {
+        metrics[name] = BenchMetric{value, unit, direction, kind};
+    }
+};
+
+std::string writeBenchReportJson(const BenchReport &report);
+void writeBenchReportFile(const BenchReport &report,
+                          const std::string &path);
+
+/** Throws std::runtime_error on schema mismatch / malformed report. */
+BenchReport benchReportFromJson(const json::Value &value);
+BenchReport readBenchReportFile(const std::string &path);
+
+/**
+ * Canonical report path `<out_dir>/BENCH_<bench>.json`, creating the
+ * directory tree on demand.
+ */
+std::string benchReportPath(const std::string &out_dir,
+                            const std::string &bench);
+
+/** Producing commit: $RPX_BENCH_COMMIT, else $GITHUB_SHA, else "unknown". */
+std::string benchCommitFromEnv();
+
+/** One metric-level finding of a trend comparison. */
+struct TrendIssue {
+    std::string bench;
+    std::string metric;
+    double baseline = 0.0;
+    double candidate = 0.0;
+    double delta_pct = 0.0; //!< signed percent change vs baseline
+    std::string kind;
+    std::string note; //!< human-readable explanation
+};
+
+/** Comparison thresholds (percent worsening that counts as regression). */
+struct TrendThresholds {
+    double model_pct = 5.0;
+    double wall_pct = 25.0;
+    /** Gate on wall-clock regressions too (off: they only warn). */
+    bool gate_wall = false;
+};
+
+/** Result of comparing one candidate report against its baseline. */
+struct TrendResult {
+    std::vector<TrendIssue> regressions;  //!< gating failures
+    std::vector<TrendIssue> warnings;     //!< non-gating findings
+    std::vector<TrendIssue> improvements; //!< beyond-threshold gains
+
+    bool ok() const { return regressions.empty(); }
+    void merge(const TrendResult &other);
+};
+
+/**
+ * Diff `candidate` against `baseline` metric by metric. Worsening beyond
+ * the kind's threshold (in the metric's worse direction) is a regression
+ * for "model" metrics — and for "wall" metrics only when gate_wall is set,
+ * otherwise a warning. Metrics missing on either side warn (a renamed or
+ * new metric must not hard-fail CI until the baseline is refreshed).
+ */
+TrendResult compareReports(const BenchReport &baseline,
+                           const BenchReport &candidate,
+                           const TrendThresholds &thresholds);
+
+} // namespace rpx::obs
+
+#endif // RPX_OBS_BENCH_REPORT_HPP

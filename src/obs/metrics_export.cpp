@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/error.hpp"
@@ -25,15 +26,48 @@ kindName(MetricSample::Kind kind)
     return "unknown";
 }
 
-/** JSON has no Inf/NaN; clamp to null-safe 0 (only empty histograms). */
+/**
+ * JSON has no Inf/NaN; clamp to null-safe 0 (only empty histograms).
+ * Counters are u64 sums surfaced as doubles — render integral values as
+ * integers and everything else with round-trip precision, so journal and
+ * metrics artifacts reconcile exactly instead of to 6 significant digits.
+ */
 std::string
 jsonNumber(double v)
 {
     if (!std::isfinite(v))
         return "0";
+    if (std::nearbyint(v) == v && std::abs(v) < 9.007199254740992e15) {
+        std::ostringstream os;
+        os << static_cast<long long>(v);
+        return os.str();
+    }
     std::ostringstream os;
+    os.precision(std::numeric_limits<double>::max_digits10);
     os << v;
     return os.str();
+}
+
+/**
+ * RFC-4180 CSV field escaping: names containing commas, quotes, or
+ * newlines are quoted with embedded quotes doubled, so metric names like
+ * `bench."quoted",stage` survive a round-trip through spreadsheet tools.
+ */
+std::string
+csvEscape(const std::string &s)
+{
+    if (s.find_first_of(",\"\n\r") == std::string::npos)
+        return s;
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (const char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
 }
 
 } // namespace
@@ -59,7 +93,9 @@ writeMetricsJson(const std::vector<MetricSample> &samples, std::ostream &os)
             os << "],\"buckets\":[";
             for (size_t i = 0; i < s.buckets.size(); ++i)
                 os << (i ? "," : "") << s.buckets[i];
-            os << "]";
+            os << "],\"p50\":" << jsonNumber(sampleQuantile(s, 0.50))
+               << ",\"p99\":" << jsonNumber(sampleQuantile(s, 0.99))
+               << ",\"p999\":" << jsonNumber(sampleQuantile(s, 0.999));
         } else {
             os << ",\"value\":" << jsonNumber(s.value);
         }
@@ -71,11 +107,14 @@ writeMetricsJson(const std::vector<MetricSample> &samples, std::ostream &os)
 void
 writeMetricsCsv(const std::vector<MetricSample> &samples, std::ostream &os)
 {
-    os << "name,kind,value,sum,min,max\n";
+    os << "name,kind,value,sum,min,max,p50,p99,p999\n";
     for (const MetricSample &s : samples) {
-        os << s.name << "," << kindName(s.kind) << "," << jsonNumber(s.value)
-           << "," << jsonNumber(s.sum) << "," << jsonNumber(s.min) << ","
-           << jsonNumber(s.max) << "\n";
+        os << csvEscape(s.name) << "," << kindName(s.kind) << ","
+           << jsonNumber(s.value) << "," << jsonNumber(s.sum) << ","
+           << jsonNumber(s.min) << "," << jsonNumber(s.max) << ","
+           << jsonNumber(sampleQuantile(s, 0.50)) << ","
+           << jsonNumber(sampleQuantile(s, 0.99)) << ","
+           << jsonNumber(sampleQuantile(s, 0.999)) << "\n";
     }
 }
 

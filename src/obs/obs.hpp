@@ -67,30 +67,35 @@ class ScopedStageTimer
 {
   public:
     /**
-     * @param ctx   null to disable (zero-cost)
-     * @param hist  pre-registered latency histogram (may be null)
-     * @param name  span/stage name (must outlive the timer; use literals)
-     * @param cat   span category
-     * @param lane  trace lane the span lands on
-     * @param frame frame index recorded in the span args (-1 = none)
+     * @param ctx    null to disable ctx-side reporting
+     * @param hist   pre-registered latency histogram (may be null)
+     * @param name   span/stage name (must outlive the timer; use literals)
+     * @param cat    span category
+     * @param lane   trace lane the span lands on
+     * @param frame  frame index recorded in the span args (-1 = none)
+     * @param out_us when non-null, receives the measured duration at scope
+     *               exit (telemetry attribution reads stage latencies this
+     *               way). Null ctx + null out_us is the zero-cost state.
      */
     ScopedStageTimer(ObsContext *ctx, Histogram *hist, const char *name,
-                     const char *cat, TraceLane lane, i64 frame = -1)
+                     const char *cat, TraceLane lane, i64 frame = -1,
+                     double *out_us = nullptr)
         : ctx_(ctx), hist_(hist), name_(name), cat_(cat), lane_(lane),
-          frame_(frame)
+          frame_(frame), out_us_(out_us)
     {
         if (ctx_ && ctx_->trace())
             start_us_ = ctx_->trace()->nowUs();
-        else if (ctx_)
+        else if (ctx_ || out_us_)
             start_ = std::chrono::steady_clock::now();
     }
 
     ~ScopedStageTimer()
     {
-        if (!ctx_)
+        if (!ctx_ && !out_us_)
             return;
         double dur_us;
-        if (TraceRecorder *tr = ctx_->trace()) {
+        if (ctx_ && ctx_->trace()) {
+            TraceRecorder *tr = ctx_->trace();
             dur_us = tr->nowUs() - start_us_;
             tr->record({name_, cat_, start_us_, dur_us,
                         static_cast<u32>(lane_), frame_});
@@ -101,6 +106,8 @@ class ScopedStageTimer
         }
         if (hist_)
             hist_->record(dur_us);
+        if (out_us_)
+            *out_us_ = dur_us;
     }
 
     ScopedStageTimer(const ScopedStageTimer &) = delete;
@@ -113,6 +120,7 @@ class ScopedStageTimer
     const char *cat_;
     TraceLane lane_;
     i64 frame_;
+    double *out_us_;
     double start_us_ = 0.0;
     std::chrono::steady_clock::time_point start_;
 };

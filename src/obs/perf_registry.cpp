@@ -96,6 +96,69 @@ Histogram::max() const
     return count() ? max_.load(std::memory_order_relaxed) : 0.0;
 }
 
+namespace {
+
+/**
+ * Shared bucket-interpolation core for Histogram::quantile and
+ * sampleQuantile. `q` is clamped to [0, 1]; the estimate is clamped to
+ * [lo, hi] (the observed min/max), which resolves every small-N edge case:
+ * one sample returns that sample, and p999 of three samples returns the
+ * largest sample rather than a value interpolated past it.
+ */
+double
+bucketQuantile(const std::vector<double> &bounds,
+               const std::vector<u64> &buckets, u64 count, double lo,
+               double hi, double q)
+{
+    if (count == 0)
+        return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+
+    // Rank of the requested quantile among the recorded samples (1-based).
+    const double rank = q * static_cast<double>(count);
+    u64 cum = 0;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        const u64 in_bucket = buckets[i];
+        if (in_bucket == 0)
+            continue;
+        if (static_cast<double>(cum + in_bucket) >= rank) {
+            // Linear interpolation inside the bucket. Bucket i spans
+            // (bounds[i-1], bounds[i]]; the first bucket starts at the
+            // observed min and the overflow bucket ends at the observed
+            // max (not infinity).
+            const double b_lo = i == 0 ? lo : bounds[i - 1];
+            const double b_hi = i < bounds.size() ? bounds[i] : hi;
+            const double into =
+                in_bucket == 0
+                    ? 0.0
+                    : (rank - static_cast<double>(cum)) /
+                          static_cast<double>(in_bucket);
+            const double est = b_lo + (b_hi - b_lo) * std::clamp(into, 0.0, 1.0);
+            return std::clamp(est, lo, hi);
+        }
+        cum += in_bucket;
+    }
+    return hi;
+}
+
+} // namespace
+
+double
+Histogram::quantile(double q) const
+{
+    return bucketQuantile(bounds_, bucketCounts(), count(), min(), max(), q);
+}
+
+double
+sampleQuantile(const MetricSample &sample, double q)
+{
+    if (sample.kind != MetricSample::Kind::Histogram)
+        return 0.0;
+    return bucketQuantile(sample.bounds, sample.buckets,
+                          static_cast<u64>(sample.value), sample.min,
+                          sample.max, q);
+}
+
 std::vector<u64>
 Histogram::bucketCounts() const
 {

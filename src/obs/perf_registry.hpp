@@ -74,6 +74,19 @@ class Histogram
     double min() const;
     double max() const;
 
+    /**
+     * Bucket-interpolated quantile estimate, q in [0, 1] (0.99 = p99).
+     *
+     * Edge cases are pinned down (they used to be easy to get wrong when
+     * consumers hand-rolled this from bucket counts):
+     *  - empty histogram -> 0.0 (matches mean()/min()/max());
+     *  - every estimate is clamped into [min(), max()], so a single
+     *    sample returns exactly that sample and p999 on a handful of
+     *    samples returns max() instead of extrapolating past it;
+     *  - the overflow bucket interpolates toward max(), not infinity.
+     */
+    double quantile(double q) const;
+
     const std::vector<double> &bounds() const { return bounds_; }
     /** Per-bucket counts; index bounds().size() is the overflow bucket. */
     std::vector<u64> bucketCounts() const;
@@ -100,6 +113,13 @@ struct MetricSample {
     std::vector<double> bounds;
     std::vector<u64> buckets;
 };
+
+/**
+ * Quantile estimate from a histogram snapshot (same algorithm and edge-case
+ * behaviour as Histogram::quantile, for consumers that only hold a
+ * MetricSample — exporters, bench reports, trend tooling).
+ */
+double sampleQuantile(const MetricSample &sample, double q);
 
 /**
  * The registry: name -> metric, thread-safe registration, stable handles.

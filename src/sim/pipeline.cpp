@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "energy/energy_model.hpp"
 
 namespace rpx {
 
@@ -57,6 +58,12 @@ VisionPipeline::VisionPipeline(const PipelineConfig &config)
             config.fault.degradation);
     }
 
+    if ((telemetry_ = config.telemetry)) {
+        // Per-region journal entries need the encoder's conserving
+        // work attribution; enabling it here keeps the knob implicit.
+        encoder_->enableRegionAttribution(true);
+    }
+
     if ((obs_ = config.obs)) {
         dram_->attachObs(obs_);
         driver_->attachObs(obs_);
@@ -71,8 +78,15 @@ VisionPipeline::VisionPipeline(const PipelineConfig &config)
         obs_bytes_written_ = &r.counter("pipeline.bytes_written");
         obs_bytes_read_ = &r.counter("pipeline.bytes_read");
         obs_metadata_bytes_ = &r.counter("pipeline.metadata_bytes");
+        obs_quarantined_ = &r.counter("pipeline.quarantined_frames");
+        obs_deadline_misses_ = &r.counter("pipeline.deadline_misses");
+        obs_transient_faults_ = &r.counter("pipeline.transient_faults");
         obs_kept_fraction_ = &r.gauge("pipeline.kept_fraction");
         obs_footprint_ = &r.gauge("pipeline.footprint_bytes");
+        obs_energy_sense_ = &r.gauge("pipeline.energy_sense_nj");
+        obs_energy_csi_ = &r.gauge("pipeline.energy_csi_nj");
+        obs_energy_dram_ = &r.gauge("pipeline.energy_dram_nj");
+        obs_energy_total_ = &r.gauge("pipeline.energy_total_nj");
         obs_h_sensor_ =
             &r.histogram("pipeline.stage.sensor_readout.latency_us");
         obs_h_isp_ = &r.histogram("pipeline.stage.isp.latency_us");
@@ -92,6 +106,19 @@ VisionPipeline::processFrame(const Image &scene)
     obs::ScopedStageTimer frame_span(obs_, obs_h_frame_, "frame",
                                      "pipeline", obs::TraceLane::Pipeline,
                                      t);
+
+    // Telemetry attribution baselines: stage latencies land in these via
+    // the stage timers' out_us hooks, and the shared-model deltas (DRAM
+    // transactions, encoder cycles) are computed against these snapshots.
+    const bool tele = telemetry_ != nullptr;
+    double lat_sensor = 0.0, lat_isp = 0.0, lat_encode = 0.0;
+    double lat_dram_write = 0.0, lat_decode = 0.0;
+    DramStats dram_before;
+    EncoderStats enc_before;
+    if (tele) {
+        dram_before = dram_->stats();
+        enc_before = encoder_->stats();
+    }
 
     // 1. Runtime programs the encoder for this frame. Under degradation
     //    the ladder sheds work first: the region budget shrinks (tail
@@ -124,7 +151,8 @@ VisionPipeline::processFrame(const Image &scene)
         {
             obs::ScopedStageTimer span(obs_, obs_h_sensor_,
                                        "sensor_readout", "pipeline",
-                                       obs::TraceLane::Sensor, t);
+                                       obs::TraceLane::Sensor, t,
+                                       tele ? &lat_sensor : nullptr);
             raw = sensor_.capture(scene);
             // With an injector on the link the transfer can drop lines
             // and flip payload bits in the raw mosaic before the ISP.
@@ -136,20 +164,23 @@ VisionPipeline::processFrame(const Image &scene)
         }
         {
             obs::ScopedStageTimer span(obs_, obs_h_isp_, "isp", "pipeline",
-                                       obs::TraceLane::Isp, t);
+                                       obs::TraceLane::Isp, t,
+                                       tele ? &lat_isp : nullptr);
             gray = isp_.process(raw);
         }
     } else {
         {
             obs::ScopedStageTimer span(obs_, obs_h_isp_, "isp", "pipeline",
-                                       obs::TraceLane::Isp, t);
+                                       obs::TraceLane::Isp, t,
+                                       tele ? &lat_isp : nullptr);
             gray = scene.channels() == 1 ? scene : scene.toGray();
             if (gray.width() != config_.width ||
                 gray.height() != config_.height)
                 gray = gray.resized(config_.width, config_.height);
         }
         obs::ScopedStageTimer span(obs_, obs_h_sensor_, "sensor_readout",
-                                   "pipeline", obs::TraceLane::Sensor, t);
+                                   "pipeline", obs::TraceLane::Sensor, t,
+                                   tele ? &lat_sensor : nullptr);
         csi_status = injector_
                          ? csi_.transferFrame(gray, config_.fps)
                          : csi_.transferFrame(
@@ -160,7 +191,8 @@ VisionPipeline::processFrame(const Image &scene)
     EncodedFrame encoded;
     {
         obs::ScopedStageTimer span(obs_, obs_h_encode_, "encode",
-                                   "pipeline", obs::TraceLane::Encoder, t);
+                                   "pipeline", obs::TraceLane::Encoder, t,
+                                   tele ? &lat_encode : nullptr);
         encoded = encoder_->encodeFrame(gray, t);
     }
     const double kept = encoded.keptFraction();
@@ -169,7 +201,8 @@ VisionPipeline::processFrame(const Image &scene)
     FrameStoreReport store_report;
     {
         obs::ScopedStageTimer span(obs_, obs_h_dram_write_, "dram_write",
-                                   "pipeline", obs::TraceLane::Dram, t);
+                                   "pipeline", obs::TraceLane::Dram, t,
+                                   tele ? &lat_dram_write : nullptr);
         store_report = store_->store(std::move(encoded));
     }
 
@@ -184,7 +217,8 @@ VisionPipeline::processFrame(const Image &scene)
     PipelineFrameResult result;
     {
         obs::ScopedStageTimer span(obs_, obs_h_decode_, "decode",
-                                   "pipeline", obs::TraceLane::Decoder, t);
+                                   "pipeline", obs::TraceLane::Decoder, t,
+                                   tele ? &lat_decode : nullptr);
         if (config_.fault.graceful) {
             SwDecodeStatus st =
                 sw_decoder_.tryDecode(*store_->recent(0), history,
@@ -246,13 +280,124 @@ VisionPipeline::processFrame(const Image &scene)
     result.traffic.footprint = store_->totalFootprint();
     traffic_.add(result.traffic);
 
+    // 6. Energy attribution (first-order model, Appendix A.2): sensing and
+    //    CSI scale with dense pixels in; everything DRAM-side scales with
+    //    kept pixels (write+read DDR crossings plus the array accesses).
+    //    Computed only when someone is listening, so the bare pipeline
+    //    stays at seed cost.
+    const u64 pixels_in = static_cast<u64>(gray.pixelCount());
+    const u64 kept_pixels = static_cast<u64>(pixel_bytes); // 1 B per pixel
+    double e_sense_nj = 0.0, e_csi_nj = 0.0, e_dram_nj = 0.0;
+    if (telemetry_ || obs_energy_total_) {
+        const EnergyConstants ec;
+        e_sense_nj = ec.sense_pj * static_cast<double>(pixels_in) / 1e3;
+        e_csi_nj = ec.csi_pj * static_cast<double>(pixels_in) / 1e3;
+        const double dram_nj_per_px =
+            (2.0 * ec.ddr_comm_crossing_pj + ec.dram_write_pj +
+             ec.dram_read_pj) /
+            1e3;
+        e_dram_nj = dram_nj_per_px * static_cast<double>(kept_pixels);
+        energy_sense_nj_ += e_sense_nj;
+        energy_csi_nj_ += e_csi_nj;
+        energy_dram_nj_ += e_dram_nj;
+    }
+
     if (obs_frames_) {
         obs_frames_->inc();
         obs_bytes_written_->add(result.traffic.bytes_written);
         obs_bytes_read_->add(result.traffic.bytes_read);
         obs_metadata_bytes_->add(result.traffic.metadata_bytes);
+        if (result.quarantined)
+            obs_quarantined_->inc();
+        if (result.deadline_missed)
+            obs_deadline_misses_->inc();
+        obs_transient_faults_->add(result.transient_faults);
         obs_kept_fraction_->set(kept);
         obs_footprint_->set(static_cast<double>(result.traffic.footprint));
+        obs_energy_sense_->set(energy_sense_nj_);
+        obs_energy_csi_->set(energy_csi_nj_);
+        obs_energy_dram_->set(energy_dram_nj_);
+        obs_energy_total_->set(energy_sense_nj_ + energy_csi_nj_ +
+                               energy_dram_nj_);
+    }
+
+    if (telemetry_) {
+        obs::FrameTelemetry ft;
+        ft.index = static_cast<u64>(t);
+        ft.sensor_us = lat_sensor;
+        ft.isp_us = lat_isp;
+        ft.encode_us = lat_encode;
+        ft.dram_write_us = lat_dram_write;
+        ft.decode_us = lat_decode;
+        ft.total_us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - frame_start)
+                          .count();
+
+        ft.pixels_in = pixels_in;
+        ft.pixels_kept = kept_pixels;
+        ft.bytes_written = result.traffic.bytes_written;
+        ft.bytes_read = result.traffic.bytes_read;
+        ft.metadata_bytes = result.traffic.metadata_bytes;
+
+        const DramStats &ds = dram_->stats();
+        ft.dram_write_transactions =
+            ds.write_transactions - dram_before.write_transactions;
+        ft.dram_read_transactions =
+            ds.read_transactions - dram_before.read_transactions;
+        ft.dram_bytes_written =
+            ds.bytes_written - dram_before.bytes_written;
+        ft.dram_bytes_read = ds.bytes_read - dram_before.bytes_read;
+
+        const EncoderStats &es = encoder_->stats();
+        ft.compare_cycles = es.compare_cycles - enc_before.compare_cycles;
+        ft.stream_cycles = es.stream_cycles - enc_before.stream_cycles;
+        ft.region_comparisons =
+            es.region_comparisons - enc_before.region_comparisons;
+
+        ft.quarantined = result.quarantined;
+        ft.held_last_good = result.held_last_good;
+        ft.deadline_missed = result.deadline_missed;
+        ft.csi_dropped_lines = result.csi_dropped_lines;
+        ft.transient_faults = result.transient_faults;
+        ft.degradation_level = result.degradation_level;
+
+        ft.energy_sense_nj = e_sense_nj;
+        ft.energy_csi_nj = e_csi_nj;
+        ft.energy_dram_nj = e_dram_nj;
+        ft.energy_total_nj = e_sense_nj + e_csi_nj + e_dram_nj;
+
+        // Per-region attribution: the encoder's label list for this frame
+        // (post-degradation) with the work its attribution pass claimed.
+        // DRAM-path energy splits across regions by kept pixels, so the
+        // region energies sum exactly to the frame's energy_dram_nj.
+        const EnergyConstants ec;
+        const double dram_nj_per_px =
+            (2.0 * ec.ddr_comm_crossing_pj + ec.dram_write_pj +
+             ec.dram_read_pj) /
+            1e3;
+        const std::vector<RegionLabel> &labels = encoder_->regionLabels();
+        const RegionAttribution &attr = encoder_->lastFrameAttribution();
+        ft.regions.reserve(labels.size());
+        for (size_t i = 0; i < labels.size(); ++i) {
+            const RegionLabel &l = labels[i];
+            obs::RegionTelemetry rt;
+            rt.x = l.x;
+            rt.y = l.y;
+            rt.w = l.w;
+            rt.h = l.h;
+            rt.stride = l.stride;
+            rt.skip = l.skip;
+            rt.active = l.activeAt(t);
+            if (i < attr.kept.size()) {
+                rt.pixels_kept = attr.kept[i];
+                rt.comparisons = attr.comparisons[i];
+            }
+            rt.payload_bytes = rt.pixels_kept; // Gray8: 1 byte per pixel
+            rt.energy_nj =
+                dram_nj_per_px * static_cast<double>(rt.pixels_kept);
+            ft.regions.push_back(std::move(rt));
+        }
+        telemetry_->record(ft);
     }
     return result;
 }

@@ -21,6 +21,7 @@
 #include "isp/isp_pipeline.hpp"
 #include "memory/dram.hpp"
 #include "obs/obs.hpp"
+#include "obs/telemetry.hpp"
 #include "runtime/api.hpp"
 #include "runtime/driver.hpp"
 #include "runtime/registers.hpp"
@@ -94,6 +95,15 @@ struct PipelineConfig {
      * Null (the default) keeps all instrumentation disabled at zero cost.
      */
     obs::ObsContext *obs = nullptr;
+    /**
+     * Optional telemetry sink (not owned; must outlive the pipeline).
+     * When set, every processed frame records one FrameTelemetry with
+     * stage latencies, traffic/DRAM/energy attribution, fault outcome,
+     * and per-region work (the encoder's region attribution is enabled
+     * automatically). Null (default) keeps the frame path free of any
+     * attribution work.
+     */
+    obs::TelemetrySink *telemetry = nullptr;
     /** Fault injection + resilience (default: everything off). */
     PipelineFaultConfig fault;
 };
@@ -178,13 +188,26 @@ class VisionPipeline
     bool have_last_good_ = false;
 
     obs::ObsContext *obs_ = nullptr;
+    obs::TelemetrySink *telemetry_ = nullptr;
     // Pipeline-level handles; null when no context is attached.
     obs::Counter *obs_frames_ = nullptr;
     obs::Counter *obs_bytes_written_ = nullptr;
     obs::Counter *obs_bytes_read_ = nullptr;
     obs::Counter *obs_metadata_bytes_ = nullptr;
+    obs::Counter *obs_quarantined_ = nullptr;
+    obs::Counter *obs_deadline_misses_ = nullptr;
+    obs::Counter *obs_transient_faults_ = nullptr;
     obs::Gauge *obs_kept_fraction_ = nullptr;
     obs::Gauge *obs_footprint_ = nullptr;
+    // Cumulative energy accounting (nanojoules), mirrored into gauges so
+    // journal sums can be reconciled against the registry snapshot.
+    double energy_sense_nj_ = 0.0;
+    double energy_csi_nj_ = 0.0;
+    double energy_dram_nj_ = 0.0;
+    obs::Gauge *obs_energy_sense_ = nullptr;
+    obs::Gauge *obs_energy_csi_ = nullptr;
+    obs::Gauge *obs_energy_dram_ = nullptr;
+    obs::Gauge *obs_energy_total_ = nullptr;
     // Per-stage latency histograms (microseconds).
     obs::Histogram *obs_h_sensor_ = nullptr;
     obs::Histogram *obs_h_isp_ = nullptr;

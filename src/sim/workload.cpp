@@ -126,6 +126,7 @@ runSlamWorkload(const SlamSequenceConfig &sequence_cfg,
     pc.height = h;
     pc.encoder_threads = config.encoder_threads;
     pc.obs = config.obs;
+    pc.telemetry = config.telemetry;
     VisionPipeline pipeline(pc);
 
     SlamConfig sc;
@@ -219,6 +220,7 @@ runFaceWorkload(const FaceSequenceConfig &sequence_cfg,
     pc.height = h;
     pc.encoder_threads = config.encoder_threads;
     pc.obs = config.obs;
+    pc.telemetry = config.telemetry;
     VisionPipeline pipeline(pc);
 
     FaceDetector detector;
@@ -267,6 +269,7 @@ runPoseWorkload(const PoseSequenceConfig &sequence_cfg,
     pc.height = h;
     pc.encoder_threads = config.encoder_threads;
     pc.obs = config.obs;
+    pc.telemetry = config.telemetry;
     VisionPipeline pipeline(pc);
 
     PoseEstimator estimator;

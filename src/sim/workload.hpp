@@ -53,6 +53,12 @@ struct WorkloadConfig {
      * (see PipelineConfig::obs). Not owned; null disables instrumentation.
      */
     obs::ObsContext *obs = nullptr;
+    /**
+     * Optional telemetry sink handed to the run's VisionPipeline (see
+     * PipelineConfig::telemetry). Not owned; null disables per-frame
+     * attribution and journaling.
+     */
+    obs::TelemetrySink *telemetry = nullptr;
 };
 
 /** Region statistics of a trace (Table 4). */

@@ -94,6 +94,27 @@ TEST_F(LoggingTest, ParseLogLevelNames)
     EXPECT_EQ(parseLogLevel(nullptr, LogLevel::Info), LogLevel::Info);
 }
 
+TEST_F(LoggingTest, ParseLogLevelWarnsOnGarbage)
+{
+    {
+        CerrCapture capture;
+        EXPECT_EQ(detail::parseLogLevel("verbse", LogLevel::Warn),
+                  LogLevel::Warn);
+        EXPECT_NE(capture.text().find("unrecognized RPX_LOG_LEVEL"),
+                  std::string::npos);
+        EXPECT_NE(capture.text().find("verbse"), std::string::npos);
+    }
+    {
+        // An unset/empty variable is not a typo: stays quiet.
+        CerrCapture capture;
+        EXPECT_EQ(detail::parseLogLevel(nullptr, LogLevel::Warn),
+                  LogLevel::Warn);
+        EXPECT_EQ(detail::parseLogLevel("", LogLevel::Warn),
+                  LogLevel::Warn);
+        EXPECT_TRUE(capture.text().empty());
+    }
+}
+
 TEST_F(LoggingTest, ConcurrentWarnsDoNotInterleaveWithinLines)
 {
     constexpr int kThreads = 8;

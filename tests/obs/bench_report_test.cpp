@@ -1,0 +1,150 @@
+/**
+ * @file
+ * BenchReport schema round-trip and trend_compare gating semantics:
+ * model metrics gate at the tight threshold, wall metrics warn unless
+ * gating is requested, improvements and missing metrics are surfaced
+ * without failing the comparison.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "obs/bench_report.hpp"
+
+namespace rpx::obs {
+namespace {
+
+BenchReport
+makeBaseline()
+{
+    BenchReport r;
+    r.bench = "unit";
+    r.commit = "abc123";
+    r.setMetric("traffic_ratio", 0.30, "ratio", "lower", "model");
+    r.setMetric("psnr_db", 40.0, "dB", "higher", "model");
+    r.setMetric("throughput", 100.0, "MB/s", "higher", "wall");
+    return r;
+}
+
+TEST(BenchReport, JsonRoundTrip)
+{
+    const BenchReport r = makeBaseline();
+    const BenchReport back =
+        benchReportFromJson(json::parse(writeBenchReportJson(r)));
+    EXPECT_EQ(back.bench, "unit");
+    EXPECT_EQ(back.commit, "abc123");
+    ASSERT_EQ(back.metrics.size(), 3u);
+    EXPECT_DOUBLE_EQ(back.metrics.at("traffic_ratio").value, 0.30);
+    EXPECT_EQ(back.metrics.at("traffic_ratio").direction, "lower");
+    EXPECT_EQ(back.metrics.at("traffic_ratio").kind, "model");
+    EXPECT_EQ(back.metrics.at("throughput").unit, "MB/s");
+}
+
+TEST(BenchReport, FileRoundTripViaReportPath)
+{
+    const std::string dir = testing::TempDir() + "bench_report_test_dir";
+    const std::string path = benchReportPath(dir, "unit");
+    EXPECT_NE(path.find("BENCH_unit.json"), std::string::npos);
+    writeBenchReportFile(makeBaseline(), path);
+    const BenchReport back = readBenchReportFile(path);
+    EXPECT_EQ(back.bench, "unit");
+    EXPECT_DOUBLE_EQ(back.metrics.at("psnr_db").value, 40.0);
+    std::remove(path.c_str());
+}
+
+TEST(BenchReport, MalformedReportThrows)
+{
+    EXPECT_THROW(benchReportFromJson(json::parse("{\"schema\":\"nope\"}")),
+                 std::runtime_error);
+    EXPECT_THROW(
+        benchReportFromJson(json::parse(
+            R"({"schema":"rpx-bench-report-v1","bench":"b","metrics":
+                {"m":{"value":1,"unit":"x","direction":"sideways",
+                      "kind":"model"}}})")),
+        std::runtime_error);
+}
+
+TEST(TrendCompare, ModelRegressionGates)
+{
+    const BenchReport base = makeBaseline();
+    BenchReport cand = base;
+    // "lower is better" worsening by +10% on a model metric: must gate.
+    cand.metrics["traffic_ratio"].value = 0.33;
+    const TrendResult res = compareReports(base, cand, TrendThresholds{});
+    ASSERT_EQ(res.regressions.size(), 1u);
+    EXPECT_FALSE(res.ok());
+    EXPECT_EQ(res.regressions[0].metric, "traffic_ratio");
+    EXPECT_NEAR(res.regressions[0].delta_pct, 10.0, 1e-9);
+}
+
+TEST(TrendCompare, HigherIsBetterDirectionRespected)
+{
+    const BenchReport base = makeBaseline();
+    BenchReport cand = base;
+    cand.metrics["psnr_db"].value = 36.0; // -10% on higher-is-better
+    EXPECT_EQ(compareReports(base, cand, TrendThresholds{})
+                  .regressions.size(),
+              1u);
+    cand = base;
+    cand.metrics["psnr_db"].value = 44.0; // +10%: an improvement
+    const TrendResult res = compareReports(base, cand, TrendThresholds{});
+    EXPECT_TRUE(res.ok());
+    ASSERT_EQ(res.improvements.size(), 1u);
+    EXPECT_EQ(res.improvements[0].metric, "psnr_db");
+}
+
+TEST(TrendCompare, WithinThresholdIsQuiet)
+{
+    const BenchReport base = makeBaseline();
+    BenchReport cand = base;
+    cand.metrics["traffic_ratio"].value = 0.305; // +1.7% < 5%
+    const TrendResult res = compareReports(base, cand, TrendThresholds{});
+    EXPECT_TRUE(res.ok());
+    EXPECT_TRUE(res.regressions.empty());
+    EXPECT_TRUE(res.improvements.empty());
+}
+
+TEST(TrendCompare, WallMetricsWarnUnlessGated)
+{
+    const BenchReport base = makeBaseline();
+    BenchReport cand = base;
+    cand.metrics["throughput"].value = 50.0; // -50%, way past 25%
+    TrendThresholds th;
+    const TrendResult soft = compareReports(base, cand, th);
+    EXPECT_TRUE(soft.ok());
+    EXPECT_EQ(soft.warnings.size(), 1u);
+    th.gate_wall = true;
+    const TrendResult hard = compareReports(base, cand, th);
+    EXPECT_FALSE(hard.ok());
+    EXPECT_EQ(hard.regressions.size(), 1u);
+}
+
+TEST(TrendCompare, MissingMetricsWarnBothWays)
+{
+    BenchReport base = makeBaseline();
+    BenchReport cand = makeBaseline();
+    base.setMetric("gone", 1.0, "x", "higher", "model");
+    cand.setMetric("brand_new", 2.0, "x", "higher", "model");
+    const TrendResult res = compareReports(base, cand, TrendThresholds{});
+    EXPECT_TRUE(res.ok());
+    // One warning for the metric that vanished, one for the new arrival —
+    // a rename must not hard-fail CI before the baseline refresh lands.
+    EXPECT_EQ(res.warnings.size(), 2u);
+}
+
+TEST(TrendCompare, ZeroBaselineWarnsInsteadOfDividing)
+{
+    BenchReport base = makeBaseline();
+    base.setMetric("zero", 0.0, "x", "lower", "model");
+    BenchReport cand = base;
+    cand.metrics["zero"].value = 5.0;
+    const TrendResult res = compareReports(base, cand, TrendThresholds{});
+    EXPECT_TRUE(res.ok());
+    EXPECT_EQ(res.warnings.size(), 1u);
+}
+
+} // namespace
+} // namespace rpx::obs

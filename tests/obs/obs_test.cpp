@@ -467,6 +467,34 @@ TEST(MetricsExport, JsonSnapshotParsesBack)
     EXPECT_DOUBLE_EQ(hist->find("buckets")->array[1].number, 1.0);
 }
 
+// Regression: values past six significant digits used to export with the
+// default ostream precision and round (1166874 -> 1.16687e+06 -> 1166870),
+// silently breaking journal-vs-registry conservation checks.
+TEST(MetricsExport, LargeAndFractionalValuesExportExactly)
+{
+    obs::PerfRegistry r;
+    r.counter("pipeline.bytes_written").add(1166874);
+    r.counter("big").add(9007199254740991ull); // 2^53 - 1
+    r.gauge("pipeline.energy_total_nj").set(8003931.0);
+    r.gauge("frac").set(0.1 + 0.2);
+
+    std::ostringstream os;
+    obs::writeMetricsJson(r.snapshot(), os);
+
+    Json root;
+    ASSERT_TRUE(JsonParser(os.str()).parse(root)) << os.str();
+    const Json *metrics = root.find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    EXPECT_EQ(metrics->find("pipeline.bytes_written")->find("value")->number,
+              1166874.0);
+    EXPECT_EQ(metrics->find("big")->find("value")->number,
+              9007199254740991.0);
+    EXPECT_EQ(
+        metrics->find("pipeline.energy_total_nj")->find("value")->number,
+        8003931.0);
+    EXPECT_EQ(metrics->find("frac")->find("value")->number, 0.1 + 0.2);
+}
+
 TEST(MetricsExport, CsvSnapshotHasHeaderAndSortedRows)
 {
     obs::PerfRegistry r;
@@ -475,9 +503,91 @@ TEST(MetricsExport, CsvSnapshotHasHeaderAndSortedRows)
     std::ostringstream os;
     obs::writeMetricsCsv(r.snapshot(), os);
     EXPECT_EQ(os.str(),
-              "name,kind,value,sum,min,max\n"
-              "a.counter,counter,1,0,0,0\n"
-              "b.counter,counter,2,0,0,0\n");
+              "name,kind,value,sum,min,max,p50,p99,p999\n"
+              "a.counter,counter,1,0,0,0,0,0,0\n"
+              "b.counter,counter,2,0,0,0,0,0,0\n");
+}
+
+TEST(MetricsExport, CsvEscapesCommasAndQuotesInNames)
+{
+    obs::PerfRegistry r;
+    r.counter("odd,name").add(1);
+    r.counter("has\"quote").add(2);
+    std::ostringstream os;
+    obs::writeMetricsCsv(r.snapshot(), os);
+    // RFC 4180: fields with commas/quotes are quoted, inner quotes doubled.
+    EXPECT_NE(os.str().find("\"has\"\"quote\",counter,2"),
+              std::string::npos);
+    EXPECT_NE(os.str().find("\"odd,name\",counter,1"), std::string::npos);
+}
+
+TEST(MetricsExport, CsvHistogramRowCarriesQuantiles)
+{
+    obs::PerfRegistry r;
+    obs::Histogram &h = r.histogram("lat", {1.0, 10.0, 100.0});
+    h.record(5.0);
+    std::ostringstream os;
+    obs::writeMetricsCsv(r.snapshot(), os);
+    // Single sample: every quantile is exactly that sample.
+    EXPECT_NE(os.str().find("lat,histogram,1,5,5,5,5,5,5"),
+              std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram quantiles (the edge cases consumers used to hand-roll wrong)
+
+TEST(HistogramQuantile, EmptyHistogramIsZero)
+{
+    obs::Histogram h({1.0, 10.0});
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.999), 0.0);
+}
+
+TEST(HistogramQuantile, SingleSampleReturnsThatSample)
+{
+    obs::Histogram h(obs::Histogram::defaultLatencyBoundsUs());
+    h.record(37.5);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 37.5);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 37.5);
+    EXPECT_DOUBLE_EQ(h.quantile(0.99), 37.5);
+    EXPECT_DOUBLE_EQ(h.quantile(0.999), 37.5);
+}
+
+TEST(HistogramQuantile, SmallNHighQuantileClampsToMax)
+{
+    obs::Histogram h({1.0, 10.0, 100.0, 1000.0});
+    h.record(2.0);
+    h.record(20.0);
+    h.record(200.0);
+    // p999 on 3 samples must not extrapolate past the recorded max.
+    EXPECT_DOUBLE_EQ(h.quantile(0.999), 200.0);
+    EXPECT_GE(h.quantile(0.5), 2.0);
+    EXPECT_LE(h.quantile(0.5), 200.0);
+    // Quantiles are monotone in q.
+    EXPECT_LE(h.quantile(0.25), h.quantile(0.75));
+}
+
+TEST(HistogramQuantile, OverflowBucketInterpolatesTowardMax)
+{
+    obs::Histogram h({1.0});
+    h.record(50.0); // overflow bucket
+    h.record(60.0);
+    const double p99 = h.quantile(0.99);
+    EXPECT_GE(p99, 50.0);
+    EXPECT_LE(p99, 60.0);
+}
+
+TEST(HistogramQuantile, SampleQuantileMatchesHistogram)
+{
+    obs::PerfRegistry r;
+    obs::Histogram &h = r.histogram("lat", {1.0, 10.0, 100.0});
+    for (double v : {0.5, 3.0, 7.0, 42.0, 99.0, 250.0})
+        h.record(v);
+    for (const obs::MetricSample &s : r.snapshot()) {
+        ASSERT_EQ(s.kind, obs::MetricSample::Kind::Histogram);
+        for (double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0})
+            EXPECT_DOUBLE_EQ(obs::sampleQuantile(s, q), h.quantile(q));
+    }
 }
 
 // ---------------------------------------------------------------------------
