@@ -12,6 +12,7 @@
  *                 [--region-trace-out FILE]
  *                 [--trace-out FILE] [--metrics-out FILE]
  *                 [--journal-out FILE]
+ *                 [--streams N] [--fleet-report FILE]
  *                 [--log-level debug|info|warn|silent]
  *   rpx_cli replay --trace FILE --scheme FCH|FCL|RP|H264|MULTIROI
  *                 [--width N --height N] [--fps F]
@@ -24,6 +25,13 @@
  * --journal-out (run only) streams one JSON line per processed frame with
  * stage latencies, traffic, energy, and per-region attribution (the
  * "rpx-frame-telemetry-v1" schema, see src/obs/telemetry.hpp).
+ *
+ * --streams N (run only) switches to the multi-stream fleet path: N
+ * synthetic camera streams share the engine pool under EDF scheduling
+ * (src/fleet/fleet.hpp), each stream running --frames frames. The
+ * journal then carries one line per frame with a per-stream "s<id>"
+ * label, and --fleet-report writes the aggregate rpx-fleet-report-v1
+ * JSON (per-stream frame counts, deadline misses, queue/engine stats).
  */
 
 #include <cstring>
@@ -32,7 +40,12 @@
 #include <memory>
 #include <string>
 
+#include <fstream>
+
 #include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "fleet/fleet.hpp"
+#include "frame/draw.hpp"
 #include "obs/metrics_export.hpp"
 #include "obs/obs.hpp"
 #include "obs/telemetry.hpp"
@@ -55,6 +68,7 @@ usage()
         << "                 [--region-trace-out FILE]\n"
         << "                 [--trace-out FILE] [--metrics-out FILE]\n"
         << "                 [--journal-out FILE]\n"
+        << "                 [--streams N] [--fleet-report FILE]\n"
         << "                 [--log-level debug|info|warn|silent]\n"
         << "  rpx_cli replay --trace FILE --scheme "
            "FCH|FCL|RP|H264|MULTIROI [--width N]\n"
@@ -123,6 +137,90 @@ exportObs(const std::map<std::string, std::string> &flags,
     }
 }
 
+/**
+ * The fleet path behind `run --streams N`: N synthetic 96x64 camera
+ * streams (value-noise scene with a stream-keyed moving box, foveal
+ * label + coarse periphery) share the engine pool under EDF deadlines.
+ */
+int
+fleetCommand(const std::map<std::string, std::string> &flags,
+             obs::ObsContext &obs_ctx, obs::TelemetrySink *journal)
+{
+    constexpr i32 kW = 96;
+    constexpr i32 kH = 64;
+
+    fleet::FleetConfig fc;
+    fc.stream.width = kW;
+    fc.stream.height = kH;
+    fc.stream.history = 2;
+    fc.stream.obs = &obs_ctx;
+    fc.stream.telemetry = journal;
+    fc.streams = static_cast<u32>(std::stoul(flags.at("streams")));
+    if (fc.streams < 1) {
+        std::cerr << "error: --streams must be >= 1\n";
+        return 1;
+    }
+    fc.frames_per_stream = static_cast<u32>(
+        flags.count("frames") ? std::stoul(flags.at("frames")) : 60);
+    fc.encode_engines = 8;
+    fc.decode_engines = 8;
+    fc.scene_source = [](u32 stream, u64 frame) {
+        Image img(kW, kH);
+        Rng rng(0x9E3779B9u + 7919u * stream + 131u * frame);
+        fillValueNoise(img, rng, 16.0, 40, 150);
+        const i32 bx =
+            static_cast<i32>((stream * 5 + frame * 3) % (kW - 24));
+        const i32 by =
+            static_cast<i32>((stream * 3 + frame * 2) % (kH - 16));
+        for (i32 y = by; y < by + 16; ++y)
+            for (i32 x = bx; x < bx + 24; ++x)
+                img.set(x, y, 230);
+        return img;
+    };
+    fc.label_source = [](u32 stream) {
+        const i32 bx = static_cast<i32>((stream * 5) % (kW - 32));
+        const i32 by = static_cast<i32>((stream * 3) % (kH - 24));
+        return std::vector<RegionLabel>{
+            {bx, by, 32, 24, 1, 1, 0},
+            {0, 0, kW, kH, 4, 2, 0}, // coarse periphery
+        };
+    };
+
+    fleet::FleetServer server(fc);
+    const fleet::FleetReport r = server.run();
+
+    std::cout << "fleet of " << r.streams_started << " streams (" << kW
+              << "x" << kH << ", " << fc.frames_per_stream
+              << " frames each, EDF)\n";
+    std::cout << "  frames:     " << r.frames << " ("
+              << fmtDouble(r.frames_per_second, 0) << " frames/s)\n";
+    std::cout << "  latency:    p50 " << fmtDouble(r.latency_p50_us, 0)
+              << " us, p99 " << fmtDouble(r.latency_p99_us, 0)
+              << " us, p999 " << fmtDouble(r.latency_p999_us, 0)
+              << " us\n";
+    std::cout << "  traffic:    "
+              << fmtDouble(static_cast<double>(r.bytes_written) / 1e6, 3)
+              << " MB written, kept "
+              << fmtDouble(100.0 * r.kept_fraction_mean, 1) << "%\n";
+    std::cout << "  schedule:   " << r.deadline_misses
+              << " deadline misses, mean DMA batch "
+              << fmtDouble(r.mean_store_batch, 2) << "\n";
+
+    if (flags.count("fleet-report")) {
+        std::ofstream out(flags.at("fleet-report"));
+        out << fleet::toJson(r);
+        std::cout << "  report:     " << flags.at("fleet-report") << " ("
+                  << r.streams.size() << " streams)\n";
+    }
+    if (journal) {
+        journal->flush();
+        std::cout << "  journal:    " << flags.at("journal-out") << " ("
+                  << journal->totals().frames << " frames)\n";
+    }
+    exportObs(flags, obs_ctx);
+    return 0;
+}
+
 int
 runCommand(const std::map<std::string, std::string> &flags)
 {
@@ -138,6 +236,9 @@ runCommand(const std::map<std::string, std::string> &flags)
         tc.keep_frames = 0; // the file is the product; retain nothing
         journal = std::make_unique<obs::TelemetrySink>(tc);
     }
+
+    if (flags.count("streams"))
+        return fleetCommand(flags, obs_ctx, journal.get());
 
     const std::string task =
         flags.count("task") ? flags.at("task") : "slam";

@@ -1,0 +1,75 @@
+#include "fleet/engine_pool.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace rpx::fleet {
+
+EnginePool::EnginePool(u32 engines, std::string name)
+    : engines_(engines), name_(std::move(name))
+{
+    if (engines_ < 1)
+        throwInvalid("engine pool needs at least one engine");
+}
+
+EnginePool::Lease
+EnginePool::acquire()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (in_use_ >= engines_) {
+        ++stats_.waits;
+        freed_.wait(lock, [this] { return in_use_ < engines_; });
+    }
+    ++in_use_;
+    ++stats_.acquisitions;
+    stats_.max_in_use = std::max(stats_.max_in_use, in_use_);
+    return Lease(this);
+}
+
+std::optional<EnginePool::Lease>
+EnginePool::tryAcquire()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (in_use_ >= engines_)
+        return std::nullopt;
+    ++in_use_;
+    ++stats_.acquisitions;
+    stats_.max_in_use = std::max(stats_.max_in_use, in_use_);
+    return Lease(this);
+}
+
+u32
+EnginePool::inUse() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return in_use_;
+}
+
+EnginePoolStats
+EnginePool::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+void
+EnginePool::releaseOne()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --in_use_;
+    }
+    freed_.notify_one();
+}
+
+void
+EnginePool::Lease::release()
+{
+    if (pool_) {
+        pool_->releaseOne();
+        pool_ = nullptr;
+    }
+}
+
+} // namespace rpx::fleet

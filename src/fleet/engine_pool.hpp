@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Bounded pool of hardware-engine execution permits (rpx::fleet).
+ *
+ * The fleet models a platform with a small number of encoder/decoder
+ * engines time-shared by many camera streams. Each engine is an execution
+ * permit: a worker must hold a Lease while running the corresponding stage
+ * on some stream's context. The pool is a counting semaphore with
+ * utilization accounting — acquisitions, how many had to wait (the
+ * starvation signal the engine-pool tests assert on), and the in-use
+ * high-water mark.
+ */
+
+#ifndef RPX_FLEET_ENGINE_POOL_HPP
+#define RPX_FLEET_ENGINE_POOL_HPP
+
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace rpx::fleet {
+
+/** Utilization counters of one EnginePool. */
+struct EnginePoolStats {
+    u64 acquisitions = 0; //!< total leases granted
+    u64 waits = 0;        //!< acquisitions that blocked (pool exhausted)
+    u32 max_in_use = 0;   //!< peak concurrently-leased engines
+};
+
+/** Counting semaphore over a fixed set of engines, with stats. */
+class EnginePool
+{
+  public:
+    class Lease;
+
+    /**
+     * @param engines number of engines (permits); must be >= 1
+     * @param name    label used in reports ("encode", "decode")
+     */
+    explicit EnginePool(u32 engines, std::string name = "");
+
+    /** Block until an engine is free and lease it. */
+    Lease acquire();
+    /** Lease an engine only if one is free right now. */
+    std::optional<Lease> tryAcquire();
+
+    u32 engines() const { return engines_; }
+    u32 inUse() const;
+    const std::string &name() const { return name_; }
+    EnginePoolStats stats() const;
+
+    /** RAII engine permit; releases on destruction. Move-only. */
+    class Lease
+    {
+      public:
+        Lease() = default;
+        ~Lease() { release(); }
+        Lease(Lease &&other) noexcept : pool_(other.pool_)
+        {
+            other.pool_ = nullptr;
+        }
+        Lease &
+        operator=(Lease &&other) noexcept
+        {
+            if (this != &other) {
+                release();
+                pool_ = other.pool_;
+                other.pool_ = nullptr;
+            }
+            return *this;
+        }
+        Lease(const Lease &) = delete;
+        Lease &operator=(const Lease &) = delete;
+
+        bool held() const { return pool_ != nullptr; }
+        /** Return the engine early (idempotent). */
+        void release();
+
+      private:
+        friend class EnginePool;
+        explicit Lease(EnginePool *pool) : pool_(pool) {}
+        EnginePool *pool_ = nullptr;
+    };
+
+  private:
+    friend class Lease;
+    void releaseOne();
+
+    const u32 engines_;
+    const std::string name_;
+    mutable std::mutex mutex_;
+    std::condition_variable freed_;
+    u32 in_use_ = 0;
+    EnginePoolStats stats_;
+};
+
+} // namespace rpx::fleet
+
+#endif // RPX_FLEET_ENGINE_POOL_HPP

@@ -1,0 +1,534 @@
+#include "fleet/fleet.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/json.hpp"
+#include "common/thread_pool.hpp"
+
+namespace rpx::fleet {
+
+namespace {
+
+u32
+resolveMaxStreams(const FleetConfig &c)
+{
+    return c.max_streams ? c.max_streams : c.streams + 64;
+}
+
+u32
+resolveWorkers(u32 configured, u32 engines)
+{
+    return configured ? configured : engines;
+}
+
+} // namespace
+
+FleetServer::FleetServer(const FleetConfig &config)
+    : config_(config), obs_(std::make_unique<PipelineObs>(config.stream.obs)),
+      capture_q_(resolveMaxStreams(config)),
+      encode_q_(resolveMaxStreams(config)),
+      store_q_(resolveMaxStreams(config)),
+      decode_q_(resolveMaxStreams(config)),
+      encode_engines_(config.encode_engines, "encode"),
+      decode_engines_(config.decode_engines, "decode"),
+      vision_(config.frame_sink),
+      latency_(obs::Histogram::defaultLatencyBoundsUs())
+{
+    if (config_.frames_per_stream < 1)
+        throwInvalid("fleet needs frames_per_stream >= 1");
+    if (config_.capture_workers < 1)
+        throwInvalid("fleet needs at least one capture worker");
+    if (config_.store_batch_max < 1)
+        throwInvalid("fleet store_batch_max must be >= 1");
+    if (config_.use_deadlines && config_.stream.fps <= 0.0)
+        throwInvalid("fleet deadlines need a positive stream fps");
+    if (config_.streams > resolveMaxStreams(config_))
+        throwInvalid("fleet streams exceed max_streams");
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (u32 i = 0; i < config_.streams; ++i)
+        addStreamLocked();
+}
+
+FleetServer::~FleetServer() = default;
+
+u32
+FleetServer::addStreamLocked()
+{
+    if (live_ >= resolveMaxStreams(config_))
+        throwRuntime("fleet is at max_streams (",
+                     resolveMaxStreams(config_), ")");
+    if (capture_q_.closed())
+        throwRuntime("fleet has already drained; cannot add streams");
+
+    const u32 id = next_id_++;
+    PipelineConfig pc = config_.stream;
+    pc.stream_label = "s" + std::to_string(id);
+    if (config_.configure)
+        config_.configure(id, pc);
+
+    StreamEntry entry;
+    entry.ctx = std::make_unique<StreamContext>(
+        pc, obs_.get(), /*force_degradation=*/config_.use_deadlines);
+    entry.ctx->setId(id);
+    entry.target = config_.frames_per_stream;
+    entry.period_us = pc.fps > 0.0 ? 1e6 / pc.fps : 0.0;
+    entry.epoch = std::chrono::steady_clock::now();
+
+    std::vector<RegionLabel> labels;
+    if (config_.label_source) {
+        labels = config_.label_source(id);
+    } else {
+        RegionLabel full;
+        full.x = 0;
+        full.y = 0;
+        full.w = pc.width;
+        full.h = pc.height;
+        labels.push_back(full);
+    }
+    entry.ctx->runtime().setRegionLabels(labels);
+
+    streams_.emplace(id, std::move(entry));
+    ++live_;
+    return id;
+}
+
+u32
+FleetServer::addStream()
+{
+    bool seed = false;
+    u32 id = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        id = addStreamLocked();
+        seed = running_;
+    }
+    if (seed) {
+        // Joined mid-run: its first frame enters the graph immediately.
+        std::lock_guard<std::mutex> lock(mutex_);
+        seedStream(streams_.at(id), id);
+    }
+    return id;
+}
+
+bool
+FleetServer::removeStream(u32 id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = streams_.find(id);
+    if (it == streams_.end() || it->second.finished ||
+        !it->second.active)
+        return false;
+    it->second.active = false;
+    if (!running_) {
+        // Not yet seeded: the stream leaves the fleet right away.
+        it->second.finished = true;
+        --live_;
+    }
+    // During a run the in-flight frame completes and the stream retires
+    // at its completion accounting.
+    return true;
+}
+
+StreamContext *
+FleetServer::stream(u32 id)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = streams_.find(id);
+    return it == streams_.end() ? nullptr : it->second.ctx.get();
+}
+
+u32
+FleetServer::activeStreams() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return live_;
+}
+
+FrameTask
+FleetServer::makeTask(StreamEntry &entry, u32 id, u64 frame)
+{
+    FrameTask task;
+    task.stream = entry.ctx.get();
+    task.scene = config_.scene_source(id, frame);
+    if (config_.use_deadlines) {
+        task.has_deadline = true;
+        task.deadline =
+            entry.epoch +
+            std::chrono::duration_cast<
+                std::chrono::steady_clock::duration>(
+                std::chrono::duration<double, std::micro>(
+                    static_cast<double>(frame + 1) * entry.period_us));
+    }
+    return task;
+}
+
+void
+FleetServer::seedStream(StreamEntry &entry, u32 id)
+{
+    // Caller holds mutex_. The push cannot block: in-flight tasks never
+    // exceed live streams, and every queue holds max_streams of them.
+    FrameTask task = makeTask(entry, id, entry.done);
+    capture_q_.push(std::move(task));
+}
+
+template <typename Stage>
+bool
+FleetServer::runStage(const Stage &stage, FrameTask &task)
+{
+    try {
+        stage.run(task);
+        return true;
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+void
+FleetServer::finishFrame(FrameTask &task, bool errored)
+{
+    latency_.record(std::chrono::duration<double, std::micro>(
+                        std::chrono::steady_clock::now() - task.start)
+                        .count());
+
+    const u32 id = task.stream->id();
+    StreamEntry *entry = nullptr;
+    bool resubmit = false;
+    bool close = false;
+    u64 next = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        entry = &streams_.at(id);
+        ++entry->done;
+        ++frames_done_;
+        if (errored) {
+            ++entry->errors;
+            ++errors_;
+        } else {
+            const PipelineFrameResult &r = task.result;
+            if (r.deadline_missed) {
+                ++entry->deadline_misses;
+                ++deadline_misses_;
+            }
+            if (r.quarantined) {
+                ++entry->quarantined;
+                ++quarantined_;
+            }
+            transient_faults_ += r.transient_faults;
+            bytes_written_ += r.traffic.bytes_written;
+            bytes_read_ += r.traffic.bytes_read;
+            metadata_bytes_ += r.traffic.metadata_bytes;
+            kept_sum_ += r.kept_fraction;
+            entry->degradation_level = r.degradation_level;
+        }
+        resubmit = entry->active && entry->done < entry->target;
+        if (resubmit) {
+            next = entry->done;
+        } else {
+            entry->finished = true;
+            entry->active = false;
+            --live_;
+            close = live_ == 0;
+        }
+    }
+
+    if (resubmit) {
+        FrameTask nt;
+        bool built = false;
+        try {
+            nt = makeTask(*entry, id, next);
+            built = true;
+        } catch (const std::exception &) {
+            // Scene source failed: retire the stream with an error.
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++entry->errors;
+            ++errors_;
+            entry->finished = true;
+            entry->active = false;
+            --live_;
+            close = live_ == 0;
+        }
+        if (built)
+            capture_q_.push(std::move(nt));
+    }
+    if (close)
+        capture_q_.close();
+}
+
+void
+FleetServer::captureLoop()
+{
+    while (auto t = capture_q_.pop()) {
+        FrameTask task = std::move(*t);
+        if (!runStage(capture_, task)) {
+            finishFrame(task, true);
+            continue;
+        }
+        if (!encode_q_.push(std::move(task)))
+            break; // shutting down
+    }
+    if (capture_alive_.fetch_sub(1) == 1)
+        encode_q_.close();
+}
+
+void
+FleetServer::encodeLoop()
+{
+    while (auto t = encode_q_.pop()) {
+        FrameTask task = std::move(*t);
+        bool ok;
+        {
+            EnginePool::Lease lease = encode_engines_.acquire();
+            ok = runStage(encode_, task);
+        }
+        if (!ok) {
+            finishFrame(task, true);
+            continue;
+        }
+        if (!store_q_.push(std::move(task)))
+            break;
+    }
+    if (encode_alive_.fetch_sub(1) == 1)
+        store_q_.close();
+}
+
+void
+FleetServer::storeLoop()
+{
+    // Batched DRAM/DMA submission: drain whatever is queued (up to
+    // store_batch_max frames) and commit the burst back-to-back, the way
+    // a DMA engine chains descriptors across streams.
+    while (auto first = store_q_.pop()) {
+        std::vector<FrameTask> batch;
+        batch.push_back(std::move(*first));
+        while (batch.size() <
+               static_cast<size_t>(config_.store_batch_max)) {
+            auto more = store_q_.tryPop();
+            if (!more)
+                break;
+            batch.push_back(std::move(*more));
+        }
+        ++store_batches_;
+        store_batch_frames_ += batch.size();
+        max_store_batch_ =
+            std::max<u64>(max_store_batch_, batch.size());
+        for (FrameTask &task : batch) {
+            if (!runStage(store_, task)) {
+                finishFrame(task, true);
+                continue;
+            }
+            decode_q_.push(std::move(task));
+        }
+    }
+    decode_q_.close();
+}
+
+void
+FleetServer::decodeLoop()
+{
+    while (auto t = decode_q_.pop()) {
+        FrameTask task = std::move(*t);
+        bool ok;
+        {
+            EnginePool::Lease lease = decode_engines_.acquire();
+            ok = runStage(decode_, task);
+        }
+        if (ok && vision_.attached())
+            (void)runStage(vision_, task);
+        finishFrame(task, !ok);
+    }
+    decode_alive_.fetch_sub(1);
+}
+
+FleetReport
+FleetServer::run()
+{
+    if (!config_.scene_source)
+        throwInvalid("fleet needs a scene_source");
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (ran_)
+            throwRuntime("FleetServer::run() may only be called once");
+        ran_ = true;
+        running_ = true;
+    }
+
+    const auto start = std::chrono::steady_clock::now();
+    const u32 cw = config_.capture_workers;
+    const u32 ew =
+        resolveWorkers(config_.encode_workers, config_.encode_engines);
+    const u32 dw =
+        resolveWorkers(config_.decode_workers, config_.decode_engines);
+    capture_alive_.store(static_cast<int>(cw));
+    encode_alive_.store(static_cast<int>(ew));
+    decode_alive_.store(static_cast<int>(dw));
+
+    {
+        ThreadPool pool(static_cast<int>(cw + ew + 1 + dw));
+        std::vector<std::future<void>> workers;
+        for (u32 i = 0; i < cw; ++i)
+            workers.push_back(pool.submit([this] { captureLoop(); }));
+        for (u32 i = 0; i < ew; ++i)
+            workers.push_back(pool.submit([this] { encodeLoop(); }));
+        workers.push_back(pool.submit([this] { storeLoop(); }));
+        for (u32 i = 0; i < dw; ++i)
+            workers.push_back(pool.submit([this] { decodeLoop(); }));
+
+        bool any = false;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            for (auto &[id, entry] : streams_) {
+                if (entry.finished)
+                    continue;
+                entry.epoch = start;
+                seedStream(entry, id);
+                any = true;
+            }
+        }
+        if (!any)
+            capture_q_.close();
+
+        for (auto &f : workers)
+            f.get();
+    }
+    const auto end = std::chrono::steady_clock::now();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    running_ = false;
+
+    FleetReport rep;
+    rep.streams_started = static_cast<u32>(streams_.size());
+    rep.frames = frames_done_;
+    rep.errors = errors_;
+    rep.deadline_misses = deadline_misses_;
+    rep.quarantined = quarantined_;
+    rep.transient_faults = transient_faults_;
+    rep.bytes_written = bytes_written_;
+    rep.bytes_read = bytes_read_;
+    rep.metadata_bytes = metadata_bytes_;
+    const u64 ok_frames = frames_done_ - errors_;
+    rep.kept_fraction_mean =
+        ok_frames ? kept_sum_ / static_cast<double>(ok_frames) : 0.0;
+    rep.wall_seconds =
+        std::chrono::duration<double>(end - start).count();
+    rep.frames_per_second =
+        rep.wall_seconds > 0.0
+            ? static_cast<double>(frames_done_) / rep.wall_seconds
+            : 0.0;
+    rep.latency_p50_us = latency_.quantile(0.5);
+    rep.latency_p99_us = latency_.quantile(0.99);
+    rep.latency_p999_us = latency_.quantile(0.999);
+    rep.store_batches = store_batches_;
+    rep.max_store_batch = max_store_batch_;
+    rep.mean_store_batch =
+        store_batches_ ? static_cast<double>(store_batch_frames_) /
+                             static_cast<double>(store_batches_)
+                       : 0.0;
+    rep.encode_engines = encode_engines_.stats();
+    rep.decode_engines = decode_engines_.stats();
+    rep.capture_queue = capture_q_.stats();
+    rep.store_queue = store_q_.stats();
+    rep.encode_queue = encode_q_.stats();
+    rep.decode_queue = decode_q_.stats();
+    for (const auto &[id, entry] : streams_) {
+        FleetStreamReport sr;
+        sr.id = id;
+        sr.label = entry.ctx->config().stream_label;
+        sr.frames = entry.done;
+        sr.deadline_misses = entry.deadline_misses;
+        sr.quarantined = entry.quarantined;
+        sr.errors = entry.errors;
+        sr.degradation_level = entry.degradation_level;
+        sr.completed = entry.done >= entry.target;
+        if (sr.completed)
+            ++rep.streams_completed;
+        rep.streams.push_back(std::move(sr));
+    }
+    return rep;
+}
+
+namespace {
+
+std::string
+num(double v)
+{
+    std::ostringstream os;
+    os.precision(std::numeric_limits<double>::max_digits10);
+    os << v;
+    return os.str();
+}
+
+} // namespace
+
+std::string
+toJson(const FleetReport &r)
+{
+    std::ostringstream os;
+    os << "{\n  \"schema\": \"rpx-fleet-report-v1\",\n"
+       << "  \"streams_started\": " << r.streams_started << ",\n"
+       << "  \"streams_completed\": " << r.streams_completed << ",\n"
+       << "  \"frames\": " << r.frames << ",\n"
+       << "  \"errors\": " << r.errors << ",\n"
+       << "  \"deadline_misses\": " << r.deadline_misses << ",\n"
+       << "  \"quarantined\": " << r.quarantined << ",\n"
+       << "  \"transient_faults\": " << r.transient_faults << ",\n"
+       << "  \"bytes_written\": " << r.bytes_written << ",\n"
+       << "  \"bytes_read\": " << r.bytes_read << ",\n"
+       << "  \"metadata_bytes\": " << r.metadata_bytes << ",\n"
+       << "  \"kept_fraction_mean\": " << num(r.kept_fraction_mean)
+       << ",\n"
+       << "  \"wall_seconds\": " << num(r.wall_seconds) << ",\n"
+       << "  \"frames_per_second\": " << num(r.frames_per_second)
+       << ",\n"
+       << "  \"latency_us\": {\"p50\": " << num(r.latency_p50_us)
+       << ", \"p99\": " << num(r.latency_p99_us)
+       << ", \"p999\": " << num(r.latency_p999_us) << "},\n"
+       << "  \"store_batches\": " << r.store_batches << ",\n"
+       << "  \"max_store_batch\": " << r.max_store_batch << ",\n"
+       << "  \"mean_store_batch\": " << num(r.mean_store_batch) << ",\n"
+       << "  \"engines\": {\n"
+       << "    \"encode\": {\"acquisitions\": "
+       << r.encode_engines.acquisitions
+       << ", \"waits\": " << r.encode_engines.waits
+       << ", \"max_in_use\": " << r.encode_engines.max_in_use << "},\n"
+       << "    \"decode\": {\"acquisitions\": "
+       << r.decode_engines.acquisitions
+       << ", \"waits\": " << r.decode_engines.waits
+       << ", \"max_in_use\": " << r.decode_engines.max_in_use << "}\n"
+       << "  },\n"
+       << "  \"queues\": {\n"
+       << "    \"capture\": {\"pushes\": " << r.capture_queue.pushes
+       << ", \"pops\": " << r.capture_queue.pops
+       << ", \"high_water\": " << r.capture_queue.high_water << "},\n"
+       << "    \"encode\": {\"pushes\": " << r.encode_queue.pushes
+       << ", \"pops\": " << r.encode_queue.pops
+       << ", \"high_water\": " << r.encode_queue.high_water << "},\n"
+       << "    \"store\": {\"pushes\": " << r.store_queue.pushes
+       << ", \"pops\": " << r.store_queue.pops
+       << ", \"high_water\": " << r.store_queue.high_water << "},\n"
+       << "    \"decode\": {\"pushes\": " << r.decode_queue.pushes
+       << ", \"pops\": " << r.decode_queue.pops
+       << ", \"high_water\": " << r.decode_queue.high_water << "}\n"
+       << "  },\n"
+       << "  \"streams\": [";
+    for (size_t i = 0; i < r.streams.size(); ++i) {
+        const FleetStreamReport &s = r.streams[i];
+        os << (i ? "," : "") << "\n    {\"id\": " << s.id
+           << ", \"label\": \"" << json::escape(s.label) << "\""
+           << ", \"frames\": " << s.frames
+           << ", \"deadline_misses\": " << s.deadline_misses
+           << ", \"quarantined\": " << s.quarantined
+           << ", \"errors\": " << s.errors
+           << ", \"degradation_level\": " << s.degradation_level
+           << ", \"completed\": " << (s.completed ? "true" : "false")
+           << "}";
+    }
+    os << "\n  ]\n}\n";
+    return os.str();
+}
+
+} // namespace rpx::fleet

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Multi-stream fleet server (rpx::fleet).
+ *
+ * FleetServer drives N simulated camera streams through the shared stage
+ * graph with a bounded pool of encoder/decoder engines — the "one SoC,
+ * many sensors" regime the paper's §7 scaling argument points at. The
+ * topology:
+ *
+ *    submit ──► capture workers ──► EDF ──► encode workers (engine pool)
+ *                                               │
+ *            decode workers (engine pool) ◄── EDF ◄── store worker
+ *                   │                                (batched DMA)
+ *            completion: vision sink, accounting, resubmit frame n+1
+ *
+ * Scheduling is earliest-deadline-first: every frame of stream s carries
+ * deadline epoch(s) + (n+1) * period(s), and the EDF queues hand engines
+ * to the most urgent frame fleet-wide. Misses feed the per-stream
+ * DegradationController, so an overloaded stream sheds region budget and
+ * coarsens rhythm instead of stalling its neighbours.
+ *
+ * Invariant: at most ONE frame of each stream is inside the graph at any
+ * time (frame n+1 is submitted by frame n's completion). Consequences:
+ *  - per-stream frame order is trivially preserved;
+ *  - total in-flight tasks <= active streams <= max_streams, and every
+ *    queue has capacity max_streams, so the submit->capture->encode->
+ *    store->decode->submit cycle can never deadlock on full queues;
+ *  - fleet memory is bounded by the per-stream contexts plus at most one
+ *    in-flight frame per stream.
+ *
+ * A 1-stream fleet with deadlines disabled performs, frame for frame,
+ * exactly the legacy VisionPipeline::processFrame sequence (the identity
+ * test pins byte-equality of decoded frames and telemetry totals).
+ */
+
+#ifndef RPX_FLEET_FLEET_HPP
+#define RPX_FLEET_FLEET_HPP
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/engine_pool.hpp"
+#include "fleet/scheduler.hpp"
+#include "fleet/stages.hpp"
+#include "obs/perf_registry.hpp"
+#include "stream/fifo.hpp"
+
+namespace rpx::fleet {
+
+/** Fleet topology and scheduling configuration. */
+struct FleetConfig {
+    /** Template pipeline configuration applied to every stream. */
+    PipelineConfig stream;
+    /** Number of streams created up front. */
+    u32 streams = 1;
+    /** Frames each stream must complete; must be >= 1. */
+    u32 frames_per_stream = 1;
+    /**
+     * Hard ceiling on concurrently active streams (initial + joined).
+     * Also sizes every inter-stage queue, which is what makes the stage
+     * cycle deadlock-free. 0 resolves to streams + 64.
+     */
+    u32 max_streams = 0;
+    /** Encoder / decoder engine counts (execution permits). */
+    u32 encode_engines = 4;
+    u32 decode_engines = 4;
+    /** Worker threads per stage; 0 resolves to the engine count. */
+    u32 capture_workers = 2;
+    u32 encode_workers = 0;
+    u32 decode_workers = 0;
+    /** Max frames per batched DRAM/DMA submission (store worker). */
+    u32 store_batch_max = 8;
+    /**
+     * EDF deadlines: frame n of a stream is due at epoch + (n+1)/fps.
+     * Off = queues degrade to fair round-robin and no miss accounting
+     * (the byte-identity configuration).
+     */
+    bool use_deadlines = true;
+    /**
+     * Scene for (stream, frame). Required. Called from worker threads —
+     * must be thread-safe; pure functions of (id, frame) are ideal.
+     */
+    std::function<Image(u32 stream_id, u64 frame)> scene_source;
+    /**
+     * Region labels programmed into a stream at creation; null programs
+     * one full-frame label. Called once per stream.
+     */
+    std::function<std::vector<RegionLabel>(u32 stream_id)> label_source;
+    /**
+     * Per-stream config hook, run before the StreamContext is built (the
+     * stream_label has already been set to "s<id>"). May adjust fps,
+     * fault plan, etc. for individual streams.
+     */
+    std::function<void(u32 stream_id, PipelineConfig &)> configure;
+    /**
+     * Vision-stage sink invoked with every completed frame, from decode
+     * worker threads (possibly concurrently for different streams).
+     */
+    VisionStage::FrameSink frame_sink;
+};
+
+/** Per-stream outcome in a FleetReport. */
+struct FleetStreamReport {
+    u32 id = 0;
+    std::string label;
+    u64 frames = 0;
+    u64 deadline_misses = 0;
+    u64 quarantined = 0;
+    u64 errors = 0;
+    int degradation_level = 0; //!< ladder level after the last frame
+    bool completed = false;    //!< reached its frame target (vs removed)
+};
+
+/** Aggregate outcome of one FleetServer::run(). */
+struct FleetReport {
+    u32 streams_started = 0;
+    u32 streams_completed = 0;
+    u64 frames = 0;
+    u64 errors = 0;
+    u64 deadline_misses = 0;
+    u64 quarantined = 0;
+    u64 transient_faults = 0;
+    // Deterministic model aggregates (sum over frames).
+    Bytes bytes_written = 0;
+    Bytes bytes_read = 0;
+    Bytes metadata_bytes = 0;
+    double kept_fraction_mean = 0.0;
+    // Wall-clock (noisy on loaded hosts; model fields above are the
+    // source of truth for regression gating).
+    double wall_seconds = 0.0;
+    double frames_per_second = 0.0;
+    double latency_p50_us = 0.0;
+    double latency_p99_us = 0.0;
+    double latency_p999_us = 0.0;
+    // Batched DMA submission.
+    u64 store_batches = 0;
+    u64 max_store_batch = 0;
+    double mean_store_batch = 0.0;
+    // Engine and queue pressure.
+    EnginePoolStats encode_engines;
+    EnginePoolStats decode_engines;
+    MpmcQueueStats capture_queue;
+    MpmcQueueStats store_queue;
+    EdfQueueStats encode_queue;
+    EdfQueueStats decode_queue;
+    std::vector<FleetStreamReport> streams;
+};
+
+/** Serialize a FleetReport as pretty-printed JSON ("rpx-fleet-report-v1"). */
+std::string toJson(const FleetReport &report);
+
+/**
+ * The fleet server. Construct, optionally add/remove streams, then call
+ * run() exactly once; it blocks until every active stream completed its
+ * frame target and returns the aggregate report. addStream()/
+ * removeStream() are thread-safe and may be called while run() is in
+ * flight (the join/leave tests do).
+ */
+class FleetServer
+{
+  public:
+    explicit FleetServer(const FleetConfig &config);
+    ~FleetServer();
+
+    FleetServer(const FleetServer &) = delete;
+    FleetServer &operator=(const FleetServer &) = delete;
+
+    /**
+     * Create one more stream (thread-safe). Before run() it is seeded at
+     * start; during run() its first frame is submitted immediately.
+     * Throws if the fleet has already drained or max_streams is reached.
+     */
+    u32 addStream();
+
+    /**
+     * Stop a stream after its in-flight frame completes (thread-safe).
+     * Returns false if the id is unknown or the stream already finished.
+     */
+    bool removeStream(u32 id);
+
+    /** Drive all streams to completion. Call once. */
+    FleetReport run();
+
+    /** Introspection for tests; valid between construction and dtor. */
+    StreamContext *stream(u32 id);
+    u32 activeStreams() const;
+    PipelineObs &obs() { return *obs_; }
+
+  private:
+    struct StreamEntry {
+        std::unique_ptr<StreamContext> ctx;
+        u64 target = 0;
+        u64 done = 0;
+        u64 deadline_misses = 0;
+        u64 quarantined = 0;
+        u64 errors = 0;
+        int degradation_level = 0;
+        bool active = true;    //!< still scheduled for more frames
+        bool finished = false; //!< left the fleet (completed or removed)
+        std::chrono::steady_clock::time_point epoch;
+        double period_us = 0.0;
+    };
+
+    u32 addStreamLocked();
+    void seedStream(StreamEntry &entry, u32 id);
+    FrameTask makeTask(StreamEntry &entry, u32 id, u64 frame);
+    void finishFrame(FrameTask &task, bool errored);
+
+    void captureLoop();
+    void encodeLoop();
+    void storeLoop();
+    void decodeLoop();
+
+    template <typename Stage>
+    bool runStage(const Stage &stage, FrameTask &task);
+
+    FleetConfig config_;
+    std::unique_ptr<PipelineObs> obs_;
+
+    MpmcQueue<FrameTask> capture_q_;
+    EdfQueue encode_q_;
+    MpmcQueue<FrameTask> store_q_;
+    EdfQueue decode_q_;
+    EnginePool encode_engines_;
+    EnginePool decode_engines_;
+
+    CaptureStage capture_;
+    EncodeStage encode_;
+    StoreStage store_;
+    DecodeStage decode_;
+    VisionStage vision_;
+
+    mutable std::mutex mutex_; //!< streams map + aggregate accounting
+    std::map<u32, StreamEntry> streams_;
+    u32 next_id_ = 0;
+    u32 live_ = 0;        //!< unfinished streams
+    bool running_ = false;
+    bool ran_ = false;
+
+    // Aggregates (guarded by mutex_ except the thread-safe histogram).
+    u64 frames_done_ = 0;
+    u64 errors_ = 0;
+    u64 deadline_misses_ = 0;
+    u64 quarantined_ = 0;
+    u64 transient_faults_ = 0;
+    Bytes bytes_written_ = 0;
+    Bytes bytes_read_ = 0;
+    Bytes metadata_bytes_ = 0;
+    double kept_sum_ = 0.0;
+    obs::Histogram latency_;
+
+    // Store-worker batching stats (single-threaded writer).
+    u64 store_batches_ = 0;
+    u64 store_batch_frames_ = 0;
+    u64 max_store_batch_ = 0;
+
+    // Shutdown cascade: the last worker leaving a stage closes the next
+    // stage's queue.
+    std::atomic<int> capture_alive_{0};
+    std::atomic<int> encode_alive_{0};
+    std::atomic<int> decode_alive_{0};
+};
+
+} // namespace rpx::fleet
+
+#endif // RPX_FLEET_FLEET_HPP

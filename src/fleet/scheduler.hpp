@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Deadline-aware frame scheduling (rpx::fleet).
+ *
+ * EdfQueue is the fleet's arbitration point between streams and the
+ * bounded engine pools: a blocking bounded priority queue of FrameTasks
+ * ordered earliest-deadline-first. Workers pop the most urgent frame
+ * across *all* streams, so when streams outnumber engines the engines
+ * always serve the frames closest to missing their deadlines — classic
+ * EDF, which is optimal for a single resource class.
+ *
+ * Ordering key: (deadline, stream id, frame index). Tasks without a
+ * deadline (the facade path, or a fleet run with deadlines disabled)
+ * compare equal on the first component and fall back to fair round-robin
+ * by stream id, then frame order.
+ *
+ * Close/drain semantics mirror MpmcQueue: close() refuses new pushes,
+ * wakes all waiters, and lets consumers drain buffered tasks before pop()
+ * returns nullopt.
+ */
+
+#ifndef RPX_FLEET_SCHEDULER_HPP
+#define RPX_FLEET_SCHEDULER_HPP
+
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "fleet/stages.hpp"
+
+namespace rpx::fleet {
+
+/** Occupancy/stall counters of one EdfQueue. */
+struct EdfQueueStats {
+    u64 pushes = 0;
+    u64 pops = 0;
+    u64 push_waits = 0; //!< pushes that blocked on a full queue
+    u64 pop_waits = 0;  //!< pops that blocked on an empty queue
+    u64 rejected = 0;   //!< pushes refused because the queue was closed
+    u64 high_water = 0; //!< peak occupancy
+};
+
+/** Blocking bounded earliest-deadline-first queue of FrameTasks. */
+class EdfQueue
+{
+  public:
+    explicit EdfQueue(size_t capacity);
+
+    /**
+     * Block until there is room, then insert. Returns false (dropping the
+     * task) iff the queue is closed.
+     */
+    bool push(FrameTask task);
+    /** Insert only if there is room right now; false if full or closed. */
+    bool tryPush(FrameTask &task);
+
+    /**
+     * Block until a task is available and pop the earliest-deadline one.
+     * Returns nullopt once the queue is closed *and* drained.
+     */
+    std::optional<FrameTask> pop();
+    /** Pop the earliest-deadline task only if one is buffered now. */
+    std::optional<FrameTask> tryPop();
+
+    /** Refuse new pushes and wake all waiters. Idempotent. */
+    void close();
+    bool closed() const;
+
+    size_t size() const;
+    size_t capacity() const { return capacity_; }
+    EdfQueueStats stats() const;
+
+  private:
+    /** True when a should run *after* b (max-heap comparator → EDF pop). */
+    static bool laterThan(const FrameTask &a, const FrameTask &b);
+    FrameTask popEarliestLocked();
+    void pushLocked(FrameTask &&task);
+
+    const size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable not_full_;
+    std::condition_variable not_empty_;
+    std::vector<FrameTask> heap_;
+    bool closed_ = false;
+    EdfQueueStats stats_;
+};
+
+} // namespace rpx::fleet
+
+#endif // RPX_FLEET_SCHEDULER_HPP

@@ -1,0 +1,403 @@
+#include "fleet/stages.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "energy/energy_model.hpp"
+
+namespace rpx::fleet {
+
+namespace {
+
+/** The scene image a task was submitted with (referenced or owned). */
+const Image &
+sceneOf(const FrameTask &task)
+{
+    return task.scene_ref ? *task.scene_ref : task.scene;
+}
+
+obs::ObsContext *
+obsOf(const StreamContext &s)
+{
+    PipelineObs *po = const_cast<StreamContext &>(s).sharedObs();
+    return po ? po->context() : nullptr;
+}
+
+} // namespace
+
+void
+CaptureStage::run(FrameTask &task) const
+{
+    StreamContext &s = *task.stream;
+    const PipelineConfig &cfg = s.config();
+    PipelineObs *po = s.sharedObs();
+    obs::ObsContext *ctx = obsOf(s);
+
+    task.index = s.acquireFrameIndex();
+    task.start = std::chrono::steady_clock::now();
+    if (ctx && ctx->trace())
+        task.trace_start_us = ctx->trace()->nowUs();
+
+    // Telemetry attribution baselines: stage latencies land in the task's
+    // lat_* fields via the stage timers' out_us hooks, and the
+    // shared-model deltas (DRAM transactions, encoder cycles) are
+    // computed against these snapshots at decode time.
+    const bool tele = s.telemetry() != nullptr;
+    if (tele) {
+        task.dram_before = s.dram().stats();
+        task.enc_before = s.encoder().stats();
+    }
+
+    // 1. Runtime programs the encoder for this frame. Under degradation
+    //    the ladder sheds work first: the region budget shrinks (tail
+    //    labels dropped, keeping y-order) and temporal skips coarsen.
+    s.runtime().beginFrame();
+    std::vector<RegionLabel> labels = s.registers().activeRegions();
+    fault::DegradationController *degrade = s.degradation();
+    if (degrade && degrade->level() > 0) {
+        const size_t keep = std::max<size_t>(
+            1, static_cast<size_t>(
+                   std::floor(static_cast<double>(labels.size()) *
+                              degrade->regionBudgetScale())));
+        if (labels.size() > keep)
+            labels.resize(keep);
+        const i32 boost = degrade->skipBoost();
+        for (RegionLabel &l : labels)
+            l.skip = std::min<i32>(l.skip + boost, 64);
+    }
+    s.encoder().setRegionLabels(std::move(labels));
+
+    // 2. Capture: sensor readout (+ CSI transfer) and ISP. On the fast
+    //    (sensor-less) path the CSI transfer stands in for the readout and
+    //    the gray conversion/resize is the ISP-equivalent work, so both
+    //    stages still emit a span per frame.
+    const Image &scene = sceneOf(task);
+    fault::FaultInjector *injector = s.injector();
+    if (cfg.use_sensor_path) {
+        if (scene.channels() != 3)
+            throwInvalid("sensor path needs an RGB scene frame");
+        Image raw;
+        {
+            obs::ScopedStageTimer span(
+                ctx, po ? po->h_sensor : nullptr, "sensor_readout",
+                "pipeline", obs::TraceLane::Sensor, task.index,
+                tele ? &task.lat_sensor : nullptr);
+            raw = s.sensor().capture(scene);
+            // With an injector on the link the transfer can drop lines
+            // and flip payload bits in the raw mosaic before the ISP.
+            task.csi_status =
+                injector ? s.csi().transferFrame(raw, cfg.fps)
+                         : s.csi().transferFrame(
+                               static_cast<u64>(raw.pixelCount()));
+        }
+        {
+            obs::ScopedStageTimer span(ctx, po ? po->h_isp : nullptr,
+                                       "isp", "pipeline",
+                                       obs::TraceLane::Isp, task.index,
+                                       tele ? &task.lat_isp : nullptr);
+            task.gray = s.isp().process(raw);
+        }
+    } else {
+        {
+            obs::ScopedStageTimer span(ctx, po ? po->h_isp : nullptr,
+                                       "isp", "pipeline",
+                                       obs::TraceLane::Isp, task.index,
+                                       tele ? &task.lat_isp : nullptr);
+            task.gray = scene.channels() == 1 ? scene : scene.toGray();
+            if (task.gray.width() != cfg.width ||
+                task.gray.height() != cfg.height)
+                task.gray = task.gray.resized(cfg.width, cfg.height);
+        }
+        obs::ScopedStageTimer span(ctx, po ? po->h_sensor : nullptr,
+                                   "sensor_readout", "pipeline",
+                                   obs::TraceLane::Sensor, task.index,
+                                   tele ? &task.lat_sensor : nullptr);
+        task.csi_status =
+            injector ? s.csi().transferFrame(task.gray, cfg.fps)
+                     : s.csi().transferFrame(
+                           static_cast<u64>(task.gray.pixelCount()));
+    }
+    // The raw scene is not needed past this point; dropping it here keeps
+    // a fleet's in-flight memory bounded by gray frames, not RGB scenes.
+    task.scene = Image();
+    task.scene_ref = nullptr;
+}
+
+void
+EncodeStage::run(FrameTask &task) const
+{
+    StreamContext &s = *task.stream;
+    PipelineObs *po = s.sharedObs();
+    obs::ObsContext *ctx = obsOf(s);
+    const bool tele = s.telemetry() != nullptr;
+
+    // 3a. Encode the dense gray frame.
+    {
+        obs::ScopedStageTimer span(ctx, po ? po->h_encode : nullptr,
+                                   "encode", "pipeline",
+                                   obs::TraceLane::Encoder, task.index,
+                                   tele ? &task.lat_encode : nullptr);
+        task.encoded = s.encoder().encodeFrame(task.gray, task.index);
+    }
+    task.kept = task.encoded.keptFraction();
+    task.pixel_bytes = task.encoded.pixelBytes();
+    task.metadata_bytes = task.encoded.metadataBytes();
+    task.pixels_in = static_cast<u64>(task.gray.pixelCount());
+    // The dense frame is consumed; only the packed payload travels on.
+    task.gray = Image();
+}
+
+void
+StoreStage::run(FrameTask &task) const
+{
+    StreamContext &s = *task.stream;
+    PipelineObs *po = s.sharedObs();
+    obs::ObsContext *ctx = obsOf(s);
+    const bool tele = s.telemetry() != nullptr;
+
+    // 3b. Commit to the framebuffer ring shard in DRAM.
+    obs::ScopedStageTimer span(ctx, po ? po->h_dram_write : nullptr,
+                               "dram_write", "pipeline",
+                               obs::TraceLane::Dram, task.index,
+                               tele ? &task.lat_dram_write : nullptr);
+    task.store_report = s.store().store(std::move(task.encoded));
+}
+
+void
+DecodeStage::run(FrameTask &task) const
+{
+    StreamContext &s = *task.stream;
+    const PipelineConfig &cfg = s.config();
+    PipelineObs *po = s.sharedObs();
+    obs::ObsContext *ctx = obsOf(s);
+    const bool tele = s.telemetry() != nullptr;
+    const FrameIndex t = task.index;
+    PipelineFrameResult &result = task.result;
+
+    // 4. Decode the full frame for the application (software decoder fast
+    //    path; the hardware decoder unit serves per-transaction requests
+    //    and is exercised by tests/examples). The graceful path validates
+    //    the stored frame and, when it is quarantined, serves the last
+    //    good image (or black before any good frame exists).
+    std::vector<const EncodedFrame *> history;
+    for (size_t k = 1; k < s.store().size(); ++k)
+        history.push_back(s.store().recent(k));
+    {
+        obs::ScopedStageTimer span(ctx, po ? po->h_decode : nullptr,
+                                   "decode", "pipeline",
+                                   obs::TraceLane::Decoder, t,
+                                   tele ? &task.lat_decode : nullptr);
+        if (cfg.fault.graceful) {
+            SwDecodeStatus st = s.swDecoder().tryDecode(
+                *s.store().recent(0), history, result.decoded);
+            if (st.quarantined) {
+                result.quarantined = true;
+                result.held_last_good = true;
+                result.decoded = s.haveLastGood()
+                                     ? s.lastGood()
+                                     : Image(cfg.width, cfg.height,
+                                             PixelFormat::Gray8, 0);
+            } else {
+                s.setLastGood(result.decoded);
+            }
+        } else {
+            result.decoded =
+                s.swDecoder().decode(*s.store().recent(0), history);
+        }
+    }
+    result.kept_fraction = task.kept;
+    result.index = t;
+
+    // 4b. Frame health drives the degradation ladder: a deadline miss is
+    //     a real wall-clock overrun (per-pipeline deadline_ms or the
+    //     fleet's EDF frame deadline) or an injected scheduling fault.
+    result.csi_dropped_lines = task.csi_status.dropped_lines;
+    result.transient_faults =
+        task.store_report.dma_retries +
+        task.store_report.dma_dropped_bursts +
+        (task.csi_status.corrupted_bytes > 0 ? 1 : 0) +
+        (task.csi_status.dropped_lines > 0 ? 1 : 0);
+    fault::FaultInjector *injector = s.injector();
+    if (injector && injector->dropEvent(fault::Stage::Deadline))
+        result.deadline_missed = true;
+    if (cfg.fault.deadline_ms > 0.0) {
+        const double elapsed_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - task.start)
+                .count();
+        if (elapsed_ms > cfg.fault.deadline_ms)
+            result.deadline_missed = true;
+    }
+    if (task.has_deadline &&
+        std::chrono::steady_clock::now() > task.deadline)
+        result.deadline_missed = true;
+    fault::DegradationController *degrade = s.degradation();
+    if (degrade) {
+        fault::FrameHealth health;
+        health.deadline_missed = result.deadline_missed;
+        health.decode_quarantined = result.quarantined;
+        health.transient_faults =
+            static_cast<u32>(result.transient_faults);
+        degrade->onFrame(health);
+        result.degradation_level = degrade->level();
+    }
+
+    // 5. Traffic: the encoder wrote payload+metadata; the app read the
+    //    frame back through the decoder (which fetches only encoded pixels
+    //    plus the metadata working set).
+    result.traffic.bytes_written = task.pixel_bytes;
+    result.traffic.bytes_read = task.pixel_bytes;
+    result.traffic.metadata_bytes = 2 * task.metadata_bytes; // write+read
+    result.traffic.footprint = s.store().totalFootprint();
+    s.traffic().add(result.traffic);
+
+    // 6. Energy attribution (first-order model, Appendix A.2): sensing and
+    //    CSI scale with dense pixels in; everything DRAM-side scales with
+    //    kept pixels (write+read DDR crossings plus the array accesses).
+    //    Computed only when someone is listening, so the bare pipeline
+    //    stays at seed cost.
+    const u64 pixels_in = task.pixels_in;
+    const u64 kept_pixels =
+        static_cast<u64>(task.pixel_bytes); // 1 B per pixel
+    double e_sense_nj = 0.0, e_csi_nj = 0.0, e_dram_nj = 0.0;
+    if (tele || (po && po->attached())) {
+        const EnergyConstants ec;
+        e_sense_nj = ec.sense_pj * static_cast<double>(pixels_in) / 1e3;
+        e_csi_nj = ec.csi_pj * static_cast<double>(pixels_in) / 1e3;
+        const double dram_nj_per_px =
+            (2.0 * ec.ddr_comm_crossing_pj + ec.dram_write_pj +
+             ec.dram_read_pj) /
+            1e3;
+        e_dram_nj = dram_nj_per_px * static_cast<double>(kept_pixels);
+        if (po)
+            po->addEnergy(e_sense_nj, e_csi_nj, e_dram_nj);
+    }
+
+    if (po && po->attached()) {
+        po->frames->inc();
+        po->bytes_written->add(result.traffic.bytes_written);
+        po->bytes_read->add(result.traffic.bytes_read);
+        po->metadata_bytes->add(result.traffic.metadata_bytes);
+        if (result.quarantined)
+            po->quarantined->inc();
+        if (result.deadline_missed)
+            po->deadline_misses->inc();
+        po->transient_faults->add(result.transient_faults);
+        po->kept_fraction->set(task.kept);
+        po->footprint->set(
+            static_cast<double>(result.traffic.footprint));
+    }
+
+    if (obs::TelemetrySink *sink = s.telemetry()) {
+        obs::FrameTelemetry ft;
+        ft.index = static_cast<u64>(t);
+        ft.stream = cfg.stream_label;
+        ft.sensor_us = task.lat_sensor;
+        ft.isp_us = task.lat_isp;
+        ft.encode_us = task.lat_encode;
+        ft.dram_write_us = task.lat_dram_write;
+        ft.decode_us = task.lat_decode;
+        ft.total_us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - task.start)
+                          .count();
+
+        ft.pixels_in = pixels_in;
+        ft.pixels_kept = kept_pixels;
+        ft.bytes_written = result.traffic.bytes_written;
+        ft.bytes_read = result.traffic.bytes_read;
+        ft.metadata_bytes = result.traffic.metadata_bytes;
+
+        const DramStats &ds = s.dram().stats();
+        ft.dram_write_transactions =
+            ds.write_transactions - task.dram_before.write_transactions;
+        ft.dram_read_transactions =
+            ds.read_transactions - task.dram_before.read_transactions;
+        ft.dram_bytes_written =
+            ds.bytes_written - task.dram_before.bytes_written;
+        ft.dram_bytes_read = ds.bytes_read - task.dram_before.bytes_read;
+
+        const EncoderStats &es = s.encoder().stats();
+        ft.compare_cycles =
+            es.compare_cycles - task.enc_before.compare_cycles;
+        ft.stream_cycles =
+            es.stream_cycles - task.enc_before.stream_cycles;
+        ft.region_comparisons =
+            es.region_comparisons - task.enc_before.region_comparisons;
+
+        ft.quarantined = result.quarantined;
+        ft.held_last_good = result.held_last_good;
+        ft.deadline_missed = result.deadline_missed;
+        ft.csi_dropped_lines = result.csi_dropped_lines;
+        ft.transient_faults = result.transient_faults;
+        ft.degradation_level = result.degradation_level;
+
+        ft.energy_sense_nj = e_sense_nj;
+        ft.energy_csi_nj = e_csi_nj;
+        ft.energy_dram_nj = e_dram_nj;
+        ft.energy_total_nj = e_sense_nj + e_csi_nj + e_dram_nj;
+
+        // Per-region attribution: the encoder's label list for this frame
+        // (post-degradation) with the work its attribution pass claimed.
+        // DRAM-path energy splits across regions by kept pixels, so the
+        // region energies sum exactly to the frame's energy_dram_nj.
+        const EnergyConstants ec;
+        const double dram_nj_per_px =
+            (2.0 * ec.ddr_comm_crossing_pj + ec.dram_write_pj +
+             ec.dram_read_pj) /
+            1e3;
+        const std::vector<RegionLabel> &labels =
+            s.encoder().regionLabels();
+        const RegionAttribution &attr = s.encoder().lastFrameAttribution();
+        ft.regions.reserve(labels.size());
+        for (size_t i = 0; i < labels.size(); ++i) {
+            const RegionLabel &l = labels[i];
+            obs::RegionTelemetry rt;
+            rt.x = l.x;
+            rt.y = l.y;
+            rt.w = l.w;
+            rt.h = l.h;
+            rt.stride = l.stride;
+            rt.skip = l.skip;
+            rt.active = l.activeAt(t);
+            if (i < attr.kept.size()) {
+                rt.pixels_kept = attr.kept[i];
+                rt.comparisons = attr.comparisons[i];
+            }
+            rt.payload_bytes = rt.pixels_kept; // Gray8: 1 byte per pixel
+            rt.energy_nj =
+                dram_nj_per_px * static_cast<double>(rt.pixels_kept);
+            ft.regions.push_back(std::move(rt));
+        }
+        sink->record(ft);
+    }
+
+    // Frame-latency accounting: the legacy frame span, recorded manually
+    // because the frame no longer lives inside one scope.
+    double frame_us;
+    if (ctx && ctx->trace()) {
+        obs::TraceRecorder *tr = ctx->trace();
+        frame_us = tr->nowUs() - task.trace_start_us;
+        tr->record({"frame", "pipeline", task.trace_start_us, frame_us,
+                    static_cast<u32>(obs::TraceLane::Pipeline),
+                    static_cast<i64>(t)});
+    } else {
+        frame_us = std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - task.start)
+                       .count();
+    }
+    if (po && po->h_frame)
+        po->h_frame->record(frame_us);
+}
+
+void
+runFrameInline(FrameTask &task)
+{
+    CaptureStage{}.run(task);
+    EncodeStage{}.run(task);
+    StoreStage{}.run(task);
+    DecodeStage{}.run(task);
+}
+
+} // namespace rpx::fleet

@@ -73,6 +73,7 @@ TelemetrySink::record(const FrameTelemetry &frame)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     totals_.add(frame);
+    per_stream_[frame.stream].add(frame);
     if (config_.keep_frames > 0) {
         ring_.push_back(frame);
         while (ring_.size() > config_.keep_frames)
@@ -87,6 +88,13 @@ TelemetrySink::totals() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return totals_;
+}
+
+std::map<std::string, TelemetryTotals>
+TelemetrySink::perStreamTotals() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return per_stream_;
 }
 
 std::vector<FrameTelemetry>
@@ -108,8 +116,10 @@ std::string
 writeFrameJson(const FrameTelemetry &f)
 {
     std::ostringstream os;
-    os << "{\"schema\":\"" << kSchema << "\",\"frame\":" << f.index
-       << ",\"lat_us\":{\"sensor\":" << num(f.sensor_us)
+    os << "{\"schema\":\"" << kSchema << "\",\"frame\":" << f.index;
+    if (!f.stream.empty())
+        os << ",\"stream\":\"" << json::escape(f.stream) << "\"";
+    os << ",\"lat_us\":{\"sensor\":" << num(f.sensor_us)
        << ",\"isp\":" << num(f.isp_us)
        << ",\"encode\":" << num(f.encode_us)
        << ",\"dram_write\":" << num(f.dram_write_us)
@@ -179,6 +189,7 @@ frameFromJson(const json::Value &v)
 
     FrameTelemetry f;
     f.index = u64At(v, "frame");
+    f.stream = v.stringOr("stream", "");
 
     const json::Value &lat = v.at("lat_us");
     f.sensor_us = lat.at("sensor").number();

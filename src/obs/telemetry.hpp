@@ -24,6 +24,7 @@
 
 #include <deque>
 #include <fstream>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -53,6 +54,12 @@ struct RegionTelemetry {
 /** Everything attributed to one processed frame. */
 struct FrameTelemetry {
     u64 index = 0;
+    /**
+     * Originating stream label (fleet runs label streams "s<id>").
+     * Empty for single-stream pipelines; the journal field is omitted
+     * when empty, so legacy journals are byte-identical.
+     */
+    std::string stream;
 
     // Wall-clock stage latencies in microseconds.
     double sensor_us = 0.0;
@@ -145,6 +152,13 @@ class TelemetrySink
     void record(const FrameTelemetry &frame);
 
     TelemetryTotals totals() const;
+    /**
+     * Run totals broken down by FrameTelemetry::stream label (key "" for
+     * unlabeled single-stream frames). Summing any field across all
+     * entries reproduces totals() — the per-stream conservation the
+     * fleet reconciliation tests assert against the PerfRegistry.
+     */
+    std::map<std::string, TelemetryTotals> perStreamTotals() const;
     /** Copy of the retained ring, oldest first. */
     std::vector<FrameTelemetry> frames() const;
     /** Flush the journal stream (record() already writes eagerly). */
@@ -154,6 +168,7 @@ class TelemetrySink
     Config config_;
     mutable std::mutex mutex_;
     TelemetryTotals totals_;
+    std::map<std::string, TelemetryTotals> per_stream_;
     std::deque<FrameTelemetry> ring_;
     std::ofstream journal_;
 };

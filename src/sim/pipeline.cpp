@@ -1,405 +1,21 @@
 #include "sim/pipeline.hpp"
 
-#include <algorithm>
-#include <chrono>
-#include <cmath>
-
-#include "common/error.hpp"
-#include "energy/energy_model.hpp"
-
 namespace rpx {
 
-namespace {
-
-SensorConfig
-sensorConfigFor(const PipelineConfig &config)
-{
-    SensorConfig sc;
-    sc.name = "sim";
-    sc.width = config.width;
-    sc.height = config.height;
-    sc.fps = config.fps;
-    return sc;
-}
-
-} // namespace
-
 VisionPipeline::VisionPipeline(const PipelineConfig &config)
-    : config_(config), dram_(std::make_unique<DramModel>()),
-      sensor_(sensorConfigFor(config)), csi_(), isp_(),
-      registers_(config.max_regions)
+    : obs_(std::make_unique<fleet::PipelineObs>(config.obs)),
+      ctx_(std::make_unique<fleet::StreamContext>(config, obs_.get()))
 {
-    if (config.history < 1)
-        throwInvalid("pipeline history must be >= 1");
-
-    driver_ = std::make_unique<RegionDriver>(registers_, config.width,
-                                             config.height);
-    runtime_ = std::make_unique<RegionRuntime>(*driver_);
-
-    ParallelEncoder::Config ec;
-    ec.encoder.mode = config.comparison_mode;
-    ec.threads = config.encoder_threads;
-    encoder_ = std::make_unique<ParallelEncoder>(config.width,
-                                                 config.height, ec);
-    store_ = std::make_unique<FrameStore>(*dram_, config.width,
-                                          config.height, config.history);
-    decoder_ = std::make_unique<RhythmicDecoder>(*store_);
-
-    if (config.fault.enabled()) {
-        if (config.fault.plan) {
-            injector_ =
-                std::make_unique<fault::FaultInjector>(*config.fault.plan);
-            csi_.setFaultInjector(injector_.get());
-            dram_->setFaultInjector(injector_.get());
-            store_->setFaultInjector(injector_.get());
-        }
-        store_->enableMetadataCrc(config.fault.crc_metadata);
-        degrade_ = std::make_unique<fault::DegradationController>(
-            config.fault.degradation);
-    }
-
-    if ((telemetry_ = config.telemetry)) {
-        // Per-region journal entries need the encoder's conserving
-        // work attribution; enabling it here keeps the knob implicit.
-        encoder_->enableRegionAttribution(true);
-    }
-
-    if ((obs_ = config.obs)) {
-        dram_->attachObs(obs_);
-        driver_->attachObs(obs_);
-        encoder_->attachObs(obs_);
-        decoder_->attachObs(obs_);
-        if (injector_)
-            injector_->attachObs(obs_);
-        if (degrade_)
-            degrade_->attachObs(obs_);
-        obs::PerfRegistry &r = obs_->registry();
-        obs_frames_ = &r.counter("pipeline.frames");
-        obs_bytes_written_ = &r.counter("pipeline.bytes_written");
-        obs_bytes_read_ = &r.counter("pipeline.bytes_read");
-        obs_metadata_bytes_ = &r.counter("pipeline.metadata_bytes");
-        obs_quarantined_ = &r.counter("pipeline.quarantined_frames");
-        obs_deadline_misses_ = &r.counter("pipeline.deadline_misses");
-        obs_transient_faults_ = &r.counter("pipeline.transient_faults");
-        obs_kept_fraction_ = &r.gauge("pipeline.kept_fraction");
-        obs_footprint_ = &r.gauge("pipeline.footprint_bytes");
-        obs_energy_sense_ = &r.gauge("pipeline.energy_sense_nj");
-        obs_energy_csi_ = &r.gauge("pipeline.energy_csi_nj");
-        obs_energy_dram_ = &r.gauge("pipeline.energy_dram_nj");
-        obs_energy_total_ = &r.gauge("pipeline.energy_total_nj");
-        obs_h_sensor_ =
-            &r.histogram("pipeline.stage.sensor_readout.latency_us");
-        obs_h_isp_ = &r.histogram("pipeline.stage.isp.latency_us");
-        obs_h_encode_ = &r.histogram("pipeline.stage.encode.latency_us");
-        obs_h_dram_write_ =
-            &r.histogram("pipeline.stage.dram_write.latency_us");
-        obs_h_decode_ = &r.histogram("pipeline.stage.decode.latency_us");
-        obs_h_frame_ = &r.histogram("pipeline.frame.latency_us");
-    }
 }
 
 PipelineFrameResult
 VisionPipeline::processFrame(const Image &scene)
 {
-    const FrameIndex t = next_frame_++;
-    const auto frame_start = std::chrono::steady_clock::now();
-    obs::ScopedStageTimer frame_span(obs_, obs_h_frame_, "frame",
-                                     "pipeline", obs::TraceLane::Pipeline,
-                                     t);
-
-    // Telemetry attribution baselines: stage latencies land in these via
-    // the stage timers' out_us hooks, and the shared-model deltas (DRAM
-    // transactions, encoder cycles) are computed against these snapshots.
-    const bool tele = telemetry_ != nullptr;
-    double lat_sensor = 0.0, lat_isp = 0.0, lat_encode = 0.0;
-    double lat_dram_write = 0.0, lat_decode = 0.0;
-    DramStats dram_before;
-    EncoderStats enc_before;
-    if (tele) {
-        dram_before = dram_->stats();
-        enc_before = encoder_->stats();
-    }
-
-    // 1. Runtime programs the encoder for this frame. Under degradation
-    //    the ladder sheds work first: the region budget shrinks (tail
-    //    labels dropped, keeping y-order) and temporal skips coarsen.
-    runtime_->beginFrame();
-    std::vector<RegionLabel> labels = registers_.activeRegions();
-    if (degrade_ && degrade_->level() > 0) {
-        const size_t keep = std::max<size_t>(
-            1, static_cast<size_t>(
-                   std::floor(static_cast<double>(labels.size()) *
-                              degrade_->regionBudgetScale())));
-        if (labels.size() > keep)
-            labels.resize(keep);
-        const i32 boost = degrade_->skipBoost();
-        for (RegionLabel &l : labels)
-            l.skip = std::min<i32>(l.skip + boost, 64);
-    }
-    encoder_->setRegionLabels(std::move(labels));
-
-    // 2. Capture: sensor readout (+ CSI transfer) and ISP. On the fast
-    //    (sensor-less) path the CSI transfer stands in for the readout and
-    //    the gray conversion/resize is the ISP-equivalent work, so both
-    //    stages still emit a span per frame.
-    Image gray;
-    Csi2FrameStatus csi_status;
-    if (config_.use_sensor_path) {
-        if (scene.channels() != 3)
-            throwInvalid("sensor path needs an RGB scene frame");
-        Image raw;
-        {
-            obs::ScopedStageTimer span(obs_, obs_h_sensor_,
-                                       "sensor_readout", "pipeline",
-                                       obs::TraceLane::Sensor, t,
-                                       tele ? &lat_sensor : nullptr);
-            raw = sensor_.capture(scene);
-            // With an injector on the link the transfer can drop lines
-            // and flip payload bits in the raw mosaic before the ISP.
-            csi_status =
-                injector_
-                    ? csi_.transferFrame(raw, config_.fps)
-                    : csi_.transferFrame(
-                          static_cast<u64>(raw.pixelCount()));
-        }
-        {
-            obs::ScopedStageTimer span(obs_, obs_h_isp_, "isp", "pipeline",
-                                       obs::TraceLane::Isp, t,
-                                       tele ? &lat_isp : nullptr);
-            gray = isp_.process(raw);
-        }
-    } else {
-        {
-            obs::ScopedStageTimer span(obs_, obs_h_isp_, "isp", "pipeline",
-                                       obs::TraceLane::Isp, t,
-                                       tele ? &lat_isp : nullptr);
-            gray = scene.channels() == 1 ? scene : scene.toGray();
-            if (gray.width() != config_.width ||
-                gray.height() != config_.height)
-                gray = gray.resized(config_.width, config_.height);
-        }
-        obs::ScopedStageTimer span(obs_, obs_h_sensor_, "sensor_readout",
-                                   "pipeline", obs::TraceLane::Sensor, t,
-                                   tele ? &lat_sensor : nullptr);
-        csi_status = injector_
-                         ? csi_.transferFrame(gray, config_.fps)
-                         : csi_.transferFrame(
-                               static_cast<u64>(gray.pixelCount()));
-    }
-
-    // 3. Encode and commit to the framebuffer ring in DRAM.
-    EncodedFrame encoded;
-    {
-        obs::ScopedStageTimer span(obs_, obs_h_encode_, "encode",
-                                   "pipeline", obs::TraceLane::Encoder, t,
-                                   tele ? &lat_encode : nullptr);
-        encoded = encoder_->encodeFrame(gray, t);
-    }
-    const double kept = encoded.keptFraction();
-    const Bytes pixel_bytes = encoded.pixelBytes();
-    const Bytes metadata_bytes = encoded.metadataBytes();
-    FrameStoreReport store_report;
-    {
-        obs::ScopedStageTimer span(obs_, obs_h_dram_write_, "dram_write",
-                                   "pipeline", obs::TraceLane::Dram, t,
-                                   tele ? &lat_dram_write : nullptr);
-        store_report = store_->store(std::move(encoded));
-    }
-
-    // 4. Decode the full frame for the application (software decoder fast
-    //    path; the hardware decoder unit serves per-transaction requests
-    //    and is exercised by tests/examples). The graceful path validates
-    //    the stored frame and, when it is quarantined, serves the last
-    //    good image (or black before any good frame exists).
-    std::vector<const EncodedFrame *> history;
-    for (size_t k = 1; k < store_->size(); ++k)
-        history.push_back(store_->recent(k));
-    PipelineFrameResult result;
-    {
-        obs::ScopedStageTimer span(obs_, obs_h_decode_, "decode",
-                                   "pipeline", obs::TraceLane::Decoder, t,
-                                   tele ? &lat_decode : nullptr);
-        if (config_.fault.graceful) {
-            SwDecodeStatus st =
-                sw_decoder_.tryDecode(*store_->recent(0), history,
-                                      result.decoded);
-            if (st.quarantined) {
-                result.quarantined = true;
-                result.held_last_good = true;
-                result.decoded =
-                    have_last_good_
-                        ? last_good_
-                        : Image(config_.width, config_.height,
-                                PixelFormat::Gray8, 0);
-            } else {
-                last_good_ = result.decoded;
-                have_last_good_ = true;
-            }
-        } else {
-            result.decoded =
-                sw_decoder_.decode(*store_->recent(0), history);
-        }
-    }
-    result.kept_fraction = kept;
-    result.index = t;
-
-    // 4b. Frame health drives the degradation ladder: a deadline miss is
-    //     either a real wall-clock overrun (when deadline_ms is set) or an
-    //     injected scheduling fault (stage Deadline).
-    result.csi_dropped_lines = csi_status.dropped_lines;
-    result.transient_faults =
-        store_report.dma_retries + store_report.dma_dropped_bursts +
-        (csi_status.corrupted_bytes > 0 ? 1 : 0) +
-        (csi_status.dropped_lines > 0 ? 1 : 0);
-    if (injector_ && injector_->dropEvent(fault::Stage::Deadline))
-        result.deadline_missed = true;
-    if (config_.fault.deadline_ms > 0.0) {
-        const double elapsed_ms =
-            std::chrono::duration<double, std::milli>(
-                std::chrono::steady_clock::now() - frame_start)
-                .count();
-        if (elapsed_ms > config_.fault.deadline_ms)
-            result.deadline_missed = true;
-    }
-    if (degrade_) {
-        fault::FrameHealth health;
-        health.deadline_missed = result.deadline_missed;
-        health.decode_quarantined = result.quarantined;
-        health.transient_faults =
-            static_cast<u32>(result.transient_faults);
-        degrade_->onFrame(health);
-        result.degradation_level = degrade_->level();
-    }
-
-    // 5. Traffic: the encoder wrote payload+metadata; the app read the
-    //    frame back through the decoder (which fetches only encoded pixels
-    //    plus the metadata working set).
-    result.traffic.bytes_written = pixel_bytes;
-    result.traffic.bytes_read = pixel_bytes;
-    result.traffic.metadata_bytes = 2 * metadata_bytes; // write + read
-    result.traffic.footprint = store_->totalFootprint();
-    traffic_.add(result.traffic);
-
-    // 6. Energy attribution (first-order model, Appendix A.2): sensing and
-    //    CSI scale with dense pixels in; everything DRAM-side scales with
-    //    kept pixels (write+read DDR crossings plus the array accesses).
-    //    Computed only when someone is listening, so the bare pipeline
-    //    stays at seed cost.
-    const u64 pixels_in = static_cast<u64>(gray.pixelCount());
-    const u64 kept_pixels = static_cast<u64>(pixel_bytes); // 1 B per pixel
-    double e_sense_nj = 0.0, e_csi_nj = 0.0, e_dram_nj = 0.0;
-    if (telemetry_ || obs_energy_total_) {
-        const EnergyConstants ec;
-        e_sense_nj = ec.sense_pj * static_cast<double>(pixels_in) / 1e3;
-        e_csi_nj = ec.csi_pj * static_cast<double>(pixels_in) / 1e3;
-        const double dram_nj_per_px =
-            (2.0 * ec.ddr_comm_crossing_pj + ec.dram_write_pj +
-             ec.dram_read_pj) /
-            1e3;
-        e_dram_nj = dram_nj_per_px * static_cast<double>(kept_pixels);
-        energy_sense_nj_ += e_sense_nj;
-        energy_csi_nj_ += e_csi_nj;
-        energy_dram_nj_ += e_dram_nj;
-    }
-
-    if (obs_frames_) {
-        obs_frames_->inc();
-        obs_bytes_written_->add(result.traffic.bytes_written);
-        obs_bytes_read_->add(result.traffic.bytes_read);
-        obs_metadata_bytes_->add(result.traffic.metadata_bytes);
-        if (result.quarantined)
-            obs_quarantined_->inc();
-        if (result.deadline_missed)
-            obs_deadline_misses_->inc();
-        obs_transient_faults_->add(result.transient_faults);
-        obs_kept_fraction_->set(kept);
-        obs_footprint_->set(static_cast<double>(result.traffic.footprint));
-        obs_energy_sense_->set(energy_sense_nj_);
-        obs_energy_csi_->set(energy_csi_nj_);
-        obs_energy_dram_->set(energy_dram_nj_);
-        obs_energy_total_->set(energy_sense_nj_ + energy_csi_nj_ +
-                               energy_dram_nj_);
-    }
-
-    if (telemetry_) {
-        obs::FrameTelemetry ft;
-        ft.index = static_cast<u64>(t);
-        ft.sensor_us = lat_sensor;
-        ft.isp_us = lat_isp;
-        ft.encode_us = lat_encode;
-        ft.dram_write_us = lat_dram_write;
-        ft.decode_us = lat_decode;
-        ft.total_us = std::chrono::duration<double, std::micro>(
-                          std::chrono::steady_clock::now() - frame_start)
-                          .count();
-
-        ft.pixels_in = pixels_in;
-        ft.pixels_kept = kept_pixels;
-        ft.bytes_written = result.traffic.bytes_written;
-        ft.bytes_read = result.traffic.bytes_read;
-        ft.metadata_bytes = result.traffic.metadata_bytes;
-
-        const DramStats &ds = dram_->stats();
-        ft.dram_write_transactions =
-            ds.write_transactions - dram_before.write_transactions;
-        ft.dram_read_transactions =
-            ds.read_transactions - dram_before.read_transactions;
-        ft.dram_bytes_written =
-            ds.bytes_written - dram_before.bytes_written;
-        ft.dram_bytes_read = ds.bytes_read - dram_before.bytes_read;
-
-        const EncoderStats &es = encoder_->stats();
-        ft.compare_cycles = es.compare_cycles - enc_before.compare_cycles;
-        ft.stream_cycles = es.stream_cycles - enc_before.stream_cycles;
-        ft.region_comparisons =
-            es.region_comparisons - enc_before.region_comparisons;
-
-        ft.quarantined = result.quarantined;
-        ft.held_last_good = result.held_last_good;
-        ft.deadline_missed = result.deadline_missed;
-        ft.csi_dropped_lines = result.csi_dropped_lines;
-        ft.transient_faults = result.transient_faults;
-        ft.degradation_level = result.degradation_level;
-
-        ft.energy_sense_nj = e_sense_nj;
-        ft.energy_csi_nj = e_csi_nj;
-        ft.energy_dram_nj = e_dram_nj;
-        ft.energy_total_nj = e_sense_nj + e_csi_nj + e_dram_nj;
-
-        // Per-region attribution: the encoder's label list for this frame
-        // (post-degradation) with the work its attribution pass claimed.
-        // DRAM-path energy splits across regions by kept pixels, so the
-        // region energies sum exactly to the frame's energy_dram_nj.
-        const EnergyConstants ec;
-        const double dram_nj_per_px =
-            (2.0 * ec.ddr_comm_crossing_pj + ec.dram_write_pj +
-             ec.dram_read_pj) /
-            1e3;
-        const std::vector<RegionLabel> &labels = encoder_->regionLabels();
-        const RegionAttribution &attr = encoder_->lastFrameAttribution();
-        ft.regions.reserve(labels.size());
-        for (size_t i = 0; i < labels.size(); ++i) {
-            const RegionLabel &l = labels[i];
-            obs::RegionTelemetry rt;
-            rt.x = l.x;
-            rt.y = l.y;
-            rt.w = l.w;
-            rt.h = l.h;
-            rt.stride = l.stride;
-            rt.skip = l.skip;
-            rt.active = l.activeAt(t);
-            if (i < attr.kept.size()) {
-                rt.pixels_kept = attr.kept[i];
-                rt.comparisons = attr.comparisons[i];
-            }
-            rt.payload_bytes = rt.pixels_kept; // Gray8: 1 byte per pixel
-            rt.energy_nj =
-                dram_nj_per_px * static_cast<double>(rt.pixels_kept);
-            ft.regions.push_back(std::move(rt));
-        }
-        telemetry_->record(ft);
-    }
-    return result;
+    fleet::FrameTask task;
+    task.stream = ctx_.get();
+    task.scene_ref = &scene;
+    fleet::runFrameInline(task);
+    return std::move(task.result);
 }
 
 } // namespace rpx

@@ -3,6 +3,13 @@
  * The end-to-end vision pipeline (Fig. 4): sensor -> ISP -> rhythmic
  * encoder -> DRAM framebuffer ring -> decoder -> application frame, with a
  * runtime for region-label control and full traffic accounting.
+ *
+ * Since the fleet refactor, VisionPipeline is a thin facade over one
+ * rpx::fleet::StreamContext driven synchronously through the stage graph
+ * (fleet/stages.hpp) — exactly what FleetServer does for N streams, minus
+ * queues and deadlines. The configuration/result structs moved to
+ * fleet/stream_context.hpp but remain in namespace rpx, so existing code
+ * including this header is unaffected.
  */
 
 #ifndef RPX_SIM_PIPELINE_HPP
@@ -10,211 +17,65 @@
 
 #include <memory>
 
-#include "baseline/frame_based.hpp"
-#include "core/decoder.hpp"
-#include "fault/degradation.hpp"
-#include "fault/fault.hpp"
-#include "core/encoder.hpp"
-#include "core/frame_store.hpp"
-#include "core/parallel_encoder.hpp"
-#include "core/sw_decoder.hpp"
-#include "isp/isp_pipeline.hpp"
-#include "memory/dram.hpp"
-#include "obs/obs.hpp"
-#include "obs/telemetry.hpp"
-#include "runtime/api.hpp"
-#include "runtime/driver.hpp"
-#include "runtime/registers.hpp"
-#include "sensor/csi2.hpp"
-#include "sensor/sensor.hpp"
+#include "fleet/stages.hpp"
+#include "fleet/stream_context.hpp"
 
 namespace rpx {
 
 /**
- * Fault-injection and resilience knobs for one pipeline instance. The
- * default-constructed value disables everything: no injector is built, no
- * CRC is written, the strict decode path runs, and per-frame output is
- * byte-identical to a pipeline without this struct.
- */
-struct PipelineFaultConfig {
-    /**
-     * Fault plan to inject from (not owned; copied into the pipeline's
-     * injector at construction). Null = no injection.
-     */
-    const fault::FaultPlan *plan = nullptr;
-    /** Seal stored metadata with CRC-32 and verify it on decode. */
-    bool crc_metadata = false;
-    /**
-     * Route whole-frame decodes through the corruption-safe path:
-     * quarantined frames hold the last good image instead of throwing.
-     */
-    bool graceful = false;
-    /**
-     * Wall-clock frame deadline in milliseconds; 0 (default) disables the
-     * wall-clock check (injected Stage::Deadline misses still count).
-     */
-    double deadline_ms = 0.0;
-    /** Escalation-ladder tuning (used when resilience is active). */
-    fault::DegradationConfig degradation;
-
-    /** True when any resilience machinery needs to be constructed. */
-    bool
-    enabled() const
-    {
-        return plan != nullptr || crc_metadata || graceful ||
-               deadline_ms > 0.0;
-    }
-};
-
-/** Pipeline configuration. */
-struct PipelineConfig {
-    i32 width = 640;
-    i32 height = 480;
-    double fps = 30.0;
-    /**
-     * When true, scenes go through the Bayer mosaic sensor model and the
-     * ISP demosaic (slow, fully faithful). When false, grayscale scenes
-     * feed the encoder directly (the fast path used by large sweeps; the
-     * encoder input is identical either way up to ISP rounding).
-     */
-    bool use_sensor_path = false;
-    int history = 4;
-    u32 max_regions = 1600;
-    ComparisonMode comparison_mode = ComparisonMode::Hybrid;
-    /**
-     * Encoder worker threads: 1 (default) is the serial path, 0 resolves
-     * to one per hardware thread, N > 1 encodes row bands concurrently.
-     * Output is byte-identical across all settings.
-     */
-    int encoder_threads = 1;
-    /**
-     * Optional observability context (not owned; must outlive the
-     * pipeline). When set, every component registers its counters there,
-     * per-stage latencies feed histograms, and — if the context has
-     * tracing enabled — each frame emits one Chrome-trace span per stage.
-     * Null (the default) keeps all instrumentation disabled at zero cost.
-     */
-    obs::ObsContext *obs = nullptr;
-    /**
-     * Optional telemetry sink (not owned; must outlive the pipeline).
-     * When set, every processed frame records one FrameTelemetry with
-     * stage latencies, traffic/DRAM/energy attribution, fault outcome,
-     * and per-region work (the encoder's region attribution is enabled
-     * automatically). Null (default) keeps the frame path free of any
-     * attribution work.
-     */
-    obs::TelemetrySink *telemetry = nullptr;
-    /** Fault injection + resilience (default: everything off). */
-    PipelineFaultConfig fault;
-};
-
-/** Result of pushing one frame through the pipeline. */
-struct PipelineFrameResult {
-    Image decoded;            //!< what the vision app sees
-    double kept_fraction = 0.0; //!< encoded pixels / total pixels
-    FrameTraffic traffic;     //!< this frame's memory traffic
-    FrameIndex index = 0;
-    // Resilience outcome (all-default when PipelineFaultConfig is off).
-    bool deadline_missed = false;  //!< wall-clock or injected miss
-    bool quarantined = false;      //!< decode rejected the stored frame
-    bool held_last_good = false;   //!< decoded is a held earlier frame
-    int degradation_level = 0;     //!< ladder level after this frame
-    u32 csi_dropped_lines = 0;     //!< CSI long-packet lines lost
-    u64 transient_faults = 0;      //!< contained faults (DMA retries etc.)
-};
-
-/**
- * Fully wired rhythmic-pixel-regions pipeline.
+ * Fully wired rhythmic-pixel-regions pipeline (single stream).
  */
 class VisionPipeline
 {
   public:
     explicit VisionPipeline(const PipelineConfig &config);
 
-    const PipelineConfig &config() const { return config_; }
+    const PipelineConfig &config() const { return ctx_->config(); }
 
     /** Developer-facing runtime (SetRegionLabels lives here). */
-    RegionRuntime &runtime() { return *runtime_; }
+    RegionRuntime &runtime() { return ctx_->runtime(); }
 
     /** Push one scene frame (RGB for the sensor path, else grayscale). */
     PipelineFrameResult processFrame(const Image &scene);
 
     /** Serial-encoder view: region list, merged stats, cycle budget. */
-    const RhythmicEncoder &encoder() const { return encoder_->serial(); }
+    const RhythmicEncoder &encoder() const
+    {
+        return ctx_->encoder().serial();
+    }
     /** The (possibly multi-threaded) encoder frames go through. */
-    const ParallelEncoder &parallelEncoder() const { return *encoder_; }
-    RhythmicDecoder &decoder() { return *decoder_; }
-    const FrameStore &frameStore() const { return *store_; }
-    const DramModel &dram() const { return *dram_; }
-    const TrafficSummary &traffic() const { return traffic_; }
-    const Csi2Link &csi() const { return csi_; }
-    FrameIndex frameIndex() const { return next_frame_; }
+    const ParallelEncoder &parallelEncoder() const
+    {
+        return ctx_->encoder();
+    }
+    RhythmicDecoder &decoder() { return ctx_->decoder(); }
+    const FrameStore &frameStore() const { return ctx_->store(); }
+    const DramModel &dram() const { return ctx_->dram(); }
+    const TrafficSummary &traffic() const { return ctx_->traffic(); }
+    const Csi2Link &csi() const { return ctx_->csi(); }
+    FrameIndex frameIndex() const { return ctx_->frameIndex(); }
 
     /** Observability context the pipeline reports into (may be null). */
-    obs::ObsContext *obsContext() { return obs_; }
+    obs::ObsContext *obsContext() { return obs_ ? obs_->context() : nullptr; }
 
     /** The fault injector (null when no plan was configured). */
     const fault::FaultInjector *faultInjector() const
     {
-        return injector_.get();
+        return ctx_->injector();
     }
 
     /** The degradation controller (null when resilience is off). */
     const fault::DegradationController *degradation() const
     {
-        return degrade_.get();
+        return ctx_->degradation();
     }
 
+    /** The underlying stream context (the fleet view of this pipeline). */
+    fleet::StreamContext &streamContext() { return *ctx_; }
+
   private:
-    PipelineConfig config_;
-    std::unique_ptr<DramModel> dram_;
-    SensorModel sensor_;
-    Csi2Link csi_;
-    IspPipeline isp_;
-    RegisterFile registers_;
-    std::unique_ptr<RegionDriver> driver_;
-    std::unique_ptr<RegionRuntime> runtime_;
-    std::unique_ptr<ParallelEncoder> encoder_;
-    std::unique_ptr<FrameStore> store_;
-    std::unique_ptr<RhythmicDecoder> decoder_;
-    SoftwareDecoder sw_decoder_;
-    TrafficSummary traffic_;
-    FrameIndex next_frame_ = 0;
-
-    // Resilience machinery; null unless config_.fault enables it.
-    std::unique_ptr<fault::FaultInjector> injector_;
-    std::unique_ptr<fault::DegradationController> degrade_;
-    Image last_good_;             //!< hold-last-good fallback frame
-    bool have_last_good_ = false;
-
-    obs::ObsContext *obs_ = nullptr;
-    obs::TelemetrySink *telemetry_ = nullptr;
-    // Pipeline-level handles; null when no context is attached.
-    obs::Counter *obs_frames_ = nullptr;
-    obs::Counter *obs_bytes_written_ = nullptr;
-    obs::Counter *obs_bytes_read_ = nullptr;
-    obs::Counter *obs_metadata_bytes_ = nullptr;
-    obs::Counter *obs_quarantined_ = nullptr;
-    obs::Counter *obs_deadline_misses_ = nullptr;
-    obs::Counter *obs_transient_faults_ = nullptr;
-    obs::Gauge *obs_kept_fraction_ = nullptr;
-    obs::Gauge *obs_footprint_ = nullptr;
-    // Cumulative energy accounting (nanojoules), mirrored into gauges so
-    // journal sums can be reconciled against the registry snapshot.
-    double energy_sense_nj_ = 0.0;
-    double energy_csi_nj_ = 0.0;
-    double energy_dram_nj_ = 0.0;
-    obs::Gauge *obs_energy_sense_ = nullptr;
-    obs::Gauge *obs_energy_csi_ = nullptr;
-    obs::Gauge *obs_energy_dram_ = nullptr;
-    obs::Gauge *obs_energy_total_ = nullptr;
-    // Per-stage latency histograms (microseconds).
-    obs::Histogram *obs_h_sensor_ = nullptr;
-    obs::Histogram *obs_h_isp_ = nullptr;
-    obs::Histogram *obs_h_encode_ = nullptr;
-    obs::Histogram *obs_h_dram_write_ = nullptr;
-    obs::Histogram *obs_h_decode_ = nullptr;
-    obs::Histogram *obs_h_frame_ = nullptr;
+    std::unique_ptr<fleet::PipelineObs> obs_;
+    std::unique_ptr<fleet::StreamContext> ctx_;
 };
 
 } // namespace rpx

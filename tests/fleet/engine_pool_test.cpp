@@ -1,0 +1,76 @@
+/** @file Unit tests for the engine-permit pool. */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "fleet/engine_pool.hpp"
+
+namespace rpx::fleet {
+namespace {
+
+TEST(EnginePool, GrantsUpToEngineCount)
+{
+    EnginePool pool(2, "encode");
+    auto a = pool.tryAcquire();
+    auto b = pool.tryAcquire();
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(pool.inUse(), 2u);
+    EXPECT_FALSE(pool.tryAcquire().has_value());
+    a->release();
+    EXPECT_EQ(pool.inUse(), 1u);
+    EXPECT_TRUE(pool.tryAcquire().has_value());
+}
+
+TEST(EnginePool, ZeroEnginesRejected)
+{
+    EXPECT_THROW(EnginePool(0), std::invalid_argument);
+}
+
+TEST(EnginePool, LeaseReleasesOnDestruction)
+{
+    EnginePool pool(1);
+    {
+        EnginePool::Lease lease = pool.acquire();
+        EXPECT_TRUE(lease.held());
+        EXPECT_EQ(pool.inUse(), 1u);
+    }
+    EXPECT_EQ(pool.inUse(), 0u);
+    EXPECT_EQ(pool.stats().acquisitions, 1u);
+}
+
+TEST(EnginePool, LeaseMoveTransfersOwnership)
+{
+    EnginePool pool(1);
+    EnginePool::Lease a = pool.acquire();
+    EnginePool::Lease b = std::move(a);
+    EXPECT_FALSE(a.held());
+    EXPECT_TRUE(b.held());
+    EXPECT_EQ(pool.inUse(), 1u);
+    b.release();
+    EXPECT_EQ(pool.inUse(), 0u);
+}
+
+TEST(EnginePool, ExhaustedPoolBlocksAndCountsWait)
+{
+    EnginePool pool(1);
+    EnginePool::Lease held = pool.acquire();
+    std::thread waiter([&pool] {
+        EnginePool::Lease lease = pool.acquire(); // blocks until release
+    });
+    // The waiter registers its wait before blocking, so this terminates.
+    while (pool.stats().waits == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    held.release();
+    waiter.join();
+    const EnginePoolStats s = pool.stats();
+    EXPECT_EQ(s.acquisitions, 2u);
+    EXPECT_EQ(s.waits, 1u);
+    EXPECT_EQ(s.max_in_use, 1u);
+    EXPECT_EQ(pool.inUse(), 0u);
+}
+
+} // namespace
+} // namespace rpx::fleet

@@ -1,0 +1,373 @@
+/**
+ * @file
+ * Integration tests for the multi-stream fleet server: byte-identity of a
+ * 1-stream fleet against the legacy pipeline, engine-pool starvation,
+ * all-streams-miss deadline escalation, stream join/leave mid-run, and
+ * per-stream telemetry conservation against the shared registry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <numeric>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fleet/fleet.hpp"
+#include "frame/draw.hpp"
+#include "sim/pipeline.hpp"
+
+namespace rpx::fleet {
+namespace {
+
+Image
+testScene(i32 w, i32 h, u64 seed)
+{
+    Image scene(w, h);
+    Rng rng(seed);
+    fillValueNoise(scene, rng, 30.0, 60, 180);
+    return scene;
+}
+
+/** Deterministic per-(stream, frame) scene, shared by fleet and legacy. */
+Image
+sceneFor(u32 stream_id, u64 frame)
+{
+    return testScene(96, 64, 10'000 + 97 * stream_id + frame);
+}
+
+std::vector<RegionLabel>
+testLabels()
+{
+    // Two overlapping regions with distinct spatial and temporal rhythm,
+    // so history decode and skip logic are both exercised.
+    return {{8, 8, 40, 32, 1, 1, 0}, {0, 0, 96, 64, 2, 2, 0}};
+}
+
+PipelineConfig
+smallStream()
+{
+    PipelineConfig pc;
+    pc.width = 96;
+    pc.height = 64;
+    return pc;
+}
+
+FleetConfig
+smallFleet(u32 streams, u32 frames)
+{
+    FleetConfig fc;
+    fc.stream = smallStream();
+    fc.streams = streams;
+    fc.frames_per_stream = frames;
+    fc.use_deadlines = false;
+    fc.scene_source = sceneFor;
+    fc.label_source = [](u32) { return testLabels(); };
+    return fc;
+}
+
+void
+expectTotalsEqual(const obs::TelemetryTotals &a,
+                  const obs::TelemetryTotals &b)
+{
+    EXPECT_EQ(a.frames, b.frames);
+    EXPECT_EQ(a.pixels_in, b.pixels_in);
+    EXPECT_EQ(a.pixels_kept, b.pixels_kept);
+    EXPECT_EQ(a.bytes_written, b.bytes_written);
+    EXPECT_EQ(a.bytes_read, b.bytes_read);
+    EXPECT_EQ(a.metadata_bytes, b.metadata_bytes);
+    EXPECT_EQ(a.region_comparisons, b.region_comparisons);
+    EXPECT_EQ(a.compare_cycles, b.compare_cycles);
+    EXPECT_EQ(a.stream_cycles, b.stream_cycles);
+    EXPECT_EQ(a.quarantined_frames, b.quarantined_frames);
+    EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+    EXPECT_EQ(a.transient_faults, b.transient_faults);
+    EXPECT_DOUBLE_EQ(a.energy_total_nj, b.energy_total_nj);
+}
+
+TEST(Fleet, OneStreamFleetMatchesLegacyPipelineByteIdentical)
+{
+    constexpr u32 kFrames = 6;
+
+    // Legacy: the facade (formerly the monolithic processFrame).
+    obs::ObsContext legacy_obs;
+    obs::TelemetrySink legacy_sink;
+    PipelineConfig pc = smallStream();
+    pc.obs = &legacy_obs;
+    pc.telemetry = &legacy_sink;
+    VisionPipeline legacy(pc);
+    legacy.runtime().setRegionLabels(testLabels());
+    std::vector<Image> legacy_frames;
+    std::vector<double> legacy_kept;
+    for (u32 f = 0; f < kFrames; ++f) {
+        auto r = legacy.processFrame(sceneFor(0, f));
+        legacy_frames.push_back(std::move(r.decoded));
+        legacy_kept.push_back(r.kept_fraction);
+    }
+
+    // Fleet: one stream, deadlines off, through queues and engine pools.
+    obs::ObsContext fleet_obs;
+    obs::TelemetrySink fleet_sink;
+    FleetConfig fc = smallFleet(1, kFrames);
+    fc.stream.obs = &fleet_obs;
+    fc.stream.telemetry = &fleet_sink;
+    std::mutex sink_mutex;
+    std::map<FrameIndex, Image> fleet_frames;
+    fc.frame_sink = [&](StreamContext &, const PipelineFrameResult &r) {
+        std::lock_guard<std::mutex> lock(sink_mutex);
+        fleet_frames[r.index] = r.decoded;
+    };
+    FleetServer server(fc);
+    const FleetReport rep = server.run();
+
+    ASSERT_EQ(rep.frames, kFrames);
+    EXPECT_EQ(rep.errors, 0u);
+    EXPECT_EQ(rep.deadline_misses, 0u);
+    ASSERT_EQ(fleet_frames.size(), kFrames);
+    for (u32 f = 0; f < kFrames; ++f)
+        EXPECT_EQ(fleet_frames.at(f), legacy_frames[f])
+            << "decoded frame " << f << " diverged";
+
+    // Telemetry totals reconcile exactly (stream label does not enter
+    // the sums), and the fleet journal is keyed by "s0".
+    expectTotalsEqual(fleet_sink.totals(), legacy_sink.totals());
+    const auto per_stream = fleet_sink.perStreamTotals();
+    ASSERT_EQ(per_stream.size(), 1u);
+    ASSERT_TRUE(per_stream.count("s0"));
+    expectTotalsEqual(per_stream.at("s0"), legacy_sink.totals());
+
+    // Registry counters match the legacy registry counter for counter.
+    for (const char *name :
+         {"pipeline.frames", "pipeline.bytes_written",
+          "pipeline.bytes_read", "pipeline.metadata_bytes",
+          "pipeline.quarantined_frames", "pipeline.deadline_misses",
+          "pipeline.transient_faults"}) {
+        EXPECT_EQ(fleet_obs.registry().counter(name).value(),
+                  legacy_obs.registry().counter(name).value())
+            << name;
+    }
+    // Kept fraction per frame matched the legacy run.
+    const auto frames = fleet_sink.frames();
+    ASSERT_EQ(frames.size(), kFrames);
+    for (u32 f = 0; f < kFrames; ++f) {
+        EXPECT_EQ(frames[f].stream, "s0");
+        EXPECT_EQ(frames[f].index, f);
+    }
+    EXPECT_DOUBLE_EQ(rep.kept_fraction_mean,
+                     std::accumulate(legacy_kept.begin(),
+                                     legacy_kept.end(), 0.0) /
+                         kFrames);
+}
+
+TEST(Fleet, EnginePoolStarvationStillCompletesAllStreams)
+{
+    // 6 streams share ONE encode and ONE decode engine, with more workers
+    // than engines, so workers contend for permits.
+    FleetConfig fc = smallFleet(6, 2);
+    fc.encode_engines = 1;
+    fc.decode_engines = 1;
+    fc.encode_workers = 3;
+    fc.decode_workers = 2;
+    fc.capture_workers = 2;
+    FleetServer server(fc);
+    const FleetReport rep = server.run();
+
+    EXPECT_EQ(rep.frames, 12u);
+    EXPECT_EQ(rep.errors, 0u);
+    EXPECT_EQ(rep.streams_completed, 6u);
+    // Every frame acquired each engine exactly once, and the permit
+    // ceiling was never breached.
+    EXPECT_EQ(rep.encode_engines.acquisitions, 12u);
+    EXPECT_EQ(rep.decode_engines.acquisitions, 12u);
+    EXPECT_EQ(rep.encode_engines.max_in_use, 1u);
+    EXPECT_EQ(rep.decode_engines.max_in_use, 1u);
+}
+
+TEST(Fleet, AllStreamsMissingDeadlinesEscalatePerStream)
+{
+    // An absurd frame rate makes every deadline unmeetable, so every
+    // frame misses and each stream walks its own ladder to the bottom.
+    FleetConfig fc = smallFleet(3, 8);
+    fc.use_deadlines = true;
+    fc.stream.fps = 1e9;
+    FleetServer server(fc);
+    const FleetReport rep = server.run();
+
+    EXPECT_EQ(rep.frames, 24u);
+    EXPECT_EQ(rep.deadline_misses, 24u);
+    ASSERT_EQ(rep.streams.size(), 3u);
+    for (const FleetStreamReport &s : rep.streams) {
+        EXPECT_EQ(s.frames, 8u);
+        EXPECT_EQ(s.deadline_misses, 8u);
+        // escalate_after_misses=2, max_level=3: 8 straight misses pin
+        // the stream at the deepest degradation level.
+        EXPECT_EQ(s.degradation_level, 3);
+    }
+    // Degradation shrinks the kept fraction versus a miss-free run.
+    FleetConfig relaxed = smallFleet(3, 8);
+    FleetServer relaxed_server(relaxed);
+    const FleetReport relaxed_rep = relaxed_server.run();
+    EXPECT_EQ(relaxed_rep.deadline_misses, 0u);
+    EXPECT_LT(rep.kept_fraction_mean, relaxed_rep.kept_fraction_mean);
+}
+
+TEST(Fleet, StreamsJoinAndLeaveMidRun)
+{
+    FleetConfig fc = smallFleet(2, 6);
+    std::atomic<bool> joined{false};
+    std::atomic<u32> join_id{0};
+    FleetServer *server_ptr = nullptr;
+    fc.frame_sink = [&](StreamContext &s, const PipelineFrameResult &r) {
+        if (s.id() == 0 && r.index == 1 && !joined.exchange(true))
+            join_id = server_ptr->addStream();
+        if (s.id() == 1 && r.index == 0)
+            EXPECT_TRUE(server_ptr->removeStream(1));
+    };
+    FleetServer server(fc);
+    server_ptr = &server;
+    const FleetReport rep = server.run();
+
+    EXPECT_EQ(rep.streams_started, 3u);
+    ASSERT_TRUE(joined.load());
+    std::map<u32, FleetStreamReport> by_id;
+    for (const auto &s : rep.streams)
+        by_id[s.id] = s;
+    // The removed stream stopped after its in-flight frame.
+    EXPECT_EQ(by_id.at(1).frames, 1u);
+    EXPECT_FALSE(by_id.at(1).completed);
+    // The joined stream ran its full target.
+    EXPECT_EQ(by_id.at(join_id.load()).frames, 6u);
+    EXPECT_TRUE(by_id.at(join_id.load()).completed);
+    EXPECT_EQ(by_id.at(0).frames, 6u);
+    EXPECT_EQ(rep.frames, 6u + 1u + 6u);
+    // Removing an already-finished stream is refused.
+    EXPECT_FALSE(server.removeStream(1));
+    EXPECT_FALSE(server.removeStream(999));
+}
+
+/**
+ * Satellite (f): per-stream journal totals sum to the shared registry's
+ * pipeline.* counters — serial and parallel worker configurations alike.
+ */
+class FleetConservation : public ::testing::TestWithParam<bool>
+{
+};
+
+TEST_P(FleetConservation, PerStreamTotalsSumToRegistryCounters)
+{
+    const bool parallel = GetParam();
+    obs::ObsContext obs;
+    obs::TelemetrySink sink;
+    FleetConfig fc = smallFleet(4, 5);
+    fc.stream.obs = &obs;
+    fc.stream.telemetry = &sink;
+    if (parallel) {
+        fc.capture_workers = 2;
+        fc.encode_engines = 4;
+        fc.decode_engines = 4;
+    } else {
+        fc.capture_workers = 1;
+        fc.encode_engines = 1;
+        fc.decode_engines = 1;
+    }
+    FleetServer server(fc);
+    const FleetReport rep = server.run();
+    ASSERT_EQ(rep.frames, 20u);
+    ASSERT_EQ(rep.errors, 0u);
+
+    const auto per_stream = sink.perStreamTotals();
+    ASSERT_EQ(per_stream.size(), 4u);
+    obs::TelemetryTotals sum;
+    for (const auto &[label, totals] : per_stream) {
+        EXPECT_EQ(label.rfind("s", 0), 0u) << label;
+        sum.frames += totals.frames;
+        sum.pixels_in += totals.pixels_in;
+        sum.pixels_kept += totals.pixels_kept;
+        sum.bytes_written += totals.bytes_written;
+        sum.bytes_read += totals.bytes_read;
+        sum.metadata_bytes += totals.metadata_bytes;
+        sum.quarantined_frames += totals.quarantined_frames;
+        sum.deadline_misses += totals.deadline_misses;
+        sum.transient_faults += totals.transient_faults;
+    }
+    expectTotalsEqual(sink.totals(), [&] {
+        obs::TelemetryTotals t = sink.totals();
+        // Only the summable fields are compared below; start from the
+        // full totals so the energy/cycle fields trivially match.
+        t.frames = sum.frames;
+        t.pixels_in = sum.pixels_in;
+        t.pixels_kept = sum.pixels_kept;
+        t.bytes_written = sum.bytes_written;
+        t.bytes_read = sum.bytes_read;
+        t.metadata_bytes = sum.metadata_bytes;
+        t.quarantined_frames = sum.quarantined_frames;
+        t.deadline_misses = sum.deadline_misses;
+        t.transient_faults = sum.transient_faults;
+        return t;
+    }());
+
+    // Journal totals == registry counters (the conservation invariant).
+    obs::PerfRegistry &r = obs.registry();
+    EXPECT_EQ(r.counter("pipeline.frames").value(), sum.frames);
+    EXPECT_EQ(r.counter("pipeline.bytes_written").value(),
+              static_cast<u64>(sum.bytes_written));
+    EXPECT_EQ(r.counter("pipeline.bytes_read").value(),
+              static_cast<u64>(sum.bytes_read));
+    EXPECT_EQ(r.counter("pipeline.metadata_bytes").value(),
+              static_cast<u64>(sum.metadata_bytes));
+    EXPECT_EQ(r.counter("pipeline.quarantined_frames").value(),
+              sum.quarantined_frames);
+    EXPECT_EQ(r.counter("pipeline.deadline_misses").value(),
+              sum.deadline_misses);
+    EXPECT_EQ(r.counter("pipeline.transient_faults").value(),
+              sum.transient_faults);
+    // And the fleet report agrees with both.
+    EXPECT_EQ(rep.bytes_written, sum.bytes_written);
+    EXPECT_EQ(rep.bytes_read, sum.bytes_read);
+    EXPECT_EQ(rep.metadata_bytes, sum.metadata_bytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(SerialAndParallel, FleetConservation,
+                         ::testing::Values(false, true),
+                         [](const auto &info) {
+                             return info.param ? "Parallel" : "Serial";
+                         });
+
+TEST(Fleet, ReportJsonIsWellFormed)
+{
+    FleetConfig fc = smallFleet(2, 2);
+    FleetServer server(fc);
+    const FleetReport rep = server.run();
+    const std::string text = toJson(rep);
+    EXPECT_NE(text.find("\"schema\": \"rpx-fleet-report-v1\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"frames\": 4"), std::string::npos);
+    EXPECT_NE(text.find("\"label\": \"s0\""), std::string::npos);
+}
+
+TEST(Fleet, RejectsInvalidConfigs)
+{
+    FleetConfig fc = smallFleet(1, 0);
+    EXPECT_THROW(FleetServer{fc}, std::invalid_argument);
+    FleetConfig no_scene = smallFleet(1, 1);
+    no_scene.scene_source = nullptr;
+    FleetServer server(no_scene);
+    EXPECT_THROW(server.run(), std::invalid_argument);
+    FleetConfig bad_fps = smallFleet(1, 1);
+    bad_fps.use_deadlines = true;
+    bad_fps.stream.fps = 0.0;
+    EXPECT_THROW(FleetServer{bad_fps}, std::invalid_argument);
+}
+
+TEST(Fleet, RunIsSingleShot)
+{
+    FleetConfig fc = smallFleet(1, 1);
+    FleetServer server(fc);
+    (void)server.run();
+    EXPECT_THROW(server.run(), std::runtime_error);
+}
+
+} // namespace
+} // namespace rpx::fleet

@@ -1,0 +1,106 @@
+/** @file Unit tests for the EDF frame queue. */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "fleet/scheduler.hpp"
+
+namespace rpx::fleet {
+namespace {
+
+FrameTask
+taskWithDeadline(u64 index, std::chrono::milliseconds offset)
+{
+    FrameTask t;
+    t.index = static_cast<FrameIndex>(index);
+    t.has_deadline = true;
+    t.deadline = std::chrono::steady_clock::time_point{} + offset;
+    return t;
+}
+
+FrameTask
+taskNoDeadline(u64 index)
+{
+    FrameTask t;
+    t.index = static_cast<FrameIndex>(index);
+    return t;
+}
+
+TEST(EdfQueue, PopsEarliestDeadlineFirst)
+{
+    EdfQueue q(8);
+    ASSERT_TRUE(q.push(taskWithDeadline(0, std::chrono::milliseconds(30))));
+    ASSERT_TRUE(q.push(taskWithDeadline(1, std::chrono::milliseconds(10))));
+    ASSERT_TRUE(q.push(taskWithDeadline(2, std::chrono::milliseconds(20))));
+    EXPECT_EQ(q.pop()->index, 1);
+    EXPECT_EQ(q.pop()->index, 2);
+    EXPECT_EQ(q.pop()->index, 0);
+}
+
+TEST(EdfQueue, DeadlinelessTasksPopInFrameOrder)
+{
+    EdfQueue q(8);
+    ASSERT_TRUE(q.push(taskNoDeadline(2)));
+    ASSERT_TRUE(q.push(taskNoDeadline(0)));
+    ASSERT_TRUE(q.push(taskNoDeadline(1)));
+    EXPECT_EQ(q.pop()->index, 0);
+    EXPECT_EQ(q.pop()->index, 1);
+    EXPECT_EQ(q.pop()->index, 2);
+}
+
+TEST(EdfQueue, UrgentArrivalJumpsTheQueue)
+{
+    EdfQueue q(8);
+    ASSERT_TRUE(q.push(taskWithDeadline(0, std::chrono::milliseconds(50))));
+    ASSERT_TRUE(q.push(taskWithDeadline(1, std::chrono::milliseconds(40))));
+    EXPECT_EQ(q.pop()->index, 1);
+    // A later push with a nearer deadline overtakes the buffered task.
+    ASSERT_TRUE(q.push(taskWithDeadline(2, std::chrono::milliseconds(5))));
+    EXPECT_EQ(q.pop()->index, 2);
+    EXPECT_EQ(q.pop()->index, 0);
+}
+
+TEST(EdfQueue, ZeroCapacityRejected)
+{
+    EXPECT_THROW(EdfQueue(0), std::invalid_argument);
+}
+
+TEST(EdfQueue, TryPushRespectsCapacity)
+{
+    EdfQueue q(2);
+    FrameTask a = taskNoDeadline(0);
+    FrameTask b = taskNoDeadline(1);
+    FrameTask c = taskNoDeadline(2);
+    EXPECT_TRUE(q.tryPush(a));
+    EXPECT_TRUE(q.tryPush(b));
+    EXPECT_FALSE(q.tryPush(c));
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.stats().high_water, 2u);
+}
+
+TEST(EdfQueue, CloseDrainsThenReturnsNullopt)
+{
+    EdfQueue q(4);
+    ASSERT_TRUE(q.push(taskWithDeadline(0, std::chrono::milliseconds(9))));
+    ASSERT_TRUE(q.push(taskWithDeadline(1, std::chrono::milliseconds(3))));
+    q.close();
+    EXPECT_TRUE(q.closed());
+    EXPECT_FALSE(q.push(taskNoDeadline(7)));
+    EXPECT_EQ(q.stats().rejected, 1u);
+    EXPECT_EQ(q.pop()->index, 1);
+    EXPECT_EQ(q.pop()->index, 0);
+    EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(EdfQueue, CloseWakesBlockedConsumer)
+{
+    EdfQueue q(2);
+    std::thread consumer([&q] { EXPECT_FALSE(q.pop().has_value()); });
+    q.close();
+    consumer.join();
+}
+
+} // namespace
+} // namespace rpx::fleet
