@@ -32,6 +32,7 @@
 #include "core/decoder.hpp"
 #include "core/encoder.hpp"
 #include "core/frame_store.hpp"
+#include "core/parallel_decoder.hpp"
 #include "core/sw_decoder.hpp"
 #include "frame/draw.hpp"
 #include "memory/dram.hpp"
@@ -85,6 +86,10 @@ BM_EncoderHybrid1080p(benchmark::State &state)
     state.counters["Mpixel/s"] = benchmark::Counter(
         static_cast<double>(enc.stats().pixels_in) / 1e6,
         benchmark::Counter::kIsRate);
+    // 1 B/px input: frame bytes consumed per second of encode.
+    state.counters["MB/s"] = benchmark::Counter(
+        static_cast<double>(enc.stats().pixels_in) / 1e6,
+        benchmark::Counter::kIsRate);
     state.counters["meets_2ppc"] = enc.withinCycleBudget() ? 1 : 0;
     state.counters["comparisons/frame"] =
         static_cast<double>(enc.stats().region_comparisons) /
@@ -106,6 +111,8 @@ BM_EncoderFullFrame(benchmark::State &state)
         benchmark::DoNotOptimize(enc.encodeFrame(frame, t++));
     state.SetItemsProcessed(state.iterations() *
                             static_cast<i64>(w) * h);
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<i64>(w) * h);
 }
 BENCHMARK(BM_EncoderFullFrame)->Arg(640)->Arg(1280)->Arg(1920);
 
@@ -125,12 +132,18 @@ BM_DecoderRowTransactions(benchmark::State &state)
         store.store(enc.encodeFrame(frame, t));
 
     i32 y = 0;
+    std::vector<u8> row;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(decoder.requestPixels(0, y, w));
+        decoder.requestPixelsInto(0, y, w, row);
+        benchmark::DoNotOptimize(row.data());
         y = (y + 17) % h;
     }
     state.SetItemsProcessed(state.iterations() * w);
+    state.SetBytesProcessed(state.iterations() * w);
     state.counters["modelled_ns/txn"] = decoder.avgLatencyNs();
+    state.counters["model_px/cycle"] =
+        static_cast<double>(decoder.stats().pixels_requested) /
+        static_cast<double>(decoder.stats().cycles);
 }
 BENCHMARK(BM_DecoderRowTransactions)->Arg(100)->Arg(400);
 
@@ -151,11 +164,45 @@ BM_SoftwareDecoder1080p(benchmark::State &state)
                           1, 1, 0}});
     const EncodedFrame encoded = enc.encodeFrame(noiseFrame(w, h), 0);
     const SoftwareDecoder sw;
-    for (auto _ : state)
-        benchmark::DoNotOptimize(sw.decode(encoded));
+    Image out;
+    for (auto _ : state) {
+        sw.decodeInto(encoded, {}, out);
+        benchmark::DoNotOptimize(out.data().data());
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<i64>(w) * h);
     state.counters["regional%"] = 100.0 * encoded.keptFraction();
 }
 BENCHMARK(BM_SoftwareDecoder1080p)->Arg(10)->Arg(30)->Arg(60)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+/**
+ * Band-parallel software decode of the 30%-regional 1080p frame across
+ * worker counts (threads = 1 is the serial path). Output is byte-equal
+ * across all settings, so this isolates the thread-pool scaling.
+ */
+void
+BM_ParallelDecoder1080p(benchmark::State &state)
+{
+    const i32 w = 1920, h = 1080;
+    const i32 side = static_cast<i32>(
+        std::sqrt(0.3 * static_cast<double>(w) * h));
+    RhythmicEncoder enc(w, h);
+    enc.setRegionLabels({{0, 0, std::min(side, w), std::min(side, h),
+                          1, 1, 0}});
+    const EncodedFrame encoded = enc.encodeFrame(noiseFrame(w, h), 0);
+    ParallelDecoder::Config pc;
+    pc.threads = static_cast<int>(state.range(0));
+    ParallelDecoder dec(pc);
+    Image out;
+    for (auto _ : state) {
+        dec.decodeInto(encoded, {}, out);
+        benchmark::DoNotOptimize(out.data().data());
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<i64>(w) * h);
+}
+BENCHMARK(BM_ParallelDecoder1080p)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
 /**
@@ -291,6 +338,44 @@ addEncoderModelTrendMetrics(obs::BenchReport &report)
                      "higher", "model");
 }
 
+/**
+ * Deterministic decoder work model at 1080p: full-row transactions over a
+ * 400-region store, measured in decoded pixels per modelled cycle (the
+ * decoder's cycle model is fixed transaction latency + one cycle per
+ * coalesced burst, so the number is machine-independent and gates
+ * tightly). Reported twice: with the legacy exact coalescer
+ * (burst_gap_bytes = 0, the "before" row-transaction service) and with
+ * an 8-byte gap-tolerant coalescer (the "after": reading through small
+ * mask holes trades wasted beats for fewer burst issues).
+ */
+void
+addDecoderModelTrendMetrics(obs::BenchReport &report)
+{
+    const i32 w = 1920, h = 1080;
+    DramModel dram;
+    RhythmicEncoder enc(w, h);
+    FrameStore store(dram, w, h);
+    enc.setRegionLabels(scatterRegions(400, w, h, 7));
+    const Image frame = noiseFrame(w, h);
+    for (FrameIndex t = 0; t < 4; ++t)
+        store.store(enc.encodeFrame(frame, t));
+
+    const auto pixelsPerCycle = [&](u32 gap_bytes) {
+        RhythmicDecoder::Config dc;
+        dc.burst_gap_bytes = gap_bytes;
+        RhythmicDecoder dec(store, dc);
+        std::vector<u8> row;
+        for (i32 y = 0; y < h; ++y)
+            dec.requestPixelsInto(0, y, w, row);
+        return static_cast<double>(dec.stats().pixels_requested) /
+               static_cast<double>(dec.stats().cycles);
+    };
+    report.setMetric("decoder_pixels_per_cycle_row_txn",
+                     pixelsPerCycle(0), "px/cycle", "higher", "model");
+    report.setMetric("decoder_pixels_per_cycle", pixelsPerCycle(8),
+                     "px/cycle", "higher", "model");
+}
+
 /** Wall-clock headline metrics from the microbenchmark gauges (if run). */
 void
 addMicrobenchTrendMetrics(obs::BenchReport &report,
@@ -329,6 +414,7 @@ main(int argc, char **argv)
     report.commit = rpx::obs::benchCommitFromEnv();
     rpx::addPipelineTrendMetrics(report, registry);
     rpx::addEncoderModelTrendMetrics(report);
+    rpx::addDecoderModelTrendMetrics(report);
     rpx::addMicrobenchTrendMetrics(report, registry);
 
     const std::string report_path =

@@ -9,7 +9,7 @@
  * Usage:
  *   rpx_cli run   --task slam|face|pose --scheme FCH|FCL|RP|MULTIROI
  *                 [--cycle N] [--frames N] [--encoder-threads N]
- *                 [--region-trace-out FILE]
+ *                 [--decoder-threads N] [--region-trace-out FILE]
  *                 [--trace-out FILE] [--metrics-out FILE]
  *                 [--journal-out FILE]
  *                 [--streams N] [--fleet-report FILE]
@@ -65,6 +65,7 @@ usage()
         << "  rpx_cli run    --task slam|face|pose --scheme "
            "FCH|FCL|RP|MULTIROI [--cycle N]\n"
         << "                 [--frames N] [--encoder-threads N]\n"
+        << "                 [--decoder-threads N]\n"
         << "                 [--region-trace-out FILE]\n"
         << "                 [--trace-out FILE] [--metrics-out FILE]\n"
         << "                 [--journal-out FILE]\n"
@@ -250,6 +251,9 @@ runCommand(const std::map<std::string, std::string> &flags)
     // 1 = serial encode (default); 0 = one worker per hardware thread.
     wc.encoder_threads = flags.count("encoder-threads")
                              ? std::stoi(flags.at("encoder-threads"))
+                             : 1;
+    wc.decoder_threads = flags.count("decoder-threads")
+                             ? std::stoi(flags.at("decoder-threads"))
                              : 1;
     wc.obs = &obs_ctx;
     wc.telemetry = journal.get();

@@ -1,0 +1,317 @@
+#include "common/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace rpx::simd {
+
+namespace {
+
+/**
+ * 2-bit expansion table: byte value -> the four code bytes it packs
+ * (LSB-first pair order, matching EncMask::at).
+ */
+struct ExpandTable {
+    u8 rows[256][4];
+};
+
+constexpr ExpandTable
+buildExpandTable()
+{
+    ExpandTable t{};
+    for (int b = 0; b < 256; ++b) {
+        t.rows[b][0] = static_cast<u8>(b & 3);
+        t.rows[b][1] = static_cast<u8>((b >> 2) & 3);
+        t.rows[b][2] = static_cast<u8>((b >> 4) & 3);
+        t.rows[b][3] = static_cast<u8>((b >> 6) & 3);
+    }
+    return t;
+}
+
+constexpr ExpandTable kExpand = buildExpandTable();
+
+/** Dispatch table: one function pointer per kernel. */
+struct KernelTable {
+    void (*unpack)(const u8 *, size_t, size_t, u8 *);
+    u32 (*count_r)(const u8 *, size_t, size_t);
+    void (*lut)(u8 *, size_t, const u8 *);
+};
+
+constexpr KernelTable kScalarKernels = {
+    detail::unpackMask2bppScalar,
+    detail::countR2bppScalar,
+    detail::applyLut256Scalar,
+};
+
+#if defined(__x86_64__)
+constexpr KernelTable kSse4Kernels = {
+    detail::unpackMask2bppSse4,
+    detail::countR2bppSse4,
+    detail::applyLut256Sse4,
+};
+constexpr KernelTable kAvx2Kernels = {
+    detail::unpackMask2bppAvx2,
+    detail::countR2bppAvx2,
+    detail::applyLut256Avx2,
+};
+#endif
+
+#if defined(__aarch64__)
+constexpr KernelTable kNeonKernels = {
+    detail::unpackMask2bppNeon,
+    detail::countR2bppNeon,
+    detail::applyLut256Neon,
+};
+#endif
+
+std::atomic<const KernelTable *> g_kernels{nullptr};
+std::atomic<int> g_level{static_cast<int>(Level::Scalar)};
+
+const KernelTable *
+tableFor(Level level)
+{
+    switch (level) {
+      case Level::Scalar:
+        return &kScalarKernels;
+#if defined(__x86_64__)
+      case Level::Sse4:
+        return &kSse4Kernels;
+      case Level::Avx2:
+        return &kAvx2Kernels;
+#endif
+#if defined(__aarch64__)
+      case Level::Neon:
+        return &kNeonKernels;
+#endif
+      default:
+        return &kScalarKernels;
+    }
+}
+
+void
+applyLevel(Level level)
+{
+    g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+    g_kernels.store(tableFor(level), std::memory_order_release);
+}
+
+/** Step an unsupported request down to the nearest runnable level. */
+Level
+clampSupported(Level want)
+{
+    if (levelSupported(want))
+        return want;
+    if (want == Level::Avx2 && levelSupported(Level::Sse4))
+        return Level::Sse4;
+    return Level::Scalar;
+}
+
+Level
+envRequestedLevel()
+{
+    const char *env = std::getenv("RPX_SIMD");
+    if (!env || !*env)
+        return bestSupported();
+    const std::string v(env);
+    if (v == "off" || v == "scalar" || v == "0" || v == "none")
+        return Level::Scalar;
+    if (v == "sse4" || v == "sse4.1" || v == "sse4.2" || v == "sse")
+        return Level::Sse4;
+    if (v == "avx2" || v == "avx")
+        return Level::Avx2;
+    if (v == "neon")
+        return Level::Neon;
+    return bestSupported(); // unknown value: auto
+}
+
+const KernelTable *
+kernels()
+{
+    const KernelTable *t = g_kernels.load(std::memory_order_acquire);
+    if (!t) {
+        resetLevel();
+        t = g_kernels.load(std::memory_order_acquire);
+    }
+    return t;
+}
+
+} // namespace
+
+const char *
+levelName(Level level)
+{
+    switch (level) {
+      case Level::Scalar:
+        return "scalar";
+      case Level::Sse4:
+        return "sse4";
+      case Level::Avx2:
+        return "avx2";
+      case Level::Neon:
+        return "neon";
+    }
+    return "?";
+}
+
+bool
+levelSupported(Level level)
+{
+    switch (level) {
+      case Level::Scalar:
+        return true;
+#if defined(__x86_64__)
+      case Level::Sse4:
+        return __builtin_cpu_supports("sse4.2") != 0;
+      case Level::Avx2:
+        return __builtin_cpu_supports("avx2") != 0;
+#endif
+#if defined(__aarch64__)
+      case Level::Neon:
+        return true;
+#endif
+      default:
+        return false;
+    }
+}
+
+Level
+bestSupported()
+{
+    if (levelSupported(Level::Avx2))
+        return Level::Avx2;
+    if (levelSupported(Level::Sse4))
+        return Level::Sse4;
+    if (levelSupported(Level::Neon))
+        return Level::Neon;
+    return Level::Scalar;
+}
+
+Level
+activeLevel()
+{
+    if (!g_kernels.load(std::memory_order_acquire))
+        resetLevel();
+    return static_cast<Level>(g_level.load(std::memory_order_relaxed));
+}
+
+bool
+setLevel(Level level)
+{
+    if (!levelSupported(level))
+        return false;
+    applyLevel(level);
+    return true;
+}
+
+void
+resetLevel()
+{
+    applyLevel(clampSupported(envRequestedLevel()));
+}
+
+std::vector<Level>
+supportedLevels()
+{
+    std::vector<Level> out;
+    for (Level l : {Level::Scalar, Level::Sse4, Level::Avx2, Level::Neon}) {
+        if (levelSupported(l))
+            out.push_back(l);
+    }
+    return out;
+}
+
+void
+unpackMask2bpp(const u8 *packed, size_t first, size_t count, u8 *out)
+{
+    if (count == 0)
+        return;
+    kernels()->unpack(packed, first, count, out);
+}
+
+u32
+countR2bpp(const u8 *packed, size_t first, size_t count)
+{
+    if (count == 0)
+        return 0;
+    return kernels()->count_r(packed, first, count);
+}
+
+void
+applyLut256(u8 *data, size_t count, const u8 *lut)
+{
+    if (count == 0)
+        return;
+    kernels()->lut(data, count, lut);
+}
+
+namespace detail {
+
+void
+unpackMask2bppScalar(const u8 *packed, size_t first, size_t count, u8 *out)
+{
+    size_t i = first;
+    const size_t end = first + count;
+    // Head: peel codes until the next byte boundary (4 codes per byte).
+    while (i < end && (i & 3) != 0) {
+        *out++ = (packed[i >> 2] >> ((i & 3) * 2)) & 3;
+        ++i;
+    }
+    // Bulk: one table row per packed byte.
+    while (i + 4 <= end) {
+        std::memcpy(out, kExpand.rows[packed[i >> 2]], 4);
+        out += 4;
+        i += 4;
+    }
+    // Tail.
+    while (i < end) {
+        *out++ = (packed[i >> 2] >> ((i & 3) * 2)) & 3;
+        ++i;
+    }
+}
+
+u32
+countR2bppScalar(const u8 *packed, size_t first, size_t count)
+{
+    u32 total = 0;
+    size_t i = first;
+    const size_t end = first + count;
+    while (i < end && (i & 3) != 0) {
+        if (((packed[i >> 2] >> ((i & 3) * 2)) & 3) == 3)
+            ++total;
+        ++i;
+    }
+    // Bulk: a pair is R iff both of its bits are set; AND the word with
+    // itself shifted right by one and population-count the even bit lanes.
+    while (i + 32 <= end) {
+        u64 w;
+        std::memcpy(&w, packed + (i >> 2), 8);
+        const u64 pairs = w & (w >> 1) & 0x5555555555555555ULL;
+        total += static_cast<u32>(__builtin_popcountll(pairs));
+        i += 32;
+    }
+    while (i + 4 <= end) {
+        const u8 b = packed[i >> 2];
+        const u8 pairs = b & (b >> 1) & 0x55;
+        total += static_cast<u32>(__builtin_popcount(pairs));
+        i += 4;
+    }
+    while (i < end) {
+        if (((packed[i >> 2] >> ((i & 3) * 2)) & 3) == 3)
+            ++total;
+        ++i;
+    }
+    return total;
+}
+
+void
+applyLut256Scalar(u8 *data, size_t count, const u8 *lut)
+{
+    for (size_t i = 0; i < count; ++i)
+        data[i] = lut[data[i]];
+}
+
+} // namespace detail
+
+} // namespace rpx::simd

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Portable SIMD dispatch shim for the decode-path hot loops.
+ *
+ * Kernels here are the integer-exact inner loops the decoders and the ISP
+ * lean on: 2-bit mask-code expansion, packed R-code population counts, and
+ * 256-entry LUT application (gamma). Every kernel has a pure-scalar
+ * reference implementation plus SSE4.1/AVX2 (x86) and NEON (aarch64)
+ * variants that produce **bit-identical output** — they only reorganise
+ * integer loads/shuffles, never change arithmetic — so switching levels can
+ * never change a decoded byte. Floating-point stages (colour-space
+ * conversion, gray weighting) are deliberately *not* reimplemented here:
+ * their double-precision rounding is pinned by tests and cannot be
+ * reproduced exactly in fixed point, so they stay scalar (see DESIGN.md
+ * section 10).
+ *
+ * Dispatch: the best level the CPU supports is detected once (cpuid via
+ * __builtin_cpu_supports on x86; NEON is baseline on aarch64) and can be
+ * overridden by the RPX_SIMD environment variable ("off"/"scalar",
+ * "sse4", "avx2", "neon", "auto") or programmatically via setLevel() —
+ * the test suites use the latter to prove identity across every level the
+ * host can run.
+ */
+
+#ifndef RPX_COMMON_SIMD_HPP
+#define RPX_COMMON_SIMD_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace rpx::simd {
+
+/** Instruction-set level a kernel dispatches to. */
+enum class Level : int {
+    Scalar = 0, //!< portable C++ (always available)
+    Sse4 = 1,   //!< x86 SSE4.1 (pshufb/popcnt era)
+    Avx2 = 2,   //!< x86 AVX2 (32-byte shuffles)
+    Neon = 3,   //!< aarch64 Advanced SIMD (baseline there)
+};
+
+/** Printable name of a level ("scalar", "sse4", "avx2", "neon"). */
+const char *levelName(Level level);
+
+/** True when the level is both compiled in and supported by this CPU. */
+bool levelSupported(Level level);
+
+/** Best level this process can run (what "auto" resolves to). */
+Level bestSupported();
+
+/** Level the kernels currently dispatch to. */
+Level activeLevel();
+
+/**
+ * Force a dispatch level. Returns false (and leaves the level unchanged)
+ * when the level is not supported on this host. Thread-safe, but intended
+ * for test setup and process start, not for toggling mid-decode.
+ */
+bool setLevel(Level level);
+
+/**
+ * Re-run the startup selection: RPX_SIMD when set (unknown values fall
+ * back to auto), otherwise bestSupported().
+ */
+void resetLevel();
+
+/** Levels this host can execute, in ascending order (always has Scalar). */
+std::vector<Level> supportedLevels();
+
+/**
+ * Expand `count` 2-bit pixel codes starting at code index `first` of a
+ * packed EncMask byte stream into one byte per code (values 0..3, the
+ * PixelCode encoding). `packed` points at the mask's byte 0; codes are
+ * LSB-first within each byte, matching EncMask's layout. `out` receives
+ * exactly `count` bytes.
+ */
+void unpackMask2bpp(const u8 *packed, size_t first, size_t count, u8 *out);
+
+/**
+ * Count R codes (value 0b11) among the `count` packed 2-bit codes starting
+ * at code index `first` — the vectorised form of EncMask::encodedBefore.
+ */
+u32 countR2bpp(const u8 *packed, size_t first, size_t count);
+
+/**
+ * Apply a 256-entry byte LUT in place: data[i] = lut[data[i]]. The gamma
+ * stage and any other byte-mapping stage route through this.
+ */
+void applyLut256(u8 *data, size_t count, const u8 *lut);
+
+namespace detail {
+
+// Per-level kernel implementations, exposed so the dispatcher (and the
+// identity tests) can address a specific level directly. The sse4/avx2
+// symbols exist only on x86 builds, neon only on aarch64 builds — callers
+// go through levelSupported() first.
+void unpackMask2bppScalar(const u8 *packed, size_t first, size_t count,
+                          u8 *out);
+u32 countR2bppScalar(const u8 *packed, size_t first, size_t count);
+void applyLut256Scalar(u8 *data, size_t count, const u8 *lut);
+
+#if defined(__x86_64__)
+void unpackMask2bppSse4(const u8 *packed, size_t first, size_t count,
+                        u8 *out);
+u32 countR2bppSse4(const u8 *packed, size_t first, size_t count);
+void applyLut256Sse4(u8 *data, size_t count, const u8 *lut);
+
+void unpackMask2bppAvx2(const u8 *packed, size_t first, size_t count,
+                        u8 *out);
+u32 countR2bppAvx2(const u8 *packed, size_t first, size_t count);
+void applyLut256Avx2(u8 *data, size_t count, const u8 *lut);
+#endif
+
+#if defined(__aarch64__)
+void unpackMask2bppNeon(const u8 *packed, size_t first, size_t count,
+                        u8 *out);
+u32 countR2bppNeon(const u8 *packed, size_t first, size_t count);
+void applyLut256Neon(u8 *data, size_t count, const u8 *lut);
+#endif
+
+} // namespace detail
+
+} // namespace rpx::simd
+
+#endif // RPX_COMMON_SIMD_HPP

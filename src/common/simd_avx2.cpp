@@ -1,0 +1,170 @@
+/**
+ * @file
+ * AVX2 kernel implementations (compiled with -mavx2; executed only when
+ * runtime dispatch selected Level::Avx2). Bit-identical to the scalar
+ * reference: these kernels reorganise integer loads/shuffles only.
+ */
+
+#include "common/simd.hpp"
+
+#if defined(__x86_64__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace rpx::simd::detail {
+
+namespace {
+
+inline __m256i
+broadcast128(__m128i v)
+{
+    return _mm256_broadcastsi128_si256(v);
+}
+
+inline __m256i
+lutA256()
+{
+    return broadcast128(_mm_setr_epi8(0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3, 0,
+                                      1, 2, 3));
+}
+
+inline __m256i
+lutB256()
+{
+    return broadcast128(_mm_setr_epi8(0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3,
+                                      3, 3, 3));
+}
+
+/** Per-byte population count via the nibble-LUT shuffle, 32 bytes wide. */
+inline __m256i
+popcntBytes(__m256i v)
+{
+    const __m256i nib_cnt = broadcast128(_mm_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4));
+    const __m256i low_mask = _mm256_set1_epi8(0x0f);
+    const __m256i lo = _mm256_and_si256(v, low_mask);
+    const __m256i hi =
+        _mm256_and_si256(_mm256_srli_epi16(v, 4), low_mask);
+    return _mm256_add_epi8(_mm256_shuffle_epi8(nib_cnt, lo),
+                           _mm256_shuffle_epi8(nib_cnt, hi));
+}
+
+} // namespace
+
+void
+unpackMask2bppAvx2(const u8 *packed, size_t first, size_t count, u8 *out)
+{
+    size_t i = first;
+    const size_t end = first + count;
+    while (i < end && (i & 3) != 0) {
+        *out++ = (packed[i >> 2] >> ((i & 3) * 2)) & 3;
+        ++i;
+    }
+    const __m256i lut_a = lutA256();
+    const __m256i lut_b = lutB256();
+    const __m256i low_mask = _mm256_set1_epi8(0x0f);
+    // 16 packed bytes -> 64 codes per iteration. The 16 source bytes are
+    // broadcast to both 128-bit lanes; every shuffle below is lane-local,
+    // so both lanes can index any of the 16 bytes.
+    while (i + 64 <= end) {
+        const __m128i src = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(packed + (i >> 2)));
+        const __m256i x = broadcast128(src);
+        const __m256i lo = _mm256_and_si256(x, low_mask);
+        const __m256i hi =
+            _mm256_and_si256(_mm256_srli_epi16(x, 4), low_mask);
+        const __m256i c0 = _mm256_shuffle_epi8(lut_a, lo);
+        const __m256i c1 = _mm256_shuffle_epi8(lut_b, lo);
+        const __m256i c2 = _mm256_shuffle_epi8(lut_a, hi);
+        const __m256i c3 = _mm256_shuffle_epi8(lut_b, hi);
+        // Interleave to memory order. Lane-local unpacks produce, per
+        // lane, the expansion of that lane's 8 source bytes; lane 0 holds
+        // bytes 0..7 and lane 1 holds bytes 8..15 after the permutes.
+        const __m256i t01l = _mm256_unpacklo_epi8(c0, c1);
+        const __m256i t01h = _mm256_unpackhi_epi8(c0, c1);
+        const __m256i t23l = _mm256_unpacklo_epi8(c2, c3);
+        const __m256i t23h = _mm256_unpackhi_epi8(c2, c3);
+        // Both lanes hold the same 16 source bytes, so each q duplicates
+        // one 4-source-byte expansion across its lanes: q0 = bytes 0..3,
+        // q1 = 4..7, q2 = 8..11, q3 = 12..15. Take lane 0 of each pair to
+        // form two contiguous 32-byte stores.
+        const __m256i q0 = _mm256_unpacklo_epi16(t01l, t23l);
+        const __m256i q1 = _mm256_unpackhi_epi16(t01l, t23l);
+        const __m256i q2 = _mm256_unpacklo_epi16(t01h, t23h);
+        const __m256i q3 = _mm256_unpackhi_epi16(t01h, t23h);
+        const __m256i out0 = _mm256_permute2x128_si256(q0, q1, 0x20);
+        const __m256i out1 = _mm256_permute2x128_si256(q2, q3, 0x20);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out), out0);
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(out + 32), out1);
+        out += 64;
+        i += 64;
+    }
+    if (i < end)
+        unpackMask2bppScalar(packed, i, end - i, out);
+}
+
+u32
+countR2bppAvx2(const u8 *packed, size_t first, size_t count)
+{
+    size_t i = first;
+    const size_t end = first + count;
+    u32 total = 0;
+    while (i < end && (i & 3) != 0) {
+        if (((packed[i >> 2] >> ((i & 3) * 2)) & 3) == 3)
+            ++total;
+        ++i;
+    }
+    const __m256i pair_mask = _mm256_set1_epi8(0x55);
+    __m256i acc = _mm256_setzero_si256();
+    while (i + 128 <= end) {
+        const __m256i v = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(packed + (i >> 2)));
+        const __m256i pairs = _mm256_and_si256(
+            _mm256_and_si256(v, _mm256_srli_epi16(v, 1)), pair_mask);
+        acc = _mm256_add_epi64(
+            acc,
+            _mm256_sad_epu8(popcntBytes(pairs), _mm256_setzero_si256()));
+        i += 128;
+    }
+    alignas(32) u64 lanes[4];
+    _mm256_store_si256(reinterpret_cast<__m256i *>(lanes), acc);
+    total += static_cast<u32>(lanes[0] + lanes[1] + lanes[2] + lanes[3]);
+    if (i < end)
+        total += countR2bppScalar(packed, i, end - i);
+    return total;
+}
+
+void
+applyLut256Avx2(u8 *data, size_t count, const u8 *lut)
+{
+    __m256i tables[16];
+    for (int t = 0; t < 16; ++t)
+        tables[t] = broadcast128(_mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(lut + 16 * t)));
+    const __m256i low_mask = _mm256_set1_epi8(0x0f);
+    size_t i = 0;
+    for (; i + 32 <= count; i += 32) {
+        const __m256i x = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(data + i));
+        const __m256i lo = _mm256_and_si256(x, low_mask);
+        const __m256i hi =
+            _mm256_and_si256(_mm256_srli_epi16(x, 4), low_mask);
+        __m256i res = _mm256_setzero_si256();
+        for (int t = 0; t < 16; ++t) {
+            const __m256i match = _mm256_cmpeq_epi8(
+                hi, _mm256_set1_epi8(static_cast<char>(t)));
+            res = _mm256_or_si256(
+                res, _mm256_and_si256(_mm256_shuffle_epi8(tables[t], lo),
+                                      match));
+        }
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(data + i), res);
+    }
+    for (; i < count; ++i)
+        data[i] = lut[data[i]];
+}
+
+} // namespace rpx::simd::detail
+
+#endif // x86

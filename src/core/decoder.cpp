@@ -5,11 +5,12 @@
 
 #include "common/crc32.hpp"
 #include "common/error.hpp"
+#include "common/simd.hpp"
 
 namespace rpx {
 
 RhythmicDecoder::RhythmicDecoder(FrameStore &store, const Config &config)
-    : store_(store), config_(config)
+    : store_(store), config_(config), response_(config.response_fifo_depth)
 {
     if (config.clock_ghz <= 0.0)
         throwInvalid("decoder clock must be positive");
@@ -45,9 +46,9 @@ RhythmicDecoder::refreshScratchpad()
     }
     if (!stale)
         return;
-    scratch_.clear();
     scratch_keys_.clear();
-    scratch_meta_.clear();
+    while (scratch_.size() < store_.size())
+        scratch_.push_back(std::make_unique<ScratchEntry>());
     for (size_t k = 0; k < store_.size(); ++k) {
         const EncodedFrame *f = store_.recent(k);
         const StoredFrameAddrs *addrs = store_.recentAddrs(k);
@@ -56,29 +57,33 @@ RhythmicDecoder::refreshScratchpad()
         // Load the frame's metadata from DRAM — the decoder consumes
         // memory content, not simulator-side state. The mask bytes
         // reconstruct the EncMask; the per-row offset table reconstructs
-        // RowOffsets (the last row's count comes from the mask).
-        auto meta = std::make_unique<EncodedFrame>();
-        meta->index = f->index;
-        meta->width = f->width;
-        meta->height = f->height;
+        // RowOffsets (the last row's count comes from the mask). Fetch
+        // staging and the slot's metadata storage are pooled, so a warm
+        // refresh allocates nothing.
+        ScratchEntry &e = *scratch_[k];
+        e.valid = false;
+        EncodedFrame &meta = e.meta;
+        meta.index = f->index;
+        meta.width = f->width;
+        meta.height = f->height;
         const size_t mask_bytes =
             (static_cast<size_t>(f->width) * f->height * 2 + 7) / 8;
-        meta->mask = EncMask(f->width, f->height,
-                             store_.dram().read(addrs->mask.base,
-                                                mask_bytes));
-        const std::vector<u8> offs = store_.dram().read(
-            addrs->offsets.base,
-            static_cast<size_t>(f->height) * sizeof(u32));
+        std::vector<u8> &mask_buf = arena_.bytes(kMaskFetch, mask_bytes);
+        store_.dram().read(addrs->mask.base, mask_buf.data(), mask_bytes);
+        const size_t offs_bytes =
+            static_cast<size_t>(f->height) * sizeof(u32);
+        std::vector<u8> &offs = arena_.bytes(kOffsFetch, offs_bytes);
+        store_.dram().read(addrs->offsets.base, offs.data(), offs_bytes);
 
         // Integrity gate 1: when the store seals metadata, verify the
         // CRC over the raw fetched bytes before trusting any of them.
         bool safe = true;
         if (store_.metadataCrcEnabled()) {
             Crc32 crc;
-            crc.update(meta->mask.bytes());
+            crc.update(mask_buf);
             crc.update(offs);
-            const std::vector<u8> cell =
-                store_.dram().read(addrs->crc.base, sizeof(u32));
+            u8 cell[sizeof(u32)];
+            store_.dram().read(addrs->crc.base, cell, sizeof(cell));
             const u32 sealed = static_cast<u32>(cell[0]) |
                                (static_cast<u32>(cell[1]) << 8) |
                                (static_cast<u32>(cell[2]) << 16) |
@@ -89,7 +94,8 @@ RhythmicDecoder::refreshScratchpad()
             }
         }
 
-        RowOffsets offsets(f->height);
+        meta.mask.assign(f->width, f->height, mask_buf.data(), mask_bytes);
+        meta.offsets.reset(f->height);
         auto word = [&](i32 y) {
             const size_t b = static_cast<size_t>(y) * 4;
             return static_cast<u32>(offs[b]) |
@@ -98,80 +104,133 @@ RhythmicDecoder::refreshScratchpad()
                    (static_cast<u32>(offs[b + 3]) << 24);
         };
         for (i32 y = 0; y + 1 < f->height; ++y)
-            offsets.setRowCount(y, word(y + 1) - word(y));
-        offsets.setRowCount(f->height - 1,
-                            meta->mask.encodedInRow(f->height - 1));
-        meta->offsets = std::move(offsets);
-        stats_.metadata_bytes += mask_bytes + offs.size();
+            meta.offsets.setRowCount(y, word(y + 1) - word(y));
+        meta.offsets.setRowCount(f->height - 1,
+                                 meta.mask.encodedInRow(f->height - 1));
+        stats_.metadata_bytes += mask_bytes + offs_bytes;
 
         // Integrity gate 2: bounds-validate the reconstructed metadata so
         // no later translation can index outside the slot's payload range
         // (payload size is not checked — the payload stays in DRAM).
-        if (safe && !meta->validate(nullptr, /*check_payload=*/false)) {
+        if (safe && !meta.validate(nullptr, /*check_payload=*/false)) {
             ++stats_.validation_failures;
             safe = false;
         }
 
         if (!safe) {
             // Quarantine: keep the slot's position so frame tags still
-            // line up, but never address it.
+            // line up, but never address it (e.valid stays false).
             ++stats_.frames_quarantined;
             if (obs_quarantined_)
                 obs_quarantined_->inc();
-            scratch_meta_.push_back(nullptr);
-            scratch_.push_back(nullptr);
             continue;
         }
 
-        scratch_meta_.push_back(std::move(meta));
-        scratch_.push_back(
-            std::make_unique<MaskPrefixCache>(*scratch_meta_.back()));
+        e.cache.rebind(&meta);
+        e.valid = true;
     }
 }
 
 void
-RhythmicDecoder::translatePixel(i32 x, i32 y, size_t result_pos,
-                                std::vector<SubRequest> &subs,
-                                std::vector<u8> &result)
+RhythmicDecoder::translateSegment(i32 y, i32 x0, i32 x1, size_t base,
+                                  std::vector<SubRequest> &subs,
+                                  std::vector<u8> &result)
 {
-    const EncodedFrame *current = scratch_meta_[0].get();
-    // A quarantined newest frame has no trustworthy mask: treat every
-    // pixel like a temporally skipped one and look to history.
-    const PixelCode code =
-        current ? current->mask.at(x, y) : PixelCode::Sk;
-
-    if (code == PixelCode::N) {
-        result[result_pos] = config_.black_value;
-        ++stats_.black_pixels;
+    ScratchEntry *cur = scratch_[0]->valid ? scratch_[0].get() : nullptr;
+    if (!cur) {
+        // A quarantined newest frame has no trustworthy mask: treat every
+        // pixel like a temporally skipped one and look to history.
+        for (i32 x = x0; x < x1; ++x)
+            translateFallback(x, y, base + static_cast<size_t>(x - x0),
+                              subs, result);
         return;
     }
 
-    if (code == PixelCode::R || code == PixelCode::St) {
-        // Intra-frame: resolve via the resampling rules of the FIFO
-        // sampling unit (§4.2.2). The offset bound is a no-op for
-        // consistent frames; it only bites when an unsealed store let a
-        // mask/offset mismatch through validation.
-        auto src = findPixelSource(*scratch_[0], x, y, config_.max_upscan);
-        if (src && src->offset < current->offsets.total()) {
-            subs.push_back({0, src->offset, result_pos});
-            ++stats_.sub_requests_intra;
-            if (code == PixelCode::St)
-                ++stats_.resampled_pixels;
-            return;
-        }
-        // An St pixel with no reachable R in this frame falls back to
-        // history the same way a skipped pixel does.
-    }
+    const EncodedFrame &current = cur->meta;
+    const size_t w = static_cast<size_t>(current.width);
+    const size_t seg = static_cast<size_t>(x1 - x0);
+    std::vector<u8> &codes = arena_.bytes(kRowCodes, seg);
+    simd::unpackMask2bpp(current.mask.bytes().data(),
+                         static_cast<size_t>(y) * w +
+                             static_cast<size_t>(x0),
+                         seg, codes.data());
 
+    // In-row R tracker (the Translator's fast path): r_count is the R
+    // prefix at the cursor and last_off the payload offset of the nearest
+    // R at or left of it. Seeded from the prefix cache so mid-row entry
+    // points resolve exactly like the per-pixel walk; the offset of the
+    // r_count'th R in the row is row_off + r_count - 1 by construction.
+    const u32 row_off = current.offsets.offsetOf(y);
+    const u32 total = current.offsets.total();
+    u32 r_count = cur->cache.encodedBefore(x0, y);
+    bool have_r = r_count > 0;
+    u32 last_off = have_r ? row_off + r_count - 1 : 0;
+
+    for (i32 x = x0; x < x1; ++x) {
+        const size_t pos = base + static_cast<size_t>(x - x0);
+        const PixelCode code = static_cast<PixelCode>(
+            codes[static_cast<size_t>(x - x0)]);
+        if (code == PixelCode::N) {
+            result[pos] = config_.black_value;
+            ++stats_.black_pixels;
+            continue;
+        }
+        if (code == PixelCode::R || code == PixelCode::St) {
+            // Intra-frame: resolve via the resampling rules of the FIFO
+            // sampling unit (§4.2.2). The offset bound is a no-op for
+            // consistent frames; it only bites when an unsealed store
+            // let a mask/offset mismatch through validation.
+            bool resolved = false;
+            u32 offset = 0;
+            if (code == PixelCode::R) {
+                offset = row_off + r_count;
+                ++r_count;
+                have_r = true;
+                last_off = offset;
+                resolved = true;
+            } else if (have_r) {
+                offset = last_off;
+                resolved = true;
+            } else {
+                // St with no in-row R at-or-left: the generic upscan
+                // walk (its dy == 0 probe finds nothing by construction,
+                // so the answers coincide with the reference).
+                auto src = findPixelSource(cur->cache, x, y,
+                                           config_.max_upscan);
+                if (src) {
+                    offset = src->offset;
+                    resolved = true;
+                }
+            }
+            if (resolved && offset < total) {
+                subs.push_back({0, offset, pos});
+                ++stats_.sub_requests_intra;
+                if (code == PixelCode::St)
+                    ++stats_.resampled_pixels;
+                continue;
+            }
+            // An St pixel with no reachable R in this frame falls back
+            // to history the same way a skipped pixel does.
+        }
+        translateFallback(x, y, pos, subs, result);
+    }
+}
+
+void
+RhythmicDecoder::translateFallback(i32 x, i32 y, size_t result_pos,
+                                   std::vector<SubRequest> &subs,
+                                   std::vector<u8> &result)
+{
     // Sk (or unresolvable St): search the recently stored encoded frames.
-    for (size_t k = 1; k < scratch_meta_.size(); ++k) {
-        if (!scratch_meta_[k])
+    for (size_t k = 1; k < scratchCount(); ++k) {
+        if (!scratch_[k]->valid)
             continue; // quarantined history frame
-        const EncodedFrame &past = *scratch_meta_[k];
+        const EncodedFrame &past = scratch_[k]->meta;
         const PixelCode pcode = past.mask.at(x, y);
         if (pcode != PixelCode::R && pcode != PixelCode::St)
             continue;
-        auto src = findPixelSource(*scratch_[k], x, y, config_.max_upscan);
+        auto src = findPixelSource(scratch_[k]->cache, x, y,
+                                   config_.max_upscan);
         if (src && src->offset < past.offsets.total()) {
             subs.push_back({k, src->offset, result_pos});
             ++stats_.sub_requests_inter;
@@ -202,7 +261,8 @@ RhythmicDecoder::fulfill(std::vector<SubRequest> &subs,
     while (i < subs.size()) {
         size_t j = i + 1;
         while (j < subs.size() && subs[j].frame_tag == subs[i].frame_tag &&
-               subs[j].offset <= subs[j - 1].offset + 1 &&
+               subs[j].offset <=
+                   subs[j - 1].offset + 1 + config_.burst_gap_bytes &&
                subs[j].offset - subs[i].offset <
                    config_.max_burst_bytes) {
             ++j;
@@ -214,15 +274,17 @@ RhythmicDecoder::fulfill(std::vector<SubRequest> &subs,
         const StoredFrameAddrs *addrs =
             store_.recentAddrs(subs[i].frame_tag);
         RPX_ASSERT(addrs != nullptr, "sub-request against missing frame");
-        const std::vector<u8> burst =
-            store_.dram().read(addrs->pixels.base + first, len);
+        std::vector<u8> &burst = arena_.bytes(kBurst, len);
+        store_.dram().read(addrs->pixels.base + first, burst.data(), len);
         ++stats_.dram_reads;
         stats_.dram_pixel_bytes += len;
 
         // Response path: the burst streams through the response FIFO into
         // the sampling unit, which places each beat in the transaction
-        // result (duplicate offsets re-sample the previous beat).
-        Fifo<u8> response(config_.response_fifo_depth);
+        // result (duplicate offsets re-sample the previous beat; beats
+        // fetched only to bridge a coalescing gap are popped and
+        // discarded the same way).
+        response_.clear();
         size_t consumed = 0; // burst bytes already pushed into the FIFO
         u8 current = config_.black_value;
         u32 current_offset = first;
@@ -230,13 +292,13 @@ RhythmicDecoder::fulfill(std::vector<SubRequest> &subs,
         for (size_t k = i; k < j; ++k) {
             const u32 want = subs[k].offset;
             while (!have_current || current_offset < want) {
-                if (response.empty()) {
-                    while (consumed < len && !response.full())
-                        response.push(burst[consumed++]);
+                if (response_.empty()) {
+                    while (consumed < len && !response_.full())
+                        response_.push(burst[consumed++]);
                 }
                 current_offset =
                     have_current ? current_offset + 1 : first;
-                current = response.pop();
+                current = response_.pop();
                 have_current = true;
             }
             result[subs[k].result_pos] = current;
@@ -247,6 +309,15 @@ RhythmicDecoder::fulfill(std::vector<SubRequest> &subs,
 
 std::vector<u8>
 RhythmicDecoder::requestPixels(i32 x, i32 y, i32 count)
+{
+    std::vector<u8> result;
+    requestPixelsInto(x, y, count, result);
+    return result;
+}
+
+void
+RhythmicDecoder::requestPixelsInto(i32 x, i32 y, i32 count,
+                                   std::vector<u8> &out)
 {
     if (count < 0)
         throwInvalid("pixel request count must be non-negative");
@@ -262,17 +333,29 @@ RhythmicDecoder::requestPixels(i32 x, i32 y, i32 count)
 
     refreshScratchpad();
 
-    std::vector<u8> result(static_cast<size_t>(count), config_.black_value);
-    std::vector<SubRequest> subs;
-    subs.reserve(static_cast<size_t>(count));
+    out.assign(static_cast<size_t>(count), config_.black_value);
+    subs_.clear();
+    if (subs_.capacity() < static_cast<size_t>(count))
+        subs_.reserve(static_cast<size_t>(count));
 
-    for (i32 k = 0; k < count; ++k) {
-        const i64 lin = linear + k;
-        translatePixel(static_cast<i32>(lin % w), static_cast<i32>(lin / w),
-                       static_cast<size_t>(k), subs, result);
+    // Translate row segment by row segment: a linear request covers at
+    // most one partial row, then whole rows — each is one vectorised
+    // scan instead of per-pixel mask bit plucking.
+    i64 lin = linear;
+    size_t base = 0;
+    i64 remaining = count;
+    while (remaining > 0) {
+        const i32 yy = static_cast<i32>(lin / w);
+        const i32 xx = static_cast<i32>(lin % w);
+        const i32 seg =
+            static_cast<i32>(std::min<i64>(remaining, w - xx));
+        translateSegment(yy, xx, xx + seg, base, subs_, out);
+        lin += seg;
+        base += static_cast<size_t>(seg);
+        remaining -= seg;
     }
     const u64 reads_before = stats_.dram_reads;
-    fulfill(subs, result);
+    fulfill(subs_, out);
     const u64 bursts_issued = stats_.dram_reads - reads_before;
 
     ++stats_.transactions;
@@ -288,7 +371,6 @@ RhythmicDecoder::requestPixels(i32 x, i32 y, i32 count)
     // scratchpad; accounted there).
     if (obs_transactions_)
         mirrorObs();
-    return result;
 }
 
 void

@@ -25,6 +25,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "core/frame_store.hpp"
 #include "obs/obs.hpp"
 #include "stream/fifo.hpp"
@@ -72,6 +73,15 @@ class RhythmicDecoder
          * 64 bytes).
          */
         u32 max_burst_bytes = 64;
+        /**
+         * Largest hole (in payload bytes) the coalescer will read
+         * through to keep two sub-requests in one burst. 0 (default)
+         * merges only strictly consecutive offsets — the legacy
+         * behaviour, bit- and stat-identical to older builds. Small
+         * values trade a few wasted data beats for fewer burst issues
+         * (fewer modelled cycles) on sparse masks.
+         */
+        u32 burst_gap_bytes = 0;
     };
 
     RhythmicDecoder(FrameStore &store, const Config &config);
@@ -88,6 +98,14 @@ class RhythmicDecoder
      * linear framebuffer read would.
      */
     std::vector<u8> requestPixels(i32 x, i32 y, i32 count);
+
+    /**
+     * requestPixels into a caller-owned buffer (resized to `count`),
+     * reusing its allocation. The steady-state path: with a warm
+     * scratchpad and a reused `out`, a transaction performs zero heap
+     * allocations.
+     */
+    void requestPixelsInto(i32 x, i32 y, i32 count, std::vector<u8> &out);
 
     /**
      * Raw memory-transaction entry point (the integration point with the
@@ -121,10 +139,23 @@ class RhythmicDecoder
         size_t result_pos; //!< where the value lands in the response
     };
 
-    /** Resolve one pixel into either a sub-request or an immediate value. */
-    void translatePixel(i32 x, i32 y, size_t result_pos,
-                        std::vector<SubRequest> &subs,
-                        std::vector<u8> &result);
+    /**
+     * Translate the in-row pixel run [x0, x1) of row y, whose values land
+     * at result[base ..]. Runs the vectorised row scan: codes are
+     * unpacked once through the SIMD shim and R/St offsets come from a
+     * running in-row R tracker, reproducing the per-pixel
+     * findPixelSource walk exactly (see SoftwareDecoder's fast-path
+     * notes); pixels it cannot answer in-row take translateFallback.
+     */
+    void translateSegment(i32 y, i32 x0, i32 x1, size_t base,
+                          std::vector<SubRequest> &subs,
+                          std::vector<u8> &result);
+
+    /** The history walk for one pixel: serves Sk pixels, unresolvable St
+     *  pixels, and every pixel of a quarantined newest frame. */
+    void translateFallback(i32 x, i32 y, size_t result_pos,
+                           std::vector<SubRequest> &subs,
+                           std::vector<u8> &result);
 
     /** Issue coalesced DRAM reads for the sub-requests and fill results. */
     void fulfill(std::vector<SubRequest> &subs, std::vector<u8> &result);
@@ -145,20 +176,45 @@ class RhythmicDecoder
     };
 
     /**
-     * Metadata scratchpad: per recent frame, the EncMask/RowOffsets
-     * reconstructed from DRAM bytes (pixel payloads stay in DRAM) plus a
-     * prefix cache for fast in-row queries. scratch_keys_ tracks which
-     * stored frames the scratchpad currently mirrors. An entry is null
-     * when the fetched metadata failed its safety checks (bounds
-     * validation, or the CRC when the store seals metadata): the frame is
-     * quarantined — never addressed — and requests against it fall back
-     * to history or black instead of chasing corrupt offsets.
+     * One metadata-scratchpad slot: the EncMask/RowOffsets reconstructed
+     * from DRAM bytes (pixel payloads stay in DRAM; meta.pixels stays
+     * empty) plus a prefix cache for fast in-row queries. `valid` is
+     * false when the fetched metadata failed its safety checks (bounds
+     * validation, or the CRC when the store seals metadata): the frame
+     * is quarantined — never addressed — and requests against it fall
+     * back to history or black instead of chasing corrupt offsets.
+     * Entries are pooled across refreshes (unique_ptr keeps them
+     * address-stable while the pool grows) so a warm refresh reuses all
+     * metadata storage instead of reallocating it per frame.
      */
-    std::vector<std::unique_ptr<MaskPrefixCache>> scratch_;
-    std::vector<std::unique_ptr<EncodedFrame>> scratch_meta_;
+    struct ScratchEntry {
+        EncodedFrame meta;
+        MaskPrefixCache cache;
+        bool valid = false;
+    };
+
+    /** Slot pool; the first scratchCount() entries mirror the store. */
+    std::vector<std::unique_ptr<ScratchEntry>> scratch_;
+    /** Stored frames the scratchpad currently mirrors (also the count). */
     std::vector<ScratchKey> scratch_keys_;
 
+    size_t scratchCount() const { return scratch_keys_.size(); }
+
     void refreshScratchpad();
+
+    /** FrameArena slots for the per-transaction scratch buffers. */
+    enum ArenaSlot : size_t {
+        kMaskFetch = 0, //!< raw mask bytes fetched from DRAM
+        kOffsFetch,     //!< raw row-offset table bytes fetched from DRAM
+        kRowCodes,      //!< unpacked 2-bit codes for one row segment
+        kBurst,         //!< coalesced payload burst staging
+    };
+
+    FrameArena arena_;
+    /** Reused per transaction (see requestPixelsInto's zero-alloc note). */
+    std::vector<SubRequest> subs_;
+    /** Response FIFO of the sampling unit, drained between bursts. */
+    Fifo<u8> response_;
 
     /** Push stats_ deltas since the last mirror into the obs counters. */
     void mirrorObs();

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <array>
 
+#include "common/simd.hpp"
+
 namespace rpx {
 
 const char *
@@ -40,15 +42,28 @@ EncMask::EncMask(i32 w, i32 h, std::vector<u8> packed)
                      " bytes for ", w, "x", h);
 }
 
+void
+EncMask::assign(i32 w, i32 h, const u8 *data, size_t len)
+{
+    if (w < 0 || h < 0)
+        throwInvalid("EncMask dimensions must be non-negative");
+    const size_t bits = static_cast<size_t>(w) * static_cast<size_t>(h) * 2;
+    if (len != (bits + 7) / 8)
+        throwInvalid("packed EncMask size mismatch: got ", len,
+                     " bytes for ", w, "x", h);
+    width_ = w;
+    height_ = h;
+    bits_.assign(data, data + len);
+}
+
 u32
 EncMask::encodedBefore(i32 x, i32 y) const
 {
-    u32 count = 0;
-    for (i32 i = 0; i < x; ++i) {
-        if (at(i, y) == PixelCode::R)
-            ++count;
-    }
-    return count;
+    RPX_ASSERT(x >= 0 && x <= width_ && y >= 0 && y < height_,
+               "EncMask::encodedBefore out of bounds");
+    const size_t first =
+        static_cast<size_t>(y) * static_cast<size_t>(width_);
+    return simd::countR2bpp(bits_.data(), first, static_cast<size_t>(x));
 }
 
 u32
@@ -124,6 +139,13 @@ RowOffsets::RowOffsets(const EncMask &mask)
 }
 
 RowOffsets::RowOffsets(i32 height)
+{
+    RPX_ASSERT(height >= 0, "RowOffsets height must be non-negative");
+    offsets_.assign(static_cast<size_t>(height) + 1, 0);
+}
+
+void
+RowOffsets::reset(i32 height)
 {
     RPX_ASSERT(height >= 0, "RowOffsets height must be non-negative");
     offsets_.assign(static_cast<size_t>(height) + 1, 0);

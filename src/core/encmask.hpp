@@ -56,6 +56,14 @@ class EncMask
      */
     EncMask(i32 w, i32 h, std::vector<u8> packed);
 
+    /**
+     * Rebuild in place from a packed byte range, reusing this mask's
+     * existing storage (the allocation-free sibling of the packed
+     * constructor — the decoder scratchpad leans on it). Throws when
+     * `len` does not match the geometry.
+     */
+    void assign(i32 w, i32 h, const u8 *data, size_t len);
+
     i32 width() const { return width_; }
     i32 height() const { return height_; }
     bool empty() const { return width_ == 0 || height_ == 0; }
@@ -140,6 +148,12 @@ class RowOffsets
 
     /** Build incrementally: start empty, append per-row counts. */
     explicit RowOffsets(i32 height);
+
+    /**
+     * Reset to `height` zeroed rows, reusing existing storage (the
+     * allocation-free sibling of the height constructor).
+     */
+    void reset(i32 height);
 
     /** Record that row `y` produced `count` encoded pixels. */
     void setRowCount(i32 y, u32 count);

@@ -2,6 +2,7 @@
 
 #include "common/crc32.hpp"
 #include "common/error.hpp"
+#include "common/simd.hpp"
 
 namespace rpx {
 
@@ -26,7 +27,19 @@ EncodedFrame::computeMetadataCrc() const
 {
     Crc32 crc;
     crc.update(mask.bytes());
-    crc.update(packOffsets());
+    // Stream the row-offset table in its packed little-endian layout
+    // instead of materialising packOffsets(): this runs on every sealed
+    // decode (validate) and must not allocate.
+    for (i32 y = 0; y < height; ++y) {
+        const u32 v = offsets.offsetOf(y);
+        const u8 word[4] = {
+            static_cast<u8>(v),
+            static_cast<u8>(v >> 8),
+            static_cast<u8>(v >> 16),
+            static_cast<u8>(v >> 24),
+        };
+        crc.update(word, sizeof(word));
+    }
     return crc.value();
 }
 
@@ -86,22 +99,38 @@ EncodedFrame::checkConsistency() const
                "mask R count disagrees with encoded pixel count");
 }
 
-MaskPrefixCache::MaskPrefixCache(const EncodedFrame &frame) : frame_(frame)
+void
+MaskPrefixCache::rebind(const EncodedFrame *frame)
 {
-    rows_.resize(static_cast<size_t>(frame.height));
+    frame_ = frame;
+    const size_t rows =
+        frame ? static_cast<size_t>(frame->height) : size_t{0};
+    if (rows_.size() > rows)
+        rows_.resize(rows);
+    // clear() (not resize(0)) keeps each row's capacity for the next frame.
+    for (auto &row : rows_)
+        row.clear();
+    while (rows_.size() < rows)
+        rows_.emplace_back();
+    touched_ = 0;
 }
 
 const std::vector<u32> &
 MaskPrefixCache::rowPrefix(i32 y)
 {
-    RPX_ASSERT(y >= 0 && y < frame_.height, "prefix row out of bounds");
+    RPX_ASSERT(frame_ != nullptr, "MaskPrefixCache is unbound");
+    RPX_ASSERT(y >= 0 && y < frame_->height, "prefix row out of bounds");
     auto &row = rows_[static_cast<size_t>(y)];
     if (row.empty()) {
-        row.resize(static_cast<size_t>(frame_.width) + 1, 0);
+        const size_t w = static_cast<size_t>(frame_->width);
+        row.resize(w + 1);
+        codes_.resize(w);
+        simd::unpackMask2bpp(frame_->mask.bytes().data(),
+                             static_cast<size_t>(y) * w, w, codes_.data());
         u32 running = 0;
-        for (i32 x = 0; x < frame_.width; ++x) {
-            row[static_cast<size_t>(x)] = running;
-            if (frame_.mask.at(x, y) == PixelCode::R)
+        for (size_t x = 0; x < w; ++x) {
+            row[x] = running;
+            if (codes_[x] == static_cast<u8>(PixelCode::R))
                 ++running;
         }
         row.back() = running;

@@ -111,9 +111,24 @@ struct PixelSource {
 class MaskPrefixCache
 {
   public:
-    explicit MaskPrefixCache(const EncodedFrame &frame);
+    /** Unbound cache; rebind() before use. Lets owners pool instances. */
+    MaskPrefixCache() = default;
 
-    const EncodedFrame &frame() const { return frame_; }
+    explicit MaskPrefixCache(const EncodedFrame &frame) { rebind(&frame); }
+
+    /**
+     * Point the cache at a (new) frame and invalidate all materialised
+     * rows. Row storage is retained, so rebinding a pooled cache to the
+     * next frame of the same geometry allocates nothing once warm.
+     * Pass nullptr to unbind.
+     */
+    void rebind(const EncodedFrame *frame);
+
+    const EncodedFrame &frame() const
+    {
+        RPX_ASSERT(frame_ != nullptr, "MaskPrefixCache is unbound");
+        return *frame_;
+    }
 
     /** Number of R codes in row y strictly before column x. */
     u32 encodedBefore(i32 x, i32 y);
@@ -127,8 +142,11 @@ class MaskPrefixCache
   private:
     const std::vector<u32> &rowPrefix(i32 y);
 
-    const EncodedFrame &frame_;
+    const EncodedFrame *frame_ = nullptr;
+    /** Per-row R prefix; an empty inner vector marks a row not yet built. */
     std::vector<std::vector<u32>> rows_;
+    /** Unpacked code bytes for the row being materialised. */
+    std::vector<u8> codes_;
     size_t touched_ = 0;
 };
 

@@ -1,0 +1,121 @@
+#include "core/parallel_decoder.hpp"
+
+#include "common/error.hpp"
+#include "core/parallel_encoder.hpp"
+
+namespace rpx {
+
+ParallelDecoder::ParallelDecoder(const Config &config)
+    : config_(config),
+      threads_(config.threads == 0 ? ThreadPool::hardwareThreads()
+                                   : config.threads)
+{
+    if (config.threads < 0)
+        throwInvalid("decoder thread count must be >= 0, got ",
+                     config.threads);
+    if (config.min_band_rows < 4 || config.min_band_rows % 4 != 0)
+        throwInvalid("min_band_rows must be a positive multiple of 4, "
+                     "got ",
+                     config.min_band_rows);
+    band_.reserve(static_cast<size_t>(threads_));
+    band_.push_back(std::make_unique<SoftwareDecoder>(config.decoder));
+    if (threads_ > 1)
+        pool_ = std::make_unique<ThreadPool>(threads_);
+}
+
+std::vector<std::pair<i32, i32>>
+ParallelDecoder::partition(i32 rows, int bands, i32 min_band_rows)
+{
+    return ParallelEncoder::partition(rows, bands, min_band_rows);
+}
+
+void
+ParallelDecoder::decodeValidatedInto(
+    const EncodedFrame &current,
+    const std::vector<const EncodedFrame *> &history, Image &out)
+{
+    out.reinit(current.width, current.height, PixelFormat::Gray8,
+               config_.decoder.black_value);
+    const auto ranges =
+        partition(current.height, threads_, config_.min_band_rows);
+    while (band_.size() < ranges.size())
+        band_.push_back(std::make_unique<SoftwareDecoder>(config_.decoder));
+
+    std::vector<std::future<void>> pending;
+    pending.reserve(ranges.size());
+    for (size_t b = 0; b < ranges.size(); ++b) {
+        pending.push_back(
+            pool_->submit([this, &current, &history, &out, b, &ranges] {
+                band_[b]->decodeBandInto(current, history, ranges[b].first,
+                                         ranges[b].second, out);
+            }));
+    }
+    for (auto &f : pending)
+        f.get(); // propagates worker exceptions
+
+    last_history_fills_ = 0;
+    last_black_ = 0;
+    for (size_t b = 0; b < ranges.size(); ++b) {
+        last_history_fills_ += band_[b]->lastHistoryFills();
+        last_black_ += band_[b]->lastBlackPixels();
+    }
+}
+
+Image
+ParallelDecoder::decode(const EncodedFrame &current,
+                        const std::vector<const EncodedFrame *> &history)
+{
+    Image out;
+    decodeInto(current, history, out);
+    return out;
+}
+
+void
+ParallelDecoder::decodeInto(const EncodedFrame &current,
+                            const std::vector<const EncodedFrame *> &history,
+                            Image &out)
+{
+    if (threads_ <= 1) {
+        band_[0]->decodeInto(current, history, out);
+        last_history_fills_ = band_[0]->lastHistoryFills();
+        last_black_ = band_[0]->lastBlackPixels();
+        return;
+    }
+    // Match the serial entry checks before any worker touches the frame.
+    current.checkConsistency();
+    for (const EncodedFrame *f : history) {
+        RPX_ASSERT(f != nullptr, "null history frame");
+        RPX_ASSERT(f->width == current.width && f->height == current.height,
+                   "history frame geometry mismatch");
+    }
+    decodeValidatedInto(current, history, out);
+}
+
+SwDecodeStatus
+ParallelDecoder::tryDecode(const EncodedFrame &current,
+                           const std::vector<const EncodedFrame *> &history,
+                           Image &out)
+{
+    if (threads_ <= 1) {
+        SwDecodeStatus status =
+            band_[0]->tryDecode(current, history, out);
+        last_history_fills_ = band_[0]->lastHistoryFills();
+        last_black_ = band_[0]->lastBlackPixels();
+        return status;
+    }
+    SwDecodeStatus status;
+    std::string why;
+    if (!current.validate(&why)) {
+        status.ok = false;
+        status.quarantined = true;
+        status.reason = std::move(why);
+        return status;
+    }
+    usable_.clear();
+    SoftwareDecoder::filterUsableHistory(current, history, usable_,
+                                         status.history_skipped);
+    decodeValidatedInto(current, usable_, out);
+    return status;
+}
+
+} // namespace rpx

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Band-parallel software decoder — the read-path mirror of
+ * ParallelEncoder.
+ *
+ * The frame is partitioned into horizontal bands (the same 4-row-aligned
+ * partition the encoder uses) and each band is reconstructed independently
+ * on a persistent thread pool by a per-band SoftwareDecoder instance. The
+ * result is byte-identical to the serial decoder by construction:
+ *  - every band runs the exact serial per-row reconstruction over its own
+ *    output rows,
+ *  - bands only *read* the shared encoded frames (current + history),
+ *    which are immutable during the decode — an upscan or history lookup
+ *    crossing a band boundary sees the same mask/offsets the serial pass
+ *    would, because each band decoder's prefix cache spans the full frame,
+ *  - each band writes a disjoint row range of the output image.
+ * The per-band history-fill / black-pixel tallies are additive per pixel,
+ * so summing them reproduces the serial counters exactly.
+ */
+
+#ifndef RPX_CORE_PARALLEL_DECODER_HPP
+#define RPX_CORE_PARALLEL_DECODER_HPP
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/sw_decoder.hpp"
+
+namespace rpx {
+
+/**
+ * Thread-pooled drop-in for SoftwareDecoder.
+ *
+ * With threads == 1 (the default) no pool is created and every call is
+ * the plain serial path, so wiring this through a pipeline costs nothing
+ * until the knob is turned. Each worker band gets its own SoftwareDecoder
+ * (decode scratch is instance state), pooled across frames so the
+ * zero-steady-state-allocation property survives the fan-out.
+ */
+class ParallelDecoder
+{
+  public:
+    struct Config {
+        /** Underlying decoder configuration. */
+        SoftwareDecoder::Config decoder;
+        /** Worker threads; 1 = serial, 0 = one per hardware thread. */
+        int threads = 1;
+        /**
+         * Minimum rows per band (multiple of 4, matching the encoder's
+         * band alignment so decode bands line up with encode bands).
+         */
+        i32 min_band_rows = 16;
+    };
+
+    explicit ParallelDecoder(const Config &config);
+    ParallelDecoder() : ParallelDecoder(Config{}) {}
+
+    /** Resolved worker count (>= 1; 0 in the config resolves here). */
+    int threadCount() const { return threads_; }
+
+    /** The band-0 serial decoder (configuration reference). */
+    const SoftwareDecoder &serial() const { return *band_[0]; }
+
+    /** See SoftwareDecoder::decode. Byte-equal for the same inputs. */
+    Image decode(const EncodedFrame &current,
+                 const std::vector<const EncodedFrame *> &history = {});
+
+    /** See SoftwareDecoder::decodeInto. */
+    void decodeInto(const EncodedFrame &current,
+                    const std::vector<const EncodedFrame *> &history,
+                    Image &out);
+
+    /** See SoftwareDecoder::tryDecode (validation happens once, up
+     *  front; bands decode the pre-filtered history). */
+    SwDecodeStatus tryDecode(const EncodedFrame &current,
+                             const std::vector<const EncodedFrame *> &history,
+                             Image &out);
+
+    /** Sum of the band decoders' history-fill tallies for the last
+     *  decode — equals the serial decoder's count for the same inputs. */
+    u64 lastHistoryFills() const { return last_history_fills_; }
+
+    /** Sum of the band decoders' black-pixel tallies for the last decode. */
+    u64 lastBlackPixels() const { return last_black_; }
+
+    /** Band row ranges for a frame of `rows` rows (exposed for tests);
+     *  identical to ParallelEncoder::partition. */
+    static std::vector<std::pair<i32, i32>> partition(i32 rows, int bands,
+                                                      i32 min_band_rows);
+
+  private:
+    /** Fan the pre-validated decode out across the pool. */
+    void decodeValidatedInto(const EncodedFrame &current,
+                             const std::vector<const EncodedFrame *> &history,
+                             Image &out);
+
+    Config config_;
+    int threads_;
+    /** One decoder per band slot; band_[0] doubles as the serial path. */
+    std::vector<std::unique_ptr<SoftwareDecoder>> band_;
+    /** Null when threads_ == 1. */
+    std::unique_ptr<ThreadPool> pool_;
+    /** Pooled history filter for tryDecode. */
+    std::vector<const EncodedFrame *> usable_;
+    u64 last_history_fills_ = 0;
+    u64 last_black_ = 0;
+};
+
+} // namespace rpx
+
+#endif // RPX_CORE_PARALLEL_DECODER_HPP

@@ -1,8 +1,7 @@
 #include "core/sw_decoder.hpp"
 
-#include <memory>
-
 #include "common/error.hpp"
+#include "common/simd.hpp"
 
 namespace rpx {
 
@@ -12,20 +11,17 @@ SoftwareDecoder::SoftwareDecoder(const Config &config) : config_(config)
         throwInvalid("max_upscan must be non-negative");
 }
 
-Image
-SoftwareDecoder::decodeCore(
+void
+SoftwareDecoder::decodeCoreInto(
     const EncodedFrame &current,
-    const std::vector<const EncodedFrame *> &history) const
+    const std::vector<const EncodedFrame *> &history, i32 y0, i32 y1,
+    Image &out) const
 {
-    Image out(current.width, current.height, PixelFormat::Gray8);
-    if (config_.black_value != 0)
-        out.fill(config_.black_value);
-
-    MaskPrefixCache cache(current);
-    std::vector<std::unique_ptr<MaskPrefixCache>> hist_caches;
-    hist_caches.reserve(history.size());
-    for (const EncodedFrame *f : history)
-        hist_caches.push_back(std::make_unique<MaskPrefixCache>(*f));
+    cache_cur_.rebind(&current);
+    while (hist_cache_pool_.size() < history.size())
+        hist_cache_pool_.emplace_back();
+    for (size_t k = 0; k < history.size(); ++k)
+        hist_cache_pool_[k].rebind(history[k]);
 
     last_history_fills_ = 0;
     last_black_ = 0;
@@ -36,19 +32,58 @@ SoftwareDecoder::decodeCore(
     // before the read — an out-of-range source demotes the pixel to the
     // history/black fallback instead of reading out of bounds.
     const size_t cur_limit = current.pixels.size();
+    const size_t w = static_cast<size_t>(current.width);
+    row_codes_.resize(w);
 
-    for (i32 y = 0; y < current.height; ++y) {
+    for (i32 y = y0; y < y1; ++y) {
         u8 *row = out.row(y);
+        simd::unpackMask2bpp(current.mask.bytes().data(),
+                             static_cast<size_t>(y) * w, w,
+                             row_codes_.data());
+        // In-row R tracker for the fast path: r_count is the R prefix at
+        // the cursor, last_off the payload offset of the nearest R at or
+        // left of it. Both reproduce findPixelSource's dy == 0 answer
+        // exactly; pixels it cannot answer take the identical legacy walk.
+        const u32 row_off = current.offsets.offsetOf(y);
+        u32 r_count = 0;
+        bool have_r = false;
+        size_t last_off = 0;
         for (i32 x = 0; x < current.width; ++x) {
-            const PixelCode code = current.mask.at(x, y);
+            const PixelCode code =
+                static_cast<PixelCode>(row_codes_[static_cast<size_t>(x)]);
             if (code == PixelCode::N) {
                 ++last_black_;
                 continue; // already black
             }
             if (code == PixelCode::R || code == PixelCode::St) {
-                auto src = findPixelSource(cache, x, y, config_.max_upscan);
-                if (src && src->offset < cur_limit) {
-                    row[x] = current.pixels[src->offset];
+                bool resolved = false;
+                size_t offset = 0;
+                if (config_.fast_path) {
+                    if (code == PixelCode::R) {
+                        offset = static_cast<size_t>(row_off) + r_count;
+                        ++r_count;
+                        have_r = true;
+                        last_off = offset;
+                        resolved = true;
+                    } else if (have_r) {
+                        offset = last_off;
+                        resolved = true;
+                    }
+                }
+                if (!resolved) {
+                    // St with no in-row R at-or-left (or the reference
+                    // path): generic upscan walk. For the fast path the
+                    // dy == 0 probe finds nothing by construction, so the
+                    // answers coincide.
+                    auto src = findPixelSource(cache_cur_, x, y,
+                                               config_.max_upscan);
+                    if (src) {
+                        offset = src->offset;
+                        resolved = true;
+                    }
+                }
+                if (resolved && offset < cur_limit) {
+                    row[x] = current.pixels[offset];
                     continue;
                 }
             }
@@ -60,7 +95,7 @@ SoftwareDecoder::decodeCore(
                 const PixelCode pcode = past.mask.at(x, y);
                 if (pcode != PixelCode::R && pcode != PixelCode::St)
                     continue;
-                auto src = findPixelSource(*hist_caches[k], x, y,
+                auto src = findPixelSource(hist_cache_pool_[k], x, y,
                                            config_.max_upscan);
                 if (src && src->offset < past.pixels.size()) {
                     row[x] = past.pixels[src->offset];
@@ -73,7 +108,6 @@ SoftwareDecoder::decodeCore(
                 ++last_black_;
         }
     }
-    return out;
 }
 
 Image
@@ -81,13 +115,55 @@ SoftwareDecoder::decode(
     const EncodedFrame &current,
     const std::vector<const EncodedFrame *> &history) const
 {
+    Image out;
+    decodeInto(current, history, out);
+    return out;
+}
+
+void
+SoftwareDecoder::decodeInto(
+    const EncodedFrame &current,
+    const std::vector<const EncodedFrame *> &history, Image &out) const
+{
     current.checkConsistency();
     for (const EncodedFrame *f : history) {
         RPX_ASSERT(f != nullptr, "null history frame");
         RPX_ASSERT(f->width == current.width && f->height == current.height,
                    "history frame geometry mismatch");
     }
-    return decodeCore(current, history);
+    out.reinit(current.width, current.height, PixelFormat::Gray8,
+               config_.black_value);
+    decodeCoreInto(current, history, 0, current.height, out);
+}
+
+void
+SoftwareDecoder::decodeBandInto(
+    const EncodedFrame &current,
+    const std::vector<const EncodedFrame *> &history, i32 y0, i32 y1,
+    Image &out) const
+{
+    RPX_ASSERT(out.width() == current.width &&
+                   out.height() == current.height &&
+                   out.format() == PixelFormat::Gray8,
+               "decodeBandInto output geometry mismatch");
+    RPX_ASSERT(y0 >= 0 && y0 <= y1 && y1 <= current.height,
+               "decodeBandInto band out of range");
+    decodeCoreInto(current, history, y0, y1, out);
+}
+
+void
+SoftwareDecoder::filterUsableHistory(
+    const EncodedFrame &current,
+    const std::vector<const EncodedFrame *> &history,
+    std::vector<const EncodedFrame *> &usable, size_t &skipped)
+{
+    for (const EncodedFrame *f : history) {
+        if (f != nullptr && f->width == current.width &&
+            f->height == current.height && f->validate())
+            usable.push_back(f);
+        else
+            ++skipped;
+    }
 }
 
 SwDecodeStatus
@@ -103,16 +179,13 @@ SoftwareDecoder::tryDecode(const EncodedFrame &current,
         status.reason = std::move(why);
         return status;
     }
-    std::vector<const EncodedFrame *> usable;
-    usable.reserve(history.size());
-    for (const EncodedFrame *f : history) {
-        if (f != nullptr && f->width == current.width &&
-            f->height == current.height && f->validate())
-            usable.push_back(f);
-        else
-            ++status.history_skipped;
-    }
-    out = decodeCore(current, usable);
+    usable_.clear();
+    if (usable_.capacity() < history.size())
+        usable_.reserve(history.size());
+    filterUsableHistory(current, history, usable_, status.history_skipped);
+    out.reinit(current.width, current.height, PixelFormat::Gray8,
+               config_.black_value);
+    decodeCoreInto(current, usable_, 0, current.height, out);
     return status;
 }
 

@@ -7,12 +7,29 @@
  * is differential-tested against.
  *
  * Two entry points share one bounds-checked core:
- *  - decode(): the strict path — throws on malformed input (legacy
- *    behaviour, used when corrupt data indicates a programming error);
+ *  - decode()/decodeInto(): the strict path — throws on malformed input
+ *    (legacy behaviour, used when corrupt data indicates a programming
+ *    error);
  *  - tryDecode(): the corruption-safe path — validates the current frame
  *    (including its metadata CRC when sealed) and quarantines it instead
  *    of throwing, and silently skips unusable history frames, so a
  *    pipeline facing injected or real faults keeps producing frames.
+ *
+ * The core runs a row-run fast path by default: each row's 2-bit codes are
+ * expanded once through the SIMD shim and R/St pixels are resolved with a
+ * running in-row R tracker, falling back to the generic upscan walk only
+ * for pixels whose source is not in the current row. The fast path is
+ * byte-identical to the reference per-pixel walk by construction (an R
+ * pixel's payload offset is exactly row_offset + in-row R prefix; an St
+ * pixel with an in-row R at-or-left resolves to that R's offset; anything
+ * else takes the identical legacy path); set Config::fast_path = false to
+ * run the reference walk itself — the identity suite compares the two.
+ *
+ * Decode scratch state (prefix caches, row code buffers, history filters)
+ * is pooled in the instance, so steady-state decoding performs zero heap
+ * allocations (asserted by tests/core/decode_alloc_test.cpp). The flip
+ * side: a SoftwareDecoder instance is NOT safe for concurrent use — give
+ * each thread its own (ParallelDecoder does exactly that per band).
  */
 
 #ifndef RPX_CORE_SW_DECODER_HPP
@@ -43,6 +60,12 @@ class SoftwareDecoder
     struct Config {
         u8 black_value = 0;
         int max_upscan = 64;
+        /**
+         * Use the vectorised row-run core (byte-identical to the
+         * reference walk). false = run the reference per-pixel walk,
+         * kept for differential testing.
+         */
+        bool fast_path = true;
     };
 
     explicit SoftwareDecoder(const Config &config);
@@ -59,6 +82,26 @@ class SoftwareDecoder
                  const std::vector<const EncodedFrame *> &history = {}) const;
 
     /**
+     * decode() into a caller-owned image, reusing its allocation when
+     * possible (`out` is re-shaped to the frame geometry).
+     */
+    void decodeInto(const EncodedFrame &current,
+                    const std::vector<const EncodedFrame *> &history,
+                    Image &out) const;
+
+    /**
+     * Decode only rows [y0, y1) of `current` into `out`, which must
+     * already have the frame's geometry; rows outside the band are not
+     * touched. History lookups and upscans still see the whole frame, so
+     * banded decodes concatenate to exactly the full decode — this is
+     * ParallelDecoder's per-band primitive. Inputs must be pre-validated
+     * (decodeInto/tryDecode do that).
+     */
+    void decodeBandInto(const EncodedFrame &current,
+                        const std::vector<const EncodedFrame *> &history,
+                        i32 y0, i32 y1, Image &out) const;
+
+    /**
      * Corruption-safe decode. Validates `current` (bounds safety plus the
      * metadata CRC when sealed); on failure returns quarantined=true and
      * leaves `out` untouched — never throws on corrupt metadata, never
@@ -69,6 +112,18 @@ class SoftwareDecoder
                              const std::vector<const EncodedFrame *> &history,
                              Image &out) const;
 
+    /**
+     * The tryDecode history filter, exposed so band-parallel callers can
+     * validate once and fan out: appends the usable subset of `history`
+     * (non-null, geometry matches `current`, passes validate()) to
+     * `usable` and counts the rest into `skipped`.
+     */
+    static void
+    filterUsableHistory(const EncodedFrame &current,
+                        const std::vector<const EncodedFrame *> &history,
+                        std::vector<const EncodedFrame *> &usable,
+                        size_t &skipped);
+
     /** Number of pixels the last decode filled from history frames. */
     u64 lastHistoryFills() const { return last_history_fills_; }
 
@@ -76,13 +131,24 @@ class SoftwareDecoder
     u64 lastBlackPixels() const { return last_black_; }
 
   private:
-    /** Shared bounds-checked reconstruction over pre-validated frames. */
-    Image decodeCore(const EncodedFrame &current,
-                     const std::vector<const EncodedFrame *> &history) const;
+    /**
+     * Shared bounds-checked reconstruction over pre-validated frames,
+     * writing rows [y0, y1) of `out` (already shaped and black-filled).
+     */
+    void decodeCoreInto(const EncodedFrame &current,
+                        const std::vector<const EncodedFrame *> &history,
+                        i32 y0, i32 y1, Image &out) const;
 
     Config config_;
     mutable u64 last_history_fills_ = 0;
     mutable u64 last_black_ = 0;
+    // Pooled decode scratch (cleared/rebound per frame, never shrunk) —
+    // what makes steady-state decode allocation-free and the instance
+    // single-threaded.
+    mutable MaskPrefixCache cache_cur_;
+    mutable std::vector<MaskPrefixCache> hist_cache_pool_;
+    mutable std::vector<u8> row_codes_;
+    mutable std::vector<const EncodedFrame *> usable_;
 };
 
 } // namespace rpx

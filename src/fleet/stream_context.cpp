@@ -83,6 +83,10 @@ StreamContext::StreamContext(const PipelineConfig &config,
                                           config.height, config.history);
     decoder_ = std::make_unique<RhythmicDecoder>(*store_);
 
+    ParallelDecoder::Config dc;
+    dc.threads = config.decoder_threads;
+    sw_decoder_ = std::make_unique<ParallelDecoder>(dc);
+
     if (config.fault.enabled() || force_degradation) {
         if (config.fault.plan) {
             injector_ =

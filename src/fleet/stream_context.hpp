@@ -28,8 +28,8 @@
 #include "core/decoder.hpp"
 #include "core/encoder.hpp"
 #include "core/frame_store.hpp"
+#include "core/parallel_decoder.hpp"
 #include "core/parallel_encoder.hpp"
-#include "core/sw_decoder.hpp"
 #include "fault/degradation.hpp"
 #include "fault/fault.hpp"
 #include "isp/isp_pipeline.hpp"
@@ -102,6 +102,13 @@ struct PipelineConfig {
      * this at 1 — fleet parallelism is across streams, not rows.)
      */
     int encoder_threads = 1;
+    /**
+     * Decoder worker threads for whole-frame software decodes: 1 (default)
+     * is the serial path, 0 resolves to one per hardware thread, N > 1
+     * decodes row bands concurrently. Output is byte-identical across all
+     * settings. (Fleet streams keep this at 1, like encoder_threads.)
+     */
+    int decoder_threads = 1;
     /**
      * Optional observability context (not owned; must outlive the
      * pipeline). When set, every component registers its counters there,
@@ -234,7 +241,7 @@ class StreamContext
     FrameStore &store() { return *store_; }
     const FrameStore &store() const { return *store_; }
     RhythmicDecoder &decoder() { return *decoder_; }
-    SoftwareDecoder &swDecoder() { return sw_decoder_; }
+    ParallelDecoder &swDecoder() { return *sw_decoder_; }
     DramModel &dram() { return *dram_; }
     const DramModel &dram() const { return *dram_; }
     SensorModel &sensor() { return sensor_; }
@@ -282,7 +289,7 @@ class StreamContext
     std::unique_ptr<ParallelEncoder> encoder_;
     std::unique_ptr<FrameStore> store_;
     std::unique_ptr<RhythmicDecoder> decoder_;
-    SoftwareDecoder sw_decoder_;
+    std::unique_ptr<ParallelDecoder> sw_decoder_;
     TrafficSummary traffic_;
     FrameIndex next_frame_ = 0;
 

@@ -49,6 +49,26 @@ class Image
     /** Allocate and fill every byte with `fill`. */
     Image(i32 w, i32 h, PixelFormat fmt, u8 fill);
 
+    /**
+     * Re-shape in place to w x h of `fmt` with every byte set to `fill`,
+     * reusing the existing allocation when it is large enough — the
+     * allocation-free sibling of the filling constructor, used by the
+     * steady-state decode path.
+     */
+    void
+    reinit(i32 w, i32 h, PixelFormat fmt, u8 fill = 0)
+    {
+        if (w < 0 || h < 0)
+            throwInvalid("Image dimensions must be non-negative");
+        width_ = w;
+        height_ = h;
+        format_ = fmt;
+        channels_ = channelsFor(fmt);
+        data_.assign(static_cast<size_t>(w) * static_cast<size_t>(h) *
+                         static_cast<size_t>(channels_),
+                     fill);
+    }
+
     i32 width() const { return width_; }
     i32 height() const { return height_; }
     PixelFormat format() const { return format_; }

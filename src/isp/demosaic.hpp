@@ -19,6 +19,15 @@ namespace rpx {
  */
 Image demosaicBilinear(const Image &bayer);
 
+/**
+ * demosaicBilinear into a caller-owned image (re-shaped to the frame
+ * geometry, reusing its allocation). Interior pixels run a row-pointer
+ * fast path with the per-site neighbour sets resolved at compile time;
+ * output is bit-identical to demosaicBilinear (same truncating
+ * sum-over-count arithmetic).
+ */
+void demosaicBilinearInto(const Image &bayer, Image &rgb);
+
 } // namespace rpx
 
 #endif // RPX_ISP_DEMOSAIC_HPP

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/simd.hpp"
 
 namespace rpx {
 
@@ -20,8 +21,8 @@ GammaLut::GammaLut(double gamma) : gamma_(gamma)
 void
 GammaLut::apply(Image &img) const
 {
-    for (auto &b : img.data())
-        b = lut_[b];
+    std::vector<u8> &data = img.data();
+    simd::applyLut256(data.data(), data.size(), lut_.data());
 }
 
 } // namespace rpx

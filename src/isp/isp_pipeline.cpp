@@ -14,23 +14,34 @@ IspPipeline::IspPipeline(const IspConfig &config)
 Image
 IspPipeline::process(const Image &raw)
 {
+    Image out;
+    processInto(raw, out);
+    return out;
+}
+
+void
+IspPipeline::processInto(const Image &raw, Image &out)
+{
     budget_.addPixels(static_cast<u64>(raw.pixelCount()));
     // The hardware ISP is a fixed-function systolic chain that sustains
     // 2 px/clk; model every frame as exactly meeting that rate.
     budget_.addCycles(static_cast<Cycles>(
         static_cast<double>(raw.pixelCount()) / config_.pixels_per_clock));
 
-    Image stage;
-    if (raw.format() == PixelFormat::BayerRggb)
-        stage = demosaicBilinear(raw);
-    else
-        stage = raw;
+    if (raw.format() != PixelFormat::BayerRggb) {
+        out = raw;
+        gamma_.apply(out);
+        return;
+    }
 
-    gamma_.apply(stage);
-
-    if (config_.output == IspOutput::Gray && stage.channels() == 3)
-        return rgbToGray(stage);
-    return stage;
+    if (config_.output == IspOutput::Gray) {
+        demosaicBilinearInto(raw, rgb_scratch_);
+        gamma_.apply(rgb_scratch_);
+        rgbToGrayInto(rgb_scratch_, out);
+        return;
+    }
+    demosaicBilinearInto(raw, out);
+    gamma_.apply(out);
 }
 
 } // namespace rpx

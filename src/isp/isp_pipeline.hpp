@@ -43,6 +43,13 @@ class IspPipeline
      */
     Image process(const Image &raw);
 
+    /**
+     * process() into a caller-owned image, reusing its allocation (and an
+     * internal RGB scratch frame) across frames. Output and cycle
+     * accounting are identical to process().
+     */
+    void processInto(const Image &raw, Image &out);
+
     /** Cycle accounting for the frames processed so far. */
     const CycleBudget &budget() const { return budget_; }
 
@@ -50,6 +57,7 @@ class IspPipeline
     IspConfig config_;
     GammaLut gamma_;
     CycleBudget budget_;
+    Image rgb_scratch_;  //!< demosaic staging buffer, reused every frame
 };
 
 } // namespace rpx

@@ -125,6 +125,7 @@ runSlamWorkload(const SlamSequenceConfig &sequence_cfg,
     pc.width = w;
     pc.height = h;
     pc.encoder_threads = config.encoder_threads;
+    pc.decoder_threads = config.decoder_threads;
     pc.obs = config.obs;
     pc.telemetry = config.telemetry;
     VisionPipeline pipeline(pc);
@@ -219,6 +220,7 @@ runFaceWorkload(const FaceSequenceConfig &sequence_cfg,
     pc.width = w;
     pc.height = h;
     pc.encoder_threads = config.encoder_threads;
+    pc.decoder_threads = config.decoder_threads;
     pc.obs = config.obs;
     pc.telemetry = config.telemetry;
     VisionPipeline pipeline(pc);
@@ -268,6 +270,7 @@ runPoseWorkload(const PoseSequenceConfig &sequence_cfg,
     pc.width = w;
     pc.height = h;
     pc.encoder_threads = config.encoder_threads;
+    pc.decoder_threads = config.decoder_threads;
     pc.obs = config.obs;
     pc.telemetry = config.telemetry;
     VisionPipeline pipeline(pc);

@@ -49,6 +49,11 @@ struct WorkloadConfig {
      */
     int encoder_threads = 1;
     /**
+     * Decoder worker threads for the run's pipeline (see
+     * PipelineConfig::decoder_threads); 1 = serial, 0 = hardware threads.
+     */
+    int decoder_threads = 1;
+    /**
      * Optional observability context handed to the run's VisionPipeline
      * (see PipelineConfig::obs). Not owned; null disables instrumentation.
      */

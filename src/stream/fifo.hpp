@@ -20,6 +20,7 @@
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/types.hpp"
@@ -29,6 +30,12 @@ namespace rpx {
 /**
  * Bounded FIFO with stall accounting.
  *
+ * Backed by a fixed ring buffer sized at construction — like the hardware
+ * it models, a Fifo never touches the allocator after it is built (a
+ * deque would allocate a fresh node every time its cursor crossed a node
+ * boundary, which the decode-path allocation tests forbid). T must be
+ * default-constructible.
+ *
  * @tparam T element type (pixel beats, bytes, transactions)
  */
 template <typename T>
@@ -36,15 +43,15 @@ class Fifo
 {
   public:
     /** @param depth maximum number of buffered elements (paper uses 16). */
-    explicit Fifo(size_t depth = 16) : depth_(depth)
+    explicit Fifo(size_t depth = 16) : depth_(depth), ring_(depth)
     {
         RPX_ASSERT(depth > 0, "FIFO depth must be positive");
     }
 
     size_t depth() const { return depth_; }
-    size_t size() const { return q_.size(); }
-    bool empty() const { return q_.empty(); }
-    bool full() const { return q_.size() >= depth_; }
+    size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    bool full() const { return count_ >= depth_; }
 
     /**
      * Try to enqueue; on a full FIFO the producer stalls (recorded) and the
@@ -58,9 +65,10 @@ class Fifo
             ++push_stalls_;
             return false;
         }
-        q_.push_back(v);
-        if (q_.size() > high_water_)
-            high_water_ = q_.size();
+        ring_[(head_ + count_) % depth_] = v;
+        ++count_;
+        if (count_ > high_water_)
+            high_water_ = count_;
         return true;
     }
 
@@ -75,12 +83,13 @@ class Fifo
     std::optional<T>
     tryPop()
     {
-        if (q_.empty()) {
+        if (count_ == 0) {
             ++pop_stalls_;
             return std::nullopt;
         }
-        T v = q_.front();
-        q_.pop_front();
+        T v = ring_[head_];
+        head_ = (head_ + 1) % depth_;
+        --count_;
         return v;
     }
 
@@ -96,14 +105,15 @@ class Fifo
     const T &
     front() const
     {
-        RPX_ASSERT(!q_.empty(), "front of empty FIFO");
-        return q_.front();
+        RPX_ASSERT(count_ != 0, "front of empty FIFO");
+        return ring_[head_];
     }
 
     void
     clear()
     {
-        q_.clear();
+        head_ = 0;
+        count_ = 0;
     }
 
     u64 pushStalls() const { return push_stalls_; }
@@ -115,12 +125,14 @@ class Fifo
     {
         push_stalls_ = 0;
         pop_stalls_ = 0;
-        high_water_ = q_.size();
+        high_water_ = count_;
     }
 
   private:
     size_t depth_;
-    std::deque<T> q_;
+    std::vector<T> ring_;
+    size_t head_ = 0;
+    size_t count_ = 0;
     u64 push_stalls_ = 0;
     u64 pop_stalls_ = 0;
     size_t high_water_ = 0;

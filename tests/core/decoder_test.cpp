@@ -314,6 +314,54 @@ TEST(Decoder, SplitsRunsAtBurstBoundary)
         EXPECT_EQ(row[static_cast<size_t>(x)], frame.at(x, 0));
 }
 
+TEST(Decoder, GapCoalescingIsByteIdenticalAndNeverSlower)
+{
+    // Several regions separated by non-regional gaps give the coalescer
+    // payload runs with small holes between them. With burst_gap_bytes >
+    // 0 it may read through those holes: the decoded bytes must stay
+    // identical and the burst count (hence modelled cycles) can only
+    // shrink, while fetched payload bytes can only grow (gap bytes are
+    // fetched and discarded).
+    const i32 w = 96, h = 32;
+    const std::vector<RegionLabel> labels = {
+        {0, 0, 20, h, 2, 1, 0},
+        {28, 0, 12, h, 1, 1, 0},
+        {48, 0, 20, h, 3, 1, 0},
+        {76, 0, 16, h, 2, 1, 0},
+    };
+    const Image frame = rampFrame(w, h);
+
+    DecoderRig legacy(w, h);
+    legacy.push(frame, 0, labels);
+
+    DramModel dram2(1 << 26);
+    RhythmicEncoder enc2(w, h);
+    FrameStore store2(dram2, w, h);
+    auto sorted = labels;
+    sortRegionsByY(sorted);
+    enc2.setRegionLabels(sorted);
+    store2.store(enc2.encodeFrame(frame, 0));
+    RhythmicDecoder::Config gap_cfg;
+    gap_cfg.burst_gap_bytes = 8;
+    RhythmicDecoder gapped(store2, gap_cfg);
+
+    for (i32 y = 0; y < h; ++y)
+        EXPECT_EQ(gapped.requestPixels(0, y, w),
+                  legacy.decoder.requestPixels(0, y, w))
+            << "gap coalescing changed decoded bytes at row " << y;
+
+    const DecoderStats &a = legacy.decoder.stats();
+    const DecoderStats &b = gapped.stats();
+    EXPECT_EQ(b.pixels_requested, a.pixels_requested);
+    EXPECT_EQ(b.black_pixels, a.black_pixels);
+    EXPECT_EQ(b.resampled_pixels, a.resampled_pixels);
+    EXPECT_LE(b.dram_reads, a.dram_reads)
+        << "reading through gaps must not add bursts";
+    EXPECT_LE(b.cycles, a.cycles);
+    EXPECT_GE(b.dram_pixel_bytes, a.dram_pixel_bytes)
+        << "gap bytes are fetched and discarded, never skipped";
+}
+
 TEST(Decoder, MaskSurvivesDramRoundTrip)
 {
     // The mask bytes the frame store writes to DRAM reconstruct the

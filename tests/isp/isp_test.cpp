@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.hpp"
+#include "common/simd.hpp"
 #include "isp/color.hpp"
 #include "isp/demosaic.hpp"
 #include "isp/gamma.hpp"
@@ -102,6 +104,126 @@ TEST(Color, GrayNeutralHasCenteredChroma)
     EXPECT_EQ(yuv.y.at(0, 0), 128);
     EXPECT_EQ(yuv.u.at(0, 0), 128);
     EXPECT_EQ(yuv.v.at(0, 0), 128);
+}
+
+Image
+noiseBayer(i32 w, i32 h, u64 seed)
+{
+    Rng rng(seed);
+    Image raw(w, h, PixelFormat::BayerRggb);
+    for (i32 y = 0; y < h; ++y)
+        for (i32 x = 0; x < w; ++x)
+            raw.set(x, y, static_cast<u8>(rng.uniformInt(0, 255)));
+    return raw;
+}
+
+/** Reference demosaic: the per-pixel bounds-checked 3x3 walk. */
+Image
+referenceDemosaic(const Image &bayer)
+{
+    const auto site = [](i32 x, i32 y) {
+        if ((y & 1) == 0)
+            return ((x & 1) == 0) ? 0 : 1;
+        return ((x & 1) == 0) ? 1 : 2;
+    };
+    Image rgb(bayer.width(), bayer.height(), PixelFormat::Rgb8);
+    for (i32 y = 0; y < bayer.height(); ++y) {
+        for (i32 x = 0; x < bayer.width(); ++x) {
+            for (int c = 0; c < 3; ++c) {
+                if (site(x, y) == c) {
+                    rgb.set(x, y, c, bayer.at(x, y));
+                    continue;
+                }
+                int sum = 0, n = 0;
+                for (i32 dy = -1; dy <= 1; ++dy) {
+                    for (i32 dx = -1; dx <= 1; ++dx) {
+                        if (!bayer.inBounds(x + dx, y + dy))
+                            continue;
+                        if (site(x + dx, y + dy) == c) {
+                            sum += bayer.at(x + dx, y + dy);
+                            ++n;
+                        }
+                    }
+                }
+                rgb.set(x, y, c,
+                        n > 0 ? static_cast<u8>(sum / n) : u8{0});
+            }
+        }
+    }
+    return rgb;
+}
+
+TEST(Demosaic, FastPathMatchesReferenceWalk)
+{
+    // Odd geometries put the interior fast path's row ends everywhere,
+    // and tiny frames take the all-generic branch.
+    for (const auto &[w, h] : std::initializer_list<std::pair<i32, i32>>{
+             {2, 2}, {3, 3}, {8, 8}, {21, 17}, {16, 9}, {33, 32}}) {
+        const Image raw = noiseBayer(w, h, 7u * static_cast<u64>(w + h));
+        const Image want = referenceDemosaic(raw);
+        Image got;
+        demosaicBilinearInto(raw, got);
+        ASSERT_EQ(got.data(), want.data()) << w << "x" << h;
+        ASSERT_EQ(demosaicBilinear(raw).data(), want.data());
+    }
+}
+
+TEST(Gamma, ImageApplyMatchesScalarLutAtEveryLevel)
+{
+    GammaLut lut(1.0 / 2.2);
+    Image base(31, 17, PixelFormat::Rgb8);
+    Rng rng(5);
+    for (u8 &b : base.data())
+        b = static_cast<u8>(rng.uniformInt(0, 255));
+    for (const simd::Level level : simd::supportedLevels()) {
+        ASSERT_TRUE(simd::setLevel(level));
+        Image img = base;
+        lut.apply(img);
+        for (size_t i = 0; i < base.data().size(); ++i)
+            ASSERT_EQ(img.data()[i], lut.apply(base.data()[i]))
+                << simd::levelName(level) << " i=" << i;
+    }
+    simd::resetLevel();
+}
+
+TEST(Color, RgbToGrayIntoMatchesToGray)
+{
+    Image rgb(13, 9, PixelFormat::Rgb8);
+    Rng rng(9);
+    for (u8 &b : rgb.data())
+        b = static_cast<u8>(rng.uniformInt(0, 255));
+    Image gray;
+    rgbToGrayInto(rgb, gray);
+    EXPECT_EQ(gray.data(), rgb.toGray().data());
+
+    Image already(5, 5, PixelFormat::Gray8, 42);
+    rgbToGrayInto(already, gray);
+    EXPECT_EQ(gray.data(), already.data());
+}
+
+TEST(IspPipeline, ProcessIntoMatchesProcess)
+{
+    for (const IspOutput output : {IspOutput::Gray, IspOutput::Rgb}) {
+        IspConfig cfg;
+        cfg.output = output;
+        IspPipeline a(cfg);
+        IspPipeline b(cfg);
+        Image out;
+        for (int t = 0; t < 3; ++t) {
+            const Image raw = noiseBayer(22, 14, 100 + t);
+            const Image want = a.process(raw);
+            b.processInto(raw, out); // `out` is reused across frames
+            ASSERT_EQ(out.data(), want.data()) << "frame " << t;
+            ASSERT_EQ(out.channels(), want.channels());
+        }
+        // Gray pass-through input, too.
+        Image gray(10, 6, PixelFormat::Gray8, 80);
+        const Image want = a.process(gray);
+        b.processInto(gray, out);
+        EXPECT_EQ(out.data(), want.data());
+        EXPECT_EQ(a.budget().pixels(), b.budget().pixels());
+        EXPECT_EQ(a.budget().cycles(), b.budget().cycles());
+    }
 }
 
 TEST(IspPipeline, ProcessesBayerToGray)
