@@ -41,6 +41,7 @@ class FrameArena {
             byte_slots_.emplace_back();
         std::vector<u8> &v = byte_slots_[key];
         v.resize(size);
+        noteLease();
         return v;
     }
 
@@ -51,6 +52,7 @@ class FrameArena {
             word_slots_.emplace_back();
         std::vector<u32> &v = word_slots_[key];
         v.resize(size);
+        noteLease();
         return v;
     }
 
@@ -65,6 +67,35 @@ class FrameArena {
         return total;
     }
 
+    /**
+     * Largest retainedBytes() ever observed at a lease. Survives trim()
+     * and clear() so churny owners still report their true peak.
+     */
+    size_t highWaterBytes() const { return high_water_; }
+
+    /**
+     * Bound retention: if retainedBytes() exceeds `max_bytes`, release
+     * every slot's backing storage (references become dangling, the next
+     * lease re-warms). Streams that shrink their geometry mid-run would
+     * otherwise pin their largest-ever frame forever — across a churny
+     * fleet that adds up to an unbounded-looking RSS ramp. Returns true
+     * if storage was released.
+     */
+    bool trim(size_t max_bytes)
+    {
+        if (retainedBytes() <= max_bytes)
+            return false;
+        for (auto &v : byte_slots_) {
+            v.clear();
+            v.shrink_to_fit();
+        }
+        for (auto &v : word_slots_) {
+            v.clear();
+            v.shrink_to_fit();
+        }
+        return true;
+    }
+
     /** Release all backing storage (references become dangling). */
     void clear()
     {
@@ -73,8 +104,16 @@ class FrameArena {
     }
 
   private:
+    void noteLease()
+    {
+        const size_t retained = retainedBytes();
+        if (retained > high_water_)
+            high_water_ = retained;
+    }
+
     std::deque<std::vector<u8>> byte_slots_;
     std::deque<std::vector<u32>> word_slots_;
+    size_t high_water_ = 0;
 };
 
 } // namespace rpx

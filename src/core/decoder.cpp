@@ -371,6 +371,11 @@ RhythmicDecoder::requestPixelsInto(i32 x, i32 y, i32 count,
     // scratchpad; accounted there).
     if (obs_transactions_)
         mirrorObs();
+
+    // Arena references from this transaction are dead here, so trimming
+    // cannot dangle them; the next transaction re-warms the pool.
+    if (config_.arena_max_bytes != 0)
+        arena_.trim(config_.arena_max_bytes);
 }
 
 void
@@ -385,6 +390,9 @@ RhythmicDecoder::mirrorObs()
                              obs_seen_.metadata_bytes);
     obs_history_hits_->add(stats_.history_hits - obs_seen_.history_hits);
     obs_black_pixels_->add(stats_.black_pixels - obs_seen_.black_pixels);
+    obs_arena_retained_->set(static_cast<double>(arena_.retainedBytes()));
+    obs_arena_high_water_->set(
+        static_cast<double>(arena_.highWaterBytes()));
     obs_seen_ = stats_;
 }
 
@@ -396,6 +404,7 @@ RhythmicDecoder::attachObs(obs::ObsContext *ctx)
         obs_pixel_bytes_ = obs_metadata_bytes_ = nullptr;
         obs_history_hits_ = obs_black_pixels_ = nullptr;
         obs_quarantined_ = nullptr;
+        obs_arena_retained_ = obs_arena_high_water_ = nullptr;
         return;
     }
     obs::PerfRegistry &r = ctx->registry();
@@ -407,6 +416,8 @@ RhythmicDecoder::attachObs(obs::ObsContext *ctx)
     obs_metadata_bytes_ = &r.counter("decoder.metadata_bytes");
     obs_history_hits_ = &r.counter("decoder.history_hits");
     obs_black_pixels_ = &r.counter("decoder.black_pixels");
+    obs_arena_retained_ = &r.gauge("decoder.arena_retained_bytes");
+    obs_arena_high_water_ = &r.gauge("decoder.arena_high_water_bytes");
     obs_seen_ = stats_;
 }
 

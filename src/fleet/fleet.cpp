@@ -67,7 +67,10 @@ FleetServer::addStreamLocked()
 
     const u32 id = next_id_++;
     PipelineConfig pc = config_.stream;
-    pc.stream_label = "s" + std::to_string(id);
+    // Built in two steps: GCC 12's -Wrestrict misfires on the one-line
+    // "s" + to_string concatenation when inlined here (PR105651).
+    pc.stream_label.assign(1, 's');
+    pc.stream_label += std::to_string(id);
     if (config_.configure)
         config_.configure(id, pc);
 
@@ -75,6 +78,7 @@ FleetServer::addStreamLocked()
     entry.ctx = std::make_unique<StreamContext>(
         pc, obs_.get(), /*force_degradation=*/config_.use_deadlines);
     entry.ctx->setId(id);
+    entry.label = pc.stream_label;
     entry.target = config_.frames_per_stream;
     entry.period_us = pc.fps > 0.0 ? 1e6 / pc.fps : 0.0;
     entry.epoch = std::chrono::steady_clock::now();
@@ -100,38 +104,94 @@ FleetServer::addStreamLocked()
 u32
 FleetServer::addStream()
 {
-    bool seed = false;
-    u32 id = 0;
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        id = addStreamLocked();
-        seed = running_;
-    }
-    if (seed) {
+    // One critical section: creation and (mid-run) seeding must be
+    // atomic, or run()'s start-up seeding loop can race this and submit
+    // the same stream's first frame twice.
+    std::lock_guard<std::mutex> lock(mutex_);
+    const u32 id = addStreamLocked();
+    if (running_)
         // Joined mid-run: its first frame enters the graph immediately.
-        std::lock_guard<std::mutex> lock(mutex_);
         seedStream(streams_.at(id), id);
-    }
     return id;
+}
+
+FleetStreamReport
+FleetServer::streamReportLocked(u32 id, const StreamEntry &entry) const
+{
+    FleetStreamReport sr;
+    sr.id = id;
+    sr.label = entry.label;
+    sr.frames = entry.done;
+    sr.deadline_misses = entry.deadline_misses;
+    sr.quarantined = entry.quarantined;
+    sr.errors = entry.errors;
+    sr.degradation_level = entry.degradation_level;
+    sr.completed = entry.done >= entry.target;
+    return sr;
+}
+
+FleetStreamReport
+FleetServer::retireLocked(u32 id, StreamEntry &entry)
+{
+    entry.finished = true;
+    entry.active = false;
+    --live_;
+    // Release everything the stream owned (sensor models, framebuffer
+    // ring, decoder scratchpads). Without this, long join/leave churn
+    // accumulates one dead StreamContext per departed stream — the
+    // unbounded-memory shape the soak harness exists to catch. The
+    // entry itself (counters + label) stays for the final report.
+    entry.ctx.reset();
+    return streamReportLocked(id, entry);
 }
 
 bool
 FleetServer::removeStream(u32 id)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = streams_.find(id);
-    if (it == streams_.end() || it->second.finished ||
-        !it->second.active)
-        return false;
-    it->second.active = false;
-    if (!running_) {
-        // Not yet seeded: the stream leaves the fleet right away.
-        it->second.finished = true;
-        --live_;
+    bool retired = false;
+    FleetStreamReport sr;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = streams_.find(id);
+        if (it == streams_.end() || it->second.finished ||
+            !it->second.active)
+            return false;
+        it->second.active = false;
+        if (!it->second.seeded) {
+            // No frame in flight: the stream leaves the fleet right
+            // away. (Mid-run, every unfinished stream is seeded, so
+            // this is the pre-run path.)
+            sr = retireLocked(id, it->second);
+            retired = true;
+        }
+        // During a run the in-flight frame completes and the stream
+        // retires at its completion accounting, after that last frame
+        // has landed in journal totals.
     }
-    // During a run the in-flight frame completes and the stream retires
-    // at its completion accounting.
+    if (retired && config_.stream_retired)
+        config_.stream_retired(sr);
     return true;
+}
+
+void
+FleetServer::drain()
+{
+    std::vector<FleetStreamReport> retired;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (auto &[id, entry] : streams_) {
+            if (entry.finished)
+                continue;
+            entry.active = false;
+            if (!entry.seeded)
+                retired.push_back(retireLocked(id, entry));
+        }
+    }
+    // Seeded streams retire through their in-flight frame's completion;
+    // the last one out closes the capture queue and run() returns.
+    if (config_.stream_retired)
+        for (const FleetStreamReport &sr : retired)
+            config_.stream_retired(sr);
 }
 
 StreamContext *
@@ -172,6 +232,7 @@ FleetServer::seedStream(StreamEntry &entry, u32 id)
 {
     // Caller holds mutex_. The push cannot block: in-flight tasks never
     // exceed live streams, and every queue holds max_streams of them.
+    entry.seeded = true;
     FrameTask task = makeTask(entry, id, entry.done);
     capture_q_.push(std::move(task));
 }
@@ -199,6 +260,8 @@ FleetServer::finishFrame(FrameTask &task, bool errored)
     StreamEntry *entry = nullptr;
     bool resubmit = false;
     bool close = false;
+    bool retired = false;
+    FleetStreamReport retired_report;
     u64 next = 0;
     {
         std::lock_guard<std::mutex> lock(mutex_);
@@ -229,9 +292,8 @@ FleetServer::finishFrame(FrameTask &task, bool errored)
         if (resubmit) {
             next = entry->done;
         } else {
-            entry->finished = true;
-            entry->active = false;
-            --live_;
+            retired_report = retireLocked(id, *entry);
+            retired = true;
             close = live_ == 0;
         }
     }
@@ -247,13 +309,23 @@ FleetServer::finishFrame(FrameTask &task, bool errored)
             std::lock_guard<std::mutex> lock(mutex_);
             ++entry->errors;
             ++errors_;
-            entry->finished = true;
-            entry->active = false;
-            --live_;
+            retired_report = retireLocked(id, *entry);
+            retired = true;
             close = live_ == 0;
         }
         if (built)
             capture_q_.push(std::move(nt));
+    }
+    if (retired && config_.stream_retired) {
+        // Outside the lock: the hook may call addStream() to replace the
+        // departed stream.
+        config_.stream_retired(retired_report);
+        if (close) {
+            // Re-check shutdown: a replacement added by the hook must
+            // not find its queues closed under it.
+            std::lock_guard<std::mutex> lock(mutex_);
+            close = live_ == 0;
+        }
     }
     if (close)
         capture_q_.close();
@@ -378,18 +450,22 @@ FleetServer::run()
         for (u32 i = 0; i < dw; ++i)
             workers.push_back(pool.submit([this] { decodeLoop(); }));
 
-        bool any = false;
+        bool close_now = false;
         {
             std::lock_guard<std::mutex> lock(mutex_);
             for (auto &[id, entry] : streams_) {
-                if (entry.finished)
+                // Skip streams already gone and streams a concurrent
+                // addStream() seeded since running_ flipped true.
+                if (entry.finished || entry.seeded)
                     continue;
                 entry.epoch = start;
                 seedStream(entry, id);
-                any = true;
             }
+            // Live streams are all in flight now; closure is theirs to
+            // cascade. Only a completely empty fleet closes here.
+            close_now = live_ == 0;
         }
-        if (!any)
+        if (close_now)
             capture_q_.close();
 
         for (auto &f : workers)
@@ -435,15 +511,7 @@ FleetServer::run()
     rep.encode_queue = encode_q_.stats();
     rep.decode_queue = decode_q_.stats();
     for (const auto &[id, entry] : streams_) {
-        FleetStreamReport sr;
-        sr.id = id;
-        sr.label = entry.ctx->config().stream_label;
-        sr.frames = entry.done;
-        sr.deadline_misses = entry.deadline_misses;
-        sr.quarantined = entry.quarantined;
-        sr.errors = entry.errors;
-        sr.degradation_level = entry.degradation_level;
-        sr.completed = entry.done >= entry.target;
+        FleetStreamReport sr = streamReportLocked(id, entry);
         if (sr.completed)
             ++rep.streams_completed;
         rep.streams.push_back(std::move(sr));

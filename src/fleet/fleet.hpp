@@ -52,6 +52,18 @@
 
 namespace rpx::fleet {
 
+/** Per-stream outcome in a FleetReport. */
+struct FleetStreamReport {
+    u32 id = 0;
+    std::string label;
+    u64 frames = 0;
+    u64 deadline_misses = 0;
+    u64 quarantined = 0;
+    u64 errors = 0;
+    int degradation_level = 0; //!< ladder level after the last frame
+    bool completed = false;    //!< reached its frame target (vs removed)
+};
+
 /** Fleet topology and scheduling configuration. */
 struct FleetConfig {
     /** Template pipeline configuration applied to every stream. */
@@ -102,18 +114,18 @@ struct FleetConfig {
      * worker threads (possibly concurrently for different streams).
      */
     VisionStage::FrameSink frame_sink;
-};
-
-/** Per-stream outcome in a FleetReport. */
-struct FleetStreamReport {
-    u32 id = 0;
-    std::string label;
-    u64 frames = 0;
-    u64 deadline_misses = 0;
-    u64 quarantined = 0;
-    u64 errors = 0;
-    int degradation_level = 0; //!< ladder level after the last frame
-    bool completed = false;    //!< reached its frame target (vs removed)
+    /**
+     * Invoked after a stream leaves the fleet — it completed its frame
+     * target, was removed and its in-flight frame finished, or was
+     * removed before ever being seeded. Called outside fleet locks from
+     * the retiring thread, and always *after* the stream's last frame
+     * has been fully accounted (journal + registry), so conservation
+     * checks from this hook are exact for the departed stream. The hook
+     * may call addStream() to replace the departed stream (soak churn
+     * does); the fleet re-checks the shutdown condition after the hook
+     * returns so a replacement is never strangled by queue closure.
+     */
+    std::function<void(const FleetStreamReport &)> stream_retired;
 };
 
 /** Aggregate outcome of one FleetServer::run(). */
@@ -180,20 +192,38 @@ class FleetServer
     /**
      * Stop a stream after its in-flight frame completes (thread-safe).
      * Returns false if the id is unknown or the stream already finished.
+     * The departing stream's last frame still lands in journal totals:
+     * retirement (and the stream_retired hook) happen only after that
+     * frame's completion accounting.
      */
     bool removeStream(u32 id);
+
+    /**
+     * Ask every stream to stop after its in-flight frame completes
+     * (thread-safe). A run() in flight then drains and returns normally;
+     * streams short of their frame target report completed=false. The
+     * soak harness uses this to abort on an invariant violation without
+     * abandoning in-flight accounting.
+     */
+    void drain();
 
     /** Drive all streams to completion. Call once. */
     FleetReport run();
 
-    /** Introspection for tests; valid between construction and dtor. */
+    /**
+     * Introspection for tests; valid between construction and dtor.
+     * Returns null for unknown ids and for retired streams (their
+     * context is released at retirement to bound fleet memory under
+     * join/leave churn).
+     */
     StreamContext *stream(u32 id);
     u32 activeStreams() const;
     PipelineObs &obs() { return *obs_; }
 
   private:
     struct StreamEntry {
-        std::unique_ptr<StreamContext> ctx;
+        std::unique_ptr<StreamContext> ctx; //!< released at retirement
+        std::string label; //!< outlives ctx for reports after retirement
         u64 target = 0;
         u64 done = 0;
         u64 deadline_misses = 0;
@@ -201,6 +231,7 @@ class FleetServer
         u64 errors = 0;
         int degradation_level = 0;
         bool active = true;    //!< still scheduled for more frames
+        bool seeded = false;   //!< first frame has entered the graph
         bool finished = false; //!< left the fleet (completed or removed)
         std::chrono::steady_clock::time_point epoch;
         double period_us = 0.0;
@@ -210,6 +241,10 @@ class FleetServer
     void seedStream(StreamEntry &entry, u32 id);
     FrameTask makeTask(StreamEntry &entry, u32 id, u64 frame);
     void finishFrame(FrameTask &task, bool errored);
+    /** Retire under mutex_: finished, live_--, context released. */
+    FleetStreamReport retireLocked(u32 id, StreamEntry &entry);
+    FleetStreamReport streamReportLocked(u32 id,
+                                         const StreamEntry &entry) const;
 
     void captureLoop();
     void encodeLoop();

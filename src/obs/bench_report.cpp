@@ -13,6 +13,7 @@ namespace rpx::obs {
 namespace {
 
 constexpr const char *kSchema = "rpx-bench-report-v1";
+constexpr const char *kSoakSchema = "rpx-soak-report-v1";
 
 std::string
 num(double v)
@@ -63,9 +64,18 @@ BenchReport
 benchReportFromJson(const json::Value &v)
 {
     const std::string schema = v.stringOr("schema", "");
+    // Soak reports embed a complete bench report under "bench" so the
+    // trend store can track soak metrics without learning a new schema.
+    if (schema == kSoakSchema) {
+        const json::Value *bench = v.find("bench");
+        if (!bench || !bench->isObject())
+            throwRuntime("soak report has no embedded \"bench\" object");
+        return benchReportFromJson(*bench);
+    }
     if (schema != kSchema)
         throwRuntime("bench report schema mismatch: got '", schema,
-                     "', expected '", kSchema, "'");
+                     "', expected '", kSchema, "' (or '", kSoakSchema,
+                     "' with an embedded bench object)");
     BenchReport report;
     report.bench = v.at("bench").str();
     report.commit = v.stringOr("commit", "unknown");

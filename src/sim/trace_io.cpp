@@ -2,10 +2,45 @@
 
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "common/error.hpp"
 
 namespace rpx {
+
+namespace {
+
+/** Drop a trailing '\r' so CRLF traces parse like LF ones. */
+void
+chomp(std::string &line)
+{
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+}
+
+/**
+ * Split a CSV row into cells, preserving empty trailing cells (which
+ * istringstream+getline would silently drop — the empty-marker row
+ * "N,,,,,,," ends in one).
+ */
+std::vector<std::string>
+splitCells(const std::string &line)
+{
+    std::vector<std::string> cells;
+    size_t start = 0;
+    while (true) {
+        const size_t pos = line.find(',', start);
+        if (pos == std::string::npos) {
+            cells.push_back(line.substr(start));
+            break;
+        }
+        cells.push_back(line.substr(start, pos - start));
+        start = pos + 1;
+    }
+    return cells;
+}
+
+} // namespace
 
 void
 writeTrace(std::ostream &os, const TraceFile &file)
@@ -45,6 +80,7 @@ readTrace(std::istream &is)
 
     if (!std::getline(is, line))
         throwRuntime("empty trace stream");
+    chomp(line);
     int scanned_w = 0, scanned_h = 0;
     if (std::sscanf(line.c_str(), "# rpx-trace v1 width=%d height=%d",
                     &scanned_w, &scanned_h) != 2 ||
@@ -54,46 +90,66 @@ readTrace(std::istream &is)
     file.width = scanned_w;
     file.height = scanned_h;
 
-    if (!std::getline(is, line) ||
-        line != "frame,x,y,w,h,stride,skip,phase")
+    if (!std::getline(is, line))
+        throwRuntime("bad trace column header");
+    chomp(line);
+    if (line != "frame,x,y,w,h,stride,skip,phase")
         throwRuntime("bad trace column header");
 
     size_t line_no = 2;
     while (std::getline(is, line)) {
         ++line_no;
+        chomp(line);
         if (line.empty() || line[0] == '#')
             continue;
-        std::istringstream row(line);
-        std::string cell;
-        long values[8];
-        int fields = 0;
-        bool empty_marker = false;
-        while (std::getline(row, cell, ',') && fields < 8) {
-            if (cell.empty()) {
-                empty_marker = true;
-                break;
+        const std::vector<std::string> cells = splitCells(line);
+        if (cells.size() != 8)
+            throwRuntime("expected 8 comma-separated fields at trace "
+                         "line ",
+                         line_no, ", got ", cells.size());
+        if (cells[0].empty())
+            throwRuntime("missing frame index at trace line ", line_no);
+
+        long values[8] = {0};
+        int empties = 0;
+        for (size_t i = 0; i < cells.size(); ++i) {
+            if (i > 0 && cells[i].empty()) {
+                ++empties;
+                continue;
             }
+            size_t consumed = 0;
             try {
-                values[fields] = std::stol(cell);
+                values[i] = std::stol(cells[i], &consumed);
             } catch (const std::exception &) {
                 throwRuntime("non-numeric field at trace line ", line_no,
-                             ": '", cell, "'");
+                             ": '", cells[i], "'");
             }
-            ++fields;
+            if (consumed != cells[i].size())
+                throwRuntime("non-numeric field at trace line ", line_no,
+                             ": '", cells[i], "'");
         }
-        if (fields == 0)
-            throwRuntime("missing frame index at trace line ", line_no);
+        // A row is either a complete region (no empty cells) or the
+        // region-free frame marker "N,,,,,,," (every cell after the
+        // index empty). Anything in between is a truncated region, and
+        // silently treating it as a marker would drop the region.
+        const bool empty_marker = empties == 7;
+        if (empties != 0 && !empty_marker)
+            throwRuntime("incomplete region row at trace line ", line_no,
+                         " (", empties, " empty field(s))");
         if (values[0] < 0)
             throwRuntime("negative frame index at trace line ", line_no);
         const auto frame = static_cast<size_t>(values[0]);
+        // Re-stating the current frame's index is benign (regions of one
+        // frame may span rows, and a marker may precede them); rewinding
+        // to an earlier frame is not.
         if (frame < file.trace.size() && frame + 1 != file.trace.size())
-            throwRuntime("trace frames out of order at line ", line_no);
+            throwRuntime("trace frames out of order at line ", line_no,
+                         " (frame ", frame, " after frame ",
+                         file.trace.size() - 1, ")");
         while (file.trace.size() <= frame)
             file.trace.emplace_back();
         if (empty_marker)
             continue; // frame marker with no regions
-        if (fields != 8)
-            throwRuntime("expected 8 fields at trace line ", line_no);
         RegionLabel r;
         r.x = static_cast<i32>(values[1]);
         r.y = static_cast<i32>(values[2]);

@@ -38,8 +38,12 @@ void writeTrace(std::ostream &os, const TraceFile &file);
 void writeTraceFile(const std::string &path, const TraceFile &file);
 
 /**
- * Parse a trace from a stream. Throws std::runtime_error on malformed
- * input (bad header, non-numeric fields, frames out of order).
+ * Parse a trace from a stream. Tolerates the benign encodings real trace
+ * files show up with — CRLF line endings, trailing blank lines, comment
+ * lines, and re-stated current-frame indices (regions of one frame split
+ * across rows). Throws std::runtime_error with a line number on malformed
+ * input: bad header, non-numeric or missing fields, partially-empty
+ * region rows, wrong field counts, frames out of order.
  */
 TraceFile readTrace(std::istream &is);
 

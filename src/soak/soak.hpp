@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Long-run soak/replay harness for the fleet server (rpx::soak).
+ *
+ * runSoak() drives a FleetServer for a simulated duration per stream
+ * *slot*, with deterministic fault injection, join/leave churn, and
+ * periodic invariant checkpoints:
+ *
+ *  - conservation: the "pipeline.*" registry counters may run ahead of
+ *    the TelemetrySink journal totals by at most the frames in flight
+ *    (bounded by max_streams) mid-run, and must match *exactly* once
+ *    the fleet has quiesced;
+ *  - memory: RSS (VmRSS) is sampled at every checkpoint and its peak
+ *    reported; the decoder arena high-water gauge and every queue's
+ *    high-water mark land in the report so growth is visible in trend
+ *    comparisons;
+ *  - health: stream errors are zero and the degradation ladder state is
+ *    recorded.
+ *
+ * A violated invariant aborts the run via FleetServer::drain() — frames
+ * in flight still complete and are accounted — and the violation text
+ * lands in the report (ok = false, tool exit 1).
+ *
+ * Determinism: all *model* quantities (frame/byte counts, fault and
+ * degradation outcomes, generation schedule) are pure functions of
+ * SoakOptions. Churn is keyed by slot, not stream id: slot s runs
+ * duration*fps frames total, split across one or more stream
+ * *generations* whose lengths derive from (seed, slot, generation), and
+ * a replacement stream continues its slot's content where the departed
+ * generation stopped. Wall-clock fields (latency, RSS, checkpoint
+ * timing) are the only run-to-run variance.
+ *
+ * Replay: with `trace_path` set, region labels come from a recorded
+ * rpx-trace v1 file (sim/trace_io), cycled when the budget outruns the
+ * trace (loop mode), and the trace geometry sets the frame geometry.
+ * Scene pixels stay synthetic (traces carry labels, not pixels).
+ */
+
+#ifndef RPX_SOAK_SOAK_HPP
+#define RPX_SOAK_SOAK_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.hpp"
+#include "obs/bench_report.hpp"
+
+namespace rpx::soak {
+
+/** Soak run configuration. */
+struct SoakOptions {
+    /** Concurrent stream slots (and initial streams). */
+    u32 streams = 8;
+    /** Ceiling on live streams; 0 resolves to streams (churn is 1:1). */
+    u32 max_streams = 0;
+    /** Simulated seconds of video per slot (frames = duration * fps). */
+    double duration_s = 2.0;
+    double fps = 30.0;
+    /** Master seed for content, labels, churn schedule, and faults. */
+    u64 seed = 1;
+    /** Inject the standard fault mix (see faultPlanFor). */
+    bool faults = true;
+    /** Streams leave mid-run and replacements continue their slot. */
+    bool churn = true;
+    /** Recorded rpx-trace v1 file; empty = synthetic labels. */
+    std::string trace_path;
+    /** Frame geometry when no trace supplies one. */
+    i32 width = 128;
+    i32 height = 96;
+    /** Frames between invariant checkpoints (global, across streams). */
+    u64 checkpoint_every = 256;
+    /** Fleet topology. */
+    u32 capture_workers = 2;
+    u32 encode_engines = 4;
+    u32 decode_engines = 4;
+    /** Optional JSONL telemetry journal path. */
+    std::string journal_path;
+    /**
+     * Test hook, invoked once per completed frame with the global frame
+     * ordinal (1-based) from decode worker threads. Null = none.
+     */
+    std::function<void(u64 global_frame)> frame_hook;
+};
+
+/** One invariant checkpoint's observations. */
+struct SoakCheckpoint {
+    u64 at_frame = 0;       //!< global frame ordinal that triggered it
+    u64 frames_drift = 0;   //!< registry frames - journal frames
+    u64 live_streams = 0;
+    u64 rss_kb = 0;         //!< VmRSS at the checkpoint
+    double duration_us = 0.0;
+};
+
+/** Aggregate outcome of one runSoak(). */
+struct SoakResult {
+    bool ok = false;                      //!< no violations, no errors
+    std::vector<std::string> violations;  //!< empty when ok
+
+    // Model quantities (deterministic for a given SoakOptions).
+    u64 frames = 0;              //!< journal frame total
+    u64 frames_budget = 0;       //!< streams * duration * fps
+    u64 generations = 0;         //!< stream generations started
+    u64 fault_drops = 0;         //!< sum of fault.*.drops
+    u64 fault_byte_errors = 0;   //!< sum of fault.*.byte_errors
+    u64 fault_stalls = 0;        //!< sum of fault.*.stalls
+    u64 degrade_escalations = 0;
+    u64 degrade_recoveries = 0;
+
+    // Conservation outcome.
+    u64 checkpoints = 0;
+    u64 max_frames_drift = 0;   //!< worst mid-run drift observed
+    u64 final_frames_drift = 0; //!< must be 0
+    i64 final_bytes_drift = 0;  //!< written+read+metadata; must be 0
+
+    // Memory.
+    u64 rss_start_kb = 0;
+    u64 rss_peak_kb = 0;
+    u64 arena_high_water_bytes = 0; //!< decoder arena gauge sample
+
+    // Checkpoint latency (wall).
+    double checkpoint_p50_us = 0.0;
+    double checkpoint_p99_us = 0.0;
+
+    std::vector<SoakCheckpoint> checkpoint_log;
+    fleet::FleetReport fleet;
+    obs::BenchReport bench; //!< embedded "soak" bench report
+};
+
+/**
+ * The standard soak fault mix for a master seed: metadata byte errors
+ * (quarantine path), DMA drops (transient-fault retries), and injected
+ * deadline misses (degradation-ladder exercise without wall clocks).
+ */
+fault::FaultPlan faultPlanFor(u64 seed);
+
+/** Run one soak. Throws on setup errors (e.g. unreadable trace). */
+SoakResult runSoak(const SoakOptions &options);
+
+/**
+ * Serialize as pretty-printed JSON, schema "rpx-soak-report-v1", with
+ * the bench report embedded under "bench" (readBenchReportFile unwraps
+ * it, so a soak report is directly consumable by trend_compare).
+ */
+std::string toJson(const SoakResult &result);
+
+/** Current / peak resident set from /proc/self/status, in kB (0 off-Linux). */
+u64 currentRssKb();
+u64 peakRssKb();
+
+} // namespace rpx::soak
+
+#endif // RPX_SOAK_SOAK_HPP

@@ -222,8 +222,9 @@ TEST(Fleet, StreamsJoinAndLeaveMidRun)
     fc.frame_sink = [&](StreamContext &s, const PipelineFrameResult &r) {
         if (s.id() == 0 && r.index == 1 && !joined.exchange(true))
             join_id = server_ptr->addStream();
-        if (s.id() == 1 && r.index == 0)
+        if (s.id() == 1 && r.index == 0) {
             EXPECT_TRUE(server_ptr->removeStream(1));
+        }
     };
     FleetServer server(fc);
     server_ptr = &server;
@@ -245,6 +246,139 @@ TEST(Fleet, StreamsJoinAndLeaveMidRun)
     // Removing an already-finished stream is refused.
     EXPECT_FALSE(server.removeStream(1));
     EXPECT_FALSE(server.removeStream(999));
+}
+
+/**
+ * Regression: mid-run removeStream with an in-flight frame, under fault
+ * injection, with a replacement stream added from the retirement hook.
+ * The departing stream's last frame must land in the journal (telemetry
+ * conservation holds across leave), the retirement hook must fire for
+ * every stream with its final per-stream report, and the retired
+ * stream's context must be released (stream() goes null).
+ */
+TEST(Fleet, ChurnUnderFaultInjectionConservesTelemetry)
+{
+    obs::ObsContext obs;
+    obs::TelemetrySink sink;
+    fault::FaultPlan plan;
+    plan.seed = 4242;
+    plan.at(fault::Stage::Dma).drop_rate = 0.2;       // transient retries
+    plan.at(fault::Stage::FrameMeta).byte_error_rate = 2e-4; // quarantine
+    FleetConfig fc = smallFleet(4, 6);
+    fc.stream.obs = &obs;
+    fc.stream.telemetry = &sink;
+    fc.stream.fault.plan = &plan;
+    fc.stream.fault.graceful = true;
+    fc.stream.fault.crc_metadata = true;
+
+    FleetServer *server_ptr = nullptr;
+    std::atomic<bool> removed{false};
+    std::atomic<u32> replacement_id{0};
+    std::mutex retired_mutex;
+    std::map<u32, FleetStreamReport> retired;
+    fc.frame_sink = [&](StreamContext &s, const PipelineFrameResult &r) {
+        // Stream 1 leaves after its first frame completes; the sink runs
+        // before completion accounting, so that frame is its last.
+        if (s.id() == 1 && r.index == 0 && !removed.exchange(true)) {
+            EXPECT_TRUE(server_ptr->removeStream(1));
+        }
+    };
+    fc.stream_retired = [&](const FleetStreamReport &sr) {
+        {
+            std::lock_guard<std::mutex> lock(retired_mutex);
+            EXPECT_FALSE(retired.count(sr.id)) << "double retirement";
+            retired[sr.id] = sr;
+        }
+        // The departed stream is replaced from the hook — the shutdown
+        // re-check must keep the fleet open for the newcomer even when
+        // it was momentarily the only live stream.
+        if (sr.id == 1)
+            replacement_id = server_ptr->addStream();
+    };
+    FleetServer server(fc);
+    server_ptr = &server;
+    const FleetReport rep = server.run();
+
+    ASSERT_TRUE(removed.load());
+    EXPECT_EQ(rep.streams_started, 5u);
+    EXPECT_EQ(rep.errors, 0u); // graceful mode contains every fault
+    std::map<u32, FleetStreamReport> by_id;
+    for (const auto &s : rep.streams)
+        by_id[s.id] = s;
+    EXPECT_EQ(by_id.at(1).frames, 1u);
+    EXPECT_FALSE(by_id.at(1).completed);
+    EXPECT_EQ(by_id.at(replacement_id.load()).frames, 6u);
+    EXPECT_EQ(rep.frames, 3u * 6u + 1u + 6u);
+
+    // Retirement hook fired once per stream with the final counts.
+    ASSERT_EQ(retired.size(), 5u);
+    for (const auto &s : rep.streams) {
+        ASSERT_TRUE(retired.count(s.id)) << "stream " << s.id;
+        EXPECT_EQ(retired.at(s.id).frames, s.frames);
+        EXPECT_EQ(retired.at(s.id).label, s.label);
+        EXPECT_EQ(retired.at(s.id).completed, s.completed);
+    }
+
+    // Retired contexts are released — join/leave churn cannot accumulate
+    // dead streams.
+    EXPECT_EQ(server.stream(1), nullptr);
+
+    // The removed stream's frame is in the journal: telemetry
+    // conservation holds across leave, faults and all.
+    const auto per_stream = sink.perStreamTotals();
+    ASSERT_TRUE(per_stream.count("s1"));
+    EXPECT_EQ(per_stream.at("s1").frames, 1u);
+    u64 frames = 0, quarantined = 0, transients = 0;
+    Bytes written = 0, read = 0, meta = 0;
+    for (const auto &[label, totals] : per_stream) {
+        frames += totals.frames;
+        quarantined += totals.quarantined_frames;
+        transients += totals.transient_faults;
+        written += totals.bytes_written;
+        read += totals.bytes_read;
+        meta += totals.metadata_bytes;
+    }
+    EXPECT_EQ(frames, rep.frames);
+    obs::PerfRegistry &r = obs.registry();
+    EXPECT_EQ(r.counter("pipeline.frames").value(), frames);
+    EXPECT_EQ(r.counter("pipeline.quarantined_frames").value(),
+              quarantined);
+    EXPECT_EQ(r.counter("pipeline.transient_faults").value(), transients);
+    EXPECT_EQ(r.counter("pipeline.bytes_written").value(),
+              static_cast<u64>(written));
+    EXPECT_EQ(r.counter("pipeline.bytes_read").value(),
+              static_cast<u64>(read));
+    EXPECT_EQ(r.counter("pipeline.metadata_bytes").value(),
+              static_cast<u64>(meta));
+    EXPECT_EQ(rep.quarantined, quarantined);
+    EXPECT_EQ(rep.transient_faults, transients);
+}
+
+/**
+ * drain(): every stream stops after its in-flight frame; run() returns
+ * with partial frame counts and completed=false for the cut-short ones.
+ */
+TEST(Fleet, DrainStopsAllStreamsAfterInFlightFrames)
+{
+    FleetConfig fc = smallFleet(3, 1000); // would run ~forever
+    FleetServer *server_ptr = nullptr;
+    std::atomic<bool> drained{false};
+    fc.frame_sink = [&](StreamContext &s, const PipelineFrameResult &r) {
+        if (s.id() == 0 && r.index == 2 && !drained.exchange(true))
+            server_ptr->drain();
+    };
+    FleetServer server(fc);
+    server_ptr = &server;
+    const FleetReport rep = server.run();
+    ASSERT_TRUE(drained.load());
+    EXPECT_EQ(rep.streams_completed, 0u);
+    // Every stream stopped almost immediately after the drain call: at
+    // most its in-flight frame plus one it resubmitted concurrently.
+    EXPECT_LT(rep.frames, 3u * 16u);
+    for (const auto &s : rep.streams) {
+        EXPECT_GE(s.frames, 1u);
+        EXPECT_FALSE(s.completed);
+    }
 }
 
 /**

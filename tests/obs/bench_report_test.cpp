@@ -67,6 +67,28 @@ TEST(BenchReport, MalformedReportThrows)
         std::runtime_error);
 }
 
+TEST(BenchReport, SoakSchemaUnwrapsEmbeddedBenchReport)
+{
+    // Soak reports wrap a complete bench report under "bench" so the
+    // trend store ingests soak metrics through the same reader.
+    const std::string soak =
+        std::string("{\"schema\":\"rpx-soak-report-v1\",\"seed\":7,"
+                    "\"bench\":") +
+        writeBenchReportJson(makeBaseline()) + "}";
+    const BenchReport back = benchReportFromJson(json::parse(soak));
+    EXPECT_EQ(back.bench, "unit");
+    EXPECT_DOUBLE_EQ(back.metrics.at("psnr_db").value, 40.0);
+
+    // A soak report without the embedded object is malformed.
+    EXPECT_THROW(benchReportFromJson(json::parse(
+                     "{\"schema\":\"rpx-soak-report-v1\",\"seed\":7}")),
+                 std::runtime_error);
+    EXPECT_THROW(
+        benchReportFromJson(json::parse(
+            "{\"schema\":\"rpx-soak-report-v1\",\"bench\":\"str\"}")),
+        std::runtime_error);
+}
+
 TEST(TrendCompare, ModelRegressionGates)
 {
     const BenchReport base = makeBaseline();

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/rng.hpp"
 #include "sim/trace_io.hpp"
 
 namespace rpx {
@@ -115,6 +116,137 @@ TEST(TraceIo, CommentsAndBlanksIgnored)
     const TraceFile back = readTrace(ss);
     ASSERT_EQ(back.trace.size(), 1u);
     EXPECT_EQ(back.trace[0].size(), 1u);
+}
+
+TEST(TraceIo, ToleratesCrlfLineEndings)
+{
+    // A trace that crossed a Windows checkout or an HTTP transfer: every
+    // line ends in \r\n, plus trailing blank lines. Must parse exactly
+    // like the LF original.
+    std::stringstream ss(
+        "# rpx-trace v1 width=10 height=10\r\n"
+        "frame,x,y,w,h,stride,skip,phase\r\n"
+        "0,1,2,3,4,1,1,0\r\n"
+        "1,,,,,,,\r\n"
+        "2,5,5,4,4,2,1,0\r\n"
+        "\r\n"
+        "\r\n");
+    const TraceFile back = readTrace(ss);
+    EXPECT_EQ(back.width, 10);
+    ASSERT_EQ(back.trace.size(), 3u);
+    EXPECT_EQ(back.trace[0].size(), 1u);
+    EXPECT_TRUE(back.trace[1].empty());
+    ASSERT_EQ(back.trace[2].size(), 1u);
+    EXPECT_EQ(back.trace[2][0].x, 5);
+}
+
+TEST(TraceIo, ToleratesRestatedCurrentFrameIndex)
+{
+    // Regions of one frame may span rows, and a region-free marker may
+    // precede late-appended regions of the same frame: both restate the
+    // current frame index and both are benign.
+    std::stringstream ss(
+        "# rpx-trace v1 width=10 height=10\n"
+        "frame,x,y,w,h,stride,skip,phase\n"
+        "0,1,2,3,4,1,1,0\n"
+        "0,5,5,4,4,2,1,0\n"
+        "1,,,,,,,\n"
+        "1,2,2,2,2,1,1,0\n");
+    const TraceFile back = readTrace(ss);
+    ASSERT_EQ(back.trace.size(), 2u);
+    EXPECT_EQ(back.trace[0].size(), 2u);
+    EXPECT_EQ(back.trace[1].size(), 1u);
+}
+
+TEST(TraceIo, RejectsPartiallyEmptyRegionRow)
+{
+    // A mid-row empty cell used to be silently treated as a region-free
+    // frame marker, dropping the region. It must be a hard, line-numbered
+    // error instead.
+    std::stringstream ss(
+        "# rpx-trace v1 width=10 height=10\n"
+        "frame,x,y,w,h,stride,skip,phase\n"
+        "0,1,,3,4,1,1,0\n");
+    try {
+        readTrace(ss);
+        FAIL() << "partially-empty row must throw";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(TraceIo, RejectsWrongFieldCount)
+{
+    std::stringstream few(
+        "# rpx-trace v1 width=10 height=10\n"
+        "frame,x,y,w,h,stride,skip,phase\n"
+        "0,1,2,3\n");
+    EXPECT_THROW(readTrace(few), std::runtime_error);
+    std::stringstream many(
+        "# rpx-trace v1 width=10 height=10\n"
+        "frame,x,y,w,h,stride,skip,phase\n"
+        "0,1,2,3,4,1,1,0,9\n");
+    EXPECT_THROW(readTrace(many), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTrailingJunkInField)
+{
+    std::stringstream ss(
+        "# rpx-trace v1 width=10 height=10\n"
+        "frame,x,y,w,h,stride,skip,phase\n"
+        "0,1,2,3x,4,1,1,0\n");
+    EXPECT_THROW(readTrace(ss), std::runtime_error);
+}
+
+TEST(TraceIo, WriteReadRoundTripFuzz)
+{
+    // Randomized write->read round trips: arbitrary frame counts, region
+    // counts (including none), and label values must survive exactly.
+    Rng rng(0xC0FFEE);
+    for (int iter = 0; iter < 200; ++iter) {
+        TraceFile file;
+        file.width = static_cast<i32>(rng.uniformInt(1, 4096));
+        file.height = static_cast<i32>(rng.uniformInt(1, 4096));
+        const int frames = static_cast<int>(rng.uniformInt(0, 12));
+        for (int t = 0; t < frames; ++t) {
+            std::vector<RegionLabel> regions;
+            const int n = static_cast<int>(rng.uniformInt(0, 5));
+            for (int i = 0; i < n; ++i) {
+                RegionLabel r;
+                r.x = static_cast<i32>(rng.uniformInt(0, 4096));
+                r.y = static_cast<i32>(rng.uniformInt(0, 4096));
+                r.w = static_cast<i32>(rng.uniformInt(1, 4096));
+                r.h = static_cast<i32>(rng.uniformInt(1, 4096));
+                r.stride = static_cast<i32>(rng.uniformInt(1, 8));
+                r.skip = static_cast<i32>(rng.uniformInt(0, 8));
+                r.phase = static_cast<i32>(rng.uniformInt(0, 7));
+                regions.push_back(r);
+            }
+            file.trace.push_back(std::move(regions));
+        }
+        std::stringstream ss;
+        writeTrace(ss, file);
+        // Half the iterations go through a CRLF rewrite first.
+        std::string text = ss.str();
+        if (iter % 2 == 1) {
+            std::string crlf;
+            for (char c : text) {
+                if (c == '\n')
+                    crlf += '\r';
+                crlf += c;
+            }
+            text = crlf;
+        }
+        std::stringstream in(text);
+        const TraceFile back = readTrace(in);
+        EXPECT_EQ(back.width, file.width);
+        EXPECT_EQ(back.height, file.height);
+        ASSERT_EQ(back.trace.size(), file.trace.size()) << "iter " << iter;
+        for (size_t t = 0; t < file.trace.size(); ++t)
+            EXPECT_EQ(back.trace[t], file.trace[t])
+                << "iter " << iter << " frame " << t;
+    }
 }
 
 } // namespace

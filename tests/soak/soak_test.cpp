@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Soak-harness tests (ISSUE 9): a short churn+fault soak must complete
+ * its whole frame budget with zero conservation drift, the same seed
+ * must reproduce the same model outcome, trace replay must drive the
+ * harness from a recorded trace, and the emitted report must be
+ * consumable by the bench/trend tooling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "common/json.hpp"
+#include "obs/bench_report.hpp"
+#include "sim/trace_io.hpp"
+#include "soak/soak.hpp"
+
+namespace rpx {
+namespace {
+
+soak::SoakOptions
+shortSoak(u32 streams, double duration_s)
+{
+    soak::SoakOptions o;
+    o.streams = streams;
+    o.duration_s = duration_s;
+    o.fps = 30.0;
+    o.seed = 1234;
+    o.faults = true;
+    o.churn = true;
+    o.width = 96;
+    o.height = 64;
+    o.checkpoint_every = 64;
+    return o;
+}
+
+TEST(Soak, ChurnWithFaultsCompletesBudgetWithZeroDrift)
+{
+    const soak::SoakOptions o = shortSoak(64, 0.2); // 6 frames per slot
+    const soak::SoakResult res = soak::runSoak(o);
+
+    ASSERT_TRUE(res.ok) << (res.violations.empty()
+                                ? "not ok without violations"
+                                : res.violations.front());
+    EXPECT_EQ(res.frames, res.frames_budget);
+    EXPECT_EQ(res.frames_budget, 64u * 6u);
+    EXPECT_EQ(res.final_frames_drift, 0u);
+    EXPECT_EQ(res.final_bytes_drift, 0);
+    EXPECT_EQ(res.fleet.errors, 0u);
+    // 6-frame budgets force every slot through several generations.
+    EXPECT_GT(res.generations, 64u);
+    EXPECT_GE(res.checkpoints, 1u);
+    EXPECT_GT(res.fault_drops, 0u);
+    EXPECT_GT(res.rss_peak_kb, 0u);
+    // Every generation start shows up as one fleet stream report.
+    EXPECT_EQ(res.fleet.streams.size(), res.generations);
+}
+
+TEST(Soak, SameSeedReproducesModelOutcome)
+{
+    const soak::SoakOptions o = shortSoak(8, 0.5);
+    const soak::SoakResult a = soak::runSoak(o);
+    const soak::SoakResult b = soak::runSoak(o);
+
+    ASSERT_TRUE(a.ok);
+    ASSERT_TRUE(b.ok);
+    EXPECT_EQ(a.frames, b.frames);
+    EXPECT_EQ(a.generations, b.generations);
+    EXPECT_EQ(a.fault_drops, b.fault_drops);
+    EXPECT_EQ(a.fault_byte_errors, b.fault_byte_errors);
+    EXPECT_EQ(a.degrade_escalations, b.degrade_escalations);
+    EXPECT_EQ(a.degrade_recoveries, b.degrade_recoveries);
+    EXPECT_EQ(a.fleet.quarantined, b.fleet.quarantined);
+    EXPECT_EQ(a.fleet.deadline_misses, b.fleet.deadline_misses);
+    EXPECT_EQ(a.fleet.transient_faults, b.fleet.transient_faults);
+    EXPECT_EQ(a.fleet.bytes_written, b.fleet.bytes_written);
+    EXPECT_EQ(a.fleet.bytes_read, b.fleet.bytes_read);
+    EXPECT_EQ(a.fleet.metadata_bytes, b.fleet.metadata_bytes);
+    // Every model metric of the embedded bench report matches too.
+    for (const auto &[name, metric] : a.bench.metrics) {
+        if (metric.kind != "model")
+            continue;
+        const auto it = b.bench.metrics.find(name);
+        ASSERT_NE(it, b.bench.metrics.end()) << name;
+        EXPECT_EQ(metric.value, it->second.value) << name;
+    }
+}
+
+TEST(Soak, DifferentSeedChangesTheFaultPattern)
+{
+    soak::SoakOptions o = shortSoak(8, 0.5);
+    const soak::SoakResult a = soak::runSoak(o);
+    o.seed = 4321;
+    const soak::SoakResult b = soak::runSoak(o);
+
+    ASSERT_TRUE(a.ok);
+    ASSERT_TRUE(b.ok);
+    // Same budget, different fault/churn realisation.
+    EXPECT_EQ(a.frames, b.frames);
+    EXPECT_NE(a.fleet.bytes_written, b.fleet.bytes_written);
+}
+
+TEST(Soak, TraceReplayDrivesGeometryAndLabels)
+{
+    const std::string path = testing::TempDir() + "soak_trace.csv";
+    TraceFile tf;
+    tf.width = 80;
+    tf.height = 60;
+    tf.trace = {
+        {{0, 0, 80, 60, 1, 1, 0}},
+        {{0, 0, 80, 60, 2, 1, 0}, {8, 8, 32, 24, 1, 1, 0}},
+        {{0, 0, 80, 60, 4, 2, 0}},
+    };
+    writeTraceFile(path, tf);
+
+    soak::SoakOptions o;
+    o.streams = 2;
+    o.duration_s = 0.4; // 12 frames per slot: the 3-frame trace loops
+    o.fps = 30.0;
+    o.seed = 99;
+    o.faults = false;
+    o.churn = false;
+    o.trace_path = path;
+    o.checkpoint_every = 8;
+    const soak::SoakResult res = soak::runSoak(o);
+
+    ASSERT_TRUE(res.ok) << (res.violations.empty()
+                                ? "not ok without violations"
+                                : res.violations.front());
+    EXPECT_EQ(res.frames, 24u);
+    EXPECT_EQ(res.generations, 2u);
+    EXPECT_EQ(res.fleet.streams_completed, 2u);
+    EXPECT_GT(res.fleet.bytes_written, 0u);
+    // Without churn both streams complete naturally.
+    for (const auto &s : res.fleet.streams)
+        EXPECT_TRUE(s.completed);
+}
+
+TEST(Soak, ReportRoundTripsThroughBenchTooling)
+{
+    soak::SoakOptions o = shortSoak(4, 0.2);
+    const soak::SoakResult res = soak::runSoak(o);
+    ASSERT_TRUE(res.ok);
+
+    const std::string js = soak::toJson(res);
+    const json::Value v = json::parse(js);
+    EXPECT_EQ(v.stringOr("schema", ""), "rpx-soak-report-v1");
+    EXPECT_TRUE(v.at("ok").type() == json::Value::Type::Bool);
+    EXPECT_EQ(static_cast<u64>(v.numberOr("frames", -1)), res.frames);
+
+    // The embedded bench report unwraps through the standard reader —
+    // this is the path trend_compare takes on a soak report.
+    const obs::BenchReport bench = obs::benchReportFromJson(v);
+    EXPECT_EQ(bench.bench, "soak");
+    const auto it = bench.metrics.find("soak.frames");
+    ASSERT_NE(it, bench.metrics.end());
+    EXPECT_EQ(static_cast<u64>(it->second.value), res.frames);
+    EXPECT_EQ(it->second.kind, "model");
+    const auto drift = bench.metrics.find("soak.frames_drift");
+    ASSERT_NE(drift, bench.metrics.end());
+    EXPECT_EQ(drift->second.value, 0.0);
+}
+
+TEST(Soak, RejectsBadOptions)
+{
+    soak::SoakOptions o;
+    o.streams = 0;
+    EXPECT_THROW(soak::runSoak(o), std::exception);
+    o = soak::SoakOptions{};
+    o.duration_s = -1.0;
+    EXPECT_THROW(soak::runSoak(o), std::exception);
+    o = soak::SoakOptions{};
+    o.max_streams = 2;
+    o.streams = 4;
+    EXPECT_THROW(soak::runSoak(o), std::exception);
+    o = soak::SoakOptions{};
+    o.trace_path = testing::TempDir() + "definitely_missing_trace.csv";
+    EXPECT_THROW(soak::runSoak(o), std::exception);
+}
+
+} // namespace
+} // namespace rpx

@@ -52,6 +52,21 @@ printIssues(const char *label, const std::vector<TrendIssue> &issues)
                   << issue.note << "\n";
 }
 
+/**
+ * A whole-file (rather than per-metric) issue. Kept out of line: GCC 12's
+ * -Wrestrict misfires on the string assignments when they inline into
+ * main's loop (GCC PR105651), and CI builds with -Werror.
+ */
+[[gnu::noinline]] TrendIssue
+fileIssue(std::string bench, std::string note)
+{
+    TrendIssue issue;
+    issue.bench = std::move(bench);
+    issue.metric.assign(1, '*');
+    issue.note = std::move(note);
+    return issue;
+}
+
 } // namespace
 
 int
@@ -113,23 +128,60 @@ main(int argc, char **argv)
         TrendResult total;
         int compared = 0;
         for (const fs::path &cand_path : candidates) {
-            const BenchReport cand =
-                rpx::obs::readBenchReportFile(cand_path.string());
+            // Malformed reports warn-and-continue: one broken artifact
+            // must not mask the comparison of every other bench.
+            BenchReport cand;
+            try {
+                cand = rpx::obs::readBenchReportFile(cand_path.string());
+            } catch (const std::exception &e) {
+                total.warnings.push_back(fileIssue(
+                    cand_path.filename().string(),
+                    std::string("unreadable candidate report: ") +
+                        e.what()));
+                continue;
+            }
             const fs::path base_path =
                 fs::path(baseline_dir) / cand_path.filename();
             if (!fs::exists(base_path)) {
-                TrendIssue issue;
-                issue.bench = cand.bench;
-                issue.metric = "*";
-                issue.note = "no baseline report (" +
-                             base_path.string() + "); skipping";
-                total.warnings.push_back(std::move(issue));
+                total.warnings.push_back(
+                    fileIssue(cand.bench, "no baseline report (" +
+                                              base_path.string() +
+                                              "); skipping"));
                 continue;
             }
-            const BenchReport base =
-                rpx::obs::readBenchReportFile(base_path.string());
+            BenchReport base;
+            try {
+                base = rpx::obs::readBenchReportFile(base_path.string());
+            } catch (const std::exception &e) {
+                total.warnings.push_back(fileIssue(
+                    cand.bench,
+                    std::string("unreadable baseline report: ") +
+                        e.what()));
+                continue;
+            }
             total.merge(rpx::obs::compareReports(base, cand, thresholds));
             ++compared;
+        }
+
+        // Baseline reports with no candidate counterpart warn too: a
+        // bench silently dropped from CI would otherwise pass forever.
+        if (fs::is_directory(baseline_dir)) {
+            std::vector<fs::path> orphans;
+            for (const auto &entry : fs::directory_iterator(baseline_dir)) {
+                const std::string name = entry.path().filename().string();
+                if (!entry.is_regular_file() ||
+                    name.rfind("BENCH_", 0) != 0 ||
+                    entry.path().extension() != ".json")
+                    continue;
+                if (!fs::exists(fs::path(candidate_dir) / name))
+                    orphans.push_back(entry.path());
+            }
+            std::sort(orphans.begin(), orphans.end());
+            for (const fs::path &orphan : orphans)
+                total.warnings.push_back(
+                    fileIssue(orphan.filename().string(),
+                              "baseline report has no candidate "
+                              "counterpart (bench removed from CI?)"));
         }
 
         std::cout << "trend_compare: " << compared << " report(s) vs "
