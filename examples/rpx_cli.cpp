@@ -70,6 +70,8 @@ usage()
         << "                 [--trace-out FILE] [--metrics-out FILE]\n"
         << "                 [--journal-out FILE]\n"
         << "                 [--streams N] [--fleet-report FILE]\n"
+        << "                 [--admission hard|capacity]\n"
+        << "                 [--watchdog-ms N] [--shed-slack-ms X]\n"
         << "                 [--log-level debug|info|warn|silent]\n"
         << "  rpx_cli replay --trace FILE --scheme "
            "FCH|FCL|RP|H264|MULTIROI [--width N]\n"
@@ -165,6 +167,37 @@ fleetCommand(const std::map<std::string, std::string> &flags,
         flags.count("frames") ? std::stoul(flags.at("frames")) : 60);
     fc.encode_engines = 8;
     fc.decode_engines = 8;
+
+    // Overload-protection knobs (rpx::guard); all default off.
+    if (flags.count("admission")) {
+        const std::string &mode = flags.at("admission");
+        if (mode == "capacity")
+            fc.guard.admission.policy =
+                guard::AdmissionPolicy::CapacityModel;
+        else if (mode != "hard") {
+            std::cerr << "error: --admission must be hard|capacity\n";
+            return 1;
+        }
+    }
+    if (flags.count("watchdog-ms")) {
+        // One knob sets the whole escalation ladder: warn at N, force-
+        // quarantine at 2N, evict at 4N, scanning every N/4 ms.
+        const u32 n = static_cast<u32>(
+            std::stoul(flags.at("watchdog-ms")));
+        if (n < 1) {
+            std::cerr << "error: --watchdog-ms must be >= 1\n";
+            return 1;
+        }
+        fc.guard.watchdog.enabled = true;
+        fc.guard.watchdog.warn_ms = n;
+        fc.guard.watchdog.quarantine_ms = 2 * n;
+        fc.guard.watchdog.evict_ms = 4 * n;
+        fc.guard.watchdog.interval_ms = std::max<u32>(1, n / 4);
+    }
+    if (flags.count("shed-slack-ms")) {
+        fc.guard.shed.enabled = true;
+        fc.guard.shed.slack_ms = std::stod(flags.at("shed-slack-ms"));
+    }
     fc.scene_source = [](u32 stream, u64 frame) {
         Image img(kW, kH);
         Rng rng(0x9E3779B9u + 7919u * stream + 131u * frame);
@@ -206,6 +239,15 @@ fleetCommand(const std::map<std::string, std::string> &flags,
     std::cout << "  schedule:   " << r.deadline_misses
               << " deadline misses, mean DMA batch "
               << fmtDouble(r.mean_store_batch, 2) << "\n";
+    if (fc.guard.shed.enabled || fc.guard.watchdog.enabled ||
+        fc.guard.admission.policy !=
+            guard::AdmissionPolicy::HardCapOnly) {
+        std::cout << "  guard:      " << r.shed_frames << " shed, "
+                  << r.admission_rejects << " admission rejects, "
+                  << r.watchdog_warns << " watchdog warns, "
+                  << r.watchdog_evictions << " evictions, "
+                  << r.health_recoveries << " health recoveries\n";
+    }
 
     if (flags.count("fleet-report")) {
         std::ofstream out(flags.at("fleet-report"));

@@ -1,0 +1,151 @@
+#include "fault/chaos.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace rpx::fault {
+
+namespace {
+
+/** splitmix64 finalizer — the same mix Rng uses for decorrelation. */
+u64
+mix64(u64 x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+const char *
+chaosSiteName(ChaosSite site)
+{
+    switch (site) {
+    case ChaosSite::CaptureJitter:
+        return "capture_jitter";
+    case ChaosSite::WorkerStall:
+        return "worker_stall";
+    case ChaosSite::SlowLease:
+        return "slow_lease";
+    case ChaosSite::QueueBurst:
+        return "queue_burst";
+    }
+    return "unknown";
+}
+
+ChaosInjector::ChaosInjector(const ChaosConfig &cfg) : cfg_(cfg)
+{
+    const double rates[] = {cfg_.capture_jitter_rate, cfg_.worker_stall_rate,
+                            cfg_.slow_lease_rate, cfg_.queue_burst_rate};
+    for (double r : rates)
+        if (r < 0.0 || r > 1.0)
+            throwInvalid("chaos rates must lie in [0, 1]");
+}
+
+double
+ChaosInjector::draw(ChaosSite site, u64 key) const
+{
+    // Three rounds of mixing over (seed, site, key): enough avalanche that
+    // adjacent frames and adjacent streams decorrelate fully.
+    u64 h = mix64(cfg_.seed ^ mix64(static_cast<u64>(site) + 1));
+    h = mix64(h ^ key);
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+u64
+ChaosInjector::delayUsFor(ChaosSite site, u32 stream, u64 frame) const
+{
+    switch (site) {
+    case ChaosSite::CaptureJitter: {
+        // Jitter magnitude from an independent second draw.
+        const u64 key = (static_cast<u64>(stream) << 32) ^ frame;
+        const double m = draw(site, mix64(key ^ 0x7177E5ULL));
+        return static_cast<u64>(m * cfg_.capture_jitter_us);
+    }
+    case ChaosSite::WorkerStall:
+        return cfg_.worker_stall_us;
+    case ChaosSite::SlowLease:
+        return cfg_.slow_lease_us;
+    case ChaosSite::QueueBurst:
+        return cfg_.queue_burst_us;
+    }
+    return 0;
+}
+
+bool
+ChaosInjector::wouldHit(ChaosSite site, u32 stream, u64 frame) const
+{
+    if (!cfg_.enabled)
+        return false;
+    double rate = 0.0;
+    switch (site) {
+    case ChaosSite::CaptureJitter:
+        rate = cfg_.capture_jitter_rate;
+        break;
+    case ChaosSite::WorkerStall:
+        rate = cfg_.worker_stall_rate;
+        break;
+    case ChaosSite::SlowLease:
+        rate = cfg_.slow_lease_rate;
+        break;
+    case ChaosSite::QueueBurst:
+        rate = cfg_.queue_burst_rate;
+        break;
+    }
+    if (rate <= 0.0)
+        return false;
+    const u64 key = (static_cast<u64>(stream) << 32) ^ frame;
+    return draw(site, key) < rate;
+}
+
+u64
+ChaosInjector::perturb(ChaosSite site, u32 stream, u64 frame)
+{
+    if (!cfg_.enabled)
+        return 0;
+    SiteCounters &c = counters_[static_cast<size_t>(site)];
+    c.events.fetch_add(1, std::memory_order_relaxed);
+    if (!wouldHit(site, stream, frame))
+        return 0;
+    const u64 us = delayUsFor(site, stream, frame);
+    c.hits.fetch_add(1, std::memory_order_relaxed);
+    c.slept_us.fetch_add(us, std::memory_order_relaxed);
+    if (us > 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(us));
+    return us;
+}
+
+ChaosStats
+ChaosInjector::statsFor(ChaosSite site) const
+{
+    const SiteCounters &c = counters_[static_cast<size_t>(site)];
+    ChaosStats out;
+    out.events = c.events.load(std::memory_order_relaxed);
+    out.hits = c.hits.load(std::memory_order_relaxed);
+    out.slept_us = c.slept_us.load(std::memory_order_relaxed);
+    return out;
+}
+
+u64
+ChaosInjector::totalHits() const
+{
+    u64 total = 0;
+    for (size_t i = 0; i < kChaosSiteCount; ++i)
+        total += counters_[i].hits.load(std::memory_order_relaxed);
+    return total;
+}
+
+u64
+ChaosInjector::totalSleptUs() const
+{
+    u64 total = 0;
+    for (size_t i = 0; i < kChaosSiteCount; ++i)
+        total += counters_[i].slept_us.load(std::memory_order_relaxed);
+    return total;
+}
+
+} // namespace rpx::fault

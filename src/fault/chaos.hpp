@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Fleet-level chaos injection (rpx::fault).
+ *
+ * FaultInjector perturbs *data* (bit flips, dropped lines, failed DMA
+ * bursts); ChaosInjector perturbs *time and liveness* — the failure modes
+ * a fleet of worker threads actually wedges on: a capture thread that
+ * jitters, a worker that stalls mid-frame, an engine lease that is slow to
+ * serve, a queue that saturates in bursts. Those are exactly the faults
+ * the guard layer (admission control, watchdogs, shedding) exists to
+ * absorb, so chaos is the adversary the guard is tested against.
+ *
+ * Two properties are load-bearing:
+ *
+ *  1. **Determinism of decisions.** Every draw is a pure hash of
+ *     (seed, site, key) — no shared RNG stream, no call-order dependence.
+ *     Two runs with the same seed make identical chaos decisions even
+ *     though threads interleave differently, and per-stream keys mean a
+ *     replacement stream (fresh id) draws an independent schedule from the
+ *     slot's previous occupant.
+ *
+ *  2. **Wall-clock only.** Chaos sleeps; it never touches frame data,
+ *     model counters, or RNG streams the pipeline's *model* quantities
+ *     derive from. A chaos run therefore produces byte-identical model
+ *     output to a chaos-free run with the same seed — which is what lets
+ *     CI gate same-seed model identity with chaos on.
+ */
+
+#ifndef RPX_FAULT_CHAOS_HPP
+#define RPX_FAULT_CHAOS_HPP
+
+#include <atomic>
+
+#include "common/types.hpp"
+
+namespace rpx::fault {
+
+/** Injection sites in the fleet stage graph. */
+enum class ChaosSite : u32 {
+    CaptureJitter = 0, //!< capture loop delays before submitting a frame
+    WorkerStall,       //!< encode/decode worker wedges mid-frame
+    SlowLease,         //!< engine lease acquisition is served slowly
+    QueueBurst,        //!< store path stalls, letting queues saturate
+};
+
+constexpr size_t kChaosSiteCount = 4;
+
+/** Printable site name ("capture_jitter", ...). */
+const char *chaosSiteName(ChaosSite site);
+
+/**
+ * Rates and magnitudes for the fleet chaos environment. All rates are
+ * probabilities in [0, 1]; a default-constructed config injects nothing.
+ */
+struct ChaosConfig {
+    bool enabled = false;
+    u64 seed = 0xC4A05ULL;
+
+    double capture_jitter_rate = 0.0; //!< P(capture delays this frame)
+    u32 capture_jitter_us = 500;      //!< max jitter per hit (uniform)
+
+    double worker_stall_rate = 0.0; //!< P(worker stalls on this frame)
+    u32 worker_stall_us = 2000;     //!< stall duration per hit (fixed)
+
+    double slow_lease_rate = 0.0; //!< P(lease acquisition is slowed)
+    u32 slow_lease_us = 1000;     //!< delay per hit (fixed)
+
+    double queue_burst_rate = 0.0; //!< P(store op stalls, queues back up)
+    u32 queue_burst_us = 1500;     //!< stall per hit (fixed)
+
+    /** True when any site injects anything. */
+    bool
+    any() const
+    {
+        return enabled &&
+               (capture_jitter_rate > 0.0 || worker_stall_rate > 0.0 ||
+                slow_lease_rate > 0.0 || queue_burst_rate > 0.0);
+    }
+};
+
+/** Per-site injection counters (wall-clock only, never model-gated). */
+struct ChaosStats {
+    u64 events = 0;   //!< decision points consulted
+    u64 hits = 0;     //!< decisions that injected a delay
+    u64 slept_us = 0; //!< total wall-clock delay injected
+};
+
+/**
+ * Stateless-per-draw chaos source. Decisions hash (seed, site, key) so
+ * they are independent of thread interleaving and call order; hits sleep
+ * the calling thread. Counters are atomics — safe to consult from every
+ * fleet worker concurrently.
+ */
+class ChaosInjector
+{
+  public:
+    explicit ChaosInjector(const ChaosConfig &cfg);
+
+    const ChaosConfig &config() const { return cfg_; }
+
+    /**
+     * Consult the site for (stream, frame); sleeps the calling thread on a
+     * hit and returns the injected delay in microseconds (0 = no hit).
+     * Stream ids are never reused across generations, so replacement
+     * streams automatically draw fresh schedules.
+     */
+    u64 perturb(ChaosSite site, u32 stream, u64 frame);
+
+    /**
+     * Decision-only variant: true when (site, stream, frame) would hit,
+     * without sleeping. Used by tests and by callers that need to split
+     * the decision from the delay.
+     */
+    bool wouldHit(ChaosSite site, u32 stream, u64 frame) const;
+
+    ChaosStats statsFor(ChaosSite site) const;
+    u64 totalHits() const;
+    u64 totalSleptUs() const;
+
+  private:
+    /** Uniform [0,1) hash of (seed, site, key) — splitmix-style. */
+    double draw(ChaosSite site, u64 key) const;
+    u64 delayUsFor(ChaosSite site, u32 stream, u64 frame) const;
+
+    ChaosConfig cfg_;
+
+    struct SiteCounters {
+        std::atomic<u64> events{0};
+        std::atomic<u64> hits{0};
+        std::atomic<u64> slept_us{0};
+    };
+    SiteCounters counters_[kChaosSiteCount];
+};
+
+} // namespace rpx::fault
+
+#endif // RPX_FAULT_CHAOS_HPP

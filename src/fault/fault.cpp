@@ -24,6 +24,8 @@ stageName(Stage stage)
         return "frame_meta";
     case Stage::Deadline:
         return "deadline";
+    case Stage::Shed:
+        return "shed";
     }
     return "unknown";
 }

@@ -37,9 +37,11 @@ enum class Stage : u32 {
     Dma,        //!< line-burst DMA transaction failures
     FrameMeta,  //!< encoded-frame mask/offset metadata corruption
     Deadline,   //!< forced frame-deadline misses (contention stand-in)
+    Shed,       //!< forced load-shed decisions at EDF dequeue (overload
+                //!< stand-in; consumed by the fleet guard layer)
 };
 
-constexpr size_t kStageCount = 6;
+constexpr size_t kStageCount = 7;
 
 /** Printable stage name ("csi2", "dram_read", ...). */
 const char *stageName(Stage stage);

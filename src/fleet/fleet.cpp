@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <limits>
 #include <sstream>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
 #include "common/json.hpp"
 #include "common/thread_pool.hpp"
+#include "energy/energy_model.hpp"
 
 namespace rpx::fleet {
 
@@ -48,6 +50,8 @@ FleetServer::FleetServer(const FleetConfig &config)
         throwInvalid("fleet deadlines need a positive stream fps");
     if (config_.streams > resolveMaxStreams(config_))
         throwInvalid("fleet streams exceed max_streams");
+    if (config_.chaos.any())
+        chaos_ = std::make_unique<fault::ChaosInjector>(config_.chaos);
 
     std::lock_guard<std::mutex> lock(mutex_);
     for (u32 i = 0; i < config_.streams; ++i)
@@ -101,6 +105,57 @@ FleetServer::addStreamLocked()
     return id;
 }
 
+guard::AdmissionResult
+FleetServer::admitLocked() const
+{
+    guard::AdmissionResult res;
+    if (capture_q_.closed()) {
+        res.outcome = guard::AdmissionOutcome::RejectedDrained;
+        res.reason = "fleet has already drained; cannot add streams";
+        return res;
+    }
+    if (live_ >= resolveMaxStreams(config_)) {
+        res.outcome = guard::AdmissionOutcome::RejectedHardCap;
+        std::ostringstream os;
+        os << "fleet is at max_streams (" << resolveMaxStreams(config_)
+           << ")";
+        res.reason = os.str();
+        return res;
+    }
+    const guard::AdmissionConfig &ac = config_.guard.admission;
+    if (ac.policy == guard::AdmissionPolicy::CapacityModel &&
+        config_.stream.fps > 0.0) {
+        // Projected demand of every live stream plus the candidate vs
+        // the engine pool's modelled throughput. The per-frame cost is
+        // configured or derived from the live EWMA of measured encode
+        // engine-hold time; until the EWMA warms up we admit (cold-start
+        // grace — rejecting on zero data would deadlock an idle fleet).
+        const double cost_us = ac.frame_cost_us > 0.0
+                                   ? ac.frame_cost_us
+                                   : encode_hold_ewma_us_;
+        if (cost_us > 0.0) {
+            res.capacity_fps = static_cast<double>(config_.encode_engines) *
+                               (1e6 / cost_us) * ac.headroom;
+            res.demand_fps =
+                static_cast<double>(live_ + 1) * config_.stream.fps;
+            if (res.demand_fps > res.capacity_fps) {
+                res.outcome = guard::AdmissionOutcome::RejectedCapacity;
+                std::ostringstream os;
+                os << "admission rejected: demand "
+                   << static_cast<u64>(res.demand_fps)
+                   << " frames/s exceeds capacity "
+                   << static_cast<u64>(res.capacity_fps)
+                   << " frames/s (" << config_.encode_engines
+                   << " engines x " << static_cast<u64>(cost_us)
+                   << " us/frame, headroom " << ac.headroom << ")";
+                res.reason = os.str();
+                return res;
+            }
+        }
+    }
+    return res; // admitted
+}
+
 u32
 FleetServer::addStream()
 {
@@ -108,11 +163,31 @@ FleetServer::addStream()
     // atomic, or run()'s start-up seeding loop can race this and submit
     // the same stream's first frame twice.
     std::lock_guard<std::mutex> lock(mutex_);
+    const guard::AdmissionResult verdict = admitLocked();
+    if (!verdict.admitted()) {
+        ++admission_rejects_;
+        throwRuntime(verdict.reason);
+    }
     const u32 id = addStreamLocked();
     if (running_)
         // Joined mid-run: its first frame enters the graph immediately.
         seedStream(streams_.at(id), id);
     return id;
+}
+
+guard::AdmissionResult
+FleetServer::tryAddStream()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    guard::AdmissionResult res = admitLocked();
+    if (!res.admitted()) {
+        ++admission_rejects_;
+        return res;
+    }
+    res.id = addStreamLocked();
+    if (running_)
+        seedStream(streams_.at(res.id), res.id);
+    return res;
 }
 
 FleetStreamReport
@@ -124,9 +199,17 @@ FleetServer::streamReportLocked(u32 id, const StreamEntry &entry) const
     sr.frames = entry.done;
     sr.deadline_misses = entry.deadline_misses;
     sr.quarantined = entry.quarantined;
+    sr.shed = entry.shed;
     sr.errors = entry.errors;
+    sr.dma_retries = entry.dma_retries;
+    sr.dma_dropped_bursts = entry.dma_dropped_bursts;
     sr.degradation_level = entry.degradation_level;
     sr.completed = entry.done >= entry.target;
+    sr.health = entry.health.state();
+    sr.health_transitions = entry.health.transitions();
+    sr.health_recoveries = entry.health.recoveries();
+    sr.watchdog_warns = entry.watchdog_warns;
+    sr.evicted = entry.evicted;
     return sr;
 }
 
@@ -233,6 +316,7 @@ FleetServer::seedStream(StreamEntry &entry, u32 id)
     // Caller holds mutex_. The push cannot block: in-flight tasks never
     // exceed live streams, and every queue holds max_streams of them.
     entry.seeded = true;
+    entry.inflight_since = std::chrono::steady_clock::now();
     FrameTask task = makeTask(entry, id, entry.done);
     capture_q_.push(std::move(task));
 }
@@ -268,9 +352,11 @@ FleetServer::finishFrame(FrameTask &task, bool errored)
         entry = &streams_.at(id);
         ++entry->done;
         ++frames_done_;
+        guard::HealthSignal sig;
         if (errored) {
             ++entry->errors;
             ++errors_;
+            sig.decode_quarantined = true; // errors count as dirty frames
         } else {
             const PipelineFrameResult &r = task.result;
             if (r.deadline_missed) {
@@ -281,16 +367,41 @@ FleetServer::finishFrame(FrameTask &task, bool errored)
                 ++entry->quarantined;
                 ++quarantined_;
             }
+            if (r.shed) {
+                ++entry->shed;
+                ++shed_frames_;
+            }
             transient_faults_ += r.transient_faults;
+            entry->dma_retries += r.dma_retries;
+            entry->dma_dropped_bursts += r.dma_dropped_bursts;
+            dma_retries_ += r.dma_retries;
+            dma_dropped_bursts_ += r.dma_dropped_bursts;
             bytes_written_ += r.traffic.bytes_written;
             bytes_read_ += r.traffic.bytes_read;
             metadata_bytes_ += r.traffic.metadata_bytes;
             kept_sum_ += r.kept_fraction;
             entry->degradation_level = r.degradation_level;
+            sig.decode_quarantined = r.quarantined;
+            sig.shed = r.shed;
+            sig.deadline_missed = r.deadline_missed;
+            sig.degradation_level = static_cast<u32>(
+                r.degradation_level < 0 ? 0 : r.degradation_level);
         }
+        entry->health.onFrame(sig);
+        // Fold the measured engine-hold time into the admission cost
+        // EWMA (shed/errored frames never held an engine; skip them).
+        if (task.encode_hold_us > 0.0)
+            encode_hold_ewma_us_ =
+                encode_hold_ewma_us_ == 0.0
+                    ? task.encode_hold_us
+                    : 0.9 * encode_hold_ewma_us_ +
+                          0.1 * task.encode_hold_us;
         resubmit = entry->active && entry->done < entry->target;
         if (resubmit) {
             next = entry->done;
+            entry->inflight_since = std::chrono::steady_clock::now();
+            entry->wd_warned = false;
+            entry->wd_quarantined = false;
         } else {
             retired_report = retireLocked(id, *entry);
             retired = true;
@@ -331,11 +442,246 @@ FleetServer::finishFrame(FrameTask &task, bool errored)
         capture_q_.close();
 }
 
+bool
+FleetServer::pastShedDeadline(const FrameTask &task) const
+{
+    const guard::ShedConfig &sc = config_.guard.shed;
+    if (!sc.enabled || !task.has_deadline)
+        return false;
+    const auto slack =
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(sc.slack_ms));
+    return std::chrono::steady_clock::now() > task.deadline + slack;
+}
+
+void
+FleetServer::shedFrame(FrameTask &task, bool stored)
+{
+    StreamContext &s = *task.stream;
+    const PipelineConfig &cfg = s.config();
+    PipelineObs *po = s.sharedObs();
+    obs::ObsContext *ctx = po ? po->context() : nullptr;
+    const bool tele = s.telemetry() != nullptr;
+    const FrameIndex t = task.index;
+    PipelineFrameResult &result = task.result;
+
+    // The result still carries a frame — the hold-last-good image the
+    // decoder's quarantine verdicts serve — so a shed is a freshness
+    // loss in the accounting, not a hole. (The vision sink itself only
+    // sees decoded frames; shed is its own first-class outcome.)
+    result.held_last_good = true;
+    result.shed = true;
+    result.decoded = s.haveLastGood()
+                         ? s.lastGood()
+                         : Image(cfg.width, cfg.height,
+                                 PixelFormat::Gray8, 0);
+    result.kept_fraction = 0.0; // nothing fresh delivered
+    result.index = t;
+
+    result.csi_dropped_lines = task.csi_status.dropped_lines;
+    result.dma_retries = task.store_report.dma_retries;
+    result.dma_dropped_bursts = task.store_report.dma_dropped_bursts;
+    result.transient_faults =
+        task.store_report.dma_retries +
+        task.store_report.dma_dropped_bursts +
+        (task.csi_status.corrupted_bytes > 0 ? 1 : 0) +
+        (task.csi_status.dropped_lines > 0 ? 1 : 0);
+
+    // The degradation ladder sees the shed as a missed frame (the stream
+    // is not keeping up), but result.deadline_missed stays false: shed
+    // frames are first-class outcomes, not misses — the miss counters
+    // measure frames that ran to completion late.
+    fault::DegradationController *degrade = s.degradation();
+    if (degrade) {
+        fault::FrameHealth health;
+        health.deadline_missed = true;
+        health.transient_faults =
+            static_cast<u32>(result.transient_faults);
+        degrade->onFrame(health);
+        result.degradation_level = degrade->level();
+    }
+
+    // Traffic: an encode-point shed never touched DRAM (zero bytes); a
+    // decode-point shed already paid the write side (payload + metadata
+    // committed by the store stage) but reads nothing back.
+    if (stored) {
+        result.traffic.bytes_written = task.pixel_bytes;
+        result.traffic.metadata_bytes = task.metadata_bytes; // write only
+    }
+    result.traffic.footprint = s.store().totalFootprint();
+    s.traffic().add(result.traffic);
+
+    // Energy mirrors the traffic split: sensing/CSI were spent either
+    // way; DRAM-side energy is write-only (one DDR crossing + array
+    // write) and only when the frame was stored.
+    const u64 pixels_in = task.pixels_in
+                              ? task.pixels_in
+                              : static_cast<u64>(task.gray.pixelCount());
+    const u64 kept_pixels =
+        stored ? static_cast<u64>(task.pixel_bytes) : 0;
+    double e_sense_nj = 0.0, e_csi_nj = 0.0, e_dram_nj = 0.0;
+    const EnergyConstants ec;
+    const double shed_dram_nj_per_px =
+        (ec.ddr_comm_crossing_pj + ec.dram_write_pj) / 1e3;
+    if (tele || (po && po->attached())) {
+        e_sense_nj = ec.sense_pj * static_cast<double>(pixels_in) / 1e3;
+        e_csi_nj = ec.csi_pj * static_cast<double>(pixels_in) / 1e3;
+        e_dram_nj =
+            shed_dram_nj_per_px * static_cast<double>(kept_pixels);
+        if (po)
+            po->addEnergy(e_sense_nj, e_csi_nj, e_dram_nj);
+    }
+
+    if (po && po->attached()) {
+        po->frames->inc();
+        po->bytes_written->add(result.traffic.bytes_written);
+        po->bytes_read->add(result.traffic.bytes_read);
+        po->metadata_bytes->add(result.traffic.metadata_bytes);
+        po->shed_frames->inc();
+        po->transient_faults->add(result.transient_faults);
+        po->dma_retries->add(result.dma_retries);
+        po->dma_dropped_bursts->add(result.dma_dropped_bursts);
+        po->kept_fraction->set(0.0);
+        po->footprint->set(
+            static_cast<double>(result.traffic.footprint));
+    }
+
+    if (obs::TelemetrySink *sink = s.telemetry()) {
+        obs::FrameTelemetry ft;
+        ft.index = static_cast<u64>(t);
+        ft.stream = cfg.stream_label;
+        ft.sensor_us = task.lat_sensor;
+        ft.isp_us = task.lat_isp;
+        ft.encode_us = task.lat_encode;
+        ft.dram_write_us = task.lat_dram_write;
+        ft.decode_us = 0.0; // never decoded
+        ft.total_us = std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - task.start)
+                          .count();
+
+        ft.pixels_in = pixels_in;
+        ft.pixels_kept = kept_pixels;
+        ft.bytes_written = result.traffic.bytes_written;
+        ft.bytes_read = result.traffic.bytes_read;
+        ft.metadata_bytes = result.traffic.metadata_bytes;
+
+        const DramStats &ds = s.dram().stats();
+        ft.dram_write_transactions =
+            ds.write_transactions - task.dram_before.write_transactions;
+        ft.dram_read_transactions =
+            ds.read_transactions - task.dram_before.read_transactions;
+        ft.dram_bytes_written =
+            ds.bytes_written - task.dram_before.bytes_written;
+        ft.dram_bytes_read = ds.bytes_read - task.dram_before.bytes_read;
+
+        const EncoderStats &es = s.encoder().stats();
+        ft.compare_cycles =
+            es.compare_cycles - task.enc_before.compare_cycles;
+        ft.stream_cycles =
+            es.stream_cycles - task.enc_before.stream_cycles;
+        ft.region_comparisons =
+            es.region_comparisons - task.enc_before.region_comparisons;
+
+        ft.quarantined = false;
+        ft.held_last_good = true;
+        ft.deadline_missed = false;
+        ft.shed = true;
+        ft.csi_dropped_lines = result.csi_dropped_lines;
+        ft.transient_faults = result.transient_faults;
+        ft.dma_retries = result.dma_retries;
+        ft.dma_dropped_bursts = result.dma_dropped_bursts;
+        ft.degradation_level = result.degradation_level;
+
+        ft.energy_sense_nj = e_sense_nj;
+        ft.energy_csi_nj = e_csi_nj;
+        ft.energy_dram_nj = e_dram_nj;
+        ft.energy_total_nj = e_sense_nj + e_csi_nj + e_dram_nj;
+
+        // Per-region attribution exists only once the encoder ran; a
+        // stored shed attributes the written payload with the write-side
+        // energy constant so region sums still reconcile with the frame.
+        // (The encoder's label/attribution state is this frame's — one
+        // in-flight frame per stream.)
+        if (stored) {
+            const std::vector<RegionLabel> &labels =
+                s.encoder().regionLabels();
+            const RegionAttribution &attr =
+                s.encoder().lastFrameAttribution();
+            ft.regions.reserve(labels.size());
+            for (size_t i = 0; i < labels.size(); ++i) {
+                const RegionLabel &l = labels[i];
+                obs::RegionTelemetry rt;
+                rt.x = l.x;
+                rt.y = l.y;
+                rt.w = l.w;
+                rt.h = l.h;
+                rt.stride = l.stride;
+                rt.skip = l.skip;
+                rt.active = l.activeAt(t);
+                if (i < attr.kept.size()) {
+                    rt.pixels_kept = attr.kept[i];
+                    rt.comparisons = attr.comparisons[i];
+                }
+                rt.payload_bytes = rt.pixels_kept;
+                rt.energy_nj = shed_dram_nj_per_px *
+                               static_cast<double>(rt.pixels_kept);
+                ft.regions.push_back(std::move(rt));
+            }
+        }
+        sink->record(ft);
+    }
+
+    double frame_us;
+    if (ctx && ctx->trace()) {
+        obs::TraceRecorder *tr = ctx->trace();
+        frame_us = tr->nowUs() - task.trace_start_us;
+        tr->record({"frame", "pipeline", task.trace_start_us, frame_us,
+                    static_cast<u32>(obs::TraceLane::Pipeline),
+                    static_cast<i64>(t)});
+    } else {
+        frame_us = std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - task.start)
+                       .count();
+    }
+    if (po && po->h_frame)
+        po->h_frame->record(frame_us);
+
+    // Drop the payloads a normal path would have consumed.
+    task.gray = Image();
+    task.encoded = EncodedFrame();
+}
+
 void
 FleetServer::captureLoop()
 {
-    while (auto t = capture_q_.pop()) {
+    // Under a watchdog, workers poll with a timeout so every loop pass
+    // bumps the stage heartbeat — a wedged peer cannot make this worker
+    // look dead too. Guard-off keeps the plain blocking pop (seed
+    // behavior, zero extra wakeups).
+    const bool timed = config_.guard.watchdog.enabled;
+    const auto beat_every =
+        std::chrono::microseconds(config_.guard.watchdog.interval_ms *
+                                  u64{1000});
+    for (;;) {
+        std::optional<FrameTask> t;
+        if (timed) {
+            t = capture_q_.popFor(beat_every);
+            beat_capture_.fetch_add(1, std::memory_order_relaxed);
+            if (!t) {
+                if (capture_q_.closed() && capture_q_.size() == 0)
+                    break;
+                continue; // timeout heartbeat
+            }
+        } else {
+            t = capture_q_.pop();
+            if (!t)
+                break;
+        }
         FrameTask task = std::move(*t);
+        if (chaos_)
+            chaos_->perturb(fault::ChaosSite::CaptureJitter,
+                            task.stream->id(),
+                            static_cast<u64>(task.stream->frameIndex()));
         if (!runStage(capture_, task)) {
             finishFrame(task, true);
             continue;
@@ -350,12 +696,53 @@ FleetServer::captureLoop()
 void
 FleetServer::encodeLoop()
 {
-    while (auto t = encode_q_.pop()) {
+    const bool timed = config_.guard.watchdog.enabled;
+    const auto beat_every =
+        std::chrono::microseconds(config_.guard.watchdog.interval_ms *
+                                  u64{1000});
+    for (;;) {
+        std::optional<FrameTask> t;
+        if (timed) {
+            t = encode_q_.popFor(beat_every);
+            beat_encode_.fetch_add(1, std::memory_order_relaxed);
+            if (!t) {
+                if (encode_q_.closed() && encode_q_.size() == 0)
+                    break;
+                continue;
+            }
+        } else {
+            t = encode_q_.pop();
+            if (!t)
+                break;
+        }
         FrameTask task = std::move(*t);
+        // Load shedding happens *before* the engine lease: a frame the
+        // fault plan sheds (deterministic Stage::Shed verdict) or one
+        // already past deadline + slack cannot be saved by encoding it,
+        // so the engine time goes to a frame that can still make it.
+        // The Shed draw is consulted whenever an injector is present;
+        // at drop_rate 0 it consumes no randomness (baseline-safe).
+        fault::FaultInjector *inj = task.stream->injector();
+        const bool injected_shed =
+            inj && inj->dropEvent(fault::Stage::Shed);
+        if (injected_shed || pastShedDeadline(task)) {
+            shedFrame(task, /*stored=*/false);
+            finishFrame(task, false);
+            continue;
+        }
+        if (chaos_)
+            chaos_->perturb(fault::ChaosSite::SlowLease,
+                            task.stream->id(),
+                            static_cast<u64>(task.index));
         bool ok;
         {
             EnginePool::Lease lease = encode_engines_.acquire();
+            const auto hold_start = std::chrono::steady_clock::now();
             ok = runStage(encode_, task);
+            task.encode_hold_us =
+                std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - hold_start)
+                    .count();
         }
         if (!ok) {
             finishFrame(task, true);
@@ -374,7 +761,25 @@ FleetServer::storeLoop()
     // Batched DRAM/DMA submission: drain whatever is queued (up to
     // store_batch_max frames) and commit the burst back-to-back, the way
     // a DMA engine chains descriptors across streams.
-    while (auto first = store_q_.pop()) {
+    const bool timed = config_.guard.watchdog.enabled;
+    const auto beat_every =
+        std::chrono::microseconds(config_.guard.watchdog.interval_ms *
+                                  u64{1000});
+    for (;;) {
+        std::optional<FrameTask> first;
+        if (timed) {
+            first = store_q_.popFor(beat_every);
+            beat_store_.fetch_add(1, std::memory_order_relaxed);
+            if (!first) {
+                if (store_q_.closed() && store_q_.size() == 0)
+                    break;
+                continue;
+            }
+        } else {
+            first = store_q_.pop();
+            if (!first)
+                break;
+        }
         std::vector<FrameTask> batch;
         batch.push_back(std::move(*first));
         while (batch.size() <
@@ -388,6 +793,12 @@ FleetServer::storeLoop()
         store_batch_frames_ += batch.size();
         max_store_batch_ =
             std::max<u64>(max_store_batch_, batch.size());
+        if (chaos_)
+            // Queue-saturation burst: the store path stalls while frames
+            // pile up behind it, back-pressuring encode.
+            chaos_->perturb(fault::ChaosSite::QueueBurst,
+                            batch.front().stream->id(),
+                            static_cast<u64>(batch.front().index));
         for (FrameTask &task : batch) {
             if (!runStage(store_, task)) {
                 finishFrame(task, true);
@@ -402,8 +813,38 @@ FleetServer::storeLoop()
 void
 FleetServer::decodeLoop()
 {
-    while (auto t = decode_q_.pop()) {
+    const bool timed = config_.guard.watchdog.enabled;
+    const auto beat_every =
+        std::chrono::microseconds(config_.guard.watchdog.interval_ms *
+                                  u64{1000});
+    for (;;) {
+        std::optional<FrameTask> t;
+        if (timed) {
+            t = decode_q_.popFor(beat_every);
+            beat_decode_.fetch_add(1, std::memory_order_relaxed);
+            if (!t) {
+                if (decode_q_.closed() && decode_q_.size() == 0)
+                    break;
+                continue;
+            }
+        } else {
+            t = decode_q_.pop();
+            if (!t)
+                break;
+        }
         FrameTask task = std::move(*t);
+        // Second shed point: the frame is stored (write-side traffic
+        // paid), but a hopeless frame still should not burn a decode
+        // engine lease.
+        if (pastShedDeadline(task)) {
+            shedFrame(task, /*stored=*/true);
+            finishFrame(task, false);
+            continue;
+        }
+        if (chaos_)
+            chaos_->perturb(fault::ChaosSite::WorkerStall,
+                            task.stream->id(),
+                            static_cast<u64>(task.index));
         bool ok;
         {
             EnginePool::Lease lease = decode_engines_.acquire();
@@ -414,6 +855,70 @@ FleetServer::decodeLoop()
         finishFrame(task, !ok);
     }
     decode_alive_.fetch_sub(1);
+}
+
+void
+FleetServer::watchdogLoop()
+{
+    const guard::WatchdogConfig &wd = config_.guard.watchdog;
+    u64 last_beats[4] = {0, 0, 0, 0};
+    // The monitor outlives the stage workers by at most one interval:
+    // once the last decode worker leaves, the fleet is drained.
+    while (decode_alive_.load(std::memory_order_acquire) > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(wd.interval_ms));
+        const auto now = std::chrono::steady_clock::now();
+
+        // Stuck-worker heartbeats: a stage with queued work whose beats
+        // did not advance across a full interval draws a warning (warn
+        // only — stream-level escalation below owns the verdicts).
+        const u64 beats[4] = {
+            beat_capture_.load(std::memory_order_relaxed),
+            beat_encode_.load(std::memory_order_relaxed),
+            beat_store_.load(std::memory_order_relaxed),
+            beat_decode_.load(std::memory_order_relaxed)};
+        const size_t depths[4] = {capture_q_.size(), encode_q_.size(),
+                                  store_q_.size(), decode_q_.size()};
+        u64 stage_warns = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (depths[i] > 0 && beats[i] == last_beats[i])
+                ++stage_warns;
+            last_beats[i] = beats[i];
+        }
+
+        std::lock_guard<std::mutex> lock(mutex_);
+        watchdog_warns_ += stage_warns;
+        for (auto &[id, entry] : streams_) {
+            if (entry.finished || !entry.seeded || !entry.active)
+                continue;
+            const double age_ms =
+                std::chrono::duration<double, std::milli>(
+                    now - entry.inflight_since)
+                    .count();
+            if (age_ms > wd.evict_ms) {
+                // Evict: the stream stops being scheduled. Its wedged
+                // in-flight frame still completes eventually and retires
+                // the stream through the normal accounting path, so the
+                // conservation invariant stays exact — an evicted
+                // stream's frames are all accounted, never lost.
+                entry.evicted = true;
+                entry.active = false;
+                entry.health.evict();
+                ++watchdog_evictions_;
+            } else if (age_ms > wd.quarantine_ms) {
+                if (!entry.wd_quarantined) {
+                    entry.wd_quarantined = true;
+                    ++watchdog_quarantines_;
+                }
+            } else if (age_ms > wd.warn_ms) {
+                if (!entry.wd_warned) {
+                    entry.wd_warned = true;
+                    ++entry.watchdog_warns;
+                    ++watchdog_warns_;
+                }
+            }
+        }
+    }
 }
 
 FleetReport
@@ -439,8 +944,10 @@ FleetServer::run()
     encode_alive_.store(static_cast<int>(ew));
     decode_alive_.store(static_cast<int>(dw));
 
+    const bool watchdog = config_.guard.watchdog.enabled;
     {
-        ThreadPool pool(static_cast<int>(cw + ew + 1 + dw));
+        ThreadPool pool(
+            static_cast<int>(cw + ew + 1 + dw + (watchdog ? 1 : 0)));
         std::vector<std::future<void>> workers;
         for (u32 i = 0; i < cw; ++i)
             workers.push_back(pool.submit([this] { captureLoop(); }));
@@ -449,6 +956,8 @@ FleetServer::run()
         workers.push_back(pool.submit([this] { storeLoop(); }));
         for (u32 i = 0; i < dw; ++i)
             workers.push_back(pool.submit([this] { decodeLoop(); }));
+        if (watchdog)
+            workers.push_back(pool.submit([this] { watchdogLoop(); }));
 
         bool close_now = false;
         {
@@ -510,10 +1019,23 @@ FleetServer::run()
     rep.store_queue = store_q_.stats();
     rep.encode_queue = encode_q_.stats();
     rep.decode_queue = decode_q_.stats();
+    rep.shed_frames = shed_frames_;
+    rep.dma_retries = dma_retries_;
+    rep.dma_dropped_bursts = dma_dropped_bursts_;
+    rep.admission_rejects = admission_rejects_;
+    rep.watchdog_warns = watchdog_warns_;
+    rep.watchdog_quarantines = watchdog_quarantines_;
+    rep.watchdog_evictions = watchdog_evictions_;
+    if (chaos_) {
+        rep.chaos_hits = chaos_->totalHits();
+        rep.chaos_slept_us = chaos_->totalSleptUs();
+    }
     for (const auto &[id, entry] : streams_) {
         FleetStreamReport sr = streamReportLocked(id, entry);
         if (sr.completed)
             ++rep.streams_completed;
+        rep.health_transitions += sr.health_transitions;
+        rep.health_recoveries += sr.health_recoveries;
         rep.streams.push_back(std::move(sr));
     }
     return rep;
@@ -543,7 +1065,10 @@ toJson(const FleetReport &r)
        << "  \"errors\": " << r.errors << ",\n"
        << "  \"deadline_misses\": " << r.deadline_misses << ",\n"
        << "  \"quarantined\": " << r.quarantined << ",\n"
+       << "  \"shed_frames\": " << r.shed_frames << ",\n"
        << "  \"transient_faults\": " << r.transient_faults << ",\n"
+       << "  \"dma_retries\": " << r.dma_retries << ",\n"
+       << "  \"dma_dropped_bursts\": " << r.dma_dropped_bursts << ",\n"
        << "  \"bytes_written\": " << r.bytes_written << ",\n"
        << "  \"bytes_read\": " << r.bytes_read << ",\n"
        << "  \"metadata_bytes\": " << r.metadata_bytes << ",\n"
@@ -590,12 +1115,31 @@ toJson(const FleetReport &r)
            << ", \"frames\": " << s.frames
            << ", \"deadline_misses\": " << s.deadline_misses
            << ", \"quarantined\": " << s.quarantined
+           << ", \"shed\": " << s.shed
+           << ", \"dma_retries\": " << s.dma_retries
+           << ", \"dma_dropped_bursts\": " << s.dma_dropped_bursts
            << ", \"errors\": " << s.errors
            << ", \"degradation_level\": " << s.degradation_level
+           << ", \"health\": \""
+           << guard::healthStateName(s.health) << "\""
+           << ", \"health_transitions\": " << s.health_transitions
+           << ", \"health_recoveries\": " << s.health_recoveries
+           << ", \"evicted\": " << (s.evicted ? "true" : "false")
            << ", \"completed\": " << (s.completed ? "true" : "false")
            << "}";
     }
-    os << "\n  ]\n}\n";
+    os << "\n  ],\n"
+       << "  \"guard\": {\n"
+       << "    \"admission_rejects\": " << r.admission_rejects << ",\n"
+       << "    \"watchdog_warns\": " << r.watchdog_warns << ",\n"
+       << "    \"watchdog_quarantines\": " << r.watchdog_quarantines
+       << ",\n"
+       << "    \"watchdog_evictions\": " << r.watchdog_evictions << ",\n"
+       << "    \"health_transitions\": " << r.health_transitions << ",\n"
+       << "    \"health_recoveries\": " << r.health_recoveries << ",\n"
+       << "    \"chaos\": {\"hits\": " << r.chaos_hits
+       << ", \"slept_us\": " << r.chaos_slept_us << "}\n"
+       << "  }\n}\n";
     return os.str();
 }
 

@@ -44,9 +44,11 @@
 #include <string>
 #include <vector>
 
+#include "fault/chaos.hpp"
 #include "fleet/engine_pool.hpp"
 #include "fleet/scheduler.hpp"
 #include "fleet/stages.hpp"
+#include "guard/guard.hpp"
 #include "obs/perf_registry.hpp"
 #include "stream/fifo.hpp"
 
@@ -59,9 +61,18 @@ struct FleetStreamReport {
     u64 frames = 0;
     u64 deadline_misses = 0;
     u64 quarantined = 0;
+    u64 shed = 0; //!< frames shed by the guard (first-class, not lost)
     u64 errors = 0;
+    u64 dma_retries = 0;
+    u64 dma_dropped_bursts = 0;
     int degradation_level = 0; //!< ladder level after the last frame
     bool completed = false;    //!< reached its frame target (vs removed)
+    // Health state machine outcome (deterministic from frame outcomes).
+    guard::HealthState health = guard::HealthState::Healthy;
+    u64 health_transitions = 0;
+    u64 health_recoveries = 0; //!< quarantined → recovered transitions
+    u64 watchdog_warns = 0;    //!< wall-clock warnings (non-deterministic)
+    bool evicted = false;      //!< removed by watchdog verdict
 };
 
 /** Fleet topology and scheduling configuration. */
@@ -126,6 +137,17 @@ struct FleetConfig {
      * returns so a replacement is never strangled by queue closure.
      */
     std::function<void(const FleetStreamReport &)> stream_retired;
+    /**
+     * Overload-protection policy (admission control, watchdog, shedding,
+     * health thresholds). Everything defaults off — a default GuardConfig
+     * reproduces seed fleet behavior exactly.
+     */
+    guard::GuardConfig guard;
+    /**
+     * Fleet-level chaos injection (wall-clock perturbation only; model
+     * output stays byte-identical). Default: disabled.
+     */
+    fault::ChaosConfig chaos;
 };
 
 /** Aggregate outcome of one FleetServer::run(). */
@@ -136,7 +158,20 @@ struct FleetReport {
     u64 errors = 0;
     u64 deadline_misses = 0;
     u64 quarantined = 0;
+    u64 shed_frames = 0; //!< frames shed by the guard (delivered held-good)
     u64 transient_faults = 0;
+    u64 dma_retries = 0;
+    u64 dma_dropped_bursts = 0;
+    // Guard layer outcome.
+    u64 admission_rejects = 0;
+    u64 watchdog_warns = 0;
+    u64 watchdog_quarantines = 0;
+    u64 watchdog_evictions = 0;
+    u64 health_transitions = 0;
+    u64 health_recoveries = 0;
+    // Chaos injection outcome (wall-clock only).
+    u64 chaos_hits = 0;
+    u64 chaos_slept_us = 0;
     // Deterministic model aggregates (sum over frames).
     Bytes bytes_written = 0;
     Bytes bytes_read = 0;
@@ -185,9 +220,18 @@ class FleetServer
     /**
      * Create one more stream (thread-safe). Before run() it is seeded at
      * start; during run() its first frame is submitted immediately.
-     * Throws if the fleet has already drained or max_streams is reached.
+     * Throws if admission is refused (fleet drained, max_streams reached,
+     * or the capacity model rejects the load).
      */
     u32 addStream();
+
+    /**
+     * Admission-controlled variant of addStream (thread-safe): applies
+     * the configured admission policy and returns a reject-with-reason
+     * result instead of throwing. On admission, `result.id` names the
+     * new stream. Rejections are counted in the fleet report.
+     */
+    guard::AdmissionResult tryAddStream();
 
     /**
      * Stop a stream after its in-flight frame completes (thread-safe).
@@ -228,19 +272,46 @@ class FleetServer
         u64 done = 0;
         u64 deadline_misses = 0;
         u64 quarantined = 0;
+        u64 shed = 0;
         u64 errors = 0;
+        u64 dma_retries = 0;
+        u64 dma_dropped_bursts = 0;
         int degradation_level = 0;
         bool active = true;    //!< still scheduled for more frames
         bool seeded = false;   //!< first frame has entered the graph
         bool finished = false; //!< left the fleet (completed or removed)
         std::chrono::steady_clock::time_point epoch;
         double period_us = 0.0;
+        // Guard state.
+        guard::HealthMachine health;
+        u64 watchdog_warns = 0;
+        bool evicted = false; //!< watchdog verdict: removed from fleet
+        /** Submission time of the in-flight frame (watchdog age base). */
+        std::chrono::steady_clock::time_point inflight_since;
+        bool wd_warned = false;      //!< this in-flight frame already warned
+        bool wd_quarantined = false; //!< ... already counted a quarantine
     };
 
     u32 addStreamLocked();
+    /** Admission verdict for one more stream; caller holds mutex_. */
+    guard::AdmissionResult admitLocked() const;
     void seedStream(StreamEntry &entry, u32 id);
     FrameTask makeTask(StreamEntry &entry, u32 id, u64 frame);
     void finishFrame(FrameTask &task, bool errored);
+    /**
+     * Account a frame the guard decided not to decode: serve the
+     * hold-last-good image, record telemetry/energy/obs with the traffic
+     * the frame actually generated (write-side only when it reached the
+     * store, nothing otherwise), and feed the degradation ladder. The
+     * caller then routes the task through finishFrame as a normal
+     * completion — shed is first-class, not an error.
+     * @param stored true when the frame passed the store stage (decode-
+     *               point shed); false at the encode-point shed.
+     */
+    void shedFrame(FrameTask &task, bool stored);
+    /** True when the shedder should drop this task before its lease. */
+    bool pastShedDeadline(const FrameTask &task) const;
+    void watchdogLoop();
     /** Retire under mutex_: finished, live_--, context released. */
     FleetStreamReport retireLocked(u32 id, StreamEntry &entry);
     FleetStreamReport streamReportLocked(u32 id,
@@ -256,6 +327,7 @@ class FleetServer
 
     FleetConfig config_;
     std::unique_ptr<PipelineObs> obs_;
+    std::unique_ptr<fault::ChaosInjector> chaos_; //!< null when disabled
 
     MpmcQueue<FrameTask> capture_q_;
     EdfQueue encode_q_;
@@ -282,11 +354,20 @@ class FleetServer
     u64 errors_ = 0;
     u64 deadline_misses_ = 0;
     u64 quarantined_ = 0;
+    u64 shed_frames_ = 0;
     u64 transient_faults_ = 0;
+    u64 dma_retries_ = 0;
+    u64 dma_dropped_bursts_ = 0;
+    u64 admission_rejects_ = 0;
+    u64 watchdog_warns_ = 0;
+    u64 watchdog_quarantines_ = 0;
+    u64 watchdog_evictions_ = 0;
     Bytes bytes_written_ = 0;
     Bytes bytes_read_ = 0;
     Bytes metadata_bytes_ = 0;
     double kept_sum_ = 0.0;
+    /** EWMA of measured encode engine-hold µs (admission cost model). */
+    double encode_hold_ewma_us_ = 0.0;
     obs::Histogram latency_;
 
     // Store-worker batching stats (single-threaded writer).
@@ -299,6 +380,14 @@ class FleetServer
     std::atomic<int> capture_alive_{0};
     std::atomic<int> encode_alive_{0};
     std::atomic<int> decode_alive_{0};
+
+    // Per-stage progress heartbeats (bumped on every worker loop pass);
+    // the watchdog flags a stage whose queue is non-empty while its
+    // beats stand still.
+    std::atomic<u64> beat_capture_{0};
+    std::atomic<u64> beat_encode_{0};
+    std::atomic<u64> beat_store_{0};
+    std::atomic<u64> beat_decode_{0};
 };
 
 } // namespace rpx::fleet

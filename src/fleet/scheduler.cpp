@@ -90,6 +90,28 @@ EdfQueue::tryPush(FrameTask &task)
     return true;
 }
 
+bool
+EdfQueue::pushFor(FrameTask task, std::chrono::microseconds timeout)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (!closed_ && heap_.size() >= capacity_) {
+            ++stats_.push_waits;
+            if (!not_full_.wait_for(lock, timeout, [this] {
+                    return closed_ || heap_.size() < capacity_;
+                }))
+                return false; // timed out, still full
+        }
+        if (closed_) {
+            ++stats_.rejected;
+            return false;
+        }
+        pushLocked(std::move(task));
+    }
+    not_empty_.notify_one();
+    return true;
+}
+
 std::optional<FrameTask>
 EdfQueue::pop()
 {
@@ -100,6 +122,27 @@ EdfQueue::pop()
             ++stats_.pop_waits;
             not_empty_.wait(lock,
                             [this] { return closed_ || !heap_.empty(); });
+        }
+        if (heap_.empty())
+            return std::nullopt; // closed and drained
+        out = popEarliestLocked();
+    }
+    not_full_.notify_one();
+    return out;
+}
+
+std::optional<FrameTask>
+EdfQueue::popFor(std::chrono::microseconds timeout)
+{
+    std::optional<FrameTask> out;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (heap_.empty() && !closed_) {
+            ++stats_.pop_waits;
+            if (!not_empty_.wait_for(lock, timeout, [this] {
+                    return closed_ || !heap_.empty();
+                }))
+                return std::nullopt; // timed out, still empty
         }
         if (heap_.empty())
             return std::nullopt; // closed and drained

@@ -22,6 +22,7 @@
 #ifndef RPX_FLEET_SCHEDULER_HPP
 #define RPX_FLEET_SCHEDULER_HPP
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <optional>
@@ -54,6 +55,12 @@ class EdfQueue
     bool push(FrameTask task);
     /** Insert only if there is room right now; false if full or closed. */
     bool tryPush(FrameTask &task);
+    /**
+     * Like push(), but give up after @p timeout. False means closed
+     * (recorded as rejected) or timed out (not recorded); callers tell
+     * the two apart via closed().
+     */
+    bool pushFor(FrameTask task, std::chrono::microseconds timeout);
 
     /**
      * Block until a task is available and pop the earliest-deadline one.
@@ -62,6 +69,12 @@ class EdfQueue
     std::optional<FrameTask> pop();
     /** Pop the earliest-deadline task only if one is buffered now. */
     std::optional<FrameTask> tryPop();
+    /**
+     * Like pop(), but give up after @p timeout. A nullopt means either
+     * closed-and-drained or timed out; watchdogged consumers use the
+     * timeout as their heartbeat interval and re-check closed().
+     */
+    std::optional<FrameTask> popFor(std::chrono::microseconds timeout);
 
     /** Refuse new pushes and wake all waiters. Idempotent. */
     void close();

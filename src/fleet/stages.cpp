@@ -214,6 +214,8 @@ DecodeStage::run(FrameTask &task) const
     //     a real wall-clock overrun (per-pipeline deadline_ms or the
     //     fleet's EDF frame deadline) or an injected scheduling fault.
     result.csi_dropped_lines = task.csi_status.dropped_lines;
+    result.dma_retries = task.store_report.dma_retries;
+    result.dma_dropped_bursts = task.store_report.dma_dropped_bursts;
     result.transient_faults =
         task.store_report.dma_retries +
         task.store_report.dma_dropped_bursts +
@@ -285,6 +287,8 @@ DecodeStage::run(FrameTask &task) const
         if (result.deadline_missed)
             po->deadline_misses->inc();
         po->transient_faults->add(result.transient_faults);
+        po->dma_retries->add(result.dma_retries);
+        po->dma_dropped_bursts->add(result.dma_dropped_bursts);
         po->kept_fraction->set(task.kept);
         po->footprint->set(
             static_cast<double>(result.traffic.footprint));
@@ -331,6 +335,8 @@ DecodeStage::run(FrameTask &task) const
         ft.deadline_missed = result.deadline_missed;
         ft.csi_dropped_lines = result.csi_dropped_lines;
         ft.transient_faults = result.transient_faults;
+        ft.dma_retries = result.dma_retries;
+        ft.dma_dropped_bursts = result.dma_dropped_bursts;
         ft.degradation_level = result.degradation_level;
 
         ft.energy_sense_nj = e_sense_nj;

@@ -69,6 +69,11 @@ struct FrameTask {
     bool has_deadline = false;
     std::chrono::steady_clock::time_point deadline;
     double trace_start_us = 0.0; //!< frame-span start (tracing only)
+    /**
+     * Wall-clock microseconds the frame held an encode engine lease;
+     * feeds the admission capacity model's live cost estimate (EWMA).
+     */
+    double encode_hold_us = 0.0;
 
     // Telemetry attribution baselines (filled when a sink is attached).
     DramStats dram_before;

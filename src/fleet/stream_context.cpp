@@ -31,6 +31,9 @@ PipelineObs::PipelineObs(obs::ObsContext *ctx) : ctx_(ctx)
     quarantined = &r.counter("pipeline.quarantined_frames");
     deadline_misses = &r.counter("pipeline.deadline_misses");
     transient_faults = &r.counter("pipeline.transient_faults");
+    shed_frames = &r.counter("pipeline.shed_frames");
+    dma_retries = &r.counter("pipeline.dma_retries");
+    dma_dropped_bursts = &r.counter("pipeline.dma_dropped_bursts");
     kept_fraction = &r.gauge("pipeline.kept_fraction");
     footprint = &r.gauge("pipeline.footprint_bytes");
     energy_sense_ = &r.gauge("pipeline.energy_sense_nj");

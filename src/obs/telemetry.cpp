@@ -54,7 +54,10 @@ TelemetryTotals::add(const FrameTelemetry &frame)
     stream_cycles += frame.stream_cycles;
     quarantined_frames += frame.quarantined ? 1 : 0;
     deadline_misses += frame.deadline_missed ? 1 : 0;
+    shed_frames += frame.shed ? 1 : 0;
     transient_faults += frame.transient_faults;
+    dma_retries += frame.dma_retries;
+    dma_dropped_bursts += frame.dma_dropped_bursts;
     energy_total_nj += frame.energy_total_nj;
 }
 
@@ -139,10 +142,18 @@ writeFrameJson(const FrameTelemetry &f)
        << ",\"comparisons\":" << f.region_comparisons
        << ",\"health\":{\"quarantined\":" << boolName(f.quarantined)
        << ",\"held_last_good\":" << boolName(f.held_last_good)
-       << ",\"deadline_missed\":" << boolName(f.deadline_missed)
-       << ",\"csi_dropped_lines\":" << f.csi_dropped_lines
-       << ",\"transient_faults\":" << f.transient_faults
-       << ",\"degradation_level\":" << f.degradation_level << "}"
+       << ",\"deadline_missed\":" << boolName(f.deadline_missed);
+    // Guard-era fields are emitted only when set, so journals from
+    // guard-free runs stay byte-identical to the legacy schema.
+    if (f.shed)
+        os << ",\"shed\":true";
+    os << ",\"csi_dropped_lines\":" << f.csi_dropped_lines
+       << ",\"transient_faults\":" << f.transient_faults;
+    if (f.dma_retries)
+        os << ",\"dma_retries\":" << f.dma_retries;
+    if (f.dma_dropped_bursts)
+        os << ",\"dma_dropped_bursts\":" << f.dma_dropped_bursts;
+    os << ",\"degradation_level\":" << f.degradation_level << "}"
        << ",\"energy_nj\":{\"sense\":" << num(f.energy_sense_nj)
        << ",\"csi\":" << num(f.energy_csi_nj)
        << ",\"dram\":" << num(f.energy_dram_nj)
@@ -226,6 +237,12 @@ frameFromJson(const json::Value &v)
     f.csi_dropped_lines = static_cast<u32>(u64At(health,
                                                  "csi_dropped_lines"));
     f.transient_faults = u64At(health, "transient_faults");
+    // Optional guard-era fields (absent in legacy journals).
+    if (const json::Value *shed = health.find("shed"))
+        f.shed = shed->boolean();
+    f.dma_retries = static_cast<u64>(health.numberOr("dma_retries", 0.0));
+    f.dma_dropped_bursts =
+        static_cast<u64>(health.numberOr("dma_dropped_bursts", 0.0));
     f.degradation_level =
         static_cast<int>(health.at("degradation_level").number());
 

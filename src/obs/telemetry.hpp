@@ -91,8 +91,12 @@ struct FrameTelemetry {
     bool quarantined = false;
     bool held_last_good = false;
     bool deadline_missed = false;
+    /** Shed by the fleet guard before decode (shed ≠ missed ≠ lost). */
+    bool shed = false;
     u32 csi_dropped_lines = 0;
     u64 transient_faults = 0;
+    u64 dma_retries = 0;        //!< DMA bursts retried during store
+    u64 dma_dropped_bursts = 0; //!< DMA bursts dropped during store
     int degradation_level = 0;
 
     // First-order energy split (nanojoules; see src/energy/energy_model).
@@ -118,7 +122,10 @@ struct TelemetryTotals {
     u64 stream_cycles = 0;
     u64 quarantined_frames = 0;
     u64 deadline_misses = 0;
+    u64 shed_frames = 0;
     u64 transient_faults = 0;
+    u64 dma_retries = 0;
+    u64 dma_dropped_bursts = 0;
     double energy_total_nj = 0.0;
 
     void add(const FrameTelemetry &frame);

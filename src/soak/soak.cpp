@@ -99,7 +99,8 @@ class SoakRunner
         if (width_ < 16 || height_ < 16)
             throwInvalid("soak frame geometry too small");
 
-        plan_ = faultPlanFor(opts_.seed);
+        plan_ = opts_.chaos ? chaosFaultPlanFor(opts_.seed)
+                            : faultPlanFor(opts_.seed);
         slots_.resize(opts_.streams);
     }
 
@@ -405,6 +406,7 @@ class SoakRunner
     obs::Counter *reg_written_ = nullptr;
     obs::Counter *reg_read_ = nullptr;
     obs::Counter *reg_meta_ = nullptr;
+    obs::Counter *reg_shed_ = nullptr;
 
     std::mutex mutex_; //!< slots / id map / generation count
     std::vector<SlotState> slots_;
@@ -435,6 +437,7 @@ SoakRunner::run()
     reg_written_ = &obs_.registry().counter("pipeline.bytes_written");
     reg_read_ = &obs_.registry().counter("pipeline.bytes_read");
     reg_meta_ = &obs_.registry().counter("pipeline.metadata_bytes");
+    reg_shed_ = &obs_.registry().counter("pipeline.shed_frames");
 
     fleet::FleetConfig fc;
     fc.stream.width = width_;
@@ -442,10 +445,30 @@ SoakRunner::run()
     fc.stream.fps = opts_.fps;
     fc.stream.obs = &obs_;
     fc.stream.telemetry = sink_.get();
-    if (opts_.faults) {
+    if (opts_.faults || opts_.chaos) {
         fc.stream.fault.plan = &plan_;
         fc.stream.fault.crc_metadata = true;
         fc.stream.fault.graceful = true;
+    }
+    if (opts_.chaos) {
+        // Wall-only stage delays, seeded independently of the fault
+        // plan; the shed verdicts themselves come from the plan's
+        // Stage::Shed rate so model quantities stay deterministic.
+        fc.chaos.enabled = true;
+        fc.chaos.seed = Rng(opts_.seed).fork(0xC4A05ULL).next();
+        fc.chaos.capture_jitter_rate = 0.02;
+        fc.chaos.worker_stall_rate = 0.01;
+        fc.chaos.slow_lease_rate = 0.015;
+        fc.chaos.queue_burst_rate = 0.01;
+        // Watchdog with thresholds far above the injected delays: the
+        // warn tier may fire under load, but quarantine/evict verdicts
+        // would break the slot-budget invariant and must stay out of
+        // reach of healthy (if slow) progress.
+        fc.guard.watchdog.enabled = true;
+        fc.guard.watchdog.interval_ms = 20;
+        fc.guard.watchdog.warn_ms = 400;
+        fc.guard.watchdog.quarantine_ms = 4000;
+        fc.guard.watchdog.evict_ms = 20000;
     }
     fc.streams = opts_.streams;
     fc.frames_per_stream = static_cast<u32>(budget_);
@@ -494,6 +517,10 @@ SoakRunner::finalChecks(const fleet::FleetReport &rep, SoakResult &res)
 
     res.frames = j.frames;
     res.generations = generations_;
+    res.shed_frames = rep.shed_frames;
+    res.health_recoveries = rep.health_recoveries;
+    res.watchdog_warns = rep.watchdog_warns;
+    res.chaos_hits = rep.chaos_hits;
     res.checkpoints = checkpoints_.size();
     res.max_frames_drift = max_drift_;
     res.final_frames_drift = reg_frames_->value() >= j.frames
@@ -529,6 +556,16 @@ SoakRunner::finalChecks(const fleet::FleetReport &rep, SoakResult &res)
              j.deadline_misses);
     expectEq("fleet/journal transient_faults", rep.transient_faults,
              j.transient_faults);
+    // Shed accounting is three-way: every shed frame appears once in the
+    // journal, the registry, and the fleet report (shed != lost).
+    expectEq("registry/journal shed_frames", reg_shed_->value(),
+             j.shed_frames);
+    expectEq("fleet/journal shed_frames", rep.shed_frames,
+             j.shed_frames);
+    expectEq("fleet/journal dma_retries", rep.dma_retries,
+             j.dma_retries);
+    expectEq("fleet/journal dma_dropped_bursts", rep.dma_dropped_bursts,
+             j.dma_dropped_bursts);
     expectEq("fleet errors", rep.errors, 0);
 
     if (!aborted_.load(std::memory_order_relaxed)) {
@@ -604,6 +641,19 @@ SoakRunner::buildBench(SoakResult &res) const
           "lower");
     model("soak.bytes_written",
           static_cast<double>(res.fleet.bytes_written), "bytes", "lower");
+    if (opts_.chaos) {
+        // Emitted only in chaos mode so the baseline soak trend schema
+        // is unchanged.
+        model("soak.shed_frames", static_cast<double>(res.shed_frames),
+              "frames", "lower");
+        model("soak.health_recoveries",
+              static_cast<double>(res.health_recoveries), "count",
+              "higher");
+        wall("soak.watchdog_warns",
+             static_cast<double>(res.watchdog_warns), "count", "lower");
+        wall("soak.chaos_hits", static_cast<double>(res.chaos_hits),
+             "count", "higher");
+    }
     wall("soak.wall_seconds", res.fleet.wall_seconds, "s", "lower");
     wall("soak.frames_per_second", res.fleet.frames_per_second, "fps",
          "higher");
@@ -626,6 +676,19 @@ faultPlanFor(u64 seed)
     plan.at(fault::Stage::FrameMeta).byte_error_rate = 3e-5;
     plan.at(fault::Stage::Dma).drop_rate = 0.02;
     plan.at(fault::Stage::Deadline).drop_rate = 0.12;
+    return plan;
+}
+
+fault::FaultPlan
+chaosFaultPlanFor(u64 seed)
+{
+    fault::FaultPlan plan = faultPlanFor(seed);
+    // Forced shed verdicts exercise the guard's load-shed accounting,
+    // and a much hotter metadata-corruption rate produces the
+    // consecutive-quarantine streaks that push streams into Quarantined
+    // and back out (the recovery transitions the chaos gate asserts).
+    plan.at(fault::Stage::Shed).drop_rate = 0.08;
+    plan.at(fault::Stage::FrameMeta).byte_error_rate = 2e-4;
     return plan;
 }
 
@@ -669,6 +732,10 @@ toJson(const SoakResult &result)
        << ",\n";
     os << "  \"degrade_recoveries\": " << result.degrade_recoveries
        << ",\n";
+    os << "  \"shed_frames\": " << result.shed_frames << ",\n";
+    os << "  \"health_recoveries\": " << result.health_recoveries << ",\n";
+    os << "  \"watchdog_warns\": " << result.watchdog_warns << ",\n";
+    os << "  \"chaos_hits\": " << result.chaos_hits << ",\n";
     os << "  \"rss_start_kb\": " << result.rss_start_kb << ",\n";
     os << "  \"rss_peak_kb\": " << result.rss_peak_kb << ",\n";
     os << "  \"arena_high_water_bytes\": " << result.arena_high_water_bytes

@@ -63,6 +63,16 @@ struct SoakOptions {
     bool faults = true;
     /** Streams leave mid-run and replacements continue their slot. */
     bool churn = true;
+    /**
+     * Fleet-level chaos: seeded stage-delay injection (stalled workers,
+     * slow engine leases, store bursts, capture jitter), the stage
+     * watchdog, and an amplified fault mix with forced Stage::Shed
+     * verdicts. Model quantities stay deterministic (chaos delays are
+     * wall-only; shed/quarantine verdicts come from the seeded plan), so
+     * the conservation checkpoints — including shed accounting — still
+     * gate exactly.
+     */
+    bool chaos = false;
     /** Recorded rpx-trace v1 file; empty = synthetic labels. */
     std::string trace_path;
     /** Frame geometry when no trace supplies one. */
@@ -106,6 +116,10 @@ struct SoakResult {
     u64 fault_stalls = 0;        //!< sum of fault.*.stalls
     u64 degrade_escalations = 0;
     u64 degrade_recoveries = 0;
+    u64 shed_frames = 0;        //!< guard-shed frames (chaos mode)
+    u64 health_recoveries = 0;  //!< Quarantined -> recovery transitions
+    u64 watchdog_warns = 0;     //!< watchdog warnings (chaos mode)
+    u64 chaos_hits = 0;         //!< chaos injections that fired
 
     // Conservation outcome.
     u64 checkpoints = 0;
@@ -133,6 +147,13 @@ struct SoakResult {
  * deadline misses (degradation-ladder exercise without wall clocks).
  */
 fault::FaultPlan faultPlanFor(u64 seed);
+
+/**
+ * The amplified chaos-mode fault mix: the standard plan plus forced
+ * Stage::Shed verdicts and enough metadata corruption to push streams
+ * through full Quarantined -> recovery health cycles.
+ */
+fault::FaultPlan chaosFaultPlanFor(u64 seed);
 
 /** Run one soak. Throws on setup errors (e.g. unreadable trace). */
 SoakResult runSoak(const SoakOptions &options);

@@ -15,6 +15,7 @@
 #ifndef RPX_STREAM_FIFO_HPP
 #define RPX_STREAM_FIFO_HPP
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -211,6 +212,36 @@ class MpmcQueue
         return true;
     }
 
+    /**
+     * Like push(), but give up after @p timeout if no space opens. The
+     * element is returned-by-false in two distinct cases — closed queue
+     * (permanent, recorded in rejected) and timeout (transient, not
+     * recorded) — which callers can tell apart via closed().
+     */
+    bool
+    pushFor(T v, std::chrono::microseconds timeout)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (q_.size() >= capacity_ && !closed_) {
+            ++stats_.push_waits;
+            if (!not_full_.wait_for(lock, timeout, [&] {
+                    return q_.size() < capacity_ || closed_;
+                }))
+                return false; // timed out, still full
+        }
+        if (closed_) {
+            ++stats_.rejected;
+            return false;
+        }
+        q_.push_back(std::move(v));
+        ++stats_.pushes;
+        if (q_.size() > stats_.high_water)
+            stats_.high_water = q_.size();
+        lock.unlock();
+        not_empty_.notify_one();
+        return true;
+    }
+
     /** Non-blocking push; false when full or closed. */
     bool
     tryPush(T v)
@@ -243,6 +274,34 @@ class MpmcQueue
         if (q_.empty() && !closed_) {
             ++stats_.pop_waits;
             not_empty_.wait(lock, [&] { return !q_.empty() || closed_; });
+        }
+        if (q_.empty())
+            return std::nullopt; // closed and drained
+        T v = std::move(q_.front());
+        q_.pop_front();
+        ++stats_.pops;
+        lock.unlock();
+        not_full_.notify_one();
+        return v;
+    }
+
+    /**
+     * Like pop(), but give up after @p timeout if nothing arrives. A
+     * nullopt therefore means either "closed and drained" (permanent) or
+     * "timed out" (transient); consumers running under a watchdog use the
+     * timeout as their heartbeat interval and re-check closed() to decide
+     * whether to exit or beat-and-retry.
+     */
+    std::optional<T>
+    popFor(std::chrono::microseconds timeout)
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (q_.empty() && !closed_) {
+            ++stats_.pop_waits;
+            if (!not_empty_.wait_for(lock, timeout, [&] {
+                    return !q_.empty() || closed_;
+                }))
+                return std::nullopt; // timed out, still empty
         }
         if (q_.empty())
             return std::nullopt; // closed and drained

@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
+#include <vector>
 
 #include "fleet/scheduler.hpp"
 
@@ -100,6 +102,109 @@ TEST(EdfQueue, CloseWakesBlockedConsumer)
     std::thread consumer([&q] { EXPECT_FALSE(q.pop().has_value()); });
     q.close();
     consumer.join();
+}
+
+TEST(EdfQueue, PopForTimesOutOnEmptyQueue)
+{
+    EdfQueue q(2);
+    EXPECT_FALSE(q.popFor(std::chrono::microseconds(1000)).has_value());
+    EXPECT_FALSE(q.closed());
+}
+
+TEST(EdfQueue, PopForStillPopsEarliestDeadlineFirst)
+{
+    EdfQueue q(4);
+    ASSERT_TRUE(q.push(taskWithDeadline(0, std::chrono::milliseconds(9))));
+    ASSERT_TRUE(q.push(taskWithDeadline(1, std::chrono::milliseconds(3))));
+    ASSERT_TRUE(q.push(taskWithDeadline(2, std::chrono::milliseconds(6))));
+    EXPECT_EQ(q.popFor(std::chrono::microseconds(1000))->index, 1);
+    EXPECT_EQ(q.popFor(std::chrono::microseconds(1000))->index, 2);
+    EXPECT_EQ(q.popFor(std::chrono::microseconds(1000))->index, 0);
+}
+
+TEST(EdfQueue, PopForDrainsAfterClose)
+{
+    EdfQueue q(2);
+    ASSERT_TRUE(q.push(taskNoDeadline(5)));
+    q.close();
+    EXPECT_EQ(q.popFor(std::chrono::microseconds(1000))->index, 5);
+    EXPECT_FALSE(q.popFor(std::chrono::microseconds(1000)).has_value());
+}
+
+TEST(EdfQueue, PushForTimesOutOnFullQueueAndRetries)
+{
+    EdfQueue q(1);
+    ASSERT_TRUE(q.push(taskNoDeadline(0)));
+    EXPECT_FALSE(
+        q.pushFor(taskNoDeadline(1), std::chrono::microseconds(1000)));
+    EXPECT_EQ(q.stats().rejected, 0u);
+    EXPECT_EQ(q.pop()->index, 0);
+    EXPECT_TRUE(
+        q.pushFor(taskNoDeadline(1), std::chrono::microseconds(1000)));
+    EXPECT_EQ(q.pop()->index, 1);
+}
+
+TEST(EdfQueue, PushForRefusedAfterClose)
+{
+    EdfQueue q(2);
+    q.close();
+    EXPECT_FALSE(
+        q.pushFor(taskNoDeadline(0), std::chrono::microseconds(1000)));
+    EXPECT_EQ(q.stats().rejected, 1u);
+}
+
+/**
+ * Timed-op stress on the EDF queue: polling consumers (the watchdog
+ * heartbeat pattern) against blocking producers; every task must arrive
+ * exactly once. Run under TSan by the tsan CI job.
+ */
+TEST(EdfQueue, TimedOpsContentionConservesTasks)
+{
+    constexpr int kProducers = 2;
+    constexpr int kConsumers = 2;
+    constexpr int kPerProducer = 800;
+    EdfQueue q(4);
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&q, p] {
+            for (int i = 0; i < kPerProducer; ++i)
+                ASSERT_TRUE(q.push(taskNoDeadline(
+                    static_cast<u64>(p * kPerProducer + i))));
+        });
+    }
+
+    std::vector<std::vector<u64>> seen(kConsumers);
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < kConsumers; ++c) {
+        consumers.emplace_back([&q, &seen, c] {
+            for (;;) {
+                auto t = q.popFor(std::chrono::microseconds(200));
+                if (t) {
+                    seen[static_cast<size_t>(c)].push_back(
+                        static_cast<u64>(t->index));
+                    continue;
+                }
+                if (q.closed() && q.size() == 0)
+                    return;
+            }
+        });
+    }
+
+    for (auto &t : producers)
+        t.join();
+    q.close();
+    for (auto &t : consumers)
+        t.join();
+
+    std::vector<u64> all;
+    for (const auto &part : seen)
+        all.insert(all.end(), part.begin(), part.end());
+    std::sort(all.begin(), all.end());
+    ASSERT_EQ(all.size(),
+              static_cast<size_t>(kProducers * kPerProducer));
+    for (size_t i = 0; i < all.size(); ++i)
+        EXPECT_EQ(all[i], static_cast<u64>(i));
 }
 
 } // namespace

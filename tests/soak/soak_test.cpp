@@ -162,6 +162,59 @@ TEST(Soak, ReportRoundTripsThroughBenchTooling)
     EXPECT_EQ(drift->second.value, 0.0);
 }
 
+/**
+ * Chaos soak: wall-clock perturbation (capture jitter, worker stalls,
+ * slow leases, queue bursts) plus the chaos fault plan's deterministic
+ * shed verdicts. The run must stay conservation-clean, account every
+ * shed frame, and show at least one quarantine → recovery transition —
+ * the guard layer absorbing the chaos it exists for.
+ */
+TEST(Soak, ChaosSoakShedsRecoversAndConserves)
+{
+    soak::SoakOptions o = shortSoak(8, 2.0);
+    o.seed = 77;
+    o.chaos = true;
+    const soak::SoakResult res = soak::runSoak(o);
+
+    ASSERT_TRUE(res.ok) << (res.violations.empty()
+                                ? "not ok without violations"
+                                : res.violations.front());
+    // Shed frames are accounted but not delivered, so the churn ledger
+    // schedules make-up frames until the delivered count hits the
+    // budget: journal total == budget + shed, exactly.
+    EXPECT_EQ(res.frames, res.frames_budget + res.shed_frames);
+    EXPECT_EQ(res.final_frames_drift, 0u);
+    EXPECT_EQ(res.final_bytes_drift, 0);
+    EXPECT_EQ(res.fleet.errors, 0u);
+    // The chaos plan's Stage::Shed verdicts are deterministic model
+    // events; the wall-clock chaos sites report hits independently.
+    EXPECT_GT(res.shed_frames, 0u);
+    EXPECT_EQ(res.shed_frames, res.fleet.shed_frames);
+    EXPECT_GE(res.health_recoveries, 1u);
+    EXPECT_GT(res.chaos_hits, 0u);
+}
+
+/** Chaos perturbs time only: the model outcome is seed-reproducible. */
+TEST(Soak, ChaosSameSeedReproducesModelOutcome)
+{
+    soak::SoakOptions o = shortSoak(8, 0.5);
+    o.seed = 77;
+    o.chaos = true;
+    const soak::SoakResult a = soak::runSoak(o);
+    const soak::SoakResult b = soak::runSoak(o);
+
+    ASSERT_TRUE(a.ok);
+    ASSERT_TRUE(b.ok);
+    EXPECT_EQ(a.frames, b.frames);
+    EXPECT_EQ(a.generations, b.generations);
+    EXPECT_EQ(a.shed_frames, b.shed_frames);
+    EXPECT_EQ(a.health_recoveries, b.health_recoveries);
+    EXPECT_EQ(a.fleet.quarantined, b.fleet.quarantined);
+    EXPECT_EQ(a.fleet.bytes_written, b.fleet.bytes_written);
+    EXPECT_EQ(a.fleet.metadata_bytes, b.fleet.metadata_bytes);
+    EXPECT_EQ(a.fleet.health_transitions, b.fleet.health_transitions);
+}
+
 TEST(Soak, RejectsBadOptions)
 {
     soak::SoakOptions o;

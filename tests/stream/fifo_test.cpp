@@ -238,5 +238,106 @@ TEST(MpmcQueue, ContentionPreservesPerProducerOrder)
     EXPECT_EQ(popped, static_cast<size_t>(kCount));
 }
 
+TEST(MpmcQueue, PopForTimesOutOnEmptyQueue)
+{
+    MpmcQueue<int> q(2);
+    EXPECT_FALSE(q.popFor(std::chrono::microseconds(1000)).has_value());
+    EXPECT_FALSE(q.closed());
+}
+
+TEST(MpmcQueue, PopForReturnsBufferedElement)
+{
+    MpmcQueue<int> q(2);
+    ASSERT_TRUE(q.push(9));
+    const auto v = q.popFor(std::chrono::microseconds(1000));
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, 9);
+}
+
+TEST(MpmcQueue, PopForDrainsAfterClose)
+{
+    MpmcQueue<int> q(2);
+    ASSERT_TRUE(q.push(4));
+    q.close();
+    EXPECT_EQ(q.popFor(std::chrono::microseconds(1000)).value(), 4);
+    EXPECT_FALSE(q.popFor(std::chrono::microseconds(1000)).has_value());
+}
+
+TEST(MpmcQueue, PushForTimesOutOnFullQueue)
+{
+    MpmcQueue<int> q(1);
+    ASSERT_TRUE(q.push(1));
+    EXPECT_FALSE(q.pushFor(2, std::chrono::microseconds(1000)));
+    // A timeout is not a close reject: the element may be retried.
+    EXPECT_EQ(q.stats().rejected, 0u);
+    EXPECT_EQ(q.pop().value(), 1);
+    EXPECT_TRUE(q.pushFor(2, std::chrono::microseconds(1000)));
+    EXPECT_EQ(q.pop().value(), 2);
+}
+
+TEST(MpmcQueue, PushForRefusedAfterClose)
+{
+    MpmcQueue<int> q(2);
+    q.close();
+    EXPECT_FALSE(q.pushFor(5, std::chrono::microseconds(1000)));
+    EXPECT_EQ(q.stats().rejected, 1u);
+}
+
+/**
+ * Timed-op contention stress: consumers poll with short timeouts (the
+ * watchdog heartbeat pattern) while producers block-push. Every element
+ * must still arrive exactly once. Run under TSan by the tsan CI job.
+ */
+TEST(MpmcQueue, TimedOpsContentionConservesElements)
+{
+    constexpr int kProducers = 3;
+    constexpr int kConsumers = 3;
+    constexpr int kPerProducer = 1500;
+    MpmcQueue<int> q(8);
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&q, p] {
+            for (int i = 0; i < kPerProducer; ++i)
+                ASSERT_TRUE(
+                    q.pushFor(p * kPerProducer + i,
+                              std::chrono::microseconds(100000)));
+        });
+    }
+
+    std::vector<std::vector<int>> seen(kConsumers);
+    std::vector<std::thread> consumers;
+    for (int c = 0; c < kConsumers; ++c) {
+        consumers.emplace_back([&q, &seen, c] {
+            for (;;) {
+                auto v = q.popFor(std::chrono::microseconds(200));
+                if (v) {
+                    seen[static_cast<size_t>(c)].push_back(*v);
+                    continue;
+                }
+                // The watchdog-worker exit contract: a timed pop that
+                // returns nothing only means "done" once the queue is
+                // closed AND drained.
+                if (q.closed() && q.size() == 0)
+                    return;
+            }
+        });
+    }
+
+    for (auto &t : producers)
+        t.join();
+    q.close();
+    for (auto &t : consumers)
+        t.join();
+
+    std::vector<int> all;
+    for (const auto &part : seen)
+        all.insert(all.end(), part.begin(), part.end());
+    std::sort(all.begin(), all.end());
+    std::vector<int> want(kProducers * kPerProducer);
+    std::iota(want.begin(), want.end(), 0);
+    EXPECT_EQ(all, want);
+}
+
 } // namespace
 } // namespace rpx

@@ -7,7 +7,8 @@
  *
  * Usage:
  *   rpx_soak [--streams N] [--duration SECONDS] [--fps N] [--seed N]
- *            [--faults on|off] [--churn on|off] [--trace FILE]
+ *            [--faults on|off] [--churn on|off] [--chaos on|off]
+ *            [--trace FILE]
  *            [--width N] [--height N] [--checkpoint-every N]
  *            [--max-streams N] [--journal FILE]
  *            [--report FILE | --out-dir DIR]
@@ -37,7 +38,8 @@ usage()
     std::cerr
         << "usage: rpx_soak [--streams N] [--duration SECONDS] [--fps N]\n"
         << "                [--seed N] [--faults on|off] [--churn on|off]\n"
-        << "                [--trace FILE] [--width N] [--height N]\n"
+        << "                [--chaos on|off] [--trace FILE]\n"
+        << "                [--width N] [--height N]\n"
         << "                [--checkpoint-every N] [--max-streams N]\n"
         << "                [--journal FILE] [--report FILE]\n"
         << "                [--out-dir DIR]\n";
@@ -82,6 +84,8 @@ main(int argc, char **argv)
             opts.faults = parseOnOff(value());
         else if (arg == "--churn")
             opts.churn = parseOnOff(value());
+        else if (arg == "--chaos")
+            opts.chaos = parseOnOff(value());
         else if (arg == "--trace")
             opts.trace_path = value();
         else if (arg == "--width")
@@ -118,6 +122,10 @@ main(int argc, char **argv)
                   << "  degradation: " << res.degrade_escalations
                   << " escalations, " << res.degrade_recoveries
                   << " recoveries\n"
+                  << "  guard: " << res.shed_frames << " shed, "
+                  << res.health_recoveries << " health recoveries, "
+                  << res.watchdog_warns << " watchdog warns, "
+                  << res.chaos_hits << " chaos hits\n"
                   << "  rss: " << res.rss_start_kb << " kB -> peak "
                   << res.rss_peak_kb << " kB; wall "
                   << res.fleet.wall_seconds << " s ("
